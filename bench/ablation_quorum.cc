@@ -1,0 +1,72 @@
+// Ablation: quorum vs fully-synchronous replication (paper §3.1).
+//
+// "Basic fully synchronous replication can tolerate r-1 failures, but the
+// unavailability in case of failures is higher because of the synchronous
+// communication with worker nodes." With a replica down and no spare to
+// promote, quorum puts keep committing through the surviving majority while
+// full-sync puts cannot commit at all.
+#include "bench/bench_util.h"
+
+#include "src/common/hash.h"
+
+namespace {
+
+ring::Key Shard0Key(int i) {
+  for (int salt = 0;; ++salt) {
+    ring::Key k = "q" + std::to_string(i) + "-" + std::to_string(salt);
+    if (ring::KeyShard(k, 3) == 0) {
+      return k;
+    }
+  }
+}
+
+}  // namespace
+
+int main() {
+  using namespace ring;
+  std::printf("# Ablation: quorum vs full-sync Rep(r) commits (1 KiB puts, "
+              "keys on shard 0)\n");
+  for (uint32_t r : {2u, 3u, 4u}) {
+    for (bool full_sync : {false, true}) {
+      RingOptions o = bench::PaperCluster(1, /*spares=*/0, 77);
+      // Bounded patience so a blocked put reports quickly.
+      o.params.client_retry_timeout_ns = 2 * sim::kMillisecond;
+      RingCluster cluster(o);
+      auto desc = full_sync ? MemgestDescriptor::FullSyncReplicated(r)
+                            : MemgestDescriptor::Replicated(r);
+      auto g = *cluster.CreateMemgest(desc);
+      auto& client = cluster.client(0);
+
+      Samples healthy;
+      for (int i = 0; i < 200; ++i) {
+        client.ResetStats();
+        if (cluster.Put(Shard0Key(i % 8), MakePatternBuffer(1024, i), g)
+                .ok() &&
+            !client.latencies().empty()) {
+          healthy.Add(client.latencies().values().back());
+        }
+      }
+
+      // Node 1 is the first replica of shard 0 for every r >= 2; with no
+      // spare its slot stays dark.
+      cluster.KillNode(1, /*force_detect=*/true);
+      cluster.RunFor(2 * sim::kMillisecond);
+      client.ResetStats();
+      const Status s =
+          cluster.Put(Shard0Key(100), MakePatternBuffer(1024, 9), g);
+      const double after = client.latencies().empty()
+                               ? -1.0
+                               : client.latencies().values().back();
+      std::printf(
+          "Rep(%u) %-10s healthy put %6.2f us | put with a dead, "
+          "unreplaced replica: %-9s (%.0f us)\n",
+          r, full_sync ? "full-sync" : "quorum", healthy.Median(),
+          s.ok() ? "commits" : s.ToString().c_str(), after);
+    }
+  }
+  std::printf(
+      "# quorum commits through the surviving majority (r >= 3); full-sync\n"
+      "# (and quorum at r = 2) cannot commit until the replica is replaced\n"
+      "# -- the paper's availability argument for quorum replication.\n");
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Ablation: SRS stripe unit (chunk cell size).
+//
+// The stripe unit U trades recovery parallelism against per-segment
+// overhead: a 64 KiB block split into U-sized mini-stripe segments needs
+// 64Ki/U decode rounds (each gathering k source reads). Larger units mean
+// fewer, bigger transfers — until a unit exceeds typical object sizes and
+// stops spreading load. DESIGN.md picks 4 KiB as the default.
+#include "bench/bench_util.h"
+
+#include "src/common/hash.h"
+
+namespace {
+
+ring::Key VictimKey(uint32_t shard, int i) {
+  for (int salt = 0;; ++salt) {
+    ring::Key k = "su" + std::to_string(i) + "-" + std::to_string(salt);
+    if (ring::KeyShard(k, 3) == shard) {
+      return k;
+    }
+  }
+}
+
+}  // namespace
+
+int main() {
+  using namespace ring;
+  std::printf("# Ablation: recovery latency of a 64 KiB SRS(3,2) block vs "
+              "stripe unit\n");
+  for (uint64_t unit : {1024u, 2048u, 4096u, 8192u, 16384u, 32768u}) {
+    Samples samples;
+    for (int rep = 0; rep < 4; ++rep) {
+      RingOptions o = bench::PaperCluster(1, 1, 500 + rep);
+      o.stripe_unit = unit;
+      RingCluster cluster(o);
+      auto g = *cluster.CreateMemgest(MemgestDescriptor::ErasureCoded(3, 2));
+      const Key key = VictimKey(1, rep);
+      (void)cluster.Put(key, MakePatternBuffer(64 * 1024, rep), g);
+      cluster.KillNode(1, /*force_detect=*/true);
+      auto& spare = cluster.server(5);
+      cluster.RunUntilDone([&] { return spare.serving(); });
+      cluster.client(0).RefreshConfigNow();
+      auto& client = cluster.client(0);
+      client.ResetStats();
+      auto got = cluster.Get(key);
+      if (got.ok() && !client.latencies().empty()) {
+        samples.Add(client.latencies().values().back());
+      }
+    }
+    std::printf("stripe unit %6llu B: 64 KiB recovery median %8.2f us\n",
+                static_cast<unsigned long long>(unit), samples.Median());
+  }
+  return 0;
+}

@@ -1,0 +1,101 @@
+// Ablation: request availability through a node failure — replication vs
+// erasure coding (paper §3.2: "systems using erasure codes are less
+// available than ones using replication schemes in the presence of
+// failures", because reads of lost blocks must wait for decoding).
+//
+// A steady closed-loop reader hits keys of the victim's shards; the harness
+// reports the timeline of per-get latency around the failure: the outage
+// window (detection + metadata recovery) and the post-recovery degradation
+// (replica copy vs k-block decode per first touch).
+#include "bench/bench_util.h"
+
+#include "src/common/hash.h"
+
+namespace {
+
+ring::Key VictimKey(uint32_t shard, int i) {
+  for (int salt = 0;; ++salt) {
+    ring::Key k = "av" + std::to_string(i) + "-" + std::to_string(salt);
+    if (ring::KeyShard(k, 3) == shard) {
+      return k;
+    }
+  }
+}
+
+void Run(const char* label, ring::MemgestDescriptor desc) {
+  using namespace ring;
+  RingOptions o = bench::PaperCluster(1, /*spares=*/1, 811);
+  o.params.client_retry_timeout_ns = 100 * sim::kMicrosecond;
+  // Pure on-demand recovery: every first touch after the failure pays the
+  // replica copy / erasure decode, which is what this ablation measures.
+  o.background_data_recovery = false;
+  RingCluster cluster(o);
+  auto g = *cluster.CreateMemgest(desc);
+  const int kKeys = 64;
+  std::vector<Key> keys;
+  for (int i = 0; i < kKeys; ++i) {
+    keys.push_back(VictimKey(1, i));
+    (void)cluster.Put(keys.back(), MakePatternBuffer(4096, i), g);
+  }
+  auto& client = cluster.client(0);
+
+  // Closed-loop gets; failure injected after 200 reads.
+  std::printf("%s:\n", label);
+  Samples before;
+  Samples outage;
+  Samples degraded;
+  Samples steady;
+  int reads = 0;
+  bool killed = false;
+  sim::SimTime kill_time = 0;
+  sim::SimTime first_ok_after = 0;
+  for (int i = 0; i < 1200; ++i) {
+    if (reads == 200 && !killed) {
+      cluster.KillNode(1, /*force_detect=*/true);
+      kill_time = cluster.simulator().now();
+      killed = true;
+    }
+    client.ResetStats();
+    const bool ok = cluster.Get(keys[i % kKeys]).ok();
+    const double lat = client.latencies().empty()
+                           ? -1
+                           : client.latencies().values().back();
+    ++reads;
+    if (!killed) {
+      before.Add(lat);
+    } else if (ok && first_ok_after == 0) {
+      first_ok_after = cluster.simulator().now();
+      degraded.Add(lat);
+    } else if (ok && reads < 200 + 2 * kKeys) {
+      degraded.Add(lat);  // first touches decode / copy on demand
+    } else if (ok) {
+      steady.Add(lat);
+    } else {
+      outage.Add(1);
+    }
+  }
+  std::printf("  healthy get       median %8.2f us\n", before.Median());
+  std::printf("  outage window     %8.1f us until first successful get\n",
+              first_ok_after > kill_time
+                  ? static_cast<double>(first_ok_after - kill_time) / 1000.0
+                  : 0.0);
+  std::printf("  degraded gets     median %8.2f us (on-demand recovery)\n",
+              degraded.empty() ? 0.0 : degraded.Median());
+  std::printf("  recovered gets    median %8.2f us\n\n",
+              steady.empty() ? 0.0 : steady.Median());
+}
+
+}  // namespace
+
+int main() {
+  using namespace ring;
+  std::printf(
+      "# Ablation: availability through a coordinator failure, 4 KiB "
+      "objects\n");
+  Run("Rep(3)  (replica copy on demand)", MemgestDescriptor::Replicated(3));
+  Run("SRS(3,2) (k-block decode on demand)",
+      MemgestDescriptor::ErasureCoded(3, 2));
+  Run("SRS(2,1) (2-block decode on demand)",
+      MemgestDescriptor::ErasureCoded(2, 1));
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Shared helpers for the figure/table harnesses.
+#ifndef RING_BENCH_BENCH_UTIL_H_
+#define RING_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/ring/cluster.h"
+#include "src/workload/drivers.h"
+
+namespace ring::bench {
+
+// The paper's standard deployment: 5 nodes, 3 coordinators, 2 redundant
+// (Fig. 3), plus spares/clients as needed by the experiment.
+inline RingOptions PaperCluster(uint32_t clients = 1, uint32_t spares = 0,
+                                uint64_t seed = 7) {
+  RingOptions o;
+  o.s = 3;
+  o.d = 2;
+  o.spares = spares;
+  o.clients = clients;
+  o.seed = seed;
+  // Latency percentiles separate only with jitter enabled; retries are
+  // disabled so that saturation does not trigger multicast storms.
+  o.params.wire_jitter_ns = 400;
+  o.params.client_retry_timeout_ns = 200 * sim::kMillisecond;
+  return o;
+}
+
+// The seven memgests of §6.1 on one 5-node group.
+struct PaperMemgests {
+  MemgestId rep1, rep2, rep3, rep4, srs21, srs31, srs32;
+};
+
+inline PaperMemgests CreatePaperMemgests(RingCluster& cluster) {
+  PaperMemgests m;
+  m.rep1 = *cluster.CreateMemgest(MemgestDescriptor::Replicated(1, "REP1"));
+  m.rep2 = *cluster.CreateMemgest(MemgestDescriptor::Replicated(2, "REP2"));
+  m.rep3 = *cluster.CreateMemgest(MemgestDescriptor::Replicated(3, "REP3"));
+  m.rep4 = *cluster.CreateMemgest(MemgestDescriptor::Replicated(4, "REP4"));
+  m.srs21 = *cluster.CreateMemgest(MemgestDescriptor::ErasureCoded(2, 1, "SRS21"));
+  m.srs31 = *cluster.CreateMemgest(MemgestDescriptor::ErasureCoded(3, 1, "SRS31"));
+  m.srs32 = *cluster.CreateMemgest(MemgestDescriptor::ErasureCoded(3, 2, "SRS32"));
+  return m;
+}
+
+inline void PrintLatencyRow(const std::string& label, size_t size,
+                            const Samples& s) {
+  if (s.empty()) {
+    std::printf("%-8s %6zu B    (no samples)\n", label.c_str(), size);
+    return;
+  }
+  std::printf("%-8s %6zu B   median %7.2f us   p90 %7.2f us\n", label.c_str(),
+              size, s.Median(), s.Percentile(90));
+}
+
+}  // namespace ring::bench
+
+#endif  // RING_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,75 @@
+// Figure 11: single-client throughput of REP1, REP3, SRS21 and SRS32 under
+// YCSB workloads with (get:put) ratios 100:0, 95:5, 50:50 and 0:100; the
+// client doubles its request rate every second from 128K to 1024K req/s
+// (paper §6.3; Zipfian keys, 8 B keys, 1 KiB values).
+//
+// Expected shape: all memgests share the same get-only throughput (~418 K);
+// put-heavier mixes lower it; the single-threaded client is the bottleneck,
+// so schemes differ only slightly (REP1 ~290 K at 0:100, others slightly
+// below).
+#include "bench/bench_util.h"
+
+namespace {
+
+void RunOne(const char* label, ring::RingCluster& cluster, ring::MemgestId g,
+            double get_fraction) {
+  using namespace ring;
+  workload::YcsbSpec spec;
+  spec.num_keys = 20'000;
+  spec.get_fraction = get_fraction;
+  spec.zipf_theta = 0.99;
+  workload::OpenLoopDriver::Options opt;
+  opt.rate_per_sec = 128'000;
+  opt.memgest = g;
+  opt.spec = spec;
+  opt.seed = 57;
+  workload::OpenLoopDriver driver(&cluster, 0, opt);
+  workload::Preload(&cluster, spec, g, /*seed=*/3);
+
+  driver.Start();
+  std::printf("  %s (%3.0f%%:%3.0f%%):", label, get_fraction * 100,
+              (1 - get_fraction) * 100);
+  uint64_t last = 0;
+  double rate = 128'000;
+  for (int second = 0; second < 4; ++second) {
+    cluster.RunFor(ring::sim::kSecond);
+    const uint64_t completed = driver.completed();
+    std::printf("  %7.0f", static_cast<double>(completed - last) / 1.0);
+    last = completed;
+    rate *= 2;
+    driver.SetRate(rate);
+  }
+  driver.Stop();
+  cluster.RunFor(10 * ring::sim::kMillisecond);
+  std::printf("   req/s at 128K/256K/512K/1024K offered\n");
+}
+
+}  // namespace
+
+int main() {
+  using namespace ring;
+  std::printf(
+      "# Figure 11: single-client YCSB throughput (Zipfian, 1 KiB values)\n");
+  const double ratios[] = {1.0, 0.95, 0.5, 0.0};
+  struct SchemeDef {
+    const char* label;
+    MemgestDescriptor desc;
+  };
+  const SchemeDef schemes[] = {
+      {"REP1", MemgestDescriptor::Replicated(1)},
+      {"REP3", MemgestDescriptor::Replicated(3)},
+      {"SRS21", MemgestDescriptor::ErasureCoded(2, 1)},
+      {"SRS32", MemgestDescriptor::ErasureCoded(3, 2)},
+  };
+  for (const auto& scheme : schemes) {
+    std::printf("%s:\n", scheme.label);
+    for (double ratio : ratios) {
+      // Fresh cluster per run keeps the measurements independent.
+      RingCluster cluster(bench::PaperCluster(/*clients=*/1, 0, 23));
+      auto g = *cluster.CreateMemgest(scheme.desc);
+      RunOne(scheme.label, cluster, g, ratio);
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Figure 12: coordinator recovery latency versus recovered metadata size
+// (paper §6.4).
+//
+// A coordinator is killed; the measured interval spans detection ->
+// configuration replication -> reconnect -> metadata + log transfer ->
+// volatile-hashtable rebuild (the six steps of §6.4). The paper reports a
+// ~300 us median at ~1 MiB of metadata, scaling with metadata size.
+#include "bench/bench_util.h"
+
+#include "src/common/hash.h"
+
+namespace {
+
+// Key in the victim shard.
+ring::Key VictimKey(uint32_t shard, uint32_t s, int i) {
+  for (int salt = 0;; ++salt) {
+    ring::Key k = "r" + std::to_string(i) + "-" + std::to_string(salt);
+    if (ring::KeyShard(k, s) == shard) {
+      return k;
+    }
+  }
+}
+
+}  // namespace
+
+int main() {
+  using namespace ring;
+  std::printf("# Figure 12: metadata recovery latency vs metadata size\n");
+  const uint32_t victim = 1;  // shard-1 coordinator (not the leader)
+  // Entry counts chosen to land near the paper's x-axis labels
+  // (kMetaEntryWireBytes = 96 B per entry).
+  for (uint64_t entries : {938, 1024, 1195, 1536, 2219, 3584, 6315, 11776,
+                           22699}) {
+    Samples samples;
+    const int reps = 5;
+    for (int rep = 0; rep < reps; ++rep) {
+      RingOptions o = bench::PaperCluster(/*clients=*/1, /*spares=*/1,
+                                          100 + rep);
+      RingCluster cluster(o);
+      auto g = *cluster.CreateMemgest(MemgestDescriptor::Replicated(3));
+      const Buffer value = MakePatternBuffer(64, rep);
+      for (uint64_t i = 0; i < entries; ++i) {
+        (void)cluster.Put(VictimKey(victim, 3, static_cast<int>(i)), value, g);
+      }
+      const uint64_t meta_bytes =
+          cluster.server(victim).TotalMetadataBytes();
+      cluster.KillNode(victim, /*force_detect=*/true);
+      auto& spare = cluster.server(5);
+      cluster.RunUntilDone([&] { return spare.serving(); });
+      samples.Add(static_cast<double>(spare.last_recovery_ns()) / 1000.0);
+      if (rep == 0) {
+        std::printf("%8.0f KiB metadata: ",
+                    static_cast<double>(meta_bytes) / 1024.0);
+      }
+    }
+    std::printf("recovery median %8.1f us   p90 %8.1f us\n",
+                samples.Median(), samples.Percentile(90));
+  }
+  return 0;
+}

@@ -1,0 +1,40 @@
+// Figure 7(a,b): put latency of the seven memgests and the (shared) get
+// latency, versus object size 2^1 .. 2^11 bytes (paper §6.1).
+//
+// Expected shape: REP1 lowest; REP2/REP3 close (one remote quorum ack);
+// REP4 slightly above; SRS21 == SRS31 (both update one parity node);
+// SRS32 highest (two parity updates + GF work); all get latencies identical
+// across memgests (~5 us).
+#include "bench/bench_util.h"
+
+int main() {
+  using namespace ring;
+  RingCluster cluster(bench::PaperCluster());
+  const auto m = bench::CreatePaperMemgests(cluster);
+  workload::ClosedLoopDriver driver(&cluster);
+
+  const int reps = 1000;  // paper: 5000; shape converges much earlier
+  std::printf("# Figure 7a/7b: put/get latency vs object size\n");
+  const std::vector<std::pair<const char*, MemgestId>> schemes = {
+      {"SRS32", m.srs32}, {"SRS31", m.srs31}, {"SRS21", m.srs21},
+      {"REP4", m.rep4},   {"REP3", m.rep3},   {"REP2", m.rep2},
+      {"REP1", m.rep1},
+  };
+  for (const auto& [label, id] : schemes) {
+    for (size_t size = 2; size <= 2048; size *= 2) {
+      bench::PrintLatencyRow(std::string("put:") + label, size,
+                             driver.MeasurePutLatency(id, size, reps));
+    }
+    std::printf("\n");
+  }
+  // Get latency is identical across memgests (same read algorithm, §6.1);
+  // measure it on one and spot-check another.
+  for (size_t size = 2; size <= 2048; size *= 2) {
+    bench::PrintLatencyRow("get", size,
+                           driver.MeasureGetLatency(m.rep1, size, reps));
+  }
+  std::printf("\n");
+  bench::PrintLatencyRow("get:SRS32", 1024,
+                         driver.MeasureGetLatency(m.srs32, 1024, reps));
+  return 0;
+}

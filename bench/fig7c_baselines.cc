@@ -1,0 +1,31 @@
+// Figure 7(c): put and get latency of the comparator systems — memcached,
+// Dare, RAMCloud (and the Cocytus numbers §6.1 quotes) — versus object size.
+//
+// Expected shape: memcached ~55 us both ops (kernel TCP, ~10x REP1);
+// Dare get == Ring get (~5 us) and Dare put ≈ Ring REP3; RAMCloud put ~45 us
+// (HDD-backed backups) with a low get; Cocytus two orders slower (§6.1:
+// ~500 us gets, ~30x slower puts than Ring's SRS32).
+#include <cstdio>
+
+#include "src/baselines/baselines.h"
+
+int main() {
+  using namespace ring;
+  const int reps = 300;
+  std::printf("# Figure 7c: baseline system latencies vs object size\n");
+  std::vector<std::unique_ptr<baselines::BaselineSystem>> systems;
+  systems.push_back(baselines::MakeMemcached());
+  systems.push_back(baselines::MakeDare(3));
+  systems.push_back(baselines::MakeRamcloud(2));
+  systems.push_back(baselines::MakeCocytus());
+  for (auto& system : systems) {
+    for (size_t size = 8; size <= 2048; size *= 4) {
+      auto put = system->MeasurePutLatency(size, reps);
+      auto get = system->MeasureGetLatency(size, reps);
+      std::printf("%-22s %6zu B   put %8.2f us   get %8.2f us\n",
+                  system->name().c_str(), size, put.Median(), get.Median());
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,34 @@
+// Figure 8(a,b): latency of move(key, memgest) versus object size, by
+// destination memgest (paper §6.2).
+//
+// Expected shape: only the destination matters (the source data is local);
+// move-to-REP1 is flat in object size (no client resend, main-memory copy);
+// moving into reliable schemes costs less than a direct put (the value does
+// not cross the client link again).
+#include "bench/bench_util.h"
+
+int main() {
+  using namespace ring;
+  RingCluster cluster(bench::PaperCluster());
+  const auto m = bench::CreatePaperMemgests(cluster);
+  workload::ClosedLoopDriver driver(&cluster);
+
+  const int reps = 500;
+  std::printf("# Figure 8a/8b: move latency vs object size, by destination\n");
+  const std::vector<std::pair<const char*, MemgestId>> destinations = {
+      {"SRS32", m.srs32}, {"SRS31", m.srs31}, {"SRS21", m.srs21},
+      {"REP4", m.rep4},   {"REP3", m.rep3},   {"REP2", m.rep2},
+      {"REP1", m.rep1},
+  };
+  for (const auto& [label, dst] : destinations) {
+    // Source is the reliable REP3 memgest unless it is the destination; the
+    // paper notes the source scheme does not influence latency.
+    const MemgestId src = (dst == m.rep3) ? m.rep1 : m.rep3;
+    for (size_t size = 2; size <= 2048; size *= 2) {
+      bench::PrintLatencyRow(std::string("move->") + label, size,
+                             driver.MeasureMoveLatency(src, dst, size, reps));
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,80 @@
+// Figure 9: put throughput over time with one client joining per second at
+// 400 K requests/s each, for REP1, REP3 and SRS32, next to the baseline
+// systems' saturated throughput (paper §6.3).
+//
+// Expected shape: REP1 steps 400K -> 800K -> 1200K -> ~1.5M; REP3 plateaus
+// at ~2x lower; SRS32 at ~4.3x lower; memcached/Cocytus reference lines sit
+// near the bottom, Dare between REP3 and SRS32.
+#include "bench/bench_util.h"
+#include "src/baselines/baselines.h"
+
+namespace {
+
+void RunScheme(const char* label, ring::MemgestDescriptor desc) {
+  using namespace ring;
+  RingOptions o = bench::PaperCluster(/*clients=*/4, /*spares=*/0, 17);
+  // Fig. 9's load generators are lightweight senders that sustain 400 K
+  // puts/s each (unlike Fig. 11's full YCSB client; see EXPERIMENTS.md).
+  o.params.client_put_byte_ns = 0.0;
+  o.params.client_base_ns = 1800;
+  RingCluster cluster(o);
+  auto g = *cluster.CreateMemgest(desc);
+  workload::YcsbSpec spec;
+  spec.num_keys = 2000;
+  spec.get_fraction = 0.0;  // put throughput
+  spec.zipfian = false;   // uniform keys: Fig. 9 is a plain put stream
+
+  std::vector<std::unique_ptr<workload::OpenLoopDriver>> drivers;
+  for (uint32_t i = 0; i < 4; ++i) {
+    workload::OpenLoopDriver::Options opt;
+    opt.rate_per_sec = 400'000;
+    opt.memgest = g;
+    opt.spec = spec;
+    opt.seed = 31 + i;
+    drivers.push_back(
+        std::make_unique<workload::OpenLoopDriver>(&cluster, i, opt));
+  }
+  // One client starts per second (paper: "every second a new client is
+  // created"); sampled every 250 ms.
+  std::printf("%s:\n", label);
+  uint64_t last_completed = 0;
+  for (int quarter = 0; quarter < 18; ++quarter) {
+    const double t = quarter * 0.25;
+    if (quarter % 4 == 0 && quarter / 4 < 4) {
+      drivers[quarter / 4]->Start();
+    }
+    cluster.RunFor(250 * ring::sim::kMillisecond);
+    uint64_t completed = 0;
+    for (auto& d : drivers) {
+      completed += d->completed();
+    }
+    std::printf("  t=%4.2fs  throughput %8.0f req/s\n", t + 0.25,
+                static_cast<double>(completed - last_completed) / 0.25);
+    last_completed = completed;
+  }
+  for (auto& d : drivers) {
+    d->Stop();
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  using namespace ring;
+  std::printf("# Figure 9: put throughput, +1 client@400K/s per second, 1 KiB values\n");
+  RunScheme("REP1", MemgestDescriptor::Replicated(1));
+  RunScheme("REP3", MemgestDescriptor::Replicated(3));
+  RunScheme("SRS32", MemgestDescriptor::ErasureCoded(3, 2));
+
+  std::printf("reference lines (saturated put throughput):\n");
+  std::vector<std::unique_ptr<baselines::BaselineSystem>> systems;
+  systems.push_back(baselines::MakeMemcached());
+  systems.push_back(baselines::MakeDare(3));
+  systems.push_back(baselines::MakeCocytus());
+  for (auto& system : systems) {
+    std::printf("  %-22s %8.0f req/s\n", system->name().c_str(),
+                system->MaxPutThroughput());
+  }
+  return 0;
+}

@@ -1,0 +1,120 @@
+// Microbenchmarks of the coding substrate (google-benchmark): GF(2^8)
+// region operations, RS(k,m) encode/decode, SRS object encode, and parity
+// delta updates. These are the kernels the paper's erasure-coded put path
+// spends its CPU in ("RS codes are compute-bound", §6.1).
+#include <benchmark/benchmark.h>
+
+#include "src/common/bytes.h"
+#include "src/gf/gf256.h"
+#include "src/rs/rs_code.h"
+#include "src/srs/srs_code.h"
+
+namespace {
+
+using namespace ring;
+
+void BM_GfAddRegion(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Buffer src = MakePatternBuffer(n, 1);
+  Buffer dst = MakePatternBuffer(n, 2);
+  for (auto _ : state) {
+    gf::AddRegion(src, dst);
+    benchmark::DoNotOptimize(dst.data());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * n);
+}
+BENCHMARK(BM_GfAddRegion)->Arg(1024)->Arg(65536)->Arg(1 << 20);
+
+void BM_GfMulAddRegion(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Buffer src = MakePatternBuffer(n, 1);
+  Buffer dst = MakePatternBuffer(n, 2);
+  for (auto _ : state) {
+    gf::MulAddRegion(0x57, src, dst);
+    benchmark::DoNotOptimize(dst.data());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * n);
+}
+BENCHMARK(BM_GfMulAddRegion)->Arg(1024)->Arg(65536)->Arg(1 << 20);
+
+void BM_RsEncode(benchmark::State& state) {
+  const uint32_t k = static_cast<uint32_t>(state.range(0));
+  const uint32_t m = static_cast<uint32_t>(state.range(1));
+  const size_t block = 64 * 1024;
+  auto code = rs::RsCode::Create(k, m);
+  std::vector<Buffer> data;
+  for (uint32_t i = 0; i < k; ++i) {
+    data.push_back(MakePatternBuffer(block, i));
+  }
+  std::vector<ByteSpan> spans(data.begin(), data.end());
+  for (auto _ : state) {
+    auto parity = code->Encode(spans);
+    benchmark::DoNotOptimize(parity.data());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * k *
+                          block);
+}
+BENCHMARK(BM_RsEncode)->Args({2, 1})->Args({3, 2})->Args({6, 3});
+
+void BM_RsDecode(benchmark::State& state) {
+  const uint32_t k = static_cast<uint32_t>(state.range(0));
+  const uint32_t m = static_cast<uint32_t>(state.range(1));
+  const size_t block = 64 * 1024;
+  auto code = rs::RsCode::Create(k, m);
+  std::vector<Buffer> data;
+  for (uint32_t i = 0; i < k; ++i) {
+    data.push_back(MakePatternBuffer(block, i));
+  }
+  std::vector<ByteSpan> spans(data.begin(), data.end());
+  auto parity = code->Encode(spans);
+  // Lose the first min(m, k) data blocks.
+  std::vector<std::pair<uint32_t, ByteSpan>> available;
+  for (uint32_t i = std::min(m, k); i < k; ++i) {
+    available.emplace_back(i, ByteSpan(data[i]));
+  }
+  for (uint32_t j = 0; j < m; ++j) {
+    available.emplace_back(k + j, ByteSpan(parity[j]));
+  }
+  for (auto _ : state) {
+    auto recovered = code->RecoverData(available);
+    benchmark::DoNotOptimize(recovered);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * k *
+                          block);
+}
+BENCHMARK(BM_RsDecode)->Args({2, 1})->Args({3, 2})->Args({6, 3});
+
+void BM_SrsEncodeObject(benchmark::State& state) {
+  const uint32_t k = static_cast<uint32_t>(state.range(0));
+  const uint32_t m = static_cast<uint32_t>(state.range(1));
+  const uint32_t s = static_cast<uint32_t>(state.range(2));
+  auto code = srs::SrsCode::Create(k, m, s);
+  const Buffer object = MakePatternBuffer(256 * 1024, 3);
+  for (auto _ : state) {
+    auto enc = code->EncodeObject(object);
+    benchmark::DoNotOptimize(enc.parity_nodes.data());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          object.size());
+}
+BENCHMARK(BM_SrsEncodeObject)
+    ->Args({3, 2, 3})
+    ->Args({3, 2, 6})
+    ->Args({2, 1, 8});
+
+void BM_ParityDeltaUpdate(benchmark::State& state) {
+  const size_t block = static_cast<size_t>(state.range(0));
+  auto code = rs::RsCode::Create(3, 2);
+  Buffer delta = MakePatternBuffer(block, 5);
+  Buffer parity = MakePatternBuffer(block, 6);
+  for (auto _ : state) {
+    code->ApplyParityDelta(1, 2, delta, parity);
+    benchmark::DoNotOptimize(parity.data());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * block);
+}
+BENCHMARK(BM_ParityDeltaUpdate)->Arg(1024)->Arg(65536);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,90 @@
+// Table 1 (§1): the storage-scheme trade-off table that motivates Ring.
+//
+//   Scheme   Reliability  Put latency  Put throughput  Storage cost
+//   Simple   None         1x           1x              1x
+//   Rep(3)   2 failures   2x           0.5x            3x
+//   RS(3,2)  2 failures   3.4x         0.31x           1.66x
+//
+// Latency is a closed-loop 1 KiB put; throughput saturates the cluster with
+// rate-driven clients; storage cost is the scheme's overhead factor.
+#include "bench/bench_util.h"
+
+namespace {
+
+double SaturatedPutThroughput(ring::MemgestDescriptor desc) {
+  using namespace ring;
+  RingOptions o = bench::PaperCluster(/*clients=*/4, /*spares=*/0, 11);
+  // Fig. 9-style lightweight load generators (see EXPERIMENTS.md).
+  o.params.client_put_byte_ns = 0.0;
+  o.params.client_base_ns = 1800;
+  RingCluster cluster(o);
+  auto g = *cluster.CreateMemgest(desc);
+  workload::YcsbSpec spec;
+  spec.num_keys = 2000;
+  spec.get_fraction = 0.0;
+  spec.zipfian = false;
+  std::vector<std::unique_ptr<workload::OpenLoopDriver>> drivers;
+  for (uint32_t i = 0; i < 4; ++i) {
+    workload::OpenLoopDriver::Options opt;
+    opt.rate_per_sec = 500'000;
+    opt.memgest = g;
+    opt.spec = spec;
+    opt.seed = 100 + i;
+    drivers.push_back(
+        std::make_unique<workload::OpenLoopDriver>(&cluster, i, opt));
+    drivers.back()->Start();
+  }
+  cluster.RunFor(200 * sim::kMillisecond);  // warm-up
+  uint64_t before = 0;
+  for (auto& d : drivers) {
+    before += d->completed();
+  }
+  cluster.RunFor(400 * sim::kMillisecond);
+  uint64_t after = 0;
+  for (auto& d : drivers) {
+    after += d->completed();
+  }
+  return static_cast<double>(after - before) / 0.4;
+}
+
+double PutLatencyUs(ring::MemgestDescriptor desc) {
+  using namespace ring;
+  RingCluster cluster(bench::PaperCluster());
+  auto g = *cluster.CreateMemgest(desc);
+  workload::ClosedLoopDriver driver(&cluster);
+  return driver.MeasurePutLatency(g, 1024, 500).Median();
+}
+
+}  // namespace
+
+int main() {
+  using namespace ring;
+  struct Row {
+    const char* name;
+    const char* reliability;
+    MemgestDescriptor desc;
+  };
+  const Row rows[] = {
+      {"Simple", "None", MemgestDescriptor::Replicated(1)},
+      {"Rep(3)", "2 failures", MemgestDescriptor::Replicated(3)},
+      {"RS(3,2)", "2 failures", MemgestDescriptor::ErasureCoded(3, 2)},
+  };
+  std::printf("# Table 1 (Section 1): scheme trade-offs, 1 KiB objects\n");
+  std::printf("%-9s %-11s %-22s %-26s %s\n", "Scheme", "Reliability",
+              "Put latency", "Put throughput", "Storage");
+  double base_latency = 0;
+  double base_tp = 0;
+  for (const auto& row : rows) {
+    const double lat = PutLatencyUs(row.desc);
+    const double tp = SaturatedPutThroughput(row.desc);
+    if (base_latency == 0) {
+      base_latency = lat;
+      base_tp = tp;
+    }
+    std::printf("%-9s %-11s %7.2f us (%4.2fx)     %9.0f req/s (%4.2fx)    %.2fx\n",
+                row.name, row.reliability, lat, lat / base_latency, tp,
+                tp / base_tp, row.desc.StorageOverhead());
+  }
+  std::printf("# paper:   Simple 1x/1x/1x, Rep(3) 2x/0.5x/3x, RS(3,2) 3.4x/0.31x/1.66x\n");
+  return 0;
+}

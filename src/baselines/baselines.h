@@ -1,0 +1,50 @@
+// Comparator systems for Figs. 7c and 9 (paper §6.1, §6.3).
+//
+// Each baseline is a small message-level model running on the same
+// simulated fabric as Ring, reproducing the *structure* that drives the
+// paper's comparison:
+//   - memcached: single cache server over kernel TCP, no replication.
+//   - DARE: strongly-consistent in-memory replication; the leader updates
+//     follower logs with one-sided RDMA writes (no remote CPU) and commits
+//     on a majority.
+//   - RAMCloud: in-memory leader, puts replicated to disk-backed backups
+//     (buffered log writes on the paper's HDDs dominate the latency).
+//   - Cocytus: erasure-coded (RS(3,2)) KVS over kernel TCP with
+//     primary-backup metadata; per-op overhead calibrated to the latencies
+//     reported in the Cocytus paper, which §6.1 quotes.
+#ifndef RING_SRC_BASELINES_BASELINES_H_
+#define RING_SRC_BASELINES_BASELINES_H_
+
+#include <memory>
+#include <string>
+
+#include "src/common/stats.h"
+#include "src/net/fabric.h"
+#include "src/sim/simulator.h"
+
+namespace ring::baselines {
+
+class BaselineSystem {
+ public:
+  virtual ~BaselineSystem() = default;
+
+  virtual std::string name() const = 0;
+  // Median request latencies in microseconds for `value_size`-byte objects,
+  // measured over `reps` closed-loop operations.
+  virtual Samples MeasurePutLatency(size_t value_size, int reps) = 0;
+  virtual Samples MeasureGetLatency(size_t value_size, int reps) = 0;
+  // Saturated put throughput (requests/second) for 1 KiB values — the
+  // horizontal reference lines of Fig. 9.
+  virtual double MaxPutThroughput() const = 0;
+};
+
+std::unique_ptr<BaselineSystem> MakeMemcached(uint64_t seed = 1);
+std::unique_ptr<BaselineSystem> MakeDare(uint32_t replication = 3,
+                                         uint64_t seed = 1);
+std::unique_ptr<BaselineSystem> MakeRamcloud(uint32_t backups = 2,
+                                             uint64_t seed = 1);
+std::unique_ptr<BaselineSystem> MakeCocytus(uint64_t seed = 1);
+
+}  // namespace ring::baselines
+
+#endif  // RING_SRC_BASELINES_BASELINES_H_

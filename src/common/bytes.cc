@@ -1,0 +1,18 @@
+#include "src/common/bytes.h"
+
+namespace ring {
+
+Buffer MakePatternBuffer(size_t size, uint64_t seed) {
+  Buffer out(size);
+  uint64_t x = seed ^ 0x9e3779b97f4a7c15ULL;
+  for (size_t i = 0; i < size; ++i) {
+    x += 0x9e3779b97f4a7c15ULL;
+    uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    out[i] = static_cast<uint8_t>(z ^ (z >> 31));
+  }
+  return out;
+}
+
+}  // namespace ring

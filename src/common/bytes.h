@@ -1,0 +1,30 @@
+// Byte-buffer helpers shared by the coding and KVS layers.
+#ifndef RING_SRC_COMMON_BYTES_H_
+#define RING_SRC_COMMON_BYTES_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace ring {
+
+using Buffer = std::vector<uint8_t>;
+using ByteSpan = std::span<const uint8_t>;
+using MutableByteSpan = std::span<uint8_t>;
+
+// Deterministic pseudo-random buffer of the given size (content depends only
+// on `seed` and `size`); used by tests and workload value generation.
+Buffer MakePatternBuffer(size_t size, uint64_t seed);
+
+// Buffer <-> string convenience for human-readable examples.
+inline Buffer ToBuffer(const std::string& s) {
+  return Buffer(s.begin(), s.end());
+}
+inline std::string ToString(ByteSpan b) {
+  return std::string(b.begin(), b.end());
+}
+
+}  // namespace ring
+
+#endif  // RING_SRC_COMMON_BYTES_H_

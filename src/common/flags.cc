@@ -1,0 +1,180 @@
+#include "src/common/flags.h"
+
+#include <cassert>
+#include <sstream>
+
+namespace ring {
+namespace {
+
+bool ParseBoolText(const std::string& text, bool* out) {
+  if (text == "true" || text == "1" || text == "yes") {
+    *out = true;
+    return true;
+  }
+  if (text == "false" || text == "0" || text == "no") {
+    *out = false;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+FlagSet& FlagSet::DefineString(const std::string& name,
+                               std::string default_value, std::string help) {
+  flags_[name] = Flag{Kind::kString, default_value, std::move(default_value),
+                      std::move(help)};
+  return *this;
+}
+
+FlagSet& FlagSet::DefineInt(const std::string& name, int64_t default_value,
+                            std::string help) {
+  const std::string text = std::to_string(default_value);
+  flags_[name] = Flag{Kind::kInt, text, text, std::move(help)};
+  return *this;
+}
+
+FlagSet& FlagSet::DefineDouble(const std::string& name, double default_value,
+                               std::string help) {
+  std::ostringstream os;
+  os << default_value;
+  flags_[name] = Flag{Kind::kDouble, os.str(), os.str(), std::move(help)};
+  return *this;
+}
+
+FlagSet& FlagSet::DefineBool(const std::string& name, bool default_value,
+                             std::string help) {
+  const std::string text = default_value ? "true" : "false";
+  flags_[name] = Flag{Kind::kBool, text, text, std::move(help)};
+  return *this;
+}
+
+Status FlagSet::SetValue(const std::string& name, const std::string& value) {
+  auto it = flags_.find(name);
+  if (it == flags_.end()) {
+    return InvalidArgumentError("unknown flag --" + name + "\n" + Usage());
+  }
+  Flag& flag = it->second;
+  switch (flag.kind) {
+    case Kind::kString:
+      break;
+    case Kind::kInt: {
+      size_t pos = 0;
+      try {
+        (void)std::stoll(value, &pos);
+      } catch (...) {
+        pos = 0;
+      }
+      if (pos != value.size() || value.empty()) {
+        return InvalidArgumentError("--" + name + " expects an integer, got '" +
+                                    value + "'");
+      }
+      break;
+    }
+    case Kind::kDouble: {
+      size_t pos = 0;
+      try {
+        (void)std::stod(value, &pos);
+      } catch (...) {
+        pos = 0;
+      }
+      if (pos != value.size() || value.empty()) {
+        return InvalidArgumentError("--" + name + " expects a number, got '" +
+                                    value + "'");
+      }
+      break;
+    }
+    case Kind::kBool: {
+      bool parsed;
+      if (!ParseBoolText(value, &parsed)) {
+        return InvalidArgumentError("--" + name + " expects a boolean, got '" +
+                                    value + "'");
+      }
+      break;
+    }
+  }
+  flag.value = value;
+  return OkStatus();
+}
+
+Status FlagSet::Parse(int argc, const char* const* argv) {
+  std::vector<std::string> args;
+  for (int i = 1; i < argc; ++i) {
+    args.emplace_back(argv[i]);
+  }
+  return Parse(args);
+}
+
+Status FlagSet::Parse(const std::vector<std::string>& args) {
+  positional_.clear();
+  for (size_t i = 0; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(arg);
+      continue;
+    }
+    std::string body = arg.substr(2);
+    const size_t eq = body.find('=');
+    if (eq != std::string::npos) {
+      RING_RETURN_IF_ERROR(SetValue(body.substr(0, eq), body.substr(eq + 1)));
+      continue;
+    }
+    // `--no-name` for booleans.
+    if (body.rfind("no-", 0) == 0) {
+      const std::string name = body.substr(3);
+      auto it = flags_.find(name);
+      if (it != flags_.end() && it->second.kind == Kind::kBool) {
+        it->second.value = "false";
+        continue;
+      }
+    }
+    auto it = flags_.find(body);
+    if (it == flags_.end()) {
+      return InvalidArgumentError("unknown flag --" + body + "\n" + Usage());
+    }
+    if (it->second.kind == Kind::kBool) {
+      it->second.value = "true";
+      continue;
+    }
+    // `--name value`
+    if (i + 1 >= args.size()) {
+      return InvalidArgumentError("--" + body + " expects a value");
+    }
+    RING_RETURN_IF_ERROR(SetValue(body, args[++i]));
+  }
+  return OkStatus();
+}
+
+std::string FlagSet::GetString(const std::string& name) const {
+  auto it = flags_.find(name);
+  assert(it != flags_.end() && "undefined flag");
+  return it->second.value;
+}
+
+int64_t FlagSet::GetInt(const std::string& name) const {
+  return std::stoll(GetString(name));
+}
+
+double FlagSet::GetDouble(const std::string& name) const {
+  return std::stod(GetString(name));
+}
+
+bool FlagSet::GetBool(const std::string& name) const {
+  bool out = false;
+  const bool ok = ParseBoolText(GetString(name), &out);
+  assert(ok && "non-boolean value in boolean flag");
+  (void)ok;
+  return out;
+}
+
+std::string FlagSet::Usage() const {
+  std::ostringstream os;
+  os << "usage: " << program_ << " [flags]\n";
+  for (const auto& [name, flag] : flags_) {
+    os << "  --" << name << " (default: " << flag.default_value << ")  "
+       << flag.help << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace ring

@@ -1,0 +1,64 @@
+// Minimal command-line flag parsing for the tools and harnesses.
+//
+// Supports `--name=value`, `--name value` and boolean `--name` /
+// `--no-name`. Unknown flags fail parsing with a usage string.
+#ifndef RING_SRC_COMMON_FLAGS_H_
+#define RING_SRC_COMMON_FLAGS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/common/result.h"
+
+namespace ring {
+
+class FlagSet {
+ public:
+  explicit FlagSet(std::string program) : program_(std::move(program)) {}
+
+  FlagSet& DefineString(const std::string& name, std::string default_value,
+                        std::string help);
+  FlagSet& DefineInt(const std::string& name, int64_t default_value,
+                     std::string help);
+  FlagSet& DefineDouble(const std::string& name, double default_value,
+                        std::string help);
+  FlagSet& DefineBool(const std::string& name, bool default_value,
+                      std::string help);
+
+  // Parses argv; positional (non-flag) arguments are collected in
+  // positional(). Fails on unknown flags or malformed values.
+  Status Parse(int argc, const char* const* argv);
+  // Parse from a pre-split vector (testing).
+  Status Parse(const std::vector<std::string>& args);
+
+  std::string GetString(const std::string& name) const;
+  int64_t GetInt(const std::string& name) const;
+  double GetDouble(const std::string& name) const;
+  bool GetBool(const std::string& name) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  // Formatted flag reference.
+  std::string Usage() const;
+
+ private:
+  enum class Kind { kString, kInt, kDouble, kBool };
+  struct Flag {
+    Kind kind;
+    std::string value;  // canonical textual value
+    std::string default_value;
+    std::string help;
+  };
+
+  Status SetValue(const std::string& name, const std::string& value);
+
+  std::string program_;
+  std::map<std::string, Flag> flags_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace ring
+
+#endif  // RING_SRC_COMMON_FLAGS_H_

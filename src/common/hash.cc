@@ -1,0 +1,20 @@
+#include "src/common/hash.h"
+
+namespace ring {
+
+uint64_t HashKey(std::string_view key) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (unsigned char c : key) {
+    h ^= c;
+    h *= 0x100000001b3ULL;
+  }
+  // splitmix64 finalizer to mix low bits.
+  h ^= h >> 30;
+  h *= 0xbf58476d1ce4e5b9ULL;
+  h ^= h >> 27;
+  h *= 0x94d049bb133111ebULL;
+  h ^= h >> 31;
+  return h;
+}
+
+}  // namespace ring

@@ -1,0 +1,34 @@
+#include "src/common/logging.h"
+
+#include <cstdio>
+
+namespace ring {
+namespace {
+LogLevel g_level = LogLevel::kNone;
+
+const char* LevelTag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kError:
+      return "E";
+    case LogLevel::kWarn:
+      return "W";
+    case LogLevel::kInfo:
+      return "I";
+    case LogLevel::kDebug:
+      return "D";
+    default:
+      return "?";
+  }
+}
+}  // namespace
+
+void SetLogLevel(LogLevel level) { g_level = level; }
+LogLevel GetLogLevel() { return g_level; }
+
+namespace internal {
+void EmitLog(LogLevel level, const std::string& message) {
+  std::fprintf(stderr, "[%s] %s\n", LevelTag(level), message.c_str());
+}
+}  // namespace internal
+
+}  // namespace ring

@@ -1,0 +1,52 @@
+// Minimal leveled logging. Off by default so benchmark output stays clean;
+// tests and examples can raise the level.
+#ifndef RING_SRC_COMMON_LOGGING_H_
+#define RING_SRC_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace ring {
+
+enum class LogLevel : int {
+  kNone = 0,
+  kError = 1,
+  kWarn = 2,
+  kInfo = 3,
+  kDebug = 4,
+};
+
+// Global threshold; messages above it are discarded.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+void EmitLog(LogLevel level, const std::string& message);
+
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { EmitLog(level_, stream_.str()); }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace internal
+
+}  // namespace ring
+
+#define RING_LOG(level)                                    \
+  if (static_cast<int>(::ring::GetLogLevel()) >=           \
+      static_cast<int>(::ring::LogLevel::level))           \
+  ::ring::internal::LogLine(::ring::LogLevel::level)
+
+#endif  // RING_SRC_COMMON_LOGGING_H_

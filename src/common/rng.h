@@ -1,0 +1,41 @@
+// Deterministic pseudo-random number generation.
+//
+// Every stochastic component of the reproduction (workload generators,
+// failure injection, Markov-model sampling checks) draws from Rng so that
+// whole experiments are reproducible bit-for-bit from a seed.
+#ifndef RING_SRC_COMMON_RNG_H_
+#define RING_SRC_COMMON_RNG_H_
+
+#include <cstdint>
+
+namespace ring {
+
+// xoshiro256** 1.0 (Blackman & Vigna), seeded via splitmix64. Small, fast,
+// and high quality; not cryptographic.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  // Uniform in [0, 2^64).
+  uint64_t NextU64();
+
+  // Uniform in [0, bound). Precondition: bound > 0. Uses Lemire's unbiased
+  // multiply-shift rejection method.
+  uint64_t NextBelow(uint64_t bound);
+
+  // Uniform double in [0, 1).
+  double NextDouble();
+
+  // Exponentially distributed with the given rate (mean 1/rate).
+  double NextExponential(double rate);
+
+  // Returns true with probability p (clamped to [0,1]).
+  bool NextBernoulli(double p);
+
+ private:
+  uint64_t s_[4];
+};
+
+}  // namespace ring
+
+#endif  // RING_SRC_COMMON_RNG_H_

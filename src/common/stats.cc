@@ -1,0 +1,53 @@
+#include "src/common/stats.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace ring {
+
+double Samples::Min() const {
+  assert(!values_.empty());
+  return *std::min_element(values_.begin(), values_.end());
+}
+
+double Samples::Max() const {
+  assert(!values_.empty());
+  return *std::max_element(values_.begin(), values_.end());
+}
+
+double Samples::Mean() const {
+  assert(!values_.empty());
+  double sum = 0.0;
+  for (double v : values_) {
+    sum += v;
+  }
+  return sum / static_cast<double>(values_.size());
+}
+
+double Samples::Stddev() const {
+  assert(!values_.empty());
+  const double mean = Mean();
+  double acc = 0.0;
+  for (double v : values_) {
+    acc += (v - mean) * (v - mean);
+  }
+  return std::sqrt(acc / static_cast<double>(values_.size()));
+}
+
+double Samples::Percentile(double p) const {
+  assert(!values_.empty());
+  std::vector<double> sorted = values_;
+  std::sort(sorted.begin(), sorted.end());
+  if (sorted.size() == 1) {
+    return sorted[0];
+  }
+  const double clamped = std::clamp(p, 0.0, 100.0);
+  const double rank = clamped / 100.0 * static_cast<double>(sorted.size() - 1);
+  const size_t lo = static_cast<size_t>(std::floor(rank));
+  const size_t hi = static_cast<size_t>(std::ceil(rank));
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+}  // namespace ring

@@ -1,0 +1,36 @@
+// Descriptive statistics used by the benchmark harnesses: the paper reports
+// medians and 90th percentiles over repeated measurements.
+#ifndef RING_SRC_COMMON_STATS_H_
+#define RING_SRC_COMMON_STATS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace ring {
+
+// Accumulates samples; percentile queries sort a private copy lazily.
+class Samples {
+ public:
+  void Add(double v) { values_.push_back(v); }
+  void Clear() { values_.clear(); }
+
+  size_t count() const { return values_.size(); }
+  bool empty() const { return values_.empty(); }
+
+  double Min() const;
+  double Max() const;
+  double Mean() const;
+  double Stddev() const;
+  // Percentile in [0,100] with linear interpolation. Precondition: !empty().
+  double Percentile(double p) const;
+  double Median() const { return Percentile(50.0); }
+
+  const std::vector<double>& values() const { return values_; }
+
+ private:
+  std::vector<double> values_;
+};
+
+}  // namespace ring
+
+#endif  // RING_SRC_COMMON_STATS_H_

@@ -1,0 +1,57 @@
+#include "src/consensus/config.h"
+
+#include <cassert>
+
+namespace ring::consensus {
+
+ClusterConfig ClusterConfig::Initial(uint32_t s, uint32_t d,
+                                     uint32_t num_nodes, uint32_t groups) {
+  assert(num_nodes >= s + d);
+  assert(groups >= 1);
+  ClusterConfig c;
+  c.epoch = 1;
+  c.s = s;
+  c.d = d;
+  c.groups = groups;
+  c.leader = 0;
+  c.node_of_slot.resize(s + d);
+  c.slot_of_node.assign(num_nodes, kSpareSlot);
+  c.failed.assign(num_nodes, false);
+  for (uint32_t slot = 0; slot < s + d; ++slot) {
+    c.node_of_slot[slot] = slot;
+    c.slot_of_node[slot] = static_cast<int32_t>(slot);
+  }
+  return c;
+}
+
+std::vector<uint32_t> ClusterConfig::ShardsOfSlot(uint32_t slot) const {
+  std::vector<uint32_t> out;
+  for (uint32_t shard = 0; shard < num_shards(); ++shard) {
+    if (SlotOfShard(shard) == slot) {
+      out.push_back(shard);
+    }
+  }
+  return out;
+}
+
+int32_t ClusterConfig::FindSpare() const {
+  for (uint32_t n = 0; n < slot_of_node.size(); ++n) {
+    if (slot_of_node[n] == kSpareSlot && !failed[n]) {
+      return static_cast<int32_t>(n);
+    }
+  }
+  return -1;
+}
+
+void ClusterConfig::Promote(net::NodeId victim, net::NodeId spare) {
+  assert(slot_of_node[victim] != kSpareSlot);
+  assert(slot_of_node[spare] == kSpareSlot && !failed[spare]);
+  const int32_t slot = slot_of_node[victim];
+  failed[victim] = true;
+  slot_of_node[victim] = kSpareSlot;
+  slot_of_node[spare] = slot;
+  node_of_slot[slot] = spare;
+  ++epoch;
+}
+
+}  // namespace ring::consensus

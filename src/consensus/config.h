@@ -1,0 +1,85 @@
+// Cluster configuration: the replicated "who does what" record (paper §5.5).
+//
+// A Ring deployment has s coordinator slots (one per key shard), d redundant
+// slots (replica / parity homes), and n spare nodes. The configuration maps
+// logical slots to physical nodes; failures are handled by the leader
+// re-pointing a slot at a spare and replicating the new epoch.
+#ifndef RING_SRC_CONSENSUS_CONFIG_H_
+#define RING_SRC_CONSENSUS_CONFIG_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/net/fabric.h"
+
+namespace ring::consensus {
+
+inline constexpr int32_t kSpareSlot = -1;
+
+struct ClusterConfig {
+  uint64_t epoch = 0;
+  uint32_t s = 0;       // coordinator slots per memgest group
+  uint32_t d = 0;       // redundant slots
+  uint32_t groups = 1;  // rotated memgest groups (paper §5.4 balancing)
+  net::NodeId leader = 0;
+  // slot -> physical node, size s + d.
+  std::vector<net::NodeId> node_of_slot;
+  // physical node -> slot or kSpareSlot; dead nodes keep their last slot
+  // until reassigned.
+  std::vector<int32_t> slot_of_node;
+  // physical nodes known to have failed (never reused).
+  std::vector<bool> failed;
+
+  static ClusterConfig Initial(uint32_t s, uint32_t d, uint32_t num_nodes,
+                               uint32_t groups = 1);
+
+  uint32_t num_slots() const { return s + d; }
+  uint32_t num_nodes() const {
+    return static_cast<uint32_t>(slot_of_node.size());
+  }
+
+  // Key sharding spans all groups: shard ids are 0 .. groups*s - 1; shard
+  // (g*s + sigma) is the sigma-th coordinator of group g. Group g's layout
+  // is the base layout rotated by g over the s+d slots, which spreads
+  // coordinator, replica and parity roles evenly (§5.4).
+  uint32_t num_shards() const { return groups * s; }
+  uint32_t GroupOfShard(uint32_t shard) const { return shard / s; }
+  uint32_t SlotOfShard(uint32_t shard) const {
+    return (shard % s + shard / s) % num_slots();
+  }
+  // The j-th redundant slot of group g (parity homes).
+  uint32_t RedundantSlot(uint32_t group, uint32_t j) const {
+    return (s + j + group) % num_slots();
+  }
+
+  // True when the node's slot coordinates at least one shard (some group's
+  // rotation lands on it).
+  bool IsCoordinator(net::NodeId node) const {
+    const int32_t slot = slot_of_node[node];
+    return slot >= 0 && !failed[node] &&
+           !ShardsOfSlot(static_cast<uint32_t>(slot)).empty();
+  }
+  // True when `node` currently coordinates `shard`.
+  bool CoordinatesShard(net::NodeId node, uint32_t shard) const {
+    const int32_t slot = slot_of_node[node];
+    return slot >= 0 && !failed[node] &&
+           static_cast<uint32_t>(slot) == SlotOfShard(shard);
+  }
+  // Shards a slot coordinates (one per group whose rotation lands on it).
+  std::vector<uint32_t> ShardsOfSlot(uint32_t slot) const;
+
+  net::NodeId CoordinatorOfShard(uint32_t shard) const {
+    return node_of_slot[SlotOfShard(shard)];
+  }
+  net::NodeId NodeOfSlot(uint32_t slot) const { return node_of_slot[slot]; }
+
+  // First live spare, or -1 when the pool is exhausted.
+  int32_t FindSpare() const;
+
+  // Re-point victim's slot to `spare` and bump the epoch.
+  void Promote(net::NodeId victim, net::NodeId spare);
+};
+
+}  // namespace ring::consensus
+
+#endif  // RING_SRC_CONSENSUS_CONFIG_H_

@@ -1,0 +1,232 @@
+#include "src/consensus/membership.h"
+
+#include <cassert>
+
+#include "src/common/logging.h"
+
+namespace ring::consensus {
+namespace {
+// Small control-plane message sizes (bytes on the wire).
+constexpr uint64_t kHeartbeatBytes = 32;
+constexpr uint64_t kConfigBytes = 256;
+constexpr uint64_t kMicrosecondStagger = 1000;  // ns
+}  // namespace
+
+MembershipGroup::MembershipGroup(net::Fabric* fabric, uint32_t s, uint32_t d,
+                                 uint32_t num_members, uint32_t groups)
+    : fabric_(fabric) {
+  const uint32_t n =
+      num_members == 0 ? fabric->num_nodes() : num_members;
+  const ClusterConfig initial = ClusterConfig::Initial(s, d, n, groups);
+  agents_.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    auto agent = std::make_unique<Agent>();
+    agent->id = i;
+    agent->config = initial;
+    agent->last_seen.assign(n, 0);
+    agent->is_leader = (i == initial.leader);
+    agents_.push_back(std::move(agent));
+  }
+}
+
+void MembershipGroup::Start() {
+  assert(!started_);
+  started_ = true;
+  auto* simulator = fabric_->simulator();
+  for (auto& agent : agents_) {
+    const net::NodeId id = agent->id;
+    agent->last_leader_seen = simulator->now();
+    for (net::NodeId peer = 0; peer < num_members(); ++peer) {
+      agent->last_seen[peer] = simulator->now();
+    }
+    // Phase-staggered ticks: simultaneous election checks would let two
+    // ranked candidates promote themselves in the same instant before
+    // either's config broadcast lands.
+    simulator->After(simulator->params().heartbeat_period_ns +
+                         id * 200 * kMicrosecondStagger,
+                     [this, id] { HeartbeatTick(id); });
+  }
+}
+
+void MembershipGroup::HeartbeatTick(net::NodeId node) {
+  if (!fabric_->alive(node)) {
+    return;  // dead nodes stop ticking
+  }
+  Agent& agent = *agents_[node];
+  auto* simulator = fabric_->simulator();
+  if (agent.is_leader) {
+    // Leader broadcasts liveness and checks followers.
+    for (net::NodeId peer = 0; peer < num_members(); ++peer) {
+      if (peer == node || agent.config.failed[peer]) {
+        continue;
+      }
+      fabric_->Send(node, peer, kHeartbeatBytes, [this, peer, node] {
+        agents_[peer]->last_leader_seen = fabric_->simulator()->now();
+        (void)node;
+      });
+    }
+    LeaderCheck(node);
+  } else {
+    // Follower heartbeats to its view of the leader and watches for leader
+    // silence.
+    const net::NodeId leader = agent.config.leader;
+    fabric_->Send(node, leader, kHeartbeatBytes, [this, leader, node] {
+      agents_[leader]->last_seen[node] = fabric_->simulator()->now();
+    });
+    FollowerCheck(node);
+  }
+  simulator->After(simulator->params().heartbeat_period_ns,
+                   [this, node] { HeartbeatTick(node); });
+}
+
+void MembershipGroup::LeaderCheck(net::NodeId node) {
+  Agent& agent = *agents_[node];
+  auto* simulator = fabric_->simulator();
+  const uint64_t timeout = simulator->params().failure_timeout_ns;
+  for (net::NodeId peer = 0; peer < num_members(); ++peer) {
+    if (peer == node || agent.config.failed[peer]) {
+      continue;
+    }
+    if (simulator->now() - agent.last_seen[peer] > timeout) {
+      HandleNodeFailure(node, peer);
+    }
+  }
+}
+
+void MembershipGroup::FollowerCheck(net::NodeId node) {
+  Agent& agent = *agents_[node];
+  auto* simulator = fabric_->simulator();
+  // Ranked election timeout: lower node ids preempt higher ones, so exactly
+  // one candidate promotes itself in the common case.
+  const uint64_t timeout =
+      simulator->params().failure_timeout_ns +
+      node * (simulator->params().heartbeat_period_ns / 2);
+  if (simulator->now() - agent.last_leader_seen <= timeout) {
+    return;
+  }
+  TakeOver(node);
+}
+
+// The leader is silent (or known dead): this node assumes leadership. Only
+// safe to call when no live lower-id node exists in `node`'s view (they
+// would have preempted it already).
+void MembershipGroup::TakeOver(net::NodeId node) {
+  Agent& agent = *agents_[node];
+  auto* simulator = fabric_->simulator();
+  const net::NodeId old_leader = agent.config.leader;
+  agent.config.failed[old_leader] = true;
+  // If the dead leader held a slot, promote a spare into it.
+  if (agent.config.slot_of_node[old_leader] != kSpareSlot) {
+    const int32_t spare = agent.config.FindSpare();
+    if (spare >= 0) {
+      agent.config.Promote(old_leader, static_cast<net::NodeId>(spare));
+    } else {
+      ++agent.config.epoch;
+    }
+  } else {
+    ++agent.config.epoch;
+  }
+  agent.config.leader = node;
+  agent.is_leader = true;
+  for (net::NodeId peer = 0; peer < num_members(); ++peer) {
+    agent.last_seen[peer] = simulator->now();
+  }
+  RING_LOG(kInfo) << "node " << node << " takes leadership (epoch "
+                  << agent.config.epoch << ")";
+  BroadcastConfig(node);
+}
+
+void MembershipGroup::HandleNodeFailure(net::NodeId leader,
+                                        net::NodeId victim) {
+  Agent& agent = *agents_[leader];
+  if (agent.config.failed[victim]) {
+    return;
+  }
+  if (agent.config.slot_of_node[victim] == kSpareSlot) {
+    // A spare died: just record it.
+    agent.config.failed[victim] = true;
+    ++agent.config.epoch;
+  } else {
+    const int32_t spare = agent.config.FindSpare();
+    if (spare < 0) {
+      RING_LOG(kWarn) << "no spare available for failed node " << victim;
+      agent.config.failed[victim] = true;
+      ++agent.config.epoch;
+    } else {
+      agent.config.Promote(victim, static_cast<net::NodeId>(spare));
+      RING_LOG(kInfo) << "leader " << leader << " promotes spare " << spare
+                      << " for failed node " << victim;
+    }
+  }
+  ++config_changes_;
+  BroadcastConfig(leader);
+}
+
+void MembershipGroup::BroadcastConfig(net::NodeId leader) {
+  const ClusterConfig config = agents_[leader]->config;  // snapshot
+  ApplyConfig(leader, config);
+  for (net::NodeId peer = 0; peer < num_members(); ++peer) {
+    if (peer == leader || config.failed[peer]) {
+      continue;
+    }
+    fabric_->Send(leader, peer, kConfigBytes,
+                  [this, peer, config] { ApplyConfig(peer, config); });
+  }
+}
+
+void MembershipGroup::ApplyConfig(net::NodeId node,
+                                  const ClusterConfig& config) {
+  Agent& agent = *agents_[node];
+  const bool newer =
+      config.epoch > agent.config.epoch ||
+      (config.epoch == agent.config.epoch &&
+       config.leader < agent.config.leader);  // tie-break: lowest leader wins
+  if (!newer && node != config.leader) {
+    return;  // stale
+  }
+  agent.config = config;
+  agent.is_leader = (config.leader == node);
+  agent.last_leader_seen = fabric_->simulator()->now();
+  if (on_config_) {
+    on_config_(node, agent.config);
+  }
+}
+
+void MembershipGroup::InjectFailure(net::NodeId victim) {
+  fabric_->Kill(victim);
+}
+
+void MembershipGroup::ForceDetect(net::NodeId victim) {
+  fabric_->Kill(victim);
+  net::NodeId leader = CurrentLeader();
+  if (leader == victim) {
+    // The victim led the cluster: the lowest live member detects the death
+    // and takes over immediately (the election outcome, without waiting for
+    // the ranked timeout).
+    for (net::NodeId n = 0; n < num_members(); ++n) {
+      if (n != victim && fabric_->alive(n) && !agents_[n]->config.failed[n]) {
+        TakeOver(n);
+        return;
+      }
+    }
+    return;
+  }
+  HandleNodeFailure(leader, victim);
+}
+
+net::NodeId MembershipGroup::CurrentLeader() const {
+  // The authoritative leader is the live agent that believes it leads with
+  // the highest epoch.
+  net::NodeId best = 0;
+  uint64_t best_epoch = 0;
+  for (const auto& agent : agents_) {
+    if (agent->is_leader && fabric_->alive(agent->id) &&
+        agent->config.epoch >= best_epoch) {
+      best = agent->id;
+      best_epoch = agent->config.epoch;
+    }
+  }
+  return best;
+}
+
+}  // namespace consensus

@@ -1,0 +1,89 @@
+// Membership, failure detection, leader election, and configuration
+// replication (paper §5.5).
+//
+// Simplified DARE-style replicated state machine: the leader broadcasts
+// heartbeats and collects heartbeats from every node; a node silent for
+// `failure_timeout` is declared failed, a spare is promoted into its slot
+// and the new configuration epoch is replicated to all live nodes (majority
+// acknowledged). If the leader dies, the live node with the lowest id takes
+// over after a ranked timeout and replicates a new epoch.
+#ifndef RING_SRC_CONSENSUS_MEMBERSHIP_H_
+#define RING_SRC_CONSENSUS_MEMBERSHIP_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "src/consensus/config.h"
+#include "src/net/fabric.h"
+
+namespace ring::consensus {
+
+class MembershipGroup {
+ public:
+  // Callback type: a node learned a new committed configuration.
+  using ConfigCallback =
+      std::function<void(net::NodeId self, const ClusterConfig& config)>;
+
+  // `num_members` bounds the membership to the first nodes of the fabric
+  // (s + d KVS slots plus spares); higher node ids are clients and take no
+  // part in heartbeats or configuration. Defaults to every fabric node.
+  MembershipGroup(net::Fabric* fabric, uint32_t s, uint32_t d,
+                  uint32_t num_members = 0, uint32_t groups = 1);
+
+  uint32_t num_members() const {
+    return static_cast<uint32_t>(agents_.size());
+  }
+
+  // Begins heartbeat traffic. Call once after wiring callbacks.
+  void Start();
+
+  // The configuration as currently known by `node`.
+  const ClusterConfig& ConfigView(net::NodeId node) const {
+    return agents_[node]->config;
+  }
+
+  // Invoked on each node when it receives a newer configuration.
+  void SetOnConfig(ConfigCallback cb) { on_config_ = std::move(cb); }
+
+  // Fail-stop injection: kills the node on the fabric. Detection happens via
+  // missed heartbeats.
+  void InjectFailure(net::NodeId victim);
+
+  // Benchmark aid: makes the leader handle `victim`'s death immediately,
+  // bypassing the heartbeat timeout (Fig. 12 measures recovery from the
+  // moment of detection).
+  void ForceDetect(net::NodeId victim);
+
+  net::NodeId CurrentLeader() const;
+
+  uint64_t config_changes() const { return config_changes_; }
+
+ private:
+  struct Agent {
+    net::NodeId id;
+    ClusterConfig config;
+    // Leader state: last heartbeat time per node.
+    std::vector<sim::SimTime> last_seen;
+    sim::SimTime last_leader_seen = 0;
+    bool is_leader = false;
+  };
+
+  void HeartbeatTick(net::NodeId node);
+  void LeaderCheck(net::NodeId node);
+  void FollowerCheck(net::NodeId node);
+  void TakeOver(net::NodeId node);
+  void HandleNodeFailure(net::NodeId leader, net::NodeId victim);
+  void BroadcastConfig(net::NodeId leader);
+  void ApplyConfig(net::NodeId node, const ClusterConfig& config);
+
+  net::Fabric* fabric_;
+  std::vector<std::unique_ptr<Agent>> agents_;
+  ConfigCallback on_config_;
+  uint64_t config_changes_ = 0;
+  bool started_ = false;
+};
+
+}  // namespace ring::consensus
+
+#endif  // RING_SRC_CONSENSUS_MEMBERSHIP_H_

@@ -1,0 +1,80 @@
+#include "src/cost/pricing.h"
+
+namespace ring::cost {
+namespace {
+constexpr double kGiB = 1024.0 * 1024.0 * 1024.0;
+
+// Storage overhead of each scheme (paper §1 table / §6.2).
+double Overhead(Scheme scheme) {
+  switch (scheme) {
+    case Scheme::kHot:
+      return 3.0;  // Rep(3)
+    case Scheme::kCold:
+      return 5.0 / 3.0;  // SRS(3,2,3)
+    case Scheme::kSimple:
+      return 1.0;  // Rep(1)
+  }
+  return 1.0;
+}
+}  // namespace
+
+std::string SchemeName(Scheme scheme) {
+  switch (scheme) {
+    case Scheme::kHot:
+      return "hot";
+    case Scheme::kCold:
+      return "cold";
+    case Scheme::kSimple:
+      return "simple";
+  }
+  return "?";
+}
+
+CostBreakdown PricingModel::Price(
+    Scheme scheme, const workload::TraceAggregates& trace) const {
+  const TierPrices& tier =
+      scheme == Scheme::kCold ? table_.cool : table_.hot;
+  CostBreakdown out;
+  out.scheme = scheme;
+  out.trace = trace.name;
+
+  // Writes: hot pays the hot-tier (replicated) put price; "simple ... is
+  // assumed to be the same as for Rep(3), but with 3x cheaper puts, as they
+  // are not replicated" (§6.2); cold pays the cool-tier put price.
+  double write_price = tier.write_per_10k;
+  if (scheme == Scheme::kSimple) {
+    write_price = table_.hot.write_per_10k / 3.0;
+  }
+  out.write_cost =
+      static_cast<double>(trace.writes) / 10'000.0 * write_price;
+  out.read_cost = static_cast<double>(trace.reads) / 10'000.0 *
+                  tier.read_per_10k;
+  // Egress transfer for read bytes plus cool-tier retrieval charges.
+  out.transfer_cost =
+      static_cast<double>(trace.read_bytes) / kGiB * tier.transfer_gb +
+      static_cast<double>(trace.read_bytes) / kGiB * tier.retrieval_gb;
+  // One month of storage at constant capacity times the scheme's overhead.
+  out.storage_cost = static_cast<double>(trace.footprint_bytes) / kGiB *
+                     tier.storage_gb_month * Overhead(scheme);
+  return out;
+}
+
+std::vector<CostBreakdown> PricingModel::NormalizedPrices(
+    const workload::TraceAggregates& trace) const {
+  const CostBreakdown simple = Price(Scheme::kSimple, trace);
+  const double base = simple.total();
+  std::vector<CostBreakdown> out;
+  for (Scheme scheme : {Scheme::kHot, Scheme::kCold, Scheme::kSimple}) {
+    CostBreakdown c = Price(scheme, trace);
+    if (base > 0) {
+      c.write_cost /= base;
+      c.read_cost /= base;
+      c.transfer_cost /= base;
+      c.storage_cost /= base;
+    }
+    out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace ring::cost

@@ -1,0 +1,73 @@
+// Storage pricing model for Figure 10 (paper §6.2).
+//
+// The paper estimates the price of running the five SPC traces under three
+// storage schemes — hot = Rep(3), cold = SRS(3,2,3), simple = Rep(1) — with
+// operation and storage prices "obtained from Azure Blob Storage Pricing for
+// Central US" (early 2018). Azure had no unreplicated scheme, so the paper
+// assumes simple costs the same as Rep(3) but with 3x cheaper puts. Prices
+// are normalized to the simple scheme, so only the ratios matter.
+#ifndef RING_SRC_COST_PRICING_H_
+#define RING_SRC_COST_PRICING_H_
+
+#include <string>
+#include <vector>
+
+#include "src/workload/spc_trace.h"
+
+namespace ring::cost {
+
+enum class Scheme { kHot, kCold, kSimple };
+
+std::string SchemeName(Scheme scheme);
+
+// Prices for one storage tier.
+struct TierPrices {
+  double storage_gb_month;     // $ per GB-month of stored (raw) data
+  double write_per_10k;        // $ per 10k write operations
+  double read_per_10k;         // $ per 10k read operations
+  double transfer_gb;          // $ per GB egress (data transfer)
+  double retrieval_gb = 0.0;   // $ per GB read back (cool tiers)
+};
+
+// Azure Blob (Central US, early 2018, LRS) — hot vs cool tier.
+struct PriceTable {
+  TierPrices hot{0.0184, 0.050, 0.0040, 0.087, 0.00};
+  TierPrices cool{0.0100, 0.100, 0.0100, 0.087, 0.01};
+};
+
+// One priced trace/scheme combination, broken into Fig. 10's stacked
+// components.
+struct CostBreakdown {
+  Scheme scheme;
+  std::string trace;
+  double write_cost = 0.0;
+  double read_cost = 0.0;
+  double transfer_cost = 0.0;
+  double storage_cost = 0.0;
+
+  double operation_cost() const {
+    return write_cost + read_cost + transfer_cost;
+  }
+  double total() const { return operation_cost() + storage_cost; }
+};
+
+class PricingModel {
+ public:
+  explicit PricingModel(PriceTable table = PriceTable{}) : table_(table) {}
+
+  // Absolute cost of running `trace` for one month at constant capacity
+  // under `scheme`.
+  CostBreakdown Price(Scheme scheme,
+                      const workload::TraceAggregates& trace) const;
+
+  // All three schemes, normalized so that simple == 1 (the paper's y-axis).
+  std::vector<CostBreakdown> NormalizedPrices(
+      const workload::TraceAggregates& trace) const;
+
+ private:
+  PriceTable table_;
+};
+
+}  // namespace ring::cost
+
+#endif  // RING_SRC_COST_PRICING_H_

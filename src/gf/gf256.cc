@@ -1,0 +1,138 @@
+#include "src/gf/gf256.h"
+
+#include <array>
+#include <cassert>
+
+namespace ring::gf {
+namespace {
+
+struct Tables {
+  // mul[a][b] = a*b. Row-major so MulRegion walks a single 256-byte row.
+  std::array<std::array<uint8_t, 256>, 256> mul;
+  std::array<uint8_t, 256> log;       // log[a] for a != 0, base = generator 2
+  std::array<uint8_t, 512> exp;       // exp[i] = 2^i, doubled to skip mod 255
+  std::array<uint8_t, 256> inv;       // inv[a] for a != 0
+
+  Tables() {
+    // Build exp/log from the generator alpha = 2.
+    uint16_t x = 1;
+    for (int i = 0; i < 255; ++i) {
+      exp[i] = static_cast<uint8_t>(x);
+      log[x] = static_cast<uint8_t>(i);
+      x <<= 1;
+      if (x & 0x100) {
+        x ^= kPrimitivePoly;
+      }
+    }
+    for (int i = 255; i < 512; ++i) {
+      exp[i] = exp[i - 255];
+    }
+    log[0] = 0;  // undefined; never read on valid paths
+
+    for (int a = 0; a < 256; ++a) {
+      for (int b = 0; b < 256; ++b) {
+        if (a == 0 || b == 0) {
+          mul[a][b] = 0;
+        } else {
+          mul[a][b] = exp[log[a] + log[b]];
+        }
+      }
+    }
+    inv[0] = 0;  // undefined
+    for (int a = 1; a < 256; ++a) {
+      inv[a] = exp[255 - log[a]];
+    }
+  }
+};
+
+const Tables& T() {
+  static const Tables tables;
+  return tables;
+}
+
+}  // namespace
+
+uint8_t Mul(uint8_t a, uint8_t b) { return T().mul[a][b]; }
+
+uint8_t Div(uint8_t a, uint8_t b) {
+  assert(b != 0 && "division by zero in GF(2^8)");
+  if (a == 0) {
+    return 0;
+  }
+  const auto& t = T();
+  return t.exp[t.log[a] + 255 - t.log[b]];
+}
+
+uint8_t Inv(uint8_t a) {
+  assert(a != 0 && "inverse of zero in GF(2^8)");
+  return T().inv[a];
+}
+
+uint8_t Pow(uint8_t a, uint32_t e) {
+  if (e == 0) {
+    return 1;
+  }
+  if (a == 0) {
+    return 0;
+  }
+  const auto& t = T();
+  const uint32_t l = (static_cast<uint32_t>(t.log[a]) * e) % 255;
+  return t.exp[l];
+}
+
+void AddRegion(std::span<const uint8_t> src, std::span<uint8_t> dst) {
+  assert(src.size() == dst.size());
+  const size_t n = src.size();
+  size_t i = 0;
+  // Word-at-a-time XOR; memcpy-based to stay strict-aliasing clean.
+  for (; i + 8 <= n; i += 8) {
+    uint64_t a;
+    uint64_t b;
+    __builtin_memcpy(&a, src.data() + i, 8);
+    __builtin_memcpy(&b, dst.data() + i, 8);
+    b ^= a;
+    __builtin_memcpy(dst.data() + i, &b, 8);
+  }
+  for (; i < n; ++i) {
+    dst[i] ^= src[i];
+  }
+}
+
+void MulRegion(uint8_t c, std::span<const uint8_t> src,
+               std::span<uint8_t> dst) {
+  assert(src.size() == dst.size());
+  if (c == 0) {
+    for (auto& b : dst) {
+      b = 0;
+    }
+    return;
+  }
+  if (c == 1) {
+    if (dst.data() != src.data()) {
+      __builtin_memcpy(dst.data(), src.data(), src.size());
+    }
+    return;
+  }
+  const auto& row = T().mul[c];
+  for (size_t i = 0; i < src.size(); ++i) {
+    dst[i] = row[src[i]];
+  }
+}
+
+void MulAddRegion(uint8_t c, std::span<const uint8_t> src,
+                  std::span<uint8_t> dst) {
+  assert(src.size() == dst.size());
+  if (c == 0) {
+    return;
+  }
+  if (c == 1) {
+    AddRegion(src, dst);
+    return;
+  }
+  const auto& row = T().mul[c];
+  for (size_t i = 0; i < src.size(); ++i) {
+    dst[i] ^= row[src[i]];
+  }
+}
+
+}  // namespace ring::gf

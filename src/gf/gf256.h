@@ -1,0 +1,56 @@
+// GF(2^8) arithmetic for Reed-Solomon coding.
+//
+// This module plays the role GF-Complete plays in the paper's implementation:
+// field arithmetic (primitive polynomial x^8+x^4+x^3+x^2+1, 0x11D) plus the
+// region operations erasure coding spends its cycles in (XOR and
+// multiply-accumulate over whole buffers).
+//
+// Tables are built once at static-init time: 256x256 multiplication (64 KiB,
+// one L1-friendly row per scalar constant) and log/exp tables for division
+// and exponentiation.
+#ifndef RING_SRC_GF_GF256_H_
+#define RING_SRC_GF_GF256_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace ring::gf {
+
+inline constexpr uint16_t kPrimitivePoly = 0x11D;
+
+// Scalar operations ---------------------------------------------------------
+
+// Addition and subtraction in GF(2^8) are both XOR.
+inline uint8_t Add(uint8_t a, uint8_t b) { return a ^ b; }
+inline uint8_t Sub(uint8_t a, uint8_t b) { return a ^ b; }
+
+// Product of a and b in the field.
+uint8_t Mul(uint8_t a, uint8_t b);
+
+// Quotient a / b. Precondition: b != 0.
+uint8_t Div(uint8_t a, uint8_t b);
+
+// Multiplicative inverse. Precondition: a != 0.
+uint8_t Inv(uint8_t a);
+
+// a raised to the e-th power (Pow(0, 0) == 1 by convention).
+uint8_t Pow(uint8_t a, uint32_t e);
+
+// Region operations ---------------------------------------------------------
+// All spans must have equal sizes; src and dst may not alias partially (they
+// may be identical or disjoint).
+
+// dst ^= src
+void AddRegion(std::span<const uint8_t> src, std::span<uint8_t> dst);
+
+// dst = c * src
+void MulRegion(uint8_t c, std::span<const uint8_t> src, std::span<uint8_t> dst);
+
+// dst ^= c * src   (the inner loop of RS encode/decode/delta-update)
+void MulAddRegion(uint8_t c, std::span<const uint8_t> src,
+                  std::span<uint8_t> dst);
+
+}  // namespace ring::gf
+
+#endif  // RING_SRC_GF_GF256_H_

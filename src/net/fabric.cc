@@ -1,0 +1,103 @@
+#include "src/net/fabric.h"
+
+#include <utility>
+
+namespace ring::net {
+
+Fabric::Fabric(sim::Simulator* simulator, uint32_t num_nodes)
+    : sim_(simulator),
+      alive_(num_nodes, true),
+      egress_busy_(num_nodes, 0) {
+  cpus_.reserve(num_nodes);
+  for (uint32_t i = 0; i < num_nodes; ++i) {
+    cpus_.push_back(std::make_unique<sim::CpuWorker>(simulator));
+  }
+}
+
+uint64_t Fabric::SerializationNs(uint64_t payload_bytes) const {
+  const auto& p = sim_->params();
+  return static_cast<uint64_t>(
+      static_cast<double>(payload_bytes + p.wire_message_overhead_bytes) /
+      p.link_bytes_per_ns);
+}
+
+sim::SimTime Fabric::Depart(NodeId src, uint64_t payload_bytes) {
+  const sim::SimTime start =
+      egress_busy_[src] > sim_->now() ? egress_busy_[src] : sim_->now();
+  egress_busy_[src] = start + SerializationNs(payload_bytes);
+  ++messages_sent_;
+  bytes_sent_ += payload_bytes;
+  const uint64_t jitter = sim_->params().wire_jitter_ns;
+  return egress_busy_[src] + (jitter ? sim_->rng().NextBelow(jitter) : 0);
+}
+
+void Fabric::Send(NodeId src, NodeId dst, uint64_t payload_bytes,
+                  std::function<void()> handler) {
+  if (!alive_[src]) {
+    return;
+  }
+  const sim::SimTime arrival =
+      Depart(src, payload_bytes) + sim_->params().wire_latency_ns;
+  sim_->At(arrival, [this, dst, handler = std::move(handler)]() mutable {
+    if (!alive_[dst]) {
+      return;  // fail-stop: dead nodes neither receive nor respond
+    }
+    cpus_[dst]->Execute(sim_->params().server_recv_ns, std::move(handler));
+  });
+}
+
+void Fabric::Write(NodeId src, NodeId dst, uint64_t payload_bytes,
+                   std::function<void()> apply,
+                   std::function<void()> on_complete) {
+  if (!alive_[src]) {
+    return;
+  }
+  const sim::SimTime arrival =
+      Depart(src, payload_bytes) + sim_->params().wire_latency_ns;
+  sim_->At(arrival, [this, src, dst, apply = std::move(apply),
+                     on_complete = std::move(on_complete)]() mutable {
+    if (!alive_[dst]) {
+      return;  // no ack: the sender's completion never fires
+    }
+    if (apply) {
+      apply();  // NIC DMA: remote memory changes without CPU involvement
+    }
+    // Hardware ack back to the source.
+    sim_->After(sim_->params().wire_latency_ns,
+                [this, src, on_complete = std::move(on_complete)]() mutable {
+                  if (alive_[src] && on_complete) {
+                    on_complete();
+                  }
+                });
+  });
+}
+
+void Fabric::Read(NodeId src, NodeId dst, uint64_t response_bytes,
+                  std::function<void()> fetch,
+                  std::function<void()> on_complete) {
+  if (!alive_[src]) {
+    return;
+  }
+  // Request message is small (a work request descriptor).
+  const sim::SimTime arrival =
+      Depart(src, 0) + sim_->params().wire_latency_ns;
+  sim_->At(arrival, [this, src, dst, response_bytes,
+                     fetch = std::move(fetch),
+                     on_complete = std::move(on_complete)]() mutable {
+    if (!alive_[dst]) {
+      return;
+    }
+    if (fetch) {
+      fetch();
+    }
+    const sim::SimTime back = Depart(dst, response_bytes) +
+                              sim_->params().wire_latency_ns;
+    sim_->At(back, [this, src, on_complete = std::move(on_complete)]() mutable {
+      if (alive_[src] && on_complete) {
+        on_complete();
+      }
+    });
+  });
+}
+
+}  // namespace ring::net

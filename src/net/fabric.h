@@ -1,0 +1,82 @@
+// Simulated RDMA fabric.
+//
+// Substitutes for the paper's InfiniBand cluster + libibverbs. Endpoints are
+// nodes with single-threaded CPUs (sim::CpuWorker); the fabric models
+//   - per-message one-way wire latency,
+//   - per-byte link bandwidth with egress serialization (a NIC pushes one
+//     message at a time),
+//   - fail-stop endpoints (messages to/from dead nodes are dropped).
+// Two delivery modes mirror the verbs the paper relies on:
+//   - Send (two-sided): consumes receiver CPU before the handler runs —
+//     the normal request path.
+//   - Write/Read (one-sided): "performed entirely by the hardware"; no
+//     remote CPU is charged. Ring uses this to offload replication traffic
+//     from redundant nodes (§6).
+#ifndef RING_SRC_NET_FABRIC_H_
+#define RING_SRC_NET_FABRIC_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "src/sim/simulator.h"
+
+namespace ring::net {
+
+using NodeId = uint32_t;
+
+class Fabric {
+ public:
+  Fabric(sim::Simulator* simulator, uint32_t num_nodes);
+
+  sim::Simulator* simulator() { return sim_; }
+  uint32_t num_nodes() const { return static_cast<uint32_t>(cpus_.size()); }
+
+  // Per-node CPU model (servers and clients alike).
+  sim::CpuWorker& cpu(NodeId node) { return *cpus_[node]; }
+
+  // Fail-stop control.
+  void Kill(NodeId node) { alive_[node] = false; }
+  void Revive(NodeId node) { alive_[node] = true; }
+  bool alive(NodeId node) const { return alive_[node]; }
+
+  // Two-sided send: after egress serialization + wire latency, charges
+  // `server_recv_ns` on the destination CPU and runs `handler`.
+  // Dropped silently when either endpoint is dead at the relevant moment.
+  void Send(NodeId src, NodeId dst, uint64_t payload_bytes,
+            std::function<void()> handler);
+
+  // One-sided RDMA write: the payload lands at the destination without
+  // involving its CPU; `apply` runs at arrival (NIC DMA), `on_complete`
+  // runs at the source once the hardware ack returns.
+  void Write(NodeId src, NodeId dst, uint64_t payload_bytes,
+             std::function<void()> apply, std::function<void()> on_complete);
+
+  // One-sided RDMA read: `fetch` runs at the destination at request arrival
+  // (no remote CPU), `on_complete` runs at the source after `response_bytes`
+  // travel back.
+  void Read(NodeId src, NodeId dst, uint64_t response_bytes,
+            std::function<void()> fetch, std::function<void()> on_complete);
+
+  // Transfer time of one message on the wire (serialization only).
+  uint64_t SerializationNs(uint64_t payload_bytes) const;
+
+  uint64_t messages_sent() const { return messages_sent_; }
+  uint64_t bytes_sent() const { return bytes_sent_; }
+
+ private:
+  // Departure time after egress serialization on src's NIC.
+  sim::SimTime Depart(NodeId src, uint64_t payload_bytes);
+
+  sim::Simulator* sim_;
+  std::vector<std::unique_ptr<sim::CpuWorker>> cpus_;
+  std::vector<bool> alive_;
+  std::vector<sim::SimTime> egress_busy_;
+  uint64_t messages_sent_ = 0;
+  uint64_t bytes_sent_ = 0;
+};
+
+}  // namespace ring::net
+
+#endif  // RING_SRC_NET_FABRIC_H_

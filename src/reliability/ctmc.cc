@@ -1,0 +1,131 @@
+#include "src/reliability/ctmc.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace ring::reliability {
+
+RealMatrix::RealMatrix(size_t rows, size_t cols)
+    : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {}
+
+RealMatrix RealMatrix::Identity(size_t n) {
+  RealMatrix m(n, n);
+  for (size_t i = 0; i < n; ++i) {
+    m.Set(i, i, 1.0);
+  }
+  return m;
+}
+
+RealMatrix RealMatrix::Multiply(const RealMatrix& other) const {
+  assert(cols_ == other.rows_);
+  RealMatrix out(rows_, other.cols_);
+  for (size_t i = 0; i < rows_; ++i) {
+    for (size_t k = 0; k < cols_; ++k) {
+      const double a = At(i, k);
+      if (a == 0.0) {
+        continue;
+      }
+      for (size_t j = 0; j < other.cols_; ++j) {
+        out.Ref(i, j) += a * other.At(k, j);
+      }
+    }
+  }
+  return out;
+}
+
+RealMatrix RealMatrix::Add(const RealMatrix& other) const {
+  assert(rows_ == other.rows_ && cols_ == other.cols_);
+  RealMatrix out(rows_, cols_);
+  for (size_t i = 0; i < data_.size(); ++i) {
+    out.data_[i] = data_[i] + other.data_[i];
+  }
+  return out;
+}
+
+RealMatrix RealMatrix::Scale(double f) const {
+  RealMatrix out(rows_, cols_);
+  for (size_t i = 0; i < data_.size(); ++i) {
+    out.data_[i] = data_[i] * f;
+  }
+  return out;
+}
+
+double RealMatrix::NormInf() const {
+  double norm = 0.0;
+  for (size_t i = 0; i < rows_; ++i) {
+    double row = 0.0;
+    for (size_t j = 0; j < cols_; ++j) {
+      row += std::fabs(At(i, j));
+    }
+    norm = std::max(norm, row);
+  }
+  return norm;
+}
+
+RealMatrix RealMatrix::Exp() const {
+  assert(rows_ == cols_);
+  // Scaling and squaring: bring the norm below 1/2, run a degree-18 Taylor
+  // series (ample at that norm), then square back up.
+  const double norm = NormInf();
+  int squarings = 0;
+  if (norm > 0.5) {
+    squarings = static_cast<int>(std::ceil(std::log2(norm / 0.5)));
+  }
+  const RealMatrix a = Scale(std::ldexp(1.0, -squarings));
+  // Horner evaluation of sum_{i=0..18} a^i / i!.
+  RealMatrix result = Identity(rows_);
+  for (int i = 18; i >= 1; --i) {
+    result = Identity(rows_).Add(a.Multiply(result).Scale(1.0 / i));
+  }
+  for (int i = 0; i < squarings; ++i) {
+    result = result.Multiply(result);
+  }
+  return result;
+}
+
+Ctmc::Ctmc(RealMatrix generator) : q_(std::move(generator)) {
+  assert(q_.rows() == q_.cols());
+}
+
+std::vector<double> Ctmc::TransientDistribution(const std::vector<double>& p0,
+                                                double t) const {
+  assert(p0.size() == q_.rows());
+  const RealMatrix e = q_.Scale(t).Exp();
+  std::vector<double> out(q_.rows(), 0.0);
+  for (size_t i = 0; i < q_.rows(); ++i) {
+    if (p0[i] == 0.0) {
+      continue;
+    }
+    for (size_t j = 0; j < q_.cols(); ++j) {
+      out[j] += p0[i] * e.At(i, j);
+    }
+  }
+  return out;
+}
+
+std::vector<double> Ctmc::CumulativeOccupancy(const std::vector<double>& p0,
+                                              double t) const {
+  assert(p0.size() == q_.rows());
+  const size_t n = q_.rows();
+  // exp([Q I; 0 0] * t) = [exp(Qt)  integral_0^t exp(Qu) du; 0  I].
+  RealMatrix aug(2 * n, 2 * n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < n; ++j) {
+      aug.Set(i, j, q_.At(i, j) * t);
+    }
+    aug.Set(i, n + i, t);
+  }
+  const RealMatrix e = aug.Exp();
+  std::vector<double> out(n, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    if (p0[i] == 0.0) {
+      continue;
+    }
+    for (size_t j = 0; j < n; ++j) {
+      out[j] += p0[i] * e.At(i, n + j);
+    }
+  }
+  return out;
+}
+
+}  // namespace ring::reliability

@@ -1,0 +1,73 @@
+// Continuous-time Markov chain machinery for the fault-resilience analysis
+// of Appendix A: small dense real matrices, a scaling-and-squaring matrix
+// exponential, and transient/cumulative state-probability solvers.
+#ifndef RING_SRC_RELIABILITY_CTMC_H_
+#define RING_SRC_RELIABILITY_CTMC_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "src/common/result.h"
+
+namespace ring::reliability {
+
+// Row-major dense matrix of doubles (dimensions here are tiny: the Markov
+// models have m+2 .. s+m+2 states).
+class RealMatrix {
+ public:
+  RealMatrix() = default;
+  RealMatrix(size_t rows, size_t cols);
+
+  static RealMatrix Identity(size_t n);
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+  double At(size_t r, size_t c) const { return data_[r * cols_ + c]; }
+  void Set(size_t r, size_t c, double v) { data_[r * cols_ + c] = v; }
+  double& Ref(size_t r, size_t c) { return data_[r * cols_ + c]; }
+
+  RealMatrix Multiply(const RealMatrix& other) const;
+  RealMatrix Add(const RealMatrix& other) const;
+  RealMatrix Scale(double f) const;
+
+  // Max absolute row sum (infinity norm).
+  double NormInf() const;
+
+  // Matrix exponential exp(*this) via scaling-and-squaring with a
+  // Taylor/Horner core; accurate for the well-conditioned generator matrices
+  // used here (diagonally dominant, moderate norm after scaling).
+  RealMatrix Exp() const;
+
+ private:
+  size_t rows_ = 0;
+  size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+// A CTMC given by its generator Q (Q[i][j] = transition rate i->j for i != j,
+// Q[i][i] = -sum of row). States are indexed 0..n-1.
+class Ctmc {
+ public:
+  explicit Ctmc(RealMatrix generator);
+
+  size_t num_states() const { return q_.rows(); }
+  const RealMatrix& generator() const { return q_; }
+
+  // State distribution at time t from the initial distribution p0 (row
+  // vector): p(t) = p0 * exp(Q t).
+  std::vector<double> TransientDistribution(const std::vector<double>& p0,
+                                            double t) const;
+
+  // Cumulative occupancy: integral_0^t p(u) du, computed exactly via the
+  // augmented-generator trick ( [Q I; 0 0] exponentiated ). Returns per-state
+  // expected total time spent in each state during [0, t].
+  std::vector<double> CumulativeOccupancy(const std::vector<double>& p0,
+                                          double t) const;
+
+ private:
+  RealMatrix q_;
+};
+
+}  // namespace ring::reliability
+
+#endif  // RING_SRC_RELIABILITY_CTMC_H_

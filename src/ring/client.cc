@@ -1,0 +1,339 @@
+#include "src/ring/client.h"
+
+#include "src/common/hash.h"
+
+namespace ring {
+namespace {
+constexpr uint64_t kHeaderBytes = 64;
+constexpr uint32_t kMaxRetries = 64;
+}  // namespace
+
+RingClient::RingClient(RingRuntime* runtime, uint32_t index)
+    : rt_(runtime),
+      node_(runtime->client_node(index)),
+      config_(runtime->membership().ConfigView(0)) {}
+
+uint32_t RingClient::ShardFor(const Key& key) const {
+  return KeyShard(key, config_.num_shards());
+}
+
+net::NodeId RingClient::CoordinatorFor(const Key& key) const {
+  return config_.CoordinatorOfShard(ShardFor(key));
+}
+
+void RingClient::RefreshConfig() {
+  config_ = rt_->membership().ConfigView(rt_->leader_node());
+}
+
+template <typename Fn>
+auto RingClient::Complete(uint64_t req_id, sim::SimTime start, Fn cb) {
+  return [this, req_id, start, cb](auto&&... args) {
+    auto it = outstanding_.find(req_id);
+    if (it == outstanding_.end() || it->second.done) {
+      return;  // duplicate reply (multicast raced with the original)
+    }
+    outstanding_.erase(it);
+    ++completed_;
+    latencies_.Add(static_cast<double>(rt_->simulator().now() - start) /
+                   1000.0);
+    cb(std::forward<decltype(args)>(args)...);
+  };
+}
+
+void RingClient::Launch(uint64_t req_id, std::function<void(bool)> send,
+                        std::function<void()> fail) {
+  Outstanding o;
+  o.send = send;
+  o.fail = std::move(fail);
+  outstanding_.emplace(req_id, std::move(o));
+  send(false);
+  rt_->simulator().After(rt_->simulator().params().client_retry_timeout_ns,
+                         [this, req_id] { CheckTimeout(req_id); });
+}
+
+void RingClient::CheckTimeout(uint64_t req_id) {
+  auto it = outstanding_.find(req_id);
+  if (it == outstanding_.end() || it->second.done) {
+    return;
+  }
+  if (!rt_->fabric().alive(node_)) {
+    return;
+  }
+  if (++it->second.retries > kMaxRetries) {
+    ++timeouts_;
+    auto fail = it->second.fail;
+    fail();  // marks done + erases via the Complete wrapper
+    return;
+  }
+  // Re-learn the configuration and multicast: only the responsible node
+  // will answer (§5.5).
+  RefreshConfig();
+  const auto& p = rt_->simulator().params();
+  auto send = it->second.send;
+  cpu().Execute(p.client_base_ns +
+                    rt_->membership().num_members() * p.client_post_ns,
+                [send] { send(true); });
+  rt_->simulator().After(p.client_retry_timeout_ns,
+                         [this, req_id] { CheckTimeout(req_id); });
+}
+
+void RingClient::Put(const Key& key, std::shared_ptr<Buffer> value,
+                     MemgestId memgest, PutCallback cb) {
+  const auto& p = rt_->simulator().params();
+  const uint32_t len = value ? static_cast<uint32_t>(value->size()) : 0;
+  const uint64_t req_id = next_req_++;
+  const uint64_t issue_cost =
+      p.client_base_ns + p.client_post_ns +
+      static_cast<uint64_t>(p.client_put_byte_ns * len);
+  cpu().Execute(issue_cost, [this, key, value = std::move(value), memgest,
+                             cb = std::move(cb), req_id, len] {
+    const sim::SimTime start = rt_->simulator().now();
+    auto reply = Complete(req_id, start, cb);
+    const uint64_t bytes = kHeaderBytes + key.size() + len;
+    auto send = [this, key, value, memgest, req_id, reply,
+                 bytes](bool broadcast) {
+      PutRequest r;
+      r.key = key;
+      r.value = value;
+      r.memgest = memgest;
+      r.client = node_;
+      r.req_id = req_id;
+      r.retry = broadcast;
+      r.reply = reply;
+      if (!broadcast) {
+        auto* peer = rt_->server(CoordinatorFor(key));
+        rt_->fabric().Send(node_, peer->id(), bytes,
+                           [peer, r] { peer->HandlePut(r); });
+        return;
+      }
+      for (net::NodeId n = 0; n < rt_->membership().num_members(); ++n) {
+        if (config_.failed[n] || !rt_->fabric().alive(n)) {
+          continue;
+        }
+        auto* peer = rt_->server(n);
+        rt_->fabric().Send(node_, n, bytes,
+                           [peer, r] { peer->HandlePut(r); });
+      }
+    };
+    auto fail = [reply] { reply(TimeoutError("put timed out"), 0); };
+    Launch(req_id, std::move(send), std::move(fail));
+  });
+}
+
+void RingClient::Get(const Key& key, GetCallback cb) {
+  const auto& p = rt_->simulator().params();
+  const uint64_t req_id = next_req_++;
+  cpu().Execute(p.client_base_ns + p.client_post_ns,
+                [this, key, cb = std::move(cb), req_id] {
+    const sim::SimTime start = rt_->simulator().now();
+    auto reply = Complete(req_id, start, cb);
+    const uint64_t bytes = kHeaderBytes + key.size();
+    auto send = [this, key, req_id, reply, bytes](bool broadcast) {
+      GetRequest r;
+      r.key = key;
+      r.client = node_;
+      r.req_id = req_id;
+      r.retry = broadcast;
+      r.reply = reply;
+      if (!broadcast) {
+        auto* peer = rt_->server(CoordinatorFor(key));
+        rt_->fabric().Send(node_, peer->id(), bytes,
+                           [peer, r] { peer->HandleGet(r); });
+        return;
+      }
+      for (net::NodeId n = 0; n < rt_->membership().num_members(); ++n) {
+        if (config_.failed[n] || !rt_->fabric().alive(n)) {
+          continue;
+        }
+        auto* peer = rt_->server(n);
+        rt_->fabric().Send(node_, n, bytes,
+                           [peer, r] { peer->HandleGet(r); });
+      }
+    };
+    auto fail = [reply] {
+      reply(GetResult{TimeoutError("get timed out"), 0, nullptr});
+    };
+    Launch(req_id, std::move(send), std::move(fail));
+  });
+}
+
+void RingClient::Move(const Key& key, MemgestId dst, PutCallback cb) {
+  const auto& p = rt_->simulator().params();
+  const uint64_t req_id = next_req_++;
+  cpu().Execute(p.client_base_ns + p.client_post_ns,
+                [this, key, dst, cb = std::move(cb), req_id] {
+    const sim::SimTime start = rt_->simulator().now();
+    auto reply = Complete(req_id, start, cb);
+    const uint64_t bytes = kHeaderBytes + key.size();
+    auto send = [this, key, dst, req_id, reply, bytes](bool broadcast) {
+      MoveRequest r;
+      r.key = key;
+      r.dst = dst;
+      r.client = node_;
+      r.req_id = req_id;
+      r.retry = broadcast;
+      r.reply = reply;
+      if (!broadcast) {
+        auto* peer = rt_->server(CoordinatorFor(key));
+        rt_->fabric().Send(node_, peer->id(), bytes,
+                           [peer, r] { peer->HandleMove(r); });
+        return;
+      }
+      for (net::NodeId n = 0; n < rt_->membership().num_members(); ++n) {
+        if (config_.failed[n] || !rt_->fabric().alive(n)) {
+          continue;
+        }
+        auto* peer = rt_->server(n);
+        rt_->fabric().Send(node_, n, bytes,
+                           [peer, r] { peer->HandleMove(r); });
+      }
+    };
+    auto fail = [reply] { reply(TimeoutError("move timed out"), 0); };
+    Launch(req_id, std::move(send), std::move(fail));
+  });
+}
+
+void RingClient::Delete(const Key& key, StatusCallback cb) {
+  const auto& p = rt_->simulator().params();
+  const uint64_t req_id = next_req_++;
+  cpu().Execute(p.client_base_ns + p.client_post_ns,
+                [this, key, cb = std::move(cb), req_id] {
+    const sim::SimTime start = rt_->simulator().now();
+    auto reply = Complete(req_id, start, cb);
+    const uint64_t bytes = kHeaderBytes + key.size();
+    auto send = [this, key, req_id, reply, bytes](bool broadcast) {
+      DeleteRequest r;
+      r.key = key;
+      r.client = node_;
+      r.req_id = req_id;
+      r.retry = broadcast;
+      r.reply = reply;
+      if (!broadcast) {
+        auto* peer = rt_->server(CoordinatorFor(key));
+        rt_->fabric().Send(node_, peer->id(), bytes,
+                           [peer, r] { peer->HandleDelete(r); });
+        return;
+      }
+      for (net::NodeId n = 0; n < rt_->membership().num_members(); ++n) {
+        if (config_.failed[n] || !rt_->fabric().alive(n)) {
+          continue;
+        }
+        auto* peer = rt_->server(n);
+        rt_->fabric().Send(node_, n, bytes,
+                           [peer, r] { peer->HandleDelete(r); });
+      }
+    };
+    auto fail = [reply] { reply(TimeoutError("delete timed out")); };
+    Launch(req_id, std::move(send), std::move(fail));
+  });
+}
+
+void RingClient::CreateMemgest(const MemgestDescriptor& desc,
+                               AdminCallback cb) {
+  const auto& p = rt_->simulator().params();
+  const uint64_t req_id = next_req_++;
+  cpu().Execute(p.client_base_ns + p.client_post_ns,
+                [this, desc, cb = std::move(cb), req_id] {
+    const sim::SimTime start = rt_->simulator().now();
+    auto reply = Complete(req_id, start, cb);
+    auto send = [this, desc, req_id, reply](bool broadcast) {
+      (void)broadcast;
+      RefreshConfig();
+      AdminRequest r;
+      r.op = AdminRequest::Op::kCreateMemgest;
+      r.desc = desc;
+      r.client = node_;
+      r.reply = reply;
+      auto* peer = rt_->server(config_.leader);
+      rt_->fabric().Send(node_, config_.leader, 192,
+                         [peer, r] { peer->HandleAdmin(r); });
+    };
+    auto fail = [reply] {
+      reply(Result<MemgestId>(TimeoutError("createMemgest timed out")));
+    };
+    Launch(req_id, std::move(send), std::move(fail));
+  });
+}
+
+void RingClient::DeleteMemgest(MemgestId id, AdminCallback cb) {
+  const uint64_t req_id = next_req_++;
+  const auto& p = rt_->simulator().params();
+  cpu().Execute(p.client_base_ns + p.client_post_ns,
+                [this, id, cb = std::move(cb), req_id] {
+    const sim::SimTime start = rt_->simulator().now();
+    auto reply = Complete(req_id, start, cb);
+    auto send = [this, id, reply](bool) {
+      RefreshConfig();
+      AdminRequest r;
+      r.op = AdminRequest::Op::kDeleteMemgest;
+      r.id = id;
+      r.client = node_;
+      r.reply = reply;
+      auto* peer = rt_->server(config_.leader);
+      rt_->fabric().Send(node_, config_.leader, 192,
+                         [peer, r] { peer->HandleAdmin(r); });
+    };
+    auto fail = [reply] {
+      reply(Result<MemgestId>(TimeoutError("deleteMemgest timed out")));
+    };
+    Launch(req_id, std::move(send), std::move(fail));
+  });
+}
+
+void RingClient::SetDefaultMemgest(MemgestId id, AdminCallback cb) {
+  const uint64_t req_id = next_req_++;
+  const auto& p = rt_->simulator().params();
+  cpu().Execute(p.client_base_ns + p.client_post_ns,
+                [this, id, cb = std::move(cb), req_id] {
+    const sim::SimTime start = rt_->simulator().now();
+    auto reply = Complete(req_id, start, cb);
+    auto send = [this, id, reply](bool) {
+      RefreshConfig();
+      AdminRequest r;
+      r.op = AdminRequest::Op::kSetDefaultMemgest;
+      r.id = id;
+      r.client = node_;
+      r.reply = reply;
+      auto* peer = rt_->server(config_.leader);
+      rt_->fabric().Send(node_, config_.leader, 192,
+                         [peer, r] { peer->HandleAdmin(r); });
+    };
+    auto fail = [reply] {
+      reply(Result<MemgestId>(TimeoutError("setDefaultMemgest timed out")));
+    };
+    Launch(req_id, std::move(send), std::move(fail));
+  });
+}
+
+}  // namespace ring
+
+namespace ring {
+
+void RingClient::GetMemgestDescriptor(
+    MemgestId id, std::function<void(Result<MemgestDescriptor>)> cb) {
+  const uint64_t req_id = next_req_++;
+  const auto& p = rt_->simulator().params();
+  cpu().Execute(p.client_base_ns + p.client_post_ns,
+                [this, id, cb = std::move(cb), req_id] {
+    const sim::SimTime start = rt_->simulator().now();
+    auto reply = Complete(req_id, start, cb);
+    auto send = [this, id, reply](bool) {
+      RefreshConfig();
+      AdminRequest r;
+      r.op = AdminRequest::Op::kGetMemgestDescriptor;
+      r.id = id;
+      r.client = node_;
+      r.descriptor_reply = reply;
+      auto* peer = rt_->server(config_.leader);
+      rt_->fabric().Send(node_, config_.leader, 192,
+                         [peer, r] { peer->HandleAdmin(r); });
+    };
+    auto fail = [reply] {
+      reply(Result<MemgestDescriptor>(
+          TimeoutError("getMemgestDescriptor timed out")));
+    };
+    Launch(req_id, std::move(send), std::move(fail));
+  });
+}
+
+}  // namespace ring

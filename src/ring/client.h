@@ -1,0 +1,99 @@
+// RingClient: the client-side library (paper §5 API).
+//
+// Clients map keys to coordinators with `h(key) mod s` and talk to them
+// directly over the fabric. When a request times out (coordinator failure),
+// the client re-sends it to every KVS node — the paper's multicast — and
+// only the responsible node answers (§5.5).
+#ifndef RING_SRC_RING_CLIENT_H_
+#define RING_SRC_RING_CLIENT_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+
+#include "src/common/stats.h"
+#include "src/ring/runtime.h"
+#include "src/ring/server.h"
+
+namespace ring {
+
+class RingClient {
+ public:
+  // `index` selects one of the runtime's client endpoints.
+  RingClient(RingRuntime* runtime, uint32_t index);
+
+  net::NodeId node() const { return node_; }
+
+  using PutCallback = std::function<void(Status, Version)>;
+  using GetCallback = std::function<void(GetResult)>;
+  using StatusCallback = std::function<void(Status)>;
+  using AdminCallback = std::function<void(Result<MemgestId>)>;
+
+  // put(key, object[, memgestID]) — paper §5.
+  void Put(const Key& key, std::shared_ptr<Buffer> value,
+           MemgestId memgest, PutCallback cb);
+  void Put(const Key& key, std::shared_ptr<Buffer> value, PutCallback cb) {
+    Put(key, std::move(value), kDefaultMemgest, std::move(cb));
+  }
+  void Get(const Key& key, GetCallback cb);
+  void Move(const Key& key, MemgestId dst, PutCallback cb);
+  void Delete(const Key& key, StatusCallback cb);
+
+  // Storage scheme management (leader-processed).
+  void CreateMemgest(const MemgestDescriptor& desc, AdminCallback cb);
+  void DeleteMemgest(MemgestId id, AdminCallback cb);
+  void SetDefaultMemgest(MemgestId id, AdminCallback cb);
+  void GetMemgestDescriptor(
+      MemgestId id, std::function<void(Result<MemgestDescriptor>)> cb);
+
+  // ---- statistics ----
+  uint64_t completed() const { return completed_; }
+  uint64_t timeouts() const { return timeouts_; }
+  // Requests in flight (issued, not yet answered).
+  size_t outstanding() const { return outstanding_.size(); }
+  // Re-reads the cluster configuration (normally done lazily on retry;
+  // benches call it after a controlled failover so measurements exclude the
+  // stale-routing discovery timeout).
+  void RefreshConfigNow() { RefreshConfig(); }
+  // Per-operation latencies in microseconds, measured NIC-to-NIC (request
+  // posted -> reply delivered), matching the paper's measurement point.
+  Samples& latencies() { return latencies_; }
+  void ResetStats() {
+    completed_ = 0;
+    timeouts_ = 0;
+    latencies_.Clear();
+  }
+
+ private:
+  struct Outstanding {
+    bool done = false;
+    uint32_t retries = 0;
+    std::function<void(bool broadcast)> send;
+    std::function<void()> fail;
+  };
+
+  sim::CpuWorker& cpu() { return rt_->fabric().cpu(node_); }
+  uint32_t ShardFor(const Key& key) const;
+  net::NodeId CoordinatorFor(const Key& key) const;
+  void RefreshConfig();
+  // Registers the request, sends it, and arms the retry timer.
+  void Launch(uint64_t req_id, std::function<void(bool)> send,
+              std::function<void()> fail);
+  void CheckTimeout(uint64_t req_id);
+  // Wraps a user callback: completes the request and records latency.
+  template <typename Fn>
+  auto Complete(uint64_t req_id, sim::SimTime start, Fn cb);
+
+  RingRuntime* rt_;
+  net::NodeId node_;
+  consensus::ClusterConfig config_;
+  uint64_t next_req_ = 1;
+  std::map<uint64_t, Outstanding> outstanding_;
+  uint64_t completed_ = 0;
+  uint64_t timeouts_ = 0;
+  Samples latencies_;
+};
+
+}  // namespace ring
+
+#endif  // RING_SRC_RING_CLIENT_H_

@@ -1,0 +1,106 @@
+// Metadata structures (paper §5.1-5.2).
+//
+// Each memgest has a *metadata hashtable* per shard: (key, version) ->
+// location + commit state. It is write-ahead (entries exist before commit)
+// and replicated to the memgest's redundancy nodes. The *volatile hashtable*
+// maps key -> list of (version, memgest) pairs across all memgests of a
+// coordinator; it is not replicated and is rebuilt from the metadata
+// hashtables after failures.
+#ifndef RING_SRC_RING_METADATA_H_
+#define RING_SRC_RING_METADATA_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "src/ring/types.h"
+
+namespace ring {
+
+// Approximate serialized size of one metadata entry (key hash, version,
+// address, length, flags). Used for recovery-traffic modeling (Fig. 12).
+inline constexpr uint64_t kMetaEntryWireBytes = 96;
+
+struct MetaEntry {
+  Version version = 0;
+  uint64_t addr = 0;
+  uint32_t len = 0;         // object bytes
+  uint32_t region_len = 0;  // allocated region (>= len when a slot is reused)
+  bool committed = false;
+  bool tombstone = false;
+  // False on a recovered node until the object bytes are copied/decoded.
+  bool data_present = true;
+  // Coordinator-only transient state ---------------------------------------
+  // Redundancy targets still owed an ack: bitmask over replica ordinals or
+  // parity indices.
+  uint32_t acks_pending = 0;
+  // Remaining ack count before the entry commits (quorum for replication,
+  // all m parities for erasure coding).
+  uint32_t acks_needed = 0;
+  // Deferred readers/movers released at commit time (Fig. 5's client D).
+  std::vector<std::function<void()>> waiters;
+};
+
+// Per-(memgest, shard) metadata hashtable.
+class MetadataTable {
+ public:
+  MetaEntry* Find(const Key& key, Version version);
+  const MetaEntry* Find(const Key& key, Version version) const;
+  // Highest version for the key (committed or not), nullptr if absent.
+  MetaEntry* Highest(const Key& key);
+  MetaEntry& Insert(const Key& key, MetaEntry entry);
+  void Erase(const Key& key, Version version);
+
+  size_t entry_count() const { return entry_count_; }
+  uint64_t ApproxBytes() const { return entry_count_ * kMetaEntryWireBytes; }
+
+  // Iterates over every (key, entry); used by recovery transfers.
+  void ForEach(
+      const std::function<void(const Key&, const MetaEntry&)>& fn) const;
+  // Mutable iteration; the callback must not insert or erase entries.
+  void ForEachMutable(const std::function<void(const Key&, MetaEntry&)>& fn);
+
+  // All versions of a key, ascending. Empty when absent.
+  std::vector<Version> VersionsOf(const Key& key) const;
+
+  void Clear();
+
+ private:
+  std::unordered_map<Key, std::map<Version, MetaEntry>> table_;
+  size_t entry_count_ = 0;
+};
+
+// Coordinator-side index over all memgests (paper Fig. 4).
+class VolatileIndex {
+ public:
+  struct Ref {
+    Version version;
+    MemgestId memgest;
+  };
+
+  // Highest-version reference for the key, nullopt when absent.
+  std::optional<Ref> Highest(const Key& key) const;
+  // Version to assign to the next write of `key` (highest + 1, counting
+  // uncommitted versions — paper §5.2).
+  Version NextVersion(const Key& key) const;
+
+  void Add(const Key& key, Version version, MemgestId memgest);
+  void Remove(const Key& key, Version version);
+
+  // All references for a key, descending by version.
+  std::vector<Ref> Refs(const Key& key) const;
+
+  size_t key_count() const { return index_.size(); }
+  void Clear() { index_.clear(); }
+
+ private:
+  // Descending by version; lists stay short (GC removes old versions).
+  std::unordered_map<Key, std::vector<Ref>> index_;
+};
+
+}  // namespace ring
+
+#endif  // RING_SRC_RING_METADATA_H_

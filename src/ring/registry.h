@@ -1,0 +1,80 @@
+// Memgest registry: the cluster-wide catalogue of storage schemes and their
+// placement (paper §5.1).
+//
+// The leader decides placement at createMemgest time and replicates the
+// decision; in the simulation the catalogue object is shared by all nodes
+// (it models the replicated, eventually-identical state machine content)
+// while creation/deletion still flow through leader messages for timing.
+//
+// Placement rules:
+//  - Rep(r): replica ordinal t of shard j lives on slot (j + 1 + t) mod
+//    (s + d) — replicas may land on other coordinator slots, as in Fig. 3.
+//  - SRS(k,m): parity node j lives on redundant slot s + j.
+#ifndef RING_SRC_RING_REGISTRY_H_
+#define RING_SRC_RING_REGISTRY_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/ring/types.h"
+#include "src/srs/address_map.h"
+#include "src/srs/srs_code.h"
+
+namespace ring {
+
+struct MemgestInfo {
+  MemgestId id = 0;
+  MemgestDescriptor desc;
+  bool deleted = false;
+  // Erasure-coded memgests only.
+  std::unique_ptr<srs::SrsCode> code;
+  std::unique_ptr<srs::SrsAddressMap> map;
+
+  bool erasure_coded() const { return desc.kind == SchemeKind::kErasureCoded; }
+};
+
+class MemgestRegistry {
+ public:
+  MemgestRegistry(uint32_t s, uint32_t d, uint64_t stripe_unit = 4096,
+                  uint32_t groups = 1);
+
+  uint32_t s() const { return s_; }
+  uint32_t d() const { return d_; }
+  uint32_t groups() const { return groups_; }
+
+  // Validates the descriptor against the cluster shape (r <= s+d, m <= d,
+  // k <= s) and installs the memgest. Called on the leader.
+  Result<MemgestId> Create(const MemgestDescriptor& desc);
+  Status Delete(MemgestId id);
+
+  const MemgestInfo* Get(MemgestId id) const;
+
+  MemgestId default_id() const { return default_id_; }
+  Status SetDefault(MemgestId id);
+
+  // Replica slots for `shard` of a replicated memgest (r-1 slots), rotated
+  // by the shard's group (§5.4).
+  std::vector<uint32_t> ReplicaSlots(const MemgestInfo& info,
+                                     uint32_t shard) const;
+  // Parity slots of an erasure-coded memgest for one group (m slots,
+  // base layout s .. s+m-1 rotated by the group index).
+  std::vector<uint32_t> ParitySlots(const MemgestInfo& info,
+                                    uint32_t group) const;
+
+  size_t count() const;
+  void ForEach(const std::function<void(const MemgestInfo&)>& fn) const;
+
+ private:
+  uint32_t s_;
+  uint32_t d_;
+  uint32_t groups_;
+  uint64_t stripe_unit_;
+  MemgestId default_id_ = kDefaultMemgest;
+  std::vector<std::unique_ptr<MemgestInfo>> memgests_;
+};
+
+}  // namespace ring
+
+#endif  // RING_SRC_RING_REGISTRY_H_

@@ -1,0 +1,27 @@
+#include "src/ring/runtime.h"
+
+namespace ring {
+
+RingRuntime::RingRuntime(const RingOptions& options)
+    : options_(options),
+      simulator_(options.seed, options.params),
+      fabric_(&simulator_, options.s + options.d + options.spares +
+                               options.clients),
+      membership_(&fabric_, options.s, options.d,
+                  options.s + options.d + options.spares, options.groups),
+      registry_(options.s, options.d, options.stripe_unit, options.groups) {
+  for (net::NodeId id = 0; id < num_server_nodes(); ++id) {
+    servers_.push_back(std::make_unique<RingServer>(this, id));
+  }
+  membership_.SetOnConfig(
+      [this](net::NodeId node, const consensus::ClusterConfig& config) {
+        if (auto* srv = server(node)) {
+          srv->OnConfig(config);
+        }
+      });
+  if (options.start_membership) {
+    membership_.Start();
+  }
+}
+
+}  // namespace ring

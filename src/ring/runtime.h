@@ -1,0 +1,76 @@
+// RingRuntime: wiring of one simulated Ring deployment — simulator, fabric,
+// membership, memgest registry, and the server objects.
+#ifndef RING_SRC_RING_RUNTIME_H_
+#define RING_SRC_RING_RUNTIME_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/consensus/membership.h"
+#include "src/net/fabric.h"
+#include "src/ring/registry.h"
+#include "src/ring/server.h"
+#include "src/sim/simulator.h"
+
+namespace ring {
+
+struct RingOptions {
+  uint32_t s = 3;        // coordinator shards per memgest group
+  uint32_t d = 2;        // redundant slots
+  // Rotated memgest groups (paper §5.4): g > 1 spreads coordinator, replica
+  // and parity roles round-robin over the s+d slots, balancing CPU and
+  // memory. Key space partitions into groups*s shards.
+  uint32_t groups = 1;
+  uint32_t spares = 0;   // standby nodes
+  uint32_t clients = 1;  // client endpoints (fabric nodes after the servers)
+  uint64_t seed = 1;
+  sim::SimParams params = sim::kDefaultParams;
+  uint64_t stripe_unit = 4096;
+  bool start_membership = true;
+  // Remove superseded key versions after every commit (paper §5.2: "old
+  // versions are removed from the system periodically. It can be tuned to
+  // trigger removing ... after every committed put"). Disabling keeps every
+  // version (at a memory cost) — see bench/ablation_gc_policy.
+  bool gc_old_versions = true;
+  // Re-populate a promoted node's object data in the background after
+  // metadata recovery. When false, data is reconstructed on demand only
+  // (§5.3: "data recovery can be postponed and only recovered on demand,
+  // which is quite important for expensive erasure codes").
+  bool background_data_recovery = true;
+};
+
+class RingRuntime {
+ public:
+  explicit RingRuntime(const RingOptions& options);
+
+  const RingOptions& options() const { return options_; }
+  sim::Simulator& simulator() { return simulator_; }
+  net::Fabric& fabric() { return fabric_; }
+  consensus::MembershipGroup& membership() { return membership_; }
+  MemgestRegistry& registry() { return registry_; }
+
+  uint32_t num_server_nodes() const {
+    return options_.s + options_.d + options_.spares;
+  }
+  net::NodeId client_node(uint32_t i) const { return num_server_nodes() + i; }
+
+  // Server object for a server node id; nullptr for client ids.
+  RingServer* server(net::NodeId id) {
+    return id < servers_.size() ? servers_[id].get() : nullptr;
+  }
+
+  // The node currently acting as leader (membership's view).
+  net::NodeId leader_node() const { return membership_.CurrentLeader(); }
+
+ private:
+  RingOptions options_;
+  sim::Simulator simulator_;
+  net::Fabric fabric_;
+  consensus::MembershipGroup membership_;
+  MemgestRegistry registry_;
+  std::vector<std::unique_ptr<RingServer>> servers_;
+};
+
+}  // namespace ring
+
+#endif  // RING_SRC_RING_RUNTIME_H_

@@ -1,0 +1,989 @@
+#include "src/ring/server.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "src/common/hash.h"
+#include "src/common/logging.h"
+#include "src/gf/gf256.h"
+#include "src/ring/runtime.h"
+
+namespace ring {
+namespace {
+
+// Fixed header bytes of a client request / peer message on the wire.
+constexpr uint64_t kHeaderBytes = 64;
+constexpr uint64_t kAckBytes = 48;
+constexpr uint64_t kReplyBytes = 48;
+constexpr uint64_t kLogRecordBytes = 32;
+
+uint64_t ReqBytes(size_t key_len, size_t payload) {
+  return kHeaderBytes + key_len + payload;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// ShardStore / ParityStore
+
+std::pair<uint64_t, uint32_t> RingServer::ShardStore::Allocate(uint32_t len) {
+  // First fit over freed regions: reuse keeps the address space compact and
+  // makes erasure-coded deltas cover previously-scrubbed content for free.
+  for (size_t i = 0; i < free_list.size(); ++i) {
+    if (free_list[i].second >= len) {
+      const auto region = free_list[i];
+      free_list.erase(free_list.begin() + static_cast<long>(i));
+      return region;
+    }
+  }
+  const uint64_t addr = next_addr;
+  next_addr += len;
+  EnsureSize(next_addr);
+  return {addr, len};
+}
+
+void RingServer::ShardStore::EnsureSize(uint64_t size) {
+  if (heap.size() < size) {
+    heap.resize(size, 0);
+  }
+}
+
+void RingServer::ShardStore::Write(uint64_t addr, ByteSpan bytes) {
+  EnsureSize(addr + bytes.size());
+  std::copy(bytes.begin(), bytes.end(), heap.begin() + addr);
+}
+
+ByteSpan RingServer::ShardStore::Read(uint64_t addr, uint32_t len) const {
+  assert(addr + len <= heap.size());
+  return ByteSpan(heap.data() + addr, len);
+}
+
+void RingServer::ParityStore::EnsureSize(uint64_t size) {
+  if (mem.size() < size) {
+    mem.resize(size, 0);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Construction / small helpers
+
+RingServer::RingServer(RingRuntime* runtime, net::NodeId id)
+    : rt_(runtime), id_(id), config_(runtime->membership().ConfigView(id)) {
+  is_spare_ = (config_.slot_of_node[id_] == consensus::kSpareSlot);
+  serving_ = !is_spare_;
+}
+
+sim::CpuWorker& RingServer::cpu() { return rt_->fabric().cpu(id_); }
+
+bool RingServer::IsAlive() const { return rt_->fabric().alive(id_); }
+
+bool RingServer::Coordinates(uint32_t shard) const {
+  return serving_ && config_.CoordinatesShard(id_, shard);
+}
+
+RingServer::MemgestState& RingServer::StateOf(const MemgestInfo& info) {
+  MemgestState& state = memgests_[info.id];
+  state.info = &info;
+  return state;
+}
+
+RingServer::ShardStore& RingServer::StoreOf(MemgestState& state,
+                                            uint32_t shard) {
+  return state.stores[shard];
+}
+
+void RingServer::ReplyToClient(net::NodeId client, uint64_t bytes,
+                               std::function<void()> fn) {
+  rt_->fabric().Send(id_, client, bytes, std::move(fn));
+}
+
+void RingServer::SendToSlot(uint32_t slot_index, uint64_t bytes,
+                            std::function<void()> fn) {
+  rt_->fabric().Send(id_, config_.node_of_slot[slot_index], bytes,
+                     std::move(fn));
+}
+
+// ---------------------------------------------------------------------------
+// Write path (paper §5.2-5.3)
+
+void RingServer::HandlePut(PutRequest req) {
+  if (!IsAlive()) {
+    return;
+  }
+  const auto& p = rt_->simulator().params();
+  const uint32_t len =
+      req.value ? static_cast<uint32_t>(req.value->size()) : 0;
+  const MemgestId gid = req.memgest == kDefaultMemgest
+                            ? rt_->registry().default_id()
+                            : req.memgest;
+  const MemgestInfo* info = rt_->registry().Get(gid);
+  uint64_t cost = p.server_base_ns +
+                  static_cast<uint64_t>(p.mem_byte_ns * len) + p.post_send_ns;
+  if (info != nullptr && info->erasure_coded()) {
+    cost += static_cast<uint64_t>(p.gf_byte_ns * len) +
+            info->desc.m * p.post_send_ns;
+  } else if (info != nullptr) {
+    cost += (info->desc.r - 1) * p.post_send_ns;
+  }
+  cpu().Execute(cost, [this, req = std::move(req), info]() mutable {
+    if (!IsAlive() || !serving_) {
+      return;
+    }
+    const uint32_t shard = KeyShard(req.key, config_.num_shards());
+    if (!Coordinates(shard)) {
+      return;  // not responsible: client will retry / multicast
+    }
+    if (req.retry) {
+      const auto id = std::make_pair(req.client, req.req_id);
+      if (retried_seen_.count(id) > 0) {
+        return;
+      }
+      retried_seen_[id] = true;
+    }
+    if (info == nullptr) {
+      ReplyToClient(req.client, kReplyBytes, [reply = req.reply] {
+        reply(InvalidArgumentError("no such memgest"), 0);
+      });
+      return;
+    }
+    ++counters_.puts;
+    const Version version = volatile_index_.NextVersion(req.key);
+    StartWrite(*info, shard, req.key, version, req.value, false,
+               [this, client = req.client, reply = req.reply,
+                version](Status s) {
+                 ReplyToClient(client, kReplyBytes,
+                               [reply, s, version] { reply(s, version); });
+               });
+  });
+}
+
+void RingServer::StartWrite(const MemgestInfo& info, uint32_t shard,
+                            const Key& key, Version version,
+                            std::shared_ptr<Buffer> value, bool tombstone,
+                            std::function<void(Status)> on_commit) {
+  MemgestState& state = StateOf(info);
+  ShardStore& store = StoreOf(state, shard);
+  const uint32_t len = value ? static_cast<uint32_t>(value->size()) : 0;
+  const auto [addr, region_len] = store.Allocate(len);
+
+  // Erasure coding: the parity delta is old-region-content XOR new-value,
+  // taken before the heap write (paper §3.2 "Update").
+  std::shared_ptr<Buffer> delta;
+  if (info.erasure_coded() && len > 0) {
+    store.EnsureSize(addr + len);
+    delta = std::make_shared<Buffer>(len);
+    const ByteSpan old = store.Read(addr, len);
+    for (uint32_t i = 0; i < len; ++i) {
+      (*delta)[i] = old[i] ^ (*value)[i];
+    }
+  }
+  if (len > 0) {
+    store.Write(addr, *value);
+  }
+  ++store.write_seq;
+  ++state.log_len;
+
+  // Write-ahead metadata (paper §5.2): the entry exists before it commits.
+  MetaEntry entry;
+  entry.version = version;
+  entry.addr = addr;
+  entry.len = len;
+  entry.region_len = region_len;
+  entry.tombstone = tombstone;
+  entry.committed = false;
+  entry.data_present = true;
+  MetaEntry& e = store.meta.Insert(key, std::move(entry));
+  volatile_index_.Add(key, version, info.id);
+  e.waiters.push_back([on_commit] { on_commit(OkStatus()); });
+
+  if (info.desc.kind == SchemeKind::kReplicated) {
+    if (info.desc.unreliable()) {
+      // Rep(1): committed immediately — no replication.
+      CommitEntry(info, shard, key, version);
+      return;
+    }
+    const auto slots = rt_->registry().ReplicaSlots(info, shard);
+    e.acks_pending = (1u << slots.size()) - 1;
+    // Quorum commit: majority of r counting the coordinator itself; the
+    // fully-synchronous variant (§3.1) waits for every replica.
+    e.acks_needed = info.desc.full_sync
+                        ? static_cast<uint32_t>(slots.size())
+                        : info.desc.r / 2;
+    for (uint32_t ordinal = 0; ordinal < slots.size(); ++ordinal) {
+      ReplicaAppend msg;
+      msg.memgest = info.id;
+      msg.shard = shard;
+      msg.key = key;
+      msg.version = version;
+      msg.addr = addr;
+      msg.len = len;
+      msg.region_len = region_len;
+      msg.tombstone = tombstone;
+      msg.bytes = value;
+      msg.ordinal = ordinal;
+      msg.from = id_;
+      auto* peer = rt_->server(config_.node_of_slot[slots[ordinal]]);
+      SendToSlot(slots[ordinal], ReqBytes(key.size(), len),
+                 [peer, msg = std::move(msg)]() mutable {
+                   peer->HandleReplicaAppend(std::move(msg));
+                 });
+    }
+    return;
+  }
+
+  // Erasure-coded: every parity node must apply the delta before commit.
+  const auto& p = rt_->simulator().params();
+  const uint32_t group = config_.GroupOfShard(shard);
+  const auto parity_slots = rt_->registry().ParitySlots(info, group);
+  e.acks_pending = (1u << parity_slots.size()) - 1;
+  e.acks_needed = static_cast<uint32_t>(parity_slots.size());
+  if (parity_slots.empty()) {
+    CommitEntry(info, shard, key, version);
+    return;
+  }
+  for (uint32_t j = 0; j < parity_slots.size(); ++j) {
+    ParityUpdate msg;
+    msg.memgest = info.id;
+    msg.shard = shard;
+    msg.key = key;
+    msg.version = version;
+    msg.addr = addr;
+    msg.len = len;
+    msg.region_len = region_len;
+    msg.tombstone = tombstone;
+    msg.delta = delta;
+    msg.parity_index = j;
+    msg.from = id_;
+    msg.seq = store.write_seq;
+    auto* peer = rt_->server(config_.node_of_slot[parity_slots[j]]);
+    // Parity updates carry replicated metadata on top of the payload (§6.1).
+    SendToSlot(parity_slots[j],
+               ReqBytes(key.size(), len) + p.parity_update_metadata_bytes,
+               [peer, msg = std::move(msg)]() mutable {
+                 peer->HandleParityUpdate(std::move(msg));
+               });
+  }
+}
+
+void RingServer::HandleReplicaAppend(ReplicaAppend msg) {
+  if (!IsAlive()) {
+    return;
+  }
+  const auto& p = rt_->simulator().params();
+  const uint64_t cost = p.replica_base_ns +
+                        static_cast<uint64_t>(p.mem_byte_ns * msg.len) +
+                        p.post_send_ns;
+  cpu().Execute(cost, [this, msg = std::move(msg)]() mutable {
+    if (!IsAlive()) {
+      return;
+    }
+    const MemgestInfo* info = rt_->registry().Get(msg.memgest);
+    if (info == nullptr) {
+      return;
+    }
+    ++counters_.replica_appends;
+    MemgestState& state = StateOf(*info);
+    ShardStore& store = StoreOf(state, msg.shard);
+    if (msg.len > 0 && msg.bytes) {
+      store.Write(msg.addr, *msg.bytes);
+    }
+    ++state.log_len;
+    MetaEntry entry;
+    entry.version = msg.version;
+    entry.addr = msg.addr;
+    entry.len = msg.len;
+    entry.region_len = msg.region_len;
+    entry.tombstone = msg.tombstone;
+    entry.committed = false;  // commit state tracked by the coordinator
+    entry.data_present = true;
+    store.meta.Insert(msg.key, std::move(entry));
+
+    Ack ack{msg.memgest, msg.shard, msg.key, msg.version, msg.ordinal};
+    auto* peer = rt_->server(msg.from);
+    rt_->fabric().Write(id_, msg.from, kAckBytes,
+                        [peer, ack] { peer->ApplyAck(ack); }, nullptr);
+  });
+}
+
+void RingServer::HandleParityUpdate(ParityUpdate msg) {
+  if (!IsAlive()) {
+    return;
+  }
+  const auto& p = rt_->simulator().params();
+  const uint64_t cost = p.parity_base_ns +
+                        static_cast<uint64_t>(p.gf_byte_ns * msg.len) +
+                        p.post_send_ns;
+  cpu().Execute(cost, [this, msg = std::move(msg)]() mutable {
+    if (!IsAlive()) {
+      return;
+    }
+    const MemgestInfo* info = rt_->registry().Get(msg.memgest);
+    if (info == nullptr) {
+      return;
+    }
+    MemgestState& state = StateOf(*info);
+    const uint32_t group = config_.GroupOfShard(msg.shard);
+    auto [pit, inserted] = state.parity.try_emplace(group);
+    ParityStore& parity = pit->second;
+    if (inserted) {
+      parity.parity_index = msg.parity_index;
+    }
+    if (!parity.rebuilt) {
+      // Freshly promoted parity: queue until the buffer is reconstructed.
+      parity.queued.push_back(std::move(msg));
+      return;
+    }
+    ++counters_.parity_updates;
+    ApplyParityBytes(*info, msg);
+    ++state.log_len;
+    MetaEntry entry;
+    entry.version = msg.version;
+    entry.addr = msg.addr;
+    entry.len = msg.len;
+    entry.region_len = msg.region_len;
+    entry.tombstone = msg.tombstone;
+    entry.committed = false;
+    entry.data_present = true;
+    parity.shard_meta[msg.shard].Insert(msg.key, std::move(entry));
+
+    Ack ack{msg.memgest, msg.shard, msg.key, msg.version, msg.parity_index};
+    auto* peer = rt_->server(msg.from);
+    rt_->fabric().Write(id_, msg.from, kAckBytes,
+                        [peer, ack] { peer->ApplyAck(ack); }, nullptr);
+  });
+}
+
+void RingServer::ApplyParityBytes(const MemgestInfo& info,
+                                  const ParityUpdate& msg) {
+  if (msg.len == 0 || !msg.delta) {
+    return;
+  }
+  const uint32_t group = config_.GroupOfShard(msg.shard);
+  ParityStore& parity = StateOf(info).parity.at(group);
+  const auto segments =
+      info.map->MapDataRange(msg.shard % config_.s, msg.addr, msg.len);
+  uint64_t max_extent = 0;
+  for (const auto& seg : segments) {
+    max_extent = std::max(max_extent, seg.parity_offset + seg.length);
+  }
+  parity.EnsureSize(max_extent);
+  uint64_t consumed = 0;
+  for (const auto& seg : segments) {
+    gf::MulAddRegion(
+        info.code->rs().Coefficient(parity.parity_index, seg.rs_block),
+        ByteSpan(msg.delta->data() + consumed, seg.length),
+        MutableByteSpan(parity.mem.data() + seg.parity_offset, seg.length));
+    consumed += seg.length;
+  }
+}
+
+void RingServer::ApplyAck(const Ack& msg) {
+  if (!IsAlive()) {
+    return;
+  }
+  {
+    const MemgestInfo* info = rt_->registry().Get(msg.memgest);
+    if (info == nullptr) {
+      return;
+    }
+    MemgestState& state = StateOf(*info);
+    ShardStore& store = StoreOf(state, msg.shard);
+    MetaEntry* entry = store.meta.Find(msg.key, msg.version);
+    if (entry == nullptr || entry->committed) {
+      return;  // already committed (late ack) or GC'd
+    }
+    const uint32_t bit = 1u << msg.ordinal;
+    if ((entry->acks_pending & bit) == 0) {
+      return;  // duplicate
+    }
+    entry->acks_pending &= ~bit;
+    if (entry->acks_needed > 0) {
+      --entry->acks_needed;
+    }
+    if (entry->acks_needed == 0) {
+      CommitEntry(*info, msg.shard, msg.key, msg.version);
+    }
+  }
+}
+
+void RingServer::CommitEntry(const MemgestInfo& info, uint32_t shard,
+                             const Key& key, Version version) {
+  MemgestState& state = StateOf(info);
+  ShardStore& store = StoreOf(state, shard);
+  MetaEntry* entry = store.meta.Find(key, version);
+  if (entry == nullptr || entry->committed) {
+    return;
+  }
+  entry->committed = true;
+  ++counters_.commits;
+  auto waiters = std::move(entry->waiters);
+  entry->waiters.clear();
+  // Remove superseded versions: "one instance of the key of a certain
+  // version exists across all memgests" (§5.2); old versions are GC'd after
+  // every committed put in the default configuration.
+  if (rt_->options().gc_old_versions) {
+    GcOldVersions(key, version);
+  }
+  for (auto& waiter : waiters) {
+    waiter();
+  }
+}
+
+void RingServer::GcOldVersions(const Key& key, Version below) {
+  const uint32_t shard = KeyShard(key, config_.num_shards());
+  for (const auto& ref : volatile_index_.Refs(key)) {
+    if (ref.version >= below) {
+      continue;
+    }
+    const MemgestInfo* info = rt_->registry().Get(ref.memgest);
+    if (info == nullptr) {
+      volatile_index_.Remove(key, ref.version);
+      continue;
+    }
+    MemgestState& state = StateOf(*info);
+    ShardStore& store = StoreOf(state, shard);
+    MetaEntry* entry = store.meta.Find(key, ref.version);
+    if (entry != nullptr) {
+      if (entry->region_len > 0) {
+        store.free_list.emplace_back(entry->addr, entry->region_len);
+      }
+      store.meta.Erase(key, ref.version);
+    }
+    volatile_index_.Remove(key, ref.version);
+    // Asynchronous metadata GC on redundancy nodes.
+    GcNotice notice{ref.memgest, shard, key, ref.version};
+    if (info->desc.kind == SchemeKind::kReplicated) {
+      for (const uint32_t slot : rt_->registry().ReplicaSlots(*info, shard)) {
+        auto* peer = rt_->server(config_.node_of_slot[slot]);
+        rt_->fabric().Write(id_, config_.node_of_slot[slot], kAckBytes,
+                            [peer, notice] { peer->HandleGcNotice(notice); },
+                            nullptr);
+      }
+    } else {
+      const uint32_t group = config_.GroupOfShard(shard);
+      for (const uint32_t slot : rt_->registry().ParitySlots(*info, group)) {
+        auto* peer = rt_->server(config_.node_of_slot[slot]);
+        rt_->fabric().Write(id_, config_.node_of_slot[slot], kAckBytes,
+                            [peer, notice] { peer->HandleGcNotice(notice); },
+                            nullptr);
+      }
+    }
+  }
+}
+
+void RingServer::HandleGcNotice(GcNotice msg) {
+  // Delivered as a one-sided write into a GC ring the redundancy node
+  // drains; the (tiny) metadata erase is not separately charged.
+  if (!IsAlive()) {
+    return;
+  }
+  {
+    auto it = memgests_.find(msg.memgest);
+    if (it == memgests_.end()) {
+      return;
+    }
+    MemgestState& state = it->second;
+    if (auto sit = state.stores.find(msg.shard); sit != state.stores.end()) {
+      sit->second.meta.Erase(msg.key, msg.version);
+    }
+    const uint32_t group = config_.GroupOfShard(msg.shard);
+    if (auto git = state.parity.find(group); git != state.parity.end()) {
+      auto pit = git->second.shard_meta.find(msg.shard);
+      if (pit != git->second.shard_meta.end()) {
+        pit->second.Erase(msg.key, msg.version);
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Read path (paper §5.2, Fig. 5)
+
+void RingServer::HandleGet(GetRequest req) {
+  if (!IsAlive()) {
+    return;
+  }
+  cpu().Execute(rt_->simulator().params().server_base_ns,
+                [this, req = std::move(req)]() mutable {
+    if (!IsAlive() || !serving_) {
+      return;
+    }
+    const uint32_t shard = KeyShard(req.key, config_.num_shards());
+    if (!Coordinates(shard)) {
+      return;
+    }
+    if (req.retry) {
+      const auto id = std::make_pair(req.client, req.req_id);
+      if (retried_seen_.count(id) > 0) {
+        return;
+      }
+      retried_seen_[id] = true;
+    }
+    ++counters_.gets;
+    const auto ref = volatile_index_.Highest(req.key);
+    if (!ref.has_value()) {
+      ReplyToClient(req.client, kReplyBytes, [reply = req.reply] {
+        reply(GetResult{NotFoundError("no such key"), 0, nullptr});
+      });
+      return;
+    }
+    const MemgestInfo* info = rt_->registry().Get(ref->memgest);
+    if (info == nullptr) {
+      ReplyToClient(req.client, kReplyBytes, [reply = req.reply] {
+        reply(GetResult{InternalError("memgest vanished"), 0, nullptr});
+      });
+      return;
+    }
+    MetaEntry* entry =
+        StoreOf(StateOf(*info), shard).meta.Find(req.key, ref->version);
+    // Copy the key before handing `req` off: DeliverGet moves the request
+    // into closures, which would gut a reference into req.key.
+    const Key key = req.key;
+    DeliverGet(*info, shard, key, entry, std::move(req));
+  });
+}
+
+void RingServer::DeliverGet(const MemgestInfo& info, uint32_t shard,
+                            const Key& key, MetaEntry* entry,
+                            GetRequest req) {
+  if (entry == nullptr) {
+    ReplyToClient(req.client, kReplyBytes, [reply = req.reply] {
+      reply(GetResult{InternalError("metadata missing"), 0, nullptr});
+    });
+    return;
+  }
+  if (entry->tombstone) {
+    ReplyToClient(req.client, kReplyBytes, [reply = req.reply] {
+      reply(GetResult{NotFoundError("deleted"), 0, nullptr});
+    });
+    return;
+  }
+  if (!entry->committed) {
+    // Fig. 5, client D: the reply is postponed until the version commits.
+    ++counters_.deferred_gets;
+    const Version version = entry->version;
+    const MemgestInfo* info_ptr = &info;
+    entry->waiters.push_back(
+        [this, info_ptr, shard, key, version, req = std::move(req)]() mutable {
+          MetaEntry* e =
+              StoreOf(StateOf(*info_ptr), shard).meta.Find(key, version);
+          DeliverGet(*info_ptr, shard, key, e, std::move(req));
+        });
+    return;
+  }
+  const Version version = entry->version;
+  const Key key_copy = key;  // `key` may alias req.key, moved below
+  EnsureDataPresent(
+      info, shard, key_copy, version,
+      [this, info_ptr = &info, shard, key = key_copy, version,
+       req = std::move(req)](Status s) mutable {
+        if (!s.ok()) {
+          ReplyToClient(req.client, kReplyBytes,
+                        [reply = req.reply, s] {
+                          reply(GetResult{s, 0, nullptr});
+                        });
+          return;
+        }
+        MetaEntry* e =
+            StoreOf(StateOf(*info_ptr), shard).meta.Find(key, version);
+        if (e == nullptr) {
+          ReplyToClient(req.client, kReplyBytes, [reply = req.reply] {
+            reply(GetResult{NotFoundError("gone"), 0, nullptr});
+          });
+          return;
+        }
+        const auto& p = rt_->simulator().params();
+        const uint64_t cost =
+            static_cast<uint64_t>(p.mem_byte_ns * e->len) + p.post_send_ns;
+        const uint64_t addr = e->addr;
+        const uint32_t len = e->len;
+        cpu().Execute(cost, [this, info_ptr, shard, addr, len, version,
+                             req = std::move(req)]() mutable {
+          if (!IsAlive()) {
+            return;
+          }
+          ShardStore& store = StoreOf(StateOf(*info_ptr), shard);
+          auto data = std::make_shared<Buffer>();
+          const ByteSpan bytes = store.Read(addr, len);
+          data->assign(bytes.begin(), bytes.end());
+          ReplyToClient(req.client, kReplyBytes + len,
+                        [reply = req.reply, data, version] {
+                          reply(GetResult{OkStatus(), version, data});
+                        });
+        });
+      });
+}
+
+// ---------------------------------------------------------------------------
+// Move / delete (paper §5.2, §6.2)
+
+void RingServer::HandleMove(MoveRequest req) {
+  if (!IsAlive()) {
+    return;
+  }
+  cpu().Execute(rt_->simulator().params().server_base_ns,
+                [this, req = std::move(req)]() mutable {
+    if (!IsAlive() || !serving_) {
+      return;
+    }
+    const uint32_t shard = KeyShard(req.key, config_.num_shards());
+    if (!Coordinates(shard)) {
+      return;
+    }
+    if (req.retry) {
+      const auto id = std::make_pair(req.client, req.req_id);
+      if (retried_seen_.count(id) > 0) {
+        return;
+      }
+      retried_seen_[id] = true;
+    }
+    ++counters_.moves;
+    const auto ref = volatile_index_.Highest(req.key);
+    if (!ref.has_value()) {
+      ReplyToClient(req.client, kReplyBytes, [reply = req.reply] {
+        reply(NotFoundError("no such key"), 0);
+      });
+      return;
+    }
+    const MemgestInfo* dst = rt_->registry().Get(req.dst);
+    if (dst == nullptr) {
+      ReplyToClient(req.client, kReplyBytes, [reply = req.reply] {
+        reply(InvalidArgumentError("no such memgest"), 0);
+      });
+      return;
+    }
+    const MemgestInfo* src = rt_->registry().Get(ref->memgest);
+    if (src == nullptr) {
+      ReplyToClient(req.client, kReplyBytes, [reply = req.reply] {
+        reply(InternalError("source memgest vanished"), 0);
+      });
+      return;
+    }
+    MetaEntry* entry =
+        StoreOf(StateOf(*src), shard).meta.Find(req.key, ref->version);
+    if (entry == nullptr || entry->tombstone) {
+      ReplyToClient(req.client, kReplyBytes, [reply = req.reply] {
+        reply(NotFoundError("deleted"), 0);
+      });
+      return;
+    }
+    if (!entry->committed) {
+      // "The move request will also be postponed if the requested object is
+      // not durable" (§5.2).
+      entry->waiters.push_back([this, req]() mutable { HandleMove(req); });
+      return;
+    }
+    const Version src_version = entry->version;
+    const Key key_copy = req.key;  // req is moved into the continuation
+    EnsureDataPresent(
+        *src, shard, key_copy, src_version,
+        [this, src, dst, shard, src_version,
+         req = std::move(req)](Status s) mutable {
+          if (!s.ok()) {
+            ReplyToClient(req.client, kReplyBytes,
+                          [reply = req.reply, s] { reply(s, 0); });
+            return;
+          }
+          MetaEntry* e =
+              StoreOf(StateOf(*src), shard).meta.Find(req.key, src_version);
+          if (e == nullptr) {
+            ReplyToClient(req.client, kReplyBytes, [reply = req.reply] {
+              reply(NotFoundError("gone"), 0);
+            });
+            return;
+          }
+          // Local read + re-encode into the destination memgest. All data is
+          // local thanks to the SRS shared key-to-node map — no distributed
+          // transaction (§5.2).
+          const auto& p = rt_->simulator().params();
+          uint64_t cost = p.server_base_ns +
+                          static_cast<uint64_t>(2 * p.mem_byte_ns * e->len);
+          if (dst->erasure_coded()) {
+            cost += static_cast<uint64_t>(p.gf_byte_ns * e->len) +
+                    dst->desc.m * p.post_send_ns;
+          } else {
+            cost += (dst->desc.r - 1) * p.post_send_ns;
+          }
+          const uint64_t addr = e->addr;
+          const uint32_t len = e->len;
+          cpu().Execute(cost, [this, src, dst, shard, addr, len,
+                               req = std::move(req)]() mutable {
+            if (!IsAlive() || !serving_) {
+              return;
+            }
+            ShardStore& store = StoreOf(StateOf(*src), shard);
+            auto value = std::make_shared<Buffer>();
+            const ByteSpan bytes = store.Read(addr, len);
+            value->assign(bytes.begin(), bytes.end());
+            const Version version = volatile_index_.NextVersion(req.key);
+            StartWrite(*dst, shard, req.key, version, value, false,
+                       [this, client = req.client, reply = req.reply,
+                        version](Status st) {
+                         ReplyToClient(client, kReplyBytes, [reply, st,
+                                                             version] {
+                           reply(st, version);
+                         });
+                       });
+          });
+        });
+  });
+}
+
+void RingServer::HandleDelete(DeleteRequest req) {
+  if (!IsAlive()) {
+    return;
+  }
+  cpu().Execute(rt_->simulator().params().server_base_ns,
+                [this, req = std::move(req)]() mutable {
+    if (!IsAlive() || !serving_) {
+      return;
+    }
+    const uint32_t shard = KeyShard(req.key, config_.num_shards());
+    if (!Coordinates(shard)) {
+      return;
+    }
+    ++counters_.deletes;
+    const auto ref = volatile_index_.Highest(req.key);
+    if (!ref.has_value()) {
+      ReplyToClient(req.client, kReplyBytes, [reply = req.reply] {
+        reply(NotFoundError("no such key"));
+      });
+      return;
+    }
+    const MemgestInfo* info = rt_->registry().Get(ref->memgest);
+    if (info == nullptr) {
+      ReplyToClient(req.client, kReplyBytes,
+                    [reply = req.reply] { reply(OkStatus()); });
+      return;
+    }
+    // A delete is a replicated tombstone in the memgest of the current
+    // highest version; commit then garbage-collects every older version.
+    const Version version = volatile_index_.NextVersion(req.key);
+    StartWrite(*info, shard, req.key, version, nullptr, true,
+               [this, client = req.client, reply = req.reply](Status s) {
+                 ReplyToClient(client, kReplyBytes,
+                               [reply, s] { reply(s); });
+               });
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Memgest management (paper §5, API)
+
+void RingServer::HandleAdmin(AdminRequest req) {
+  if (!IsAlive()) {
+    return;
+  }
+  cpu().Execute(rt_->simulator().params().server_base_ns,
+                [this, req = std::move(req)]() mutable {
+    if (!IsAlive() || config_.leader != id_) {
+      return;  // only the leader manages memgests (§5.1)
+    }
+    Result<MemgestId> result = InternalError("unhandled admin op");
+    switch (req.op) {
+      case AdminRequest::Op::kGetMemgestDescriptor: {
+        // Read-only: answer from the replicated catalogue, no quorum needed.
+        const MemgestInfo* info = rt_->registry().Get(req.id);
+        Result<MemgestDescriptor> out =
+            info != nullptr ? Result<MemgestDescriptor>(info->desc)
+                            : Result<MemgestDescriptor>(
+                                  NotFoundError("no such memgest"));
+        ReplyToClient(req.client, kReplyBytes,
+                      [reply = req.descriptor_reply, out] { reply(out); });
+        return;
+      }
+      case AdminRequest::Op::kCreateMemgest:
+        result = rt_->registry().Create(req.desc);
+        break;
+      case AdminRequest::Op::kDeleteMemgest: {
+        Status s = rt_->registry().Delete(req.id);
+        result = s.ok() ? Result<MemgestId>(req.id) : Result<MemgestId>(s);
+        break;
+      }
+      case AdminRequest::Op::kSetDefaultMemgest: {
+        Status s = rt_->registry().SetDefault(req.id);
+        result = s.ok() ? Result<MemgestId>(req.id) : Result<MemgestId>(s);
+        break;
+      }
+    }
+    if (!result.ok()) {
+      ReplyToClient(req.client, kReplyBytes,
+                    [reply = req.reply, result] { reply(result); });
+      return;
+    }
+    // Replicate the decision to all live members; reply after a majority
+    // acknowledges (replicated configuration log, §5.1/§5.5).
+    const uint32_t members = rt_->membership().num_members();
+    uint32_t live = 0;
+    for (net::NodeId n = 0; n < members; ++n) {
+      if (!config_.failed[n]) {
+        ++live;
+      }
+    }
+    auto acks = std::make_shared<uint32_t>(1);  // self
+    auto replied = std::make_shared<bool>(false);
+    const uint32_t majority = live / 2 + 1;
+    const bool is_delete = req.op == AdminRequest::Op::kDeleteMemgest;
+    const MemgestId affected = is_delete ? req.id : *result;
+    auto maybe_reply = [this, acks, replied, majority, req, result] {
+      if (*replied || *acks < majority) {
+        return;
+      }
+      *replied = true;
+      ReplyToClient(req.client, kReplyBytes,
+                    [reply = req.reply, result] { reply(result); });
+    };
+    for (net::NodeId n = 0; n < members; ++n) {
+      if (n == id_ || config_.failed[n]) {
+        continue;
+      }
+      auto* peer = rt_->server(n);
+      rt_->fabric().Send(
+          id_, n, 192, [this, peer, is_delete, affected, acks, maybe_reply] {
+            if (is_delete) {
+              peer->ApplyMemgestDelete(affected);
+            }
+            // Ack back to the leader.
+            rt_->fabric().Send(peer->id(), id_, kAckBytes, [acks, maybe_reply] {
+              ++*acks;
+              maybe_reply();
+            });
+          });
+    }
+    maybe_reply();  // single-node clusters
+  });
+}
+
+void RingServer::ApplyMemgestDelete(MemgestId memgest) {
+  auto it = memgests_.find(memgest);
+  if (it == memgests_.end()) {
+    return;
+  }
+  // Remove volatile references to keys whose versions lived there.
+  for (auto& [shard, store] : it->second.stores) {
+    if (Coordinates(shard)) {
+      store.meta.ForEach([this](const Key& key, const MetaEntry& entry) {
+        volatile_index_.Remove(key, entry.version);
+      });
+    }
+  }
+  memgests_.erase(it);
+}
+
+// ---------------------------------------------------------------------------
+// Introspection
+
+uint64_t RingServer::TotalMetadataBytes() const {
+  uint64_t total = 0;
+  for (const auto& [id, state] : memgests_) {
+    for (const auto& [shard, store] : state.stores) {
+      total += store.meta.ApproxBytes();
+    }
+    for (const auto& [group, parity] : state.parity) {
+      for (const auto& [shard, meta] : parity.shard_meta) {
+        total += meta.ApproxBytes();
+      }
+    }
+  }
+  return total;
+}
+
+uint64_t RingServer::StoredBytes() const {
+  uint64_t total = 0;
+  for (const auto& [id, state] : memgests_) {
+    for (const auto& [shard, store] : state.stores) {
+      total += store.heap.size();
+    }
+    for (const auto& [group, parity] : state.parity) {
+      total += parity.mem.size();
+    }
+  }
+  return total;
+}
+
+uint64_t RingServer::LiveBytes() const {
+  uint64_t total = 0;
+  for (const auto& [id, state] : memgests_) {
+    for (const auto& [shard, store] : state.stores) {
+      store.meta.ForEach([&total](const Key&, const MetaEntry& entry) {
+        total += entry.region_len;
+      });
+    }
+    if (state.info != nullptr && state.info->erasure_coded()) {
+      const uint32_t k = state.info->desc.k;
+      for (const auto& [group, parity] : state.parity) {
+        for (const auto& [shard, meta] : parity.shard_meta) {
+          meta.ForEach([&total, k](const Key&, const MetaEntry& entry) {
+            total += entry.region_len / k;
+          });
+        }
+      }
+    }
+  }
+  return total;
+}
+
+uint64_t RingServer::HeapExtent(MemgestId memgest, uint32_t shard) const {
+  auto it = memgests_.find(memgest);
+  if (it == memgests_.end()) {
+    return 0;
+  }
+  auto sit = it->second.stores.find(shard);
+  return sit == it->second.stores.end() ? 0 : sit->second.next_addr;
+}
+
+uint64_t RingServer::WriteSeq(MemgestId memgest, uint32_t shard) const {
+  auto it = memgests_.find(memgest);
+  if (it == memgests_.end()) {
+    return 0;
+  }
+  auto sit = it->second.stores.find(shard);
+  return sit == it->second.stores.end() ? 0 : sit->second.write_seq;
+}
+
+Buffer RingServer::ReadRawForRecovery(MemgestId memgest, uint32_t shard,
+                                      uint64_t addr, uint32_t len) {
+  Buffer out(len, 0);
+  auto it = memgests_.find(memgest);
+  if (it == memgests_.end()) {
+    return out;
+  }
+  auto sit = it->second.stores.find(shard);
+  if (sit == it->second.stores.end()) {
+    return out;
+  }
+  const Buffer& heap = sit->second.heap;
+  for (uint32_t i = 0; i < len && addr + i < heap.size(); ++i) {
+    out[i] = heap[addr + i];
+  }
+  return out;
+}
+
+Buffer RingServer::ReadRawParity(MemgestId memgest, uint32_t group,
+                                 uint64_t addr, uint32_t len) {
+  Buffer out(len, 0);
+  auto it = memgests_.find(memgest);
+  if (it == memgests_.end()) {
+    return out;
+  }
+  auto git = it->second.parity.find(group);
+  if (git == it->second.parity.end()) {
+    return out;
+  }
+  const Buffer& mem = git->second.mem;
+  for (uint32_t i = 0; i < len && addr + i < mem.size(); ++i) {
+    out[i] = mem[addr + i];
+  }
+  return out;
+}
+
+bool RingServer::ParityUsable(MemgestId memgest, uint32_t group) const {
+  auto it = memgests_.find(memgest);
+  if (it == memgests_.end()) {
+    return false;
+  }
+  auto git = it->second.parity.find(group);
+  return git != it->second.parity.end() && git->second.rebuilt;
+}
+
+}  // namespace ring

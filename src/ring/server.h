@@ -1,0 +1,348 @@
+// RingServer: one node of the Ring KVS (paper §4-§5).
+//
+// Each server plays up to three roles per memgest, derived from its slot in
+// the cluster configuration:
+//  - coordinator of its key shard (slot < s): owns the shard's virtual
+//    address space, the volatile hashtable and the write path,
+//  - replica for other shards of replicated memgests,
+//  - parity node of erasure-coded memgests (redundant slots).
+//
+// All state mutations run as discrete-event work items on the node's
+// single-threaded CPU model; messages travel over the simulated RDMA fabric.
+#ifndef RING_SRC_RING_SERVER_H_
+#define RING_SRC_RING_SERVER_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "src/common/bytes.h"
+#include "src/common/result.h"
+#include "src/consensus/config.h"
+#include "src/net/fabric.h"
+#include "src/ring/metadata.h"
+#include "src/ring/registry.h"
+#include "src/ring/types.h"
+
+namespace ring {
+
+class RingRuntime;
+
+// ---------------------------------------------------------------------------
+// Client-facing request/response types. The `reply` closure is delivered back
+// to the client node over the fabric by the server.
+
+struct GetResult {
+  Status status;
+  Version version = 0;
+  std::shared_ptr<Buffer> data;
+};
+
+struct PutRequest {
+  Key key;
+  std::shared_ptr<Buffer> value;
+  MemgestId memgest = kDefaultMemgest;
+  net::NodeId client = 0;
+  uint64_t req_id = 0;
+  bool retry = false;
+  std::function<void(Status, Version)> reply;
+};
+
+struct GetRequest {
+  Key key;
+  net::NodeId client = 0;
+  uint64_t req_id = 0;
+  bool retry = false;
+  std::function<void(GetResult)> reply;
+};
+
+struct MoveRequest {
+  Key key;
+  MemgestId dst = kDefaultMemgest;
+  net::NodeId client = 0;
+  uint64_t req_id = 0;
+  bool retry = false;
+  std::function<void(Status, Version)> reply;
+};
+
+struct DeleteRequest {
+  Key key;
+  net::NodeId client = 0;
+  uint64_t req_id = 0;
+  bool retry = false;
+  std::function<void(Status)> reply;
+};
+
+// Memgest management (leader-processed, paper §5.1).
+struct AdminRequest {
+  enum class Op {
+    kCreateMemgest,
+    kDeleteMemgest,
+    kSetDefaultMemgest,
+    kGetMemgestDescriptor,
+  };
+  Op op = Op::kCreateMemgest;
+  MemgestDescriptor desc;
+  MemgestId id = kDefaultMemgest;
+  net::NodeId client = 0;
+  std::function<void(Result<MemgestId>)> reply;
+  // kGetMemgestDescriptor only.
+  std::function<void(Result<MemgestDescriptor>)> descriptor_reply;
+};
+
+class RingServer {
+ public:
+  RingServer(RingRuntime* runtime, net::NodeId id);
+
+  net::NodeId id() const { return id_; }
+  bool serving() const { return serving_; }
+
+  // Client entry points (invoked over the fabric).
+  void HandlePut(PutRequest req);
+  void HandleGet(GetRequest req);
+  void HandleMove(MoveRequest req);
+  void HandleDelete(DeleteRequest req);
+  void HandleAdmin(AdminRequest req);
+
+  // ---- peer messages ----
+  struct ReplicaAppend {
+    MemgestId memgest;
+    uint32_t shard;
+    Key key;
+    Version version;
+    uint64_t addr;
+    uint32_t len;
+    uint32_t region_len;
+    bool tombstone;
+    std::shared_ptr<Buffer> bytes;
+    uint32_t ordinal;  // replica ordinal (ack bit)
+    net::NodeId from;
+  };
+  void HandleReplicaAppend(ReplicaAppend msg);
+
+  struct ParityUpdate {
+    MemgestId memgest;
+    uint32_t shard;
+    Key key;
+    Version version;
+    uint64_t addr;
+    uint32_t len;
+    uint32_t region_len;
+    bool tombstone;
+    std::shared_ptr<Buffer> delta;  // XOR of old and new region content
+    uint32_t parity_index;          // which parity node (coefficient row)
+    net::NodeId from;
+    // Per-(memgest, shard) write sequence number: fences parity rebuild
+    // against in-flight updates (apply only seq > snapshot seq).
+    uint64_t seq = 0;
+  };
+  void HandleParityUpdate(ParityUpdate msg);
+
+  // Asynchronous removal of a GC'd version on redundancy nodes.
+  struct GcNotice {
+    MemgestId memgest;
+    uint32_t shard;
+    Key key;
+    Version version;
+  };
+  void HandleGcNotice(GcNotice msg);
+
+  // A promoted node finished *data* recovery for a redundancy role; the
+  // coordinator may count it towards pending commits again.
+  struct RedundancyRecovered {
+    MemgestId memgest;
+    uint32_t shard;
+    uint32_t ordinal;
+  };
+  void HandleRedundancyRecovered(RedundancyRecovered msg);
+
+  struct Ack {
+    MemgestId memgest;
+    uint32_t shard;
+    Key key;
+    Version version;
+    uint32_t ordinal;  // replica ordinal or parity index
+  };
+  // Acknowledgments arrive as one-sided RDMA writes into a completion region
+  // the coordinator polls — no coordinator CPU is charged (DARE-style
+  // offload, §6: "CPUs on redundant nodes are not involved").
+  void ApplyAck(const Ack& msg);
+
+  // ---- recovery protocol ----
+  // A promoted spare asks a source node for a shard's metadata hashtable.
+  struct MetaFetch {
+    MemgestId memgest;
+    uint32_t shard;
+    net::NodeId requester;
+    std::function<void(std::shared_ptr<MetadataTable>, uint64_t wire_bytes)>
+        reply;
+  };
+  void HandleMetaFetch(MetaFetch msg);
+
+  // On-demand erasure-coded block recovery (paper §5.5): a data node asks a
+  // parity node to reconstruct `len` bytes at `addr` of `shard`.
+  struct RecoverBlock {
+    MemgestId memgest;
+    uint32_t shard;
+    uint64_t addr;
+    uint32_t len;
+    net::NodeId requester;
+    std::function<void(std::shared_ptr<Buffer>)> reply;
+  };
+  void HandleRecoverBlock(RecoverBlock msg);
+
+  // Membership callback: reconfiguration / spare promotion (paper §5.5).
+  void OnConfig(const consensus::ClusterConfig& config);
+
+  // ---- introspection (tests & benches) ----
+  struct Counters {
+    uint64_t puts = 0;
+    uint64_t gets = 0;
+    uint64_t moves = 0;
+    uint64_t deletes = 0;
+    uint64_t commits = 0;
+    uint64_t parity_updates = 0;
+    uint64_t replica_appends = 0;
+    uint64_t blocks_recovered = 0;
+    uint64_t deferred_gets = 0;
+  };
+  const Counters& counters() const { return counters_; }
+
+  // Serialized size of all metadata hashtables on this node (Fig. 12 x-axis).
+  uint64_t TotalMetadataBytes() const;
+  // Bytes of heap/parity memory allocated (high-water marks).
+  uint64_t StoredBytes() const;
+  // Bytes attributable to *live* objects: region bytes of every metadata
+  // entry on this node, plus 1/k of the region bytes covered by each parity
+  // store (a parity node's amortized share of a balanced stripe). This is
+  // the measure the memory-saving use cases (§2, §6.2) compare.
+  uint64_t LiveBytes() const;
+  // Duration of the last completed promotion (metadata recovery), ns.
+  uint64_t last_recovery_ns() const { return last_recovery_ns_; }
+  // Kick off background reconstruction of every missing object; `done` fires
+  // when the node is fully re-populated.
+  void RecoverAllData(std::function<void()> done);
+
+  // Raw heap bytes for peer-driven recovery (RDMA read target: runs at this
+  // node without CPU involvement). Returns zeros beyond the heap extent.
+  Buffer ReadRawForRecovery(MemgestId memgest, uint32_t shard, uint64_t addr,
+                            uint32_t len);
+  // Raw parity bytes (RDMA read target), zeros beyond extent.
+  Buffer ReadRawParity(MemgestId memgest, uint32_t group, uint64_t addr,
+                       uint32_t len);
+  // True when this node's parity buffer for `memgest`/`group` is usable for
+  // decode.
+  bool ParityUsable(MemgestId memgest, uint32_t group) const;
+  // Current heap extent and write fence of a shard store (RDMA-read targets
+  // during parity rebuild).
+  uint64_t HeapExtent(MemgestId memgest, uint32_t shard) const;
+  uint64_t WriteSeq(MemgestId memgest, uint32_t shard) const;
+  // Drops all local state of a deleted memgest (leader broadcast target).
+  void ApplyMemgestDelete(MemgestId memgest);
+
+ private:
+  // Per-shard object store: a virtual address space (heap) plus the shard's
+  // metadata hashtable. Coordinators own one for their shard; replicas hold
+  // mirrors for shards they back.
+  struct ShardStore {
+    Buffer heap;
+    uint64_t next_addr = 0;
+    uint64_t write_seq = 0;  // fencing counter for parity rebuild
+    std::vector<std::pair<uint64_t, uint32_t>> free_list;  // (addr, len)
+    MetadataTable meta;
+
+    // Reuses a freed region when possible (keeps parity deltas cheap),
+    // otherwise extends the heap. Returns (addr, region_len).
+    std::pair<uint64_t, uint32_t> Allocate(uint32_t len);
+    void EnsureSize(uint64_t size);
+    void Write(uint64_t addr, ByteSpan bytes);
+    ByteSpan Read(uint64_t addr, uint32_t len) const;
+  };
+
+  // Parity node state for one erasure-coded memgest: the parity buffer plus
+  // replicated metadata of every data shard in the stripe (§5.4: parity
+  // nodes store more metadata than data nodes).
+  struct ParityStore {
+    uint32_t parity_index = 0;
+    Buffer mem;
+    std::map<uint32_t, MetadataTable> shard_meta;
+    // False on a freshly promoted parity node until the buffer is
+    // reconstructed from the data shards; unrebuilt parity must not serve
+    // decodes and queues incoming updates.
+    bool rebuilt = true;
+    std::vector<ParityUpdate> queued;
+
+    void EnsureSize(uint64_t size);
+  };
+
+  struct MemgestState {
+    const MemgestInfo* info = nullptr;
+    std::map<uint32_t, ShardStore> stores;  // own shards + replica mirrors
+    // Parity stores, one per memgest group whose rotation put a parity role
+    // on this node (§5.4 balancing: with groups > 1 parity spreads out).
+    std::map<uint32_t, ParityStore> parity;
+    uint64_t log_len = 0;
+  };
+
+  sim::CpuWorker& cpu();
+  const consensus::ClusterConfig& config() const { return config_; }
+  bool IsAlive() const;
+  // True when this node currently coordinates `shard`.
+  bool Coordinates(uint32_t shard) const;
+  int32_t slot() const { return config_.slot_of_node[id_]; }
+
+  MemgestState& StateOf(const MemgestInfo& info);
+  ShardStore& StoreOf(MemgestState& state, uint32_t shard);
+
+  // Write path pieces.
+  void StartWrite(const MemgestInfo& info, uint32_t shard, const Key& key,
+                  Version version, std::shared_ptr<Buffer> value,
+                  bool tombstone, std::function<void(Status)> on_commit);
+  void CommitEntry(const MemgestInfo& info, uint32_t shard, const Key& key,
+                   Version version);
+  void GcOldVersions(const Key& key, Version below);
+
+  // Read path pieces.
+  void DeliverGet(const MemgestInfo& info, uint32_t shard, const Key& key,
+                  MetaEntry* entry, GetRequest req);
+  void EnsureDataPresent(const MemgestInfo& info, uint32_t shard,
+                         const Key& key, Version version,
+                         std::function<void(Status)> then);
+
+  // Recovery pieces.
+  void BeginPromotion(uint32_t new_slot);
+  void FetchShardMetadata(const MemgestInfo& info, uint32_t shard,
+                          bool as_parity, std::function<void()> done);
+  int32_t AliveMetaSource(const MemgestInfo& info, uint32_t shard) const;
+  void RebuildVolatileIndex();
+  void NotifyRedundancyRecovered();
+  void RebuildParity(const MemgestInfo& info, uint32_t group,
+                     std::function<void()> done);
+  void ApplyParityBytes(const MemgestInfo& info, const ParityUpdate& msg);
+  void RecoverStoreEntries(const MemgestInfo& info, uint32_t shard,
+                           std::vector<std::pair<Key, Version>> todo,
+                           size_t next, std::function<void()> done);
+
+  void ReplyToClient(net::NodeId client, uint64_t bytes,
+                     std::function<void()> fn);
+  void SendToSlot(uint32_t slot_index, uint64_t bytes,
+                  std::function<void()> fn);
+
+  RingRuntime* rt_;
+  net::NodeId id_;
+  consensus::ClusterConfig config_;
+  VolatileIndex volatile_index_;
+  std::map<MemgestId, MemgestState> memgests_;
+  bool serving_ = true;  // spares flip to false until promoted & recovered
+  bool is_spare_ = true;
+  uint64_t last_recovery_ns_ = 0;
+  Counters counters_;
+  // Dedup of retried client requests: (client, req_id) handled already.
+  std::map<std::pair<net::NodeId, uint64_t>, bool> retried_seen_;
+};
+
+}  // namespace ring
+
+#endif  // RING_SRC_RING_SERVER_H_

@@ -1,0 +1,800 @@
+// Failure handling and recovery paths of RingServer (paper §5.5, §6.4):
+// spare promotion, metadata fetch, volatile-hashtable rebuild, on-demand and
+// background data recovery, parity reconstruction with write fencing.
+#include <algorithm>
+#include <cassert>
+
+#include "src/common/hash.h"
+#include "src/common/logging.h"
+#include "src/gf/gf256.h"
+#include "src/ring/runtime.h"
+#include "src/ring/server.h"
+
+namespace ring {
+namespace {
+constexpr uint64_t kSmallMsgBytes = 64;
+constexpr uint64_t kAckBytes = 48;
+constexpr uint64_t kLogRecordBytes = 32;
+}  // namespace
+
+void RingServer::OnConfig(const consensus::ClusterConfig& config) {
+  const int32_t old_slot = config_.slot_of_node[id_];
+  config_ = config;
+  if (config.failed[id_]) {
+    serving_ = false;
+    return;
+  }
+  const int32_t new_slot = config.slot_of_node[id_];
+  if (old_slot == consensus::kSpareSlot &&
+      new_slot != consensus::kSpareSlot) {
+    is_spare_ = false;
+    BeginPromotion(static_cast<uint32_t>(new_slot));
+  }
+}
+
+void RingServer::BeginPromotion(uint32_t new_slot) {
+  serving_ = false;
+  const sim::SimTime start = rt_->simulator().now();
+  RING_LOG(kInfo) << "node " << id_ << " promoting into slot " << new_slot;
+
+  // Enumerate the metadata-fetch tasks implied by the slot's roles.
+  struct Task {
+    const MemgestInfo* info;
+    uint32_t shard;
+    bool as_parity;
+  };
+  auto tasks = std::make_shared<std::vector<Task>>();
+  const uint32_t s = config_.s;
+  const auto my_shards = config_.ShardsOfSlot(new_slot);
+  rt_->registry().ForEach([&](const MemgestInfo& info) {
+    if (!info.desc.unreliable()) {
+      // Coordinator of every shard whose rotation lands on this slot.
+      for (uint32_t shard : my_shards) {
+        tasks->push_back({&info, shard, false});
+      }
+    }
+    if (info.desc.kind == SchemeKind::kReplicated) {
+      for (uint32_t shard = 0; shard < config_.num_shards(); ++shard) {
+        const auto slots = rt_->registry().ReplicaSlots(info, shard);
+        if (std::find(slots.begin(), slots.end(), new_slot) != slots.end()) {
+          tasks->push_back({&info, shard, false});
+        }
+      }
+    } else {
+      for (uint32_t group = 0; group < config_.groups; ++group) {
+        const auto parity_slots = rt_->registry().ParitySlots(info, group);
+        const auto it =
+            std::find(parity_slots.begin(), parity_slots.end(), new_slot);
+        if (it == parity_slots.end()) {
+          continue;
+        }
+        MemgestState& state = StateOf(info);
+        ParityStore& parity = state.parity[group];
+        parity.parity_index =
+            static_cast<uint32_t>(it - parity_slots.begin());
+        parity.rebuilt = false;
+        for (uint32_t sigma = 0; sigma < s; ++sigma) {
+          tasks->push_back({&info, group * s + sigma, true});
+        }
+      }
+    }
+  });
+
+  auto remaining = std::make_shared<size_t>(tasks->size());
+  auto finish = [this, start] {
+    // All metadata is local: rebuild the volatile hashtable and start
+    // serving; data recovery continues in the background (§5.5 step 6).
+    uint64_t entries = 0;
+    for (const auto& [id, state] : memgests_) {
+      for (const auto& [shard, store] : state.stores) {
+        entries += store.meta.entry_count();
+      }
+    }
+    const auto& p = rt_->simulator().params();
+    cpu().Execute(p.server_base_ns + entries * p.recovery_entry_ns,
+                  [this, start] {
+      if (!IsAlive()) {
+        return;
+      }
+      RebuildVolatileIndex();
+      serving_ = true;
+      last_recovery_ns_ = rt_->simulator().now() - start;
+      RING_LOG(kInfo) << "node " << id_ << " serving after "
+                      << last_recovery_ns_ / 1000 << "us";
+      RecoverAllData([this] { NotifyRedundancyRecovered(); });
+    });
+  };
+  if (tasks->empty()) {
+    finish();
+    return;
+  }
+  for (const auto& task : *tasks) {
+    FetchShardMetadata(*task.info, task.shard, task.as_parity,
+                       [remaining, finish] {
+                         if (--*remaining == 0) {
+                           finish();
+                         }
+                       });
+  }
+}
+
+int32_t RingServer::AliveMetaSource(const MemgestInfo& info,
+                                    uint32_t shard) const {
+  // Candidate holders of the shard's metadata, in preference order:
+  // the coordinator itself, then replicas (Rep) or parity nodes (SRS).
+  std::vector<uint32_t> candidates;
+  candidates.push_back(config_.SlotOfShard(shard));
+  if (info.desc.kind == SchemeKind::kReplicated) {
+    for (uint32_t slot : rt_->registry().ReplicaSlots(info, shard)) {
+      candidates.push_back(slot);
+    }
+  } else {
+    for (uint32_t slot :
+         rt_->registry().ParitySlots(info, config_.GroupOfShard(shard))) {
+      candidates.push_back(slot);
+    }
+  }
+  const int32_t my_slot = config_.slot_of_node[id_];
+  for (uint32_t slot : candidates) {
+    if (static_cast<int32_t>(slot) == my_slot) {
+      continue;
+    }
+    const net::NodeId node = config_.node_of_slot[slot];
+    if (!config_.failed[node] && rt_->fabric().alive(node)) {
+      return static_cast<int32_t>(slot);
+    }
+  }
+  return -1;
+}
+
+void RingServer::FetchShardMetadata(const MemgestInfo& info, uint32_t shard,
+                                    bool as_parity,
+                                    std::function<void()> done) {
+  const int32_t src_slot = AliveMetaSource(info, shard);
+  if (src_slot < 0) {
+    done();  // nothing recoverable (e.g. unreliable memgest)
+    return;
+  }
+  MetaFetch msg;
+  msg.memgest = info.id;
+  msg.shard = shard;
+  msg.requester = id_;
+  const MemgestInfo* info_ptr = &info;
+  msg.reply = [this, info_ptr, shard, as_parity, done = std::move(done)](
+                  std::shared_ptr<MetadataTable> table, uint64_t wire_bytes) {
+    (void)wire_bytes;
+    const auto& p = rt_->simulator().params();
+    cpu().Execute(table->entry_count() * p.recovery_entry_ns,
+                  [this, info_ptr, shard, as_parity, table,
+                   done = std::move(done)] {
+      if (!IsAlive()) {
+        return;
+      }
+      MemgestState& state = StateOf(*info_ptr);
+      MetadataTable& target =
+          as_parity
+              ? state.parity.at(config_.GroupOfShard(shard)).shard_meta[shard]
+              : StoreOf(state, shard).meta;
+      uint64_t high_water = 0;
+      table->ForEach([&](const Key& key, const MetaEntry& src) {
+        MetaEntry entry = src;
+        // Surviving entries are durable: treat them as committed. Their
+        // bytes are not local yet.
+        entry.committed = true;
+        entry.acks_pending = 0;
+        entry.acks_needed = 0;
+        entry.waiters.clear();
+        entry.data_present = entry.tombstone || entry.len == 0;
+        high_water = std::max(high_water, entry.addr + entry.region_len);
+        target.Insert(key, std::move(entry));
+      });
+      if (!as_parity) {
+        // The allocator must never re-issue addresses of recovered regions:
+        // new puts racing with background data recovery would overwrite the
+        // surviving replica/parity copies they are recovered from.
+        ShardStore& store = StoreOf(state, shard);
+        store.next_addr = std::max(store.next_addr, high_water);
+        store.EnsureSize(store.next_addr);
+        store.write_seq += table->entry_count();  // fencing stays monotonic
+      }
+      state.log_len += table->entry_count();
+      done();
+    });
+  };
+  auto* peer = rt_->server(config_.node_of_slot[src_slot]);
+  SendToSlot(static_cast<uint32_t>(src_slot), kSmallMsgBytes,
+             [peer, msg = std::move(msg)]() mutable {
+               peer->HandleMetaFetch(std::move(msg));
+             });
+}
+
+void RingServer::HandleMetaFetch(MetaFetch msg) {
+  if (!IsAlive()) {
+    return;
+  }
+  const auto& p = rt_->simulator().params();
+  cpu().Execute(p.server_base_ns, [this, msg = std::move(msg)]() mutable {
+    if (!IsAlive()) {
+      return;
+    }
+    auto it = memgests_.find(msg.memgest);
+    auto table = std::make_shared<MetadataTable>();
+    uint64_t log_bytes = 0;
+    if (it != memgests_.end()) {
+      const MemgestState& state = it->second;
+      const MetadataTable* source = nullptr;
+      if (auto sit = state.stores.find(msg.shard);
+          sit != state.stores.end()) {
+        source = &sit->second.meta;
+      } else if (auto git = state.parity.find(
+                     config_.GroupOfShard(msg.shard));
+                 git != state.parity.end()) {
+        auto pit = git->second.shard_meta.find(msg.shard);
+        if (pit != git->second.shard_meta.end()) {
+          source = &pit->second;
+        }
+      }
+      if (source != nullptr) {
+        *table = *source;
+      }
+      log_bytes = state.log_len * kLogRecordBytes;
+    }
+    // Serialization cost on the source side.
+    const uint64_t wire = table->ApproxBytes() + log_bytes + kSmallMsgBytes;
+    cpu().Execute(table->entry_count() *
+                      rt_->simulator().params().recovery_entry_ns / 2,
+                  [this, msg = std::move(msg), table, wire]() mutable {
+      rt_->fabric().Send(id_, msg.requester, wire,
+                         [reply = std::move(msg.reply), table, wire] {
+                           reply(table, wire);
+                         });
+    });
+  });
+}
+
+void RingServer::RebuildVolatileIndex() {
+  volatile_index_.Clear();
+  const int32_t slot = config_.slot_of_node[id_];
+  if (slot < 0 || config_.failed[id_]) {
+    return;
+  }
+  for (const uint32_t shard :
+       config_.ShardsOfSlot(static_cast<uint32_t>(slot))) {
+    for (auto& [id, state] : memgests_) {
+      auto sit = state.stores.find(shard);
+      if (sit == state.stores.end()) {
+        continue;
+      }
+      sit->second.meta.ForEach([&](const Key& key, const MetaEntry& entry) {
+        volatile_index_.Add(key, entry.version, id);
+      });
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Data recovery
+
+void RingServer::EnsureDataPresent(const MemgestInfo& info, uint32_t shard,
+                                   const Key& key, Version version,
+                                   std::function<void(Status)> then) {
+  MemgestState& state = StateOf(info);
+  ShardStore& store = StoreOf(state, shard);
+  MetaEntry* entry = store.meta.Find(key, version);
+  if (entry == nullptr) {
+    then(NotFoundError("entry gone"));
+    return;
+  }
+  if (entry->data_present) {
+    then(OkStatus());
+    return;
+  }
+  const uint64_t addr = entry->addr;
+  const uint32_t len = entry->len;
+  const MemgestInfo* info_ptr = &info;
+
+  auto complete = [this, info_ptr, shard, key, version,
+                   then = std::move(then)](std::shared_ptr<Buffer> bytes) {
+    if (!IsAlive()) {
+      return;
+    }
+    if (!bytes) {
+      then(DataLossError("no live source for block recovery"));
+      return;
+    }
+    MemgestState& st = StateOf(*info_ptr);
+    ShardStore& sh = StoreOf(st, shard);
+    MetaEntry* e = sh.meta.Find(key, version);
+    if (e == nullptr) {
+      then(NotFoundError("entry gone during recovery"));
+      return;
+    }
+    sh.Write(e->addr, *bytes);
+    e->data_present = true;
+    ++counters_.blocks_recovered;
+    then(OkStatus());
+  };
+
+  if (info.desc.kind == SchemeKind::kReplicated) {
+    // Copy from any available replica over one-sided reads (§5.5).
+    std::vector<uint32_t> candidates;
+    candidates.push_back(config_.SlotOfShard(shard));  // the coordinator
+    for (uint32_t slot : rt_->registry().ReplicaSlots(info, shard)) {
+      candidates.push_back(slot);
+    }
+    const int32_t my_slot = config_.slot_of_node[id_];
+    for (uint32_t slot : candidates) {
+      if (static_cast<int32_t>(slot) == my_slot) {
+        continue;
+      }
+      const net::NodeId node = config_.node_of_slot[slot];
+      if (config_.failed[node] || !rt_->fabric().alive(node)) {
+        continue;
+      }
+      auto* peer = rt_->server(node);
+      auto bytes = std::make_shared<Buffer>();
+      const MemgestId gid = info.id;
+      rt_->fabric().Read(
+          id_, node, len,
+          [peer, bytes, gid, shard, addr, len] {
+            *bytes = peer->ReadRawForRecovery(gid, shard, addr, len);
+          },
+          [complete, bytes]() mutable { complete(bytes); });
+      return;
+    }
+    complete(nullptr);
+    return;
+  }
+
+  // Erasure coded: ask a usable parity node to decode (§5.5). "The data node
+  // sends a recovery request to the parity node responsible for the block."
+  const uint32_t group = config_.GroupOfShard(shard);
+  for (uint32_t slot : rt_->registry().ParitySlots(info, group)) {
+    const net::NodeId node = config_.node_of_slot[slot];
+    if (config_.failed[node] || !rt_->fabric().alive(node)) {
+      continue;
+    }
+    auto* peer = rt_->server(node);
+    if (!peer->ParityUsable(info.id, group)) {
+      continue;
+    }
+    RecoverBlock msg;
+    msg.memgest = info.id;
+    msg.shard = shard;
+    msg.addr = addr;
+    msg.len = len;
+    msg.requester = id_;
+    msg.reply = complete;
+    rt_->fabric().Send(id_, node, kSmallMsgBytes,
+                       [peer, msg = std::move(msg)]() mutable {
+                         peer->HandleRecoverBlock(std::move(msg));
+                       });
+    return;
+  }
+  complete(nullptr);
+}
+
+void RingServer::HandleRecoverBlock(RecoverBlock msg) {
+  if (!IsAlive()) {
+    return;
+  }
+  const auto& p = rt_->simulator().params();
+  cpu().Execute(p.server_base_ns, [this, msg = std::move(msg)]() mutable {
+    if (!IsAlive()) {
+      return;
+    }
+    const MemgestInfo* info = rt_->registry().Get(msg.memgest);
+    const uint32_t group = config_.GroupOfShard(msg.shard);
+    if (info == nullptr || !ParityUsable(msg.memgest, group)) {
+      rt_->fabric().Send(id_, msg.requester, kSmallMsgBytes,
+                         [reply = msg.reply] { reply(nullptr); });
+      return;
+    }
+    MemgestState& state = StateOf(*info);
+    ParityStore& parity = state.parity.at(group);
+    const auto segments =
+        info->map->MapDataRange(msg.shard % config_.s, msg.addr, msg.len);
+    auto result = std::make_shared<Buffer>(msg.len, 0);
+    auto remaining = std::make_shared<size_t>(segments.size());
+    auto failed = std::make_shared<bool>(false);
+
+    // The block decodes segment by segment: each mini-stripe needs k source
+    // chunks gathered from live data nodes (one-sided reads) plus local /
+    // remote parity.
+    uint64_t result_offset = 0;
+    for (const auto& seg : segments) {
+      const uint64_t out_off = result_offset;
+      result_offset += seg.length;
+      auto sources = info->map->DecodeSources(seg);
+      auto collected = std::make_shared<
+          std::vector<std::pair<uint32_t, Buffer>>>();
+      auto outstanding = std::make_shared<size_t>(0);
+      auto finished = std::make_shared<bool>(false);
+
+      const uint32_t k = info->code->k();
+      auto finish_segment = [this, info, seg, out_off, result, remaining,
+                             failed, collected, finished, msg, k]() {
+        if (*finished) {
+          return;
+        }
+        if (collected->size() < k) {
+          return;  // wait for more sources
+        }
+        *finished = true;
+        const auto& pr = rt_->simulator().params();
+        cpu().Execute(
+            static_cast<uint64_t>(pr.decode_byte_ns * k * seg.length),
+            [this, info, seg, out_off, result, remaining, failed, collected,
+             msg] {
+          if (!IsAlive()) {
+            return;
+          }
+          std::vector<std::pair<uint32_t, ByteSpan>> avail;
+          for (const auto& [h_row, buf] : *collected) {
+            avail.emplace_back(h_row, ByteSpan(buf));
+          }
+          auto data = info->code->rs().RecoverData(avail);
+          if (!data.ok()) {
+            *failed = true;
+          } else {
+            std::copy((*data)[seg.rs_block].begin(),
+                      (*data)[seg.rs_block].end(),
+                      result->begin() + out_off);
+          }
+          if (--*remaining == 0) {
+            auto out = *failed ? nullptr : result;
+            rt_->fabric().Send(id_, msg.requester,
+                               kSmallMsgBytes + (out ? out->size() : 0),
+                               [reply = msg.reply, out] { reply(out); });
+          }
+        });
+      };
+
+      uint32_t launched = 0;
+      for (const auto& src : sources) {
+        if (launched >= k) {
+          break;
+        }
+        if (!src.is_parity) {
+          const uint32_t src_shard = group * config_.s + src.node;
+          if (src_shard == msg.shard) {
+            continue;  // the block being recovered
+          }
+          const net::NodeId node = config_.CoordinatorOfShard(src_shard);
+          if (config_.failed[node] || !rt_->fabric().alive(node)) {
+            continue;
+          }
+          auto* peer = rt_->server(node);
+          auto buf = std::make_shared<Buffer>();
+          const MemgestId gid = info->id;
+          const uint32_t shard_src = src_shard;
+          const uint64_t off = src.offset;
+          const uint32_t piece = static_cast<uint32_t>(seg.length);
+          const uint32_t h_row = src.h_row;
+          ++launched;
+          ++*outstanding;
+          rt_->fabric().Read(
+              id_, node, piece,
+              [peer, buf, gid, shard_src, off, piece] {
+                *buf = peer->ReadRawForRecovery(gid, shard_src, off, piece);
+              },
+              [collected, h_row, buf, outstanding, finish_segment] {
+                collected->emplace_back(h_row, std::move(*buf));
+                --*outstanding;
+                finish_segment();
+              });
+        } else {
+          if (src.node == parity.parity_index) {
+            // Local parity bytes: no network involved.
+            Buffer local = ReadRawParity(info->id, group, src.offset,
+                                         static_cast<uint32_t>(seg.length));
+            collected->emplace_back(src.h_row, std::move(local));
+            ++launched;
+          } else {
+            const net::NodeId node =
+                config_.node_of_slot[config_.RedundantSlot(group, src.node)];
+            if (config_.failed[node] || !rt_->fabric().alive(node)) {
+              continue;
+            }
+            auto* peer = rt_->server(node);
+            if (!peer->ParityUsable(info->id, group)) {
+              continue;
+            }
+            auto buf = std::make_shared<Buffer>();
+            const MemgestId gid = info->id;
+            const uint64_t off = src.offset;
+            const uint32_t piece = static_cast<uint32_t>(seg.length);
+            const uint32_t h_row = src.h_row;
+            ++launched;
+            ++*outstanding;
+            rt_->fabric().Read(
+                id_, node, piece,
+                [peer, buf, gid, group, off, piece] {
+                  *buf = peer->ReadRawParity(gid, group, off, piece);
+                },
+                [collected, h_row, buf, outstanding, finish_segment] {
+                  collected->emplace_back(h_row, std::move(*buf));
+                  --*outstanding;
+                  finish_segment();
+                });
+          }
+        }
+      }
+      if (launched < k) {
+        // Not enough live sources: the segment is unrecoverable.
+        *failed = true;
+        if (--*remaining == 0) {
+          rt_->fabric().Send(id_, msg.requester, kSmallMsgBytes,
+                             [reply = msg.reply] { reply(nullptr); });
+        }
+        continue;
+      }
+      finish_segment();  // covers the all-local case
+    }
+  });
+}
+
+void RingServer::RecoverAllData(std::function<void()> done) {
+  // Collect every entry whose bytes are missing, across coordinator and
+  // replica stores.
+  struct StoreTask {
+    const MemgestInfo* info;
+    uint32_t shard;
+    std::vector<std::pair<Key, Version>> entries;
+  };
+  auto tasks = std::make_shared<std::vector<StoreTask>>();
+  auto parity_rebuilds = std::make_shared<
+      std::vector<std::pair<const MemgestInfo*, uint32_t>>>();
+  for (auto& [id, state] : memgests_) {
+    if (rt_->options().background_data_recovery) {
+      for (auto& [shard, store] : state.stores) {
+        StoreTask task{state.info, shard, {}};
+        store.meta.ForEach([&](const Key& key, const MetaEntry& entry) {
+          if (!entry.data_present) {
+            task.entries.emplace_back(key, entry.version);
+          }
+        });
+        if (!task.entries.empty()) {
+          tasks->push_back(std::move(task));
+        }
+      }
+    }
+    for (auto& [group, parity] : state.parity) {
+      if (!parity.rebuilt) {
+        parity_rebuilds->push_back({state.info, group});
+      }
+    }
+  }
+  auto remaining =
+      std::make_shared<size_t>(tasks->size() + parity_rebuilds->size());
+  if (*remaining == 0) {
+    done();
+    return;
+  }
+  auto step = [remaining, done = std::move(done)] {
+    if (--*remaining == 0) {
+      done();
+    }
+  };
+  for (auto& task : *tasks) {
+    RecoverStoreEntries(*task.info, task.shard, std::move(task.entries), 0,
+                        step);
+  }
+  for (const auto& [info, group] : *parity_rebuilds) {
+    RebuildParity(*info, group, step);
+  }
+}
+
+void RingServer::RecoverStoreEntries(
+    const MemgestInfo& info, uint32_t shard,
+    std::vector<std::pair<Key, Version>> todo, size_t next,
+    std::function<void()> done) {
+  if (!IsAlive()) {
+    return;
+  }
+  if (next >= todo.size()) {
+    done();
+    return;
+  }
+  const auto [key, version] = todo[next];
+  const MemgestInfo* info_ptr = &info;
+  EnsureDataPresent(info, shard, key, version,
+                    [this, info_ptr, shard, todo = std::move(todo), next,
+                     done = std::move(done)](Status) mutable {
+                      RecoverStoreEntries(*info_ptr, shard, std::move(todo),
+                                          next + 1, std::move(done));
+                    });
+}
+
+void RingServer::RebuildParity(const MemgestInfo& info, uint32_t group,
+                               std::function<void()> done) {
+  MemgestState& state = StateOf(info);
+  assert(state.parity.count(group) > 0);
+  const uint32_t s = config_.s;
+
+  struct ShardSnapshot {
+    std::shared_ptr<Buffer> bytes;
+    uint64_t seq = 0;
+    uint64_t extent = 0;
+  };
+  auto snaps = std::make_shared<std::vector<ShardSnapshot>>(s);
+  auto remaining = std::make_shared<size_t>(s);
+  const MemgestInfo* info_ptr = &info;
+
+  std::function<void()> assemble = [this, info_ptr, group, snaps,
+                                    done = std::move(done)] {
+    if (!IsAlive()) {
+      return;
+    }
+    uint64_t total_bytes = 0;
+    for (const auto& snap : *snaps) {
+      total_bytes += snap.extent;
+    }
+    const auto& p = rt_->simulator().params();
+    cpu().Execute(
+        p.server_base_ns +
+            static_cast<uint64_t>(p.gf_byte_ns * total_bytes),
+        [this, info_ptr, group, snaps, done] {
+      if (!IsAlive()) {
+        return;
+      }
+      MemgestState& st = StateOf(*info_ptr);
+      ParityStore& par = st.parity.at(group);
+      std::fill(par.mem.begin(), par.mem.end(), 0);
+      for (uint32_t sigma = 0; sigma < snaps->size(); ++sigma) {
+        const auto& snap = (*snaps)[sigma];
+        if (!snap.bytes || snap.bytes->empty()) {
+          continue;
+        }
+        for (const auto& seg :
+             info_ptr->map->MapDataRange(sigma, 0, snap.bytes->size())) {
+          uint64_t max_extent = seg.parity_offset + seg.length;
+          par.EnsureSize(max_extent);
+          gf::MulAddRegion(
+              info_ptr->code->rs().Coefficient(par.parity_index,
+                                               seg.rs_block),
+              ByteSpan(snap.bytes->data() + seg.node_offset, seg.length),
+              MutableByteSpan(par.mem.data() + seg.parity_offset,
+                              seg.length));
+        }
+      }
+      par.rebuilt = true;
+      // Drain updates queued during the rebuild. The write fence keeps the
+      // parity exact: deltas already contained in a snapshot are skipped,
+      // but their metadata and acknowledgment still flow.
+      auto queued = std::move(par.queued);
+      par.queued.clear();
+      for (auto& upd : queued) {
+        if (upd.seq > (*snaps)[upd.shard % config_.s].seq) {
+          ApplyParityBytes(*info_ptr, upd);
+        }
+        MetaEntry entry;
+        entry.version = upd.version;
+        entry.addr = upd.addr;
+        entry.len = upd.len;
+        entry.region_len = upd.region_len;
+        entry.tombstone = upd.tombstone;
+        entry.data_present = true;
+        par.shard_meta[upd.shard].Insert(upd.key, std::move(entry));
+        Ack ack{upd.memgest, upd.shard, upd.key, upd.version,
+                upd.parity_index};
+        const net::NodeId coord = config_.CoordinatorOfShard(upd.shard);
+        auto* peer = rt_->server(coord);
+        rt_->fabric().Write(id_, coord, kAckBytes,
+                            [peer, ack] { peer->ApplyAck(ack); }, nullptr);
+      }
+      RING_LOG(kInfo) << "node " << id_ << " rebuilt parity for memgest "
+                      << info_ptr->id;
+      done();
+    });
+  };
+
+  for (uint32_t sigma = 0; sigma < s; ++sigma) {
+    const uint32_t shard = group * s + sigma;
+    const net::NodeId node = config_.CoordinatorOfShard(shard);
+    if (config_.failed[node] || !rt_->fabric().alive(node)) {
+      (*snaps)[sigma] = ShardSnapshot{};
+      if (--*remaining == 0) {
+        assemble();
+      }
+      continue;
+    }
+    auto* peer = rt_->server(node);
+    const uint64_t extent = peer->HeapExtent(info.id, shard);
+    auto snap = std::make_shared<ShardSnapshot>();
+    snap->extent = extent;
+    snap->bytes = std::make_shared<Buffer>();
+    const MemgestId gid = info.id;
+    rt_->fabric().Read(
+        id_, node, extent,
+        [peer, snap, gid, shard, extent] {
+          // Bytes and fence captured atomically at the source.
+          *snap->bytes = peer->ReadRawForRecovery(
+              gid, shard, 0, static_cast<uint32_t>(extent));
+          snap->seq = peer->WriteSeq(gid, shard);
+        },
+        [snaps, snap, sigma, remaining, assemble] {
+          (*snaps)[sigma] = *snap;
+          if (--*remaining == 0) {
+            assemble();
+          }
+        });
+  }
+}
+
+void RingServer::NotifyRedundancyRecovered() {
+  const int32_t my_slot = config_.slot_of_node[id_];
+  if (my_slot < 0) {
+    return;
+  }
+  for (auto& [gid, state] : memgests_) {
+    const MemgestInfo* info = state.info;
+    if (info == nullptr) {
+      continue;
+    }
+    if (info->desc.kind == SchemeKind::kReplicated) {
+      for (uint32_t shard = 0; shard < config_.num_shards(); ++shard) {
+        const auto slots = rt_->registry().ReplicaSlots(*info, shard);
+        const auto it = std::find(slots.begin(), slots.end(),
+                                  static_cast<uint32_t>(my_slot));
+        if (it == slots.end()) {
+          continue;
+        }
+        RedundancyRecovered msg{gid, shard,
+                                static_cast<uint32_t>(it - slots.begin())};
+        const net::NodeId coord = config_.CoordinatorOfShard(shard);
+        auto* peer = rt_->server(coord);
+        rt_->fabric().Send(id_, coord, kSmallMsgBytes, [peer, msg] {
+          peer->HandleRedundancyRecovered(msg);
+        });
+      }
+    } else {
+      for (const auto& [group, parity] : state.parity) {
+        for (uint32_t sigma = 0; sigma < config_.s; ++sigma) {
+          const uint32_t shard = group * config_.s + sigma;
+          RedundancyRecovered msg{gid, shard, parity.parity_index};
+          const net::NodeId coord = config_.CoordinatorOfShard(shard);
+          auto* peer = rt_->server(coord);
+          rt_->fabric().Send(id_, coord, kSmallMsgBytes, [peer, msg] {
+            peer->HandleRedundancyRecovered(msg);
+          });
+        }
+      }
+    }
+  }
+}
+
+void RingServer::HandleRedundancyRecovered(RedundancyRecovered msg) {
+  if (!IsAlive()) {
+    return;
+  }
+  cpu().Execute(rt_->simulator().params().server_base_ns, [this, msg] {
+    if (!IsAlive() || !Coordinates(msg.shard)) {
+      return;
+    }
+    const MemgestInfo* info = rt_->registry().Get(msg.memgest);
+    if (info == nullptr) {
+      return;
+    }
+    MemgestState& state = StateOf(*info);
+    ShardStore& store = StoreOf(state, msg.shard);
+    // The recovered node now covers all durable bytes of this shard: count
+    // it as an acknowledgment for every entry still waiting on it.
+    std::vector<std::pair<Key, Version>> to_commit;
+    const uint32_t bit = 1u << msg.ordinal;
+    store.meta.ForEachMutable([&](const Key& key, MetaEntry& entry) {
+      if (entry.committed || (entry.acks_pending & bit) == 0) {
+        return;
+      }
+      entry.acks_pending &= ~bit;
+      if (entry.acks_needed > 0 && --entry.acks_needed == 0) {
+        to_commit.emplace_back(key, entry.version);
+      }
+    });
+    for (const auto& [key, version] : to_commit) {
+      CommitEntry(*info, msg.shard, key, version);
+    }
+  });
+}
+
+}  // namespace ring

@@ -1,0 +1,81 @@
+#include "src/rs/crs_bitmatrix.h"
+
+#include <bit>
+#include <cassert>
+
+#include "src/gf/gf256.h"
+
+namespace ring::rs {
+
+CrsBitmatrix CrsBitmatrix::FromCode(const RsCode& code) {
+  const uint32_t k = code.k();
+  const uint32_t m = code.m();
+  std::vector<uint8_t> bits(static_cast<size_t>(m) * 8 * k * 8, 0);
+  for (uint32_t i = 0; i < m; ++i) {
+    for (uint32_t j = 0; j < k; ++j) {
+      const uint8_t e = code.Coefficient(i, j);
+      // Column c of the 8x8 sub-matrix is e * x^c: multiplication by e is
+      // linear over GF(2), so its action on the basis determines it.
+      for (uint32_t c = 0; c < 8; ++c) {
+        const uint8_t image = gf::Mul(e, static_cast<uint8_t>(1u << c));
+        for (uint32_t r = 0; r < 8; ++r) {
+          if (image & (1u << r)) {
+            bits[(static_cast<size_t>(i) * 8 + r) * k * 8 + j * 8 + c] = 1;
+          }
+        }
+      }
+    }
+  }
+  return CrsBitmatrix(k, m, std::move(bits));
+}
+
+size_t CrsBitmatrix::Ones() const {
+  size_t ones = 0;
+  for (uint8_t b : bits_) {
+    ones += b;
+  }
+  return ones;
+}
+
+std::vector<Buffer> CrsBitmatrix::Encode(
+    const std::vector<ByteSpan>& data) const {
+  assert(data.size() == k_);
+  const size_t size = data.empty() ? 0 : data[0].size();
+  // Per (parity, data) pair, precompute the 8 row masks: bit r of the output
+  // byte is parity(row_mask[r] & input byte). A production CRS encoder
+  // schedules these rows as packet-wide XORs; the map is the same.
+  std::vector<Buffer> out(m_, Buffer(size, 0));
+  for (uint32_t i = 0; i < m_; ++i) {
+    for (uint32_t j = 0; j < k_; ++j) {
+      assert(data[j].size() == size);
+      uint8_t row_mask[8];
+      bool all_zero = true;
+      for (uint32_t r = 0; r < 8; ++r) {
+        uint8_t mask = 0;
+        for (uint32_t c = 0; c < 8; ++c) {
+          if (Bit(i * 8 + r, j * 8 + c)) {
+            mask |= static_cast<uint8_t>(1u << c);
+          }
+        }
+        row_mask[r] = mask;
+        all_zero = all_zero && mask == 0;
+      }
+      if (all_zero) {
+        continue;
+      }
+      for (size_t b = 0; b < size; ++b) {
+        const uint8_t in = data[j][b];
+        uint8_t acc = 0;
+        for (uint32_t r = 0; r < 8; ++r) {
+          acc |= static_cast<uint8_t>(
+              (std::popcount(static_cast<unsigned>(row_mask[r] & in)) & 1)
+              << r);
+        }
+        out[i][b] ^= acc;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace ring::rs

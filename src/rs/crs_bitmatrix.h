@@ -1,0 +1,56 @@
+// Cauchy Reed-Solomon bitmatrix encoding (Blomer et al.; Jerasure's
+// "cauchy" family).
+//
+// The GF(2^8) generator matrix is expanded into a bitmatrix: each field
+// element e becomes the 8x8 binary matrix of y -> e*y over GF(2)^8. Encoding
+// then needs only XORs of block slices — no multiplication tables on the hot
+// path — which is how high-throughput erasure coders trade a denser schedule
+// for cheaper ops. Because the bitmatrix represents exactly the same linear
+// map as RsCode's generator, its parity output is byte-identical, and
+// decoding can reuse RsCode unchanged.
+#ifndef RING_SRC_RS_CRS_BITMATRIX_H_
+#define RING_SRC_RS_CRS_BITMATRIX_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/bytes.h"
+#include "src/common/result.h"
+#include "src/rs/rs_code.h"
+
+namespace ring::rs {
+
+class CrsBitmatrix {
+ public:
+  // Builds the bitmatrix expansion of `code`'s generator. The word size is
+  // fixed at w = 8 (GF(2^8)).
+  static CrsBitmatrix FromCode(const RsCode& code);
+
+  uint32_t k() const { return k_; }
+  uint32_t m() const { return m_; }
+
+  // Bit (row, col) of the m*8 x k*8 bitmatrix; row r of parity packet
+  // (r / 8, r % 8), column c of data packet (c / 8, c % 8).
+  bool Bit(uint32_t row, uint32_t col) const {
+    return bits_[row * k_ * 8 + col] != 0;
+  }
+  // Number of set bits — the XOR count of the schedule (density).
+  size_t Ones() const;
+
+  // XOR-only encode. Every data block must have the same size, a multiple
+  // of 8 bytes (w packets per block). Returns m parity blocks, identical to
+  // RsCode::Encode on the same input.
+  std::vector<Buffer> Encode(const std::vector<ByteSpan>& data) const;
+
+ private:
+  CrsBitmatrix(uint32_t k, uint32_t m, std::vector<uint8_t> bits)
+      : k_(k), m_(m), bits_(std::move(bits)) {}
+
+  uint32_t k_;
+  uint32_t m_;
+  std::vector<uint8_t> bits_;  // (m*8) x (k*8), row-major, 0/1
+};
+
+}  // namespace ring::rs
+
+#endif  // RING_SRC_RS_CRS_BITMATRIX_H_

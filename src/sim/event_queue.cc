@@ -1,0 +1,24 @@
+#include "src/sim/event_queue.h"
+
+#include <utility>
+
+namespace ring::sim {
+
+void EventQueue::Schedule(SimTime t, std::function<void()> fn) {
+  heap_.push(Event{t < now_ ? now_ : t, next_seq_++, std::move(fn)});
+}
+
+bool EventQueue::RunNext() {
+  if (heap_.empty()) {
+    return false;
+  }
+  // Move the callback out before popping so it may schedule new events.
+  Event ev = std::move(const_cast<Event&>(heap_.top()));
+  heap_.pop();
+  now_ = ev.time;
+  ++executed_;
+  ev.fn();
+  return true;
+}
+
+}  // namespace ring::sim

@@ -1,0 +1,31 @@
+#include "src/sim/simulator.h"
+
+namespace ring::sim {
+
+void Simulator::Run() {
+  while (queue_.RunNext()) {
+  }
+}
+
+void Simulator::RunUntil(SimTime t) {
+  // Sentinel marker: runs events scheduled before t (and same-time events
+  // enqueued before this call), then leaves the clock at t.
+  bool stop = false;
+  queue_.Schedule(t, [&stop] { stop = true; });
+  while (!stop && queue_.RunNext()) {
+  }
+}
+
+void CpuWorker::Execute(uint64_t cost_ns, std::function<void()> fn) {
+  const SimTime start =
+      busy_until_ > sim_->now() ? busy_until_ : sim_->now();
+  busy_until_ = start + cost_ns;
+  consumed_ += cost_ns;
+  sim_->At(busy_until_, std::move(fn));
+}
+
+uint64_t CpuWorker::backlog_ns() const {
+  return busy_until_ > sim_->now() ? busy_until_ - sim_->now() : 0;
+}
+
+}  // namespace ring::sim

@@ -1,0 +1,76 @@
+// Simulator: the event queue plus per-node single-threaded CPU models.
+#ifndef RING_SRC_SIM_SIMULATOR_H_
+#define RING_SRC_SIM_SIMULATOR_H_
+
+#include <functional>
+#include <memory>
+
+#include "src/common/rng.h"
+#include "src/sim/event_queue.h"
+#include "src/sim/params.h"
+
+namespace ring::sim {
+
+class Simulator {
+ public:
+  explicit Simulator(uint64_t seed = 1, SimParams params = kDefaultParams)
+      : rng_(seed), params_(params) {}
+
+  SimTime now() const { return queue_.now(); }
+  const SimParams& params() const { return params_; }
+  SimParams& mutable_params() { return params_; }
+  Rng& rng() { return rng_; }
+
+  void At(SimTime t, std::function<void()> fn) {
+    queue_.Schedule(t, std::move(fn));
+  }
+  void After(SimTime delay, std::function<void()> fn) {
+    queue_.Schedule(queue_.now() + delay, std::move(fn));
+  }
+
+  // Runs until the queue drains.
+  void Run();
+  // Runs events with time <= t, then sets the clock to t.
+  void RunUntil(SimTime t);
+
+  uint64_t events_executed() const { return queue_.executed(); }
+  EventQueue& queue() { return queue_; }
+
+ private:
+  EventQueue queue_;
+  Rng rng_;
+  SimParams params_;
+};
+
+// Models one single-threaded server core: work items execute FIFO, each
+// consuming CPU time; callers observe completion when their item's cost has
+// been "burned". Saturation behaviour (Figs. 9 and 11) falls out of the
+// busy-until bookkeeping.
+class CpuWorker {
+ public:
+  explicit CpuWorker(Simulator* simulator) : sim_(simulator) {}
+
+  // Enqueues a work item costing `cost_ns`; `fn` runs when it completes.
+  void Execute(uint64_t cost_ns, std::function<void()> fn);
+
+  // Time at which the core goes idle given current queue.
+  SimTime busy_until() const { return busy_until_; }
+  // Total CPU time consumed so far (for utilization reporting).
+  uint64_t consumed_ns() const { return consumed_; }
+  // Work currently queued ahead of a new arrival.
+  uint64_t backlog_ns() const;
+
+  void Reset() {
+    busy_until_ = 0;
+    consumed_ = 0;
+  }
+
+ private:
+  Simulator* sim_;
+  SimTime busy_until_ = 0;
+  uint64_t consumed_ = 0;
+};
+
+}  // namespace ring::sim
+
+#endif  // RING_SRC_SIM_SIMULATOR_H_

@@ -1,0 +1,70 @@
+#include "src/srs/address_map.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace ring::srs {
+
+std::vector<SrsAddressMap::Segment> SrsAddressMap::MapDataRange(
+    uint32_t node, uint64_t offset, uint64_t length) const {
+  assert(node < code_->s());
+  std::vector<Segment> out;
+  const uint64_t ls = code_->chunks_per_data_node();
+  const uint64_t row_bytes = unit_ * ls;
+  uint64_t addr = offset;
+  uint64_t remaining = length;
+  while (remaining > 0) {
+    const uint64_t row = addr / row_bytes;
+    const uint64_t in_row = addr % row_bytes;
+    const uint64_t slot = in_row / unit_;
+    const uint64_t intra = in_row % unit_;
+    const uint32_t chunk = static_cast<uint32_t>(node * ls + slot);
+    const uint64_t piece = std::min(remaining, unit_ - intra);
+    Segment seg;
+    seg.node_offset = addr;
+    seg.rs_block = code_->RsBlockOfChunk(chunk);
+    seg.ministripe = code_->MinistripeOfChunk(chunk);
+    seg.row = row;
+    seg.parity_offset = row * parity_row_bytes() +
+                        static_cast<uint64_t>(seg.ministripe) * unit_ + intra;
+    seg.length = piece;
+    out.push_back(seg);
+    addr += piece;
+    remaining -= piece;
+  }
+  return out;
+}
+
+uint64_t SrsAddressMap::ParityExtent(uint64_t data_extent) const {
+  const uint64_t rows = (data_extent + data_row_bytes() - 1) / data_row_bytes();
+  return rows * parity_row_bytes();
+}
+
+std::vector<SrsAddressMap::SourceLoc> SrsAddressMap::DecodeSources(
+    const Segment& seg) const {
+  std::vector<SourceLoc> out;
+  const uint64_t ls = code_->chunks_per_data_node();
+  const uint64_t intra = seg.parity_offset % unit_;
+  for (uint32_t b = 0; b < code_->k(); ++b) {
+    const uint32_t chunk = code_->DataChunk(b, seg.ministripe);
+    const uint32_t node = code_->DataNodeOfChunk(chunk);
+    const uint64_t slot = chunk - node * ls;
+    SourceLoc loc;
+    loc.is_parity = false;
+    loc.node = node;
+    loc.offset = seg.row * data_row_bytes() + slot * unit_ + intra;
+    loc.h_row = b;
+    out.push_back(loc);
+  }
+  for (uint32_t j = 0; j < code_->m(); ++j) {
+    SourceLoc loc;
+    loc.is_parity = true;
+    loc.node = j;
+    loc.offset = seg.parity_offset;
+    loc.h_row = code_->k() + j;
+    out.push_back(loc);
+  }
+  return out;
+}
+
+}  // namespace ring::srs

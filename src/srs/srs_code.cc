@@ -1,0 +1,239 @@
+#include "src/srs/srs_code.h"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+#include "src/gf/gf256.h"
+
+namespace ring::srs {
+
+Result<SrsCode> SrsCode::Create(uint32_t k, uint32_t m, uint32_t s) {
+  if (k < 1 || s < k || k + m > 255) {
+    return InvalidArgumentError(
+        "SRS(k,m,s) requires 1 <= k <= s and k+m <= 255");
+  }
+  RING_ASSIGN_OR_RETURN(rs::RsCode rs_code, rs::RsCode::Create(k, m));
+  const uint32_t l = std::lcm(k, s);
+  return SrsCode(k, m, s, l, std::move(rs_code));
+}
+
+gf::Matrix SrsCode::ExpandedMatrix() const {
+  const uint32_t lk = l_ / k_;
+  gf::Matrix h(l_ + m_ * lk, l_);
+  // Identity block: data chunk rows.
+  for (uint32_t c = 0; c < l_; ++c) {
+    h.Set(c, c, 1);
+  }
+  // Parity rows: row l + j*lk + t covers chunks {b*lk + t} with coefficient
+  // g[j][b]  (H o E with E_ij = I_{l/k}, Eqn. 3).
+  for (uint32_t j = 0; j < m_; ++j) {
+    for (uint32_t t = 0; t < lk; ++t) {
+      for (uint32_t b = 0; b < k_; ++b) {
+        h.Set(l_ + j * lk + t, b * lk + t, rs_.Coefficient(j, b));
+      }
+    }
+  }
+  return h;
+}
+
+SrsCode::Encoded SrsCode::EncodeObject(ByteSpan object) const {
+  Encoded enc;
+  enc.object_size = object.size();
+  enc.chunk_size = (object.size() + l_ - 1) / l_;
+  if (enc.chunk_size == 0) {
+    enc.chunk_size = 1;  // degenerate empty object still occupies one stripe
+  }
+  // Padded chunk view of the object.
+  std::vector<Buffer> chunks(l_, Buffer(enc.chunk_size, 0));
+  for (uint32_t c = 0; c < l_; ++c) {
+    const size_t begin = static_cast<size_t>(c) * enc.chunk_size;
+    if (begin < object.size()) {
+      const size_t n = std::min(enc.chunk_size, object.size() - begin);
+      std::copy_n(object.begin() + begin, n, chunks[c].begin());
+    }
+  }
+  // Data node payloads: node i owns chunks [i*l/s, (i+1)*l/s).
+  const uint32_t ls = l_ / s_;
+  enc.data_nodes.assign(s_, Buffer());
+  for (uint32_t i = 0; i < s_; ++i) {
+    enc.data_nodes[i].reserve(ls * enc.chunk_size);
+    for (uint32_t q = 0; q < ls; ++q) {
+      const Buffer& ch = chunks[i * ls + q];
+      enc.data_nodes[i].insert(enc.data_nodes[i].end(), ch.begin(), ch.end());
+    }
+  }
+  // Parity payloads: per mini-stripe t, parity chunk j over the k data
+  // chunks {b*(l/k)+t}.
+  const uint32_t lk = l_ / k_;
+  enc.parity_nodes.assign(m_, Buffer(lk * enc.chunk_size, 0));
+  for (uint32_t j = 0; j < m_; ++j) {
+    for (uint32_t t = 0; t < lk; ++t) {
+      MutableByteSpan p(enc.parity_nodes[j].data() + t * enc.chunk_size,
+                        enc.chunk_size);
+      for (uint32_t b = 0; b < k_; ++b) {
+        gf::MulAddRegion(rs_.Coefficient(j, b), chunks[DataChunk(b, t)], p);
+      }
+    }
+  }
+  return enc;
+}
+
+Result<Buffer> SrsCode::DecodeObject(const Encoded& enc) const {
+  const uint32_t ls = l_ / s_;
+  const uint32_t lk = l_ / k_;
+  const size_t cs = enc.chunk_size;
+
+  auto data_alive = [&](uint32_t i) { return !enc.data_nodes[i].empty(); };
+  auto parity_alive = [&](uint32_t j) { return !enc.parity_nodes[j].empty(); };
+
+  // Assemble the l data chunks, decoding each mini-stripe that lost chunks.
+  std::vector<Buffer> chunks(l_);
+  for (uint32_t c = 0; c < l_; ++c) {
+    const uint32_t node = DataNodeOfChunk(c);
+    if (data_alive(node)) {
+      const uint32_t q = c - node * ls;
+      const uint8_t* src = enc.data_nodes[node].data() + q * cs;
+      chunks[c].assign(src, src + cs);
+    }
+  }
+  for (uint32_t t = 0; t < lk; ++t) {
+    // Collect available blocks of mini-stripe t in RS index space.
+    std::vector<std::pair<uint32_t, ByteSpan>> available;
+    bool any_missing = false;
+    for (uint32_t b = 0; b < k_; ++b) {
+      const uint32_t c = DataChunk(b, t);
+      if (!chunks[c].empty()) {
+        available.emplace_back(b, ByteSpan(chunks[c]));
+      } else {
+        any_missing = true;
+      }
+    }
+    if (!any_missing) {
+      continue;
+    }
+    for (uint32_t j = 0; j < m_; ++j) {
+      if (parity_alive(j)) {
+        available.emplace_back(
+            k_ + j,
+            ByteSpan(enc.parity_nodes[j].data() + t * cs, cs));
+      }
+    }
+    RING_ASSIGN_OR_RETURN(std::vector<Buffer> data, rs_.RecoverData(available));
+    for (uint32_t b = 0; b < k_; ++b) {
+      const uint32_t c = DataChunk(b, t);
+      if (chunks[c].empty()) {
+        chunks[c] = std::move(data[b]);
+      }
+    }
+  }
+
+  Buffer out;
+  out.reserve(enc.object_size);
+  for (uint32_t c = 0; c < l_ && out.size() < enc.object_size; ++c) {
+    const size_t n = std::min(cs, enc.object_size - out.size());
+    out.insert(out.end(), chunks[c].begin(), chunks[c].begin() + n);
+  }
+  return out;
+}
+
+bool SrsCode::CanRecover(
+    const std::vector<uint32_t>& failed_data_nodes,
+    const std::vector<uint32_t>& failed_parity_nodes) const {
+  if (failed_parity_nodes.size() > m_) {
+    return false;
+  }
+  const uint32_t lk = l_ / k_;
+  const uint32_t ls = l_ / s_;
+  // Per-mini-stripe erasure counts: parity losses hit every mini-stripe once;
+  // a failed data node loses its l/s chunks, each in a distinct mini-stripe
+  // (consecutive chunk range of length l/s <= l/k).
+  std::vector<uint32_t> erased(lk, static_cast<uint32_t>(failed_parity_nodes.size()));
+  for (uint32_t node : failed_data_nodes) {
+    assert(node < s_);
+    for (uint32_t q = 0; q < ls; ++q) {
+      const uint32_t c = node * ls + q;
+      if (++erased[MinistripeOfChunk(c)] > m_) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+bool SrsCode::CanRecoverByRank(
+    const std::vector<uint32_t>& failed_data_nodes,
+    const std::vector<uint32_t>& failed_parity_nodes) const {
+  const uint32_t lk = l_ / k_;
+  const uint32_t ls = l_ / s_;
+  std::vector<bool> data_failed(s_, false);
+  for (uint32_t n : failed_data_nodes) {
+    data_failed[n] = true;
+  }
+  std::vector<bool> parity_failed(m_, false);
+  for (uint32_t n : failed_parity_nodes) {
+    parity_failed[n] = true;
+  }
+  gf::Matrix hexp = ExpandedMatrix();
+  std::vector<size_t> surviving;
+  for (uint32_t c = 0; c < l_; ++c) {
+    if (!data_failed[c / ls]) {
+      surviving.push_back(c);
+    }
+  }
+  for (uint32_t j = 0; j < m_; ++j) {
+    if (parity_failed[j]) {
+      continue;
+    }
+    for (uint32_t t = 0; t < lk; ++t) {
+      surviving.push_back(l_ + j * lk + t);
+    }
+  }
+  return hexp.SelectRows(surviving).Rank() == l_;
+}
+
+std::vector<double> SrsCode::ToleranceVector() const {
+  const uint32_t n = s_ + m_;
+  std::vector<double> f(n + 1, 0.0);
+  f[0] = 1.0;
+  for (uint32_t i = 1; i <= n; ++i) {
+    uint64_t total = 0;
+    uint64_t good = 0;
+    // Enumerate all i-subsets of the n nodes (first s are data nodes).
+    std::vector<uint32_t> subset(i);
+    for (uint32_t j = 0; j < i; ++j) {
+      subset[j] = j;
+    }
+    while (true) {
+      ++total;
+      std::vector<uint32_t> fd;
+      std::vector<uint32_t> fp;
+      for (uint32_t node : subset) {
+        if (node < s_) {
+          fd.push_back(node);
+        } else {
+          fp.push_back(node - s_);
+        }
+      }
+      if (CanRecover(fd, fp)) {
+        ++good;
+      }
+      // Next combination.
+      int pos = static_cast<int>(i) - 1;
+      while (pos >= 0 && subset[pos] == n - i + pos) {
+        --pos;
+      }
+      if (pos < 0) {
+        break;
+      }
+      ++subset[pos];
+      for (uint32_t j = pos + 1; j < i; ++j) {
+        subset[j] = subset[j - 1] + 1;
+      }
+    }
+    f[i] = static_cast<double>(good) / static_cast<double>(total);
+  }
+  return f;
+}
+
+}  // namespace ring::srs

@@ -1,0 +1,29 @@
+#include "src/workload/ycsb.h"
+
+#include <cstdio>
+
+namespace ring::workload {
+
+YcsbWorkload::YcsbWorkload(YcsbSpec spec, uint64_t seed)
+    : spec_(spec),
+      rng_(seed),
+      zipf_(spec.num_keys, spec.zipf_theta),
+      uniform_(spec.num_keys) {}
+
+std::string YcsbWorkload::KeyOf(uint64_t rank) const {
+  // Fixed-width decimal key, `key_len` bytes (paper: 8-byte keys).
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%0*llu", spec_.key_len,
+                static_cast<unsigned long long>(rank % 100000000ULL));
+  return std::string(buf, spec_.key_len);
+}
+
+Op YcsbWorkload::Next() {
+  const uint64_t rank =
+      spec_.zipfian ? zipf_.Next(rng_) : uniform_.Next(rng_);
+  const OpKind kind =
+      rng_.NextDouble() < spec_.get_fraction ? OpKind::kGet : OpKind::kPut;
+  return Op{kind, KeyOf(rank)};
+}
+
+}  // namespace ring::workload

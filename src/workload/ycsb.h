@@ -1,0 +1,51 @@
+// YCSB-style workload specification and operation stream (paper §6.3:
+// Zipfian key distribution, 8 B keys, 1 KiB values, configurable get:put
+// ratio).
+#ifndef RING_SRC_WORKLOAD_YCSB_H_
+#define RING_SRC_WORKLOAD_YCSB_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/common/rng.h"
+#include "src/workload/zipf.h"
+
+namespace ring::workload {
+
+enum class OpKind { kGet, kPut };
+
+struct Op {
+  OpKind kind;
+  std::string key;
+};
+
+struct YcsbSpec {
+  uint64_t num_keys = 100'000;
+  uint32_t key_len = 8;      // paper: 8-byte keys
+  uint32_t value_len = 1024; // paper: 1 KiB values
+  double get_fraction = 0.5; // (get:put) ratio
+  double zipf_theta = 0.99;  // YCSB default skew
+  bool zipfian = true;
+};
+
+// Deterministic operation stream over the spec.
+class YcsbWorkload {
+ public:
+  YcsbWorkload(YcsbSpec spec, uint64_t seed);
+
+  Op Next();
+  const YcsbSpec& spec() const { return spec_; }
+
+  // The fixed-width key string of a rank (shared with loaders).
+  std::string KeyOf(uint64_t rank) const;
+
+ private:
+  YcsbSpec spec_;
+  Rng rng_;
+  ZipfGenerator zipf_;
+  UniformGenerator uniform_;
+};
+
+}  // namespace ring::workload
+
+#endif  // RING_SRC_WORKLOAD_YCSB_H_

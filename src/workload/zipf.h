@@ -1,0 +1,46 @@
+// Zipfian key-popularity distribution (YCSB's generator; paper §6.3 uses the
+// YCSB Zipfian workload where "some keys are hot and some keys are cold").
+#ifndef RING_SRC_WORKLOAD_ZIPF_H_
+#define RING_SRC_WORKLOAD_ZIPF_H_
+
+#include <cstdint>
+
+#include "src/common/rng.h"
+
+namespace ring::workload {
+
+// Gray et al.'s rejection-free Zipfian generator as used by YCSB: item ranks
+// in [0, n) with P(rank) proportional to 1 / (rank+1)^theta.
+class ZipfGenerator {
+ public:
+  // theta in [0, 1): 0 = uniform-ish, 0.99 = YCSB default (heavily skewed).
+  ZipfGenerator(uint64_t n, double theta = 0.99);
+
+  uint64_t Next(Rng& rng);
+
+  uint64_t n() const { return n_; }
+
+ private:
+  double Zeta(uint64_t n, double theta) const;
+
+  uint64_t n_;
+  double theta_;
+  double alpha_;
+  double zetan_;
+  double eta_;
+  double zeta2theta_;
+};
+
+// Uniform key distribution (for comparisons / non-skewed workloads).
+class UniformGenerator {
+ public:
+  explicit UniformGenerator(uint64_t n) : n_(n) {}
+  uint64_t Next(Rng& rng) { return rng.NextBelow(n_); }
+
+ private:
+  uint64_t n_;
+};
+
+}  // namespace ring::workload
+
+#endif  // RING_SRC_WORKLOAD_ZIPF_H_

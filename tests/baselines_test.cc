@@ -1,0 +1,73 @@
+#include <gtest/gtest.h>
+
+#include "src/baselines/baselines.h"
+
+namespace ring::baselines {
+namespace {
+
+TEST(MemcachedTest, TcpLatencyDominates) {
+  auto system = MakeMemcached();
+  const double put = system->MeasurePutLatency(1024, 100).Median();
+  const double get = system->MeasureGetLatency(1024, 100).Median();
+  // §6.1: "about 55 us which is 10x higher than the REP1 memgest".
+  EXPECT_NEAR(put, 55.0, 10.0);
+  EXPECT_NEAR(get, 55.0, 10.0);
+}
+
+TEST(DareTest, RdmaGetAndQuorumPut) {
+  auto system = MakeDare(3);
+  const double get = system->MeasureGetLatency(1024, 100).Median();
+  const double put = system->MeasurePutLatency(1024, 100).Median();
+  // Dare's get matches Ring's RDMA get (~5 us); its put adds one one-sided
+  // replication round trip.
+  EXPECT_NEAR(get, 5.5, 1.5);
+  EXPECT_GT(put, get + 2.0);
+  EXPECT_LT(put, 15.0);
+}
+
+TEST(DareTest, MorePutReplicationCostsMore) {
+  const double r3 = MakeDare(3)->MeasurePutLatency(1024, 50).Median();
+  const double r5 = MakeDare(5)->MeasurePutLatency(1024, 50).Median();
+  EXPECT_GE(r5, r3);  // extra posted writes serialize on the leader NIC
+}
+
+TEST(RamcloudTest, HddBackupsDominatePut) {
+  auto system = MakeRamcloud(2);
+  const double put = system->MeasurePutLatency(512, 100).Median();
+  const double get = system->MeasureGetLatency(512, 100).Median();
+  // §6.1: "median 45 us latency of putting objects up to 512 bytes".
+  EXPECT_NEAR(put, 45.0, 8.0);
+  EXPECT_LT(get, 10.0);
+}
+
+TEST(CocytusTest, TwoOrdersSlowerThanRing) {
+  auto system = MakeCocytus();
+  const double put = system->MeasurePutLatency(1024, 50).Median();
+  const double get = system->MeasureGetLatency(1024, 50).Median();
+  // §6.1: get ~500 us (100x Ring), put ~30x Ring's SRS32 (~15 us) = ~450 us.
+  EXPECT_NEAR(get, 480.0, 80.0);
+  EXPECT_NEAR(put, 500.0, 100.0);
+  EXPECT_GT(put, get);
+}
+
+TEST(BaselinesTest, ThroughputOrdering) {
+  // Fig. 9 reference lines: Dare (RDMA, offloaded) well above the TCP
+  // systems.
+  const double dare = MakeDare(3)->MaxPutThroughput();
+  const double memcached = MakeMemcached()->MaxPutThroughput();
+  const double cocytus = MakeCocytus()->MaxPutThroughput();
+  EXPECT_GT(dare, memcached);
+  EXPECT_GT(dare, cocytus);
+  EXPECT_GT(dare, 300'000.0);
+  EXPECT_LT(memcached, 400'000.0);
+}
+
+TEST(BaselinesTest, LatencyGrowsWithObjectSize) {
+  auto system = MakeDare(3);
+  const double small = system->MeasurePutLatency(16, 50).Median();
+  const double large = system->MeasurePutLatency(4096, 50).Median();
+  EXPECT_GT(large, small);
+}
+
+}  // namespace
+}  // namespace ring::baselines

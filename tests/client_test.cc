@@ -1,0 +1,143 @@
+// Client library machinery (paper §5.5 client behaviour): request routing,
+// timeout + multicast retry, duplicate suppression, statistics.
+#include <gtest/gtest.h>
+
+#include "src/common/hash.h"
+#include "src/ring/cluster.h"
+
+namespace ring {
+namespace {
+
+RingOptions Opts(uint64_t seed, uint64_t retry_us = 300) {
+  RingOptions o;
+  o.s = 3;
+  o.d = 2;
+  o.spares = 1;
+  o.clients = 2;
+  o.seed = seed;
+  o.params.client_retry_timeout_ns = retry_us * sim::kMicrosecond;
+  return o;
+}
+
+TEST(ClientTest, LatencyRecordedPerOperation) {
+  RingCluster cluster(Opts(1));
+  auto g = *cluster.CreateMemgest(MemgestDescriptor::Replicated(1));
+  auto& client = cluster.client(0);
+  client.ResetStats();
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(cluster.Put("k" + std::to_string(i), "v", g).ok());
+  }
+  EXPECT_EQ(client.completed(), 10u);
+  EXPECT_EQ(client.latencies().count(), 10u);
+  EXPECT_EQ(client.timeouts(), 0u);
+  EXPECT_EQ(client.outstanding(), 0u);
+  // NIC-to-NIC put latency for tiny objects is a handful of microseconds.
+  EXPECT_GT(client.latencies().Median(), 3.0);
+  EXPECT_LT(client.latencies().Median(), 12.0);
+}
+
+TEST(ClientTest, RetryFindsPromotedCoordinator) {
+  RingCluster cluster(Opts(2));
+  auto g = *cluster.CreateMemgest(MemgestDescriptor::Replicated(3));
+  const Key key = [] {
+    for (int i = 0;; ++i) {
+      Key k = "rt-" + std::to_string(i);
+      if (KeyShard(k, 3) == 1) {
+        return k;
+      }
+    }
+  }();
+  ASSERT_TRUE(cluster.Put(key, "survives", g).ok());
+  cluster.KillNode(1, /*force_detect=*/true);
+  // No explicit config refresh: the first get times out against the dead
+  // node, multicasts, and the promoted spare answers.
+  auto got = cluster.Get(key);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(ToString(*got), "survives");
+  EXPECT_GT(cluster.client(0).latencies().values().back(), 250.0);  // paid one retry period
+}
+
+TEST(ClientTest, MulticastRepliesDeduplicated) {
+  RingCluster cluster(Opts(3, /*retry_us=*/50));  // aggressive retries
+  auto g = *cluster.CreateMemgest(MemgestDescriptor::ErasureCoded(3, 2));
+  // A large EC put takes longer than the 50 us retry period, so the client
+  // multicasts while the original is still in flight. The completion count
+  // must still be exactly one per op.
+  auto& client = cluster.client(0);
+  client.ResetStats();
+  int acks = 0;
+  bool done = false;
+  client.Put("slow", std::make_shared<Buffer>(MakePatternBuffer(8192, 1)), g,
+             [&](Status s, Version) {
+               EXPECT_TRUE(s.ok());
+               ++acks;
+               done = true;
+             });
+  ASSERT_TRUE(cluster.RunUntilDone([&] { return done; }));
+  cluster.RunFor(5 * sim::kMillisecond);  // absorb any late duplicates
+  EXPECT_EQ(acks, 1);
+  EXPECT_EQ(client.completed(), 1u);
+  // The duplicate version the retry may have created is eventually GC'd;
+  // reads stay consistent.
+  auto got = cluster.Get("slow");
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(*got, MakePatternBuffer(8192, 1));
+}
+
+TEST(ClientTest, ExhaustedRetriesReportTimeout) {
+  RingOptions o = Opts(4, /*retry_us=*/100);
+  o.spares = 0;
+  RingCluster cluster(o);
+  auto g = *cluster.CreateMemgest(MemgestDescriptor::Replicated(3));
+  const Key key = [] {
+    for (int i = 0;; ++i) {
+      Key k = "to-" + std::to_string(i);
+      if (KeyShard(k, 3) == 0) {
+        return k;
+      }
+    }
+  }();
+  ASSERT_TRUE(cluster.Put(key, "x", g).ok());
+  cluster.KillNode(0, /*force_detect=*/false);  // leader + shard 0, no spare
+  auto got = cluster.Get(key);
+  EXPECT_FALSE(got.ok());
+  EXPECT_EQ(got.status().code(), StatusCode::kTimeout);
+  EXPECT_GT(cluster.client(0).timeouts(), 0u);
+}
+
+TEST(ClientTest, TwoClientsIndependentStats) {
+  RingCluster cluster(Opts(5));
+  auto g = *cluster.CreateMemgest(MemgestDescriptor::Replicated(1));
+  cluster.client(0).ResetStats();  // drop the admin op from the counters
+  cluster.client(1).ResetStats();
+  ASSERT_TRUE(cluster.Put("a", "1", g, /*client=*/0).ok());
+  ASSERT_TRUE(cluster.Put("b", "2", g, /*client=*/1).ok());
+  ASSERT_TRUE(cluster.Get("a", /*client=*/1).ok());
+  EXPECT_EQ(cluster.client(0).completed(), 1u);
+  EXPECT_EQ(cluster.client(1).completed(), 2u);
+}
+
+TEST(ClientTest, AdminOpsThroughLeader) {
+  RingCluster cluster(Opts(6));
+  // Create / describe / set-default / delete, all via client 1.
+  bool done = false;
+  Result<MemgestId> created = InternalError("pending");
+  cluster.client(1).CreateMemgest(MemgestDescriptor::ErasureCoded(2, 1, "ec"),
+                                  [&](Result<MemgestId> r) {
+                                    created = std::move(r);
+                                    done = true;
+                                  });
+  ASSERT_TRUE(cluster.RunUntilDone([&] { return done; }));
+  ASSERT_TRUE(created.ok());
+  auto desc = cluster.GetMemgestDescriptor(*created);
+  ASSERT_TRUE(desc.ok());
+  EXPECT_EQ(desc->name, "ec");
+  ASSERT_TRUE(cluster.SetDefaultMemgest(*created).ok());
+  ASSERT_TRUE(cluster.Put("plain", "default-routed").ok());
+  EXPECT_TRUE(cluster.Get("plain").ok());
+  // The default memgest cannot be deleted.
+  EXPECT_FALSE(cluster.DeleteMemgest(*created).ok());
+}
+
+}  // namespace
+}  // namespace ring

@@ -1,0 +1,106 @@
+#include <gtest/gtest.h>
+
+#include "src/cost/pricing.h"
+
+namespace ring::cost {
+namespace {
+
+workload::TraceAggregates WriteHeavyTrace() {
+  workload::TraceAggregates t;
+  t.name = "synthetic-oltp";
+  t.writes = 4'000'000;
+  t.reads = 1'000'000;
+  t.written_bytes = t.writes * 4096;
+  t.read_bytes = t.reads * 4096;
+  t.footprint_bytes = 20ULL << 30;
+  return t;
+}
+
+workload::TraceAggregates ReadHeavyTrace() {
+  workload::TraceAggregates t;
+  t.name = "synthetic-search";
+  t.writes = 10'000;
+  t.reads = 5'000'000;
+  t.written_bytes = t.writes * 15360;
+  t.read_bytes = t.reads * 15360;
+  t.footprint_bytes = 30ULL << 30;
+  return t;
+}
+
+TEST(PricingTest, SimpleNormalizesToOne) {
+  PricingModel model;
+  for (const auto& trace : {WriteHeavyTrace(), ReadHeavyTrace()}) {
+    const auto prices = model.NormalizedPrices(trace);
+    ASSERT_EQ(prices.size(), 3u);
+    const auto& simple = prices[2];
+    EXPECT_EQ(simple.scheme, Scheme::kSimple);
+    EXPECT_NEAR(simple.total(), 1.0, 1e-9);
+  }
+}
+
+TEST(PricingTest, WriteHeavyOrderingMatchesPaper) {
+  // Paper Fig. 10, Financial traces: cold > hot > simple, cold ~2x hot.
+  PricingModel model;
+  const auto prices = model.NormalizedPrices(WriteHeavyTrace());
+  const double hot = prices[0].total();
+  const double cold = prices[1].total();
+  EXPECT_GT(cold, hot);
+  EXPECT_GT(hot, 1.0);
+  EXPECT_NEAR(cold / hot, 2.0, 0.3);
+  // Hot's put price is 3x simple's (replication), so with writes dominating
+  // hot is close to 3x total.
+  EXPECT_NEAR(hot, 3.0, 0.5);
+}
+
+TEST(PricingTest, ReadHeavyFavorsNearSimplePrices) {
+  // WebSearch-like traces: op costs and transfer dominate; the three schemes
+  // are much closer together and hot's write premium is negligible.
+  PricingModel model;
+  const auto prices = model.NormalizedPrices(ReadHeavyTrace());
+  const double hot = prices[0].total();
+  const double cold = prices[1].total();
+  EXPECT_LT(hot, 1.5);
+  EXPECT_LT(cold, 2.0);
+}
+
+TEST(PricingTest, ColdStorageComponentIsCheapest) {
+  // Cold's raw *storage* component must undercut hot's: 5/3 overhead at the
+  // cool price versus 3x at the hot price.
+  PricingModel model;
+  const auto trace = ReadHeavyTrace();
+  const auto hot = model.Price(Scheme::kHot, trace);
+  const auto cold = model.Price(Scheme::kCold, trace);
+  EXPECT_LT(cold.storage_cost, hot.storage_cost);
+  const double expected_ratio = (5.0 / 3.0 * 0.0100) / (3.0 * 0.0184);
+  EXPECT_NEAR(cold.storage_cost / hot.storage_cost, expected_ratio, 1e-9);
+}
+
+TEST(PricingTest, BreakdownSumsToTotal) {
+  PricingModel model;
+  const auto c = model.Price(Scheme::kCold, WriteHeavyTrace());
+  EXPECT_NEAR(c.total(),
+              c.write_cost + c.read_cost + c.transfer_cost + c.storage_cost,
+              1e-12);
+  EXPECT_GT(c.operation_cost(), 0.0);
+}
+
+TEST(PricingTest, Financial1MatchesPaperRatios) {
+  // §6.2: "cold storage is 5.5x more expensive than simple storage and 2x
+  // more than hot storage for the Financial1 trace."
+  PricingModel model;
+  const auto traces = workload::PaperTraceAggregates();
+  const auto prices = model.NormalizedPrices(traces[0]);
+  const double hot = prices[0].total();
+  const double cold = prices[1].total();
+  EXPECT_NEAR(cold, 5.5, 0.6);
+  EXPECT_NEAR(cold / hot, 2.0, 0.25);
+}
+
+TEST(SchemeNameTest, Names) {
+  EXPECT_EQ(SchemeName(Scheme::kHot), "hot");
+  EXPECT_EQ(SchemeName(Scheme::kCold), "cold");
+  EXPECT_EQ(SchemeName(Scheme::kSimple), "simple");
+}
+
+}  // namespace
+}  // namespace ring::cost

@@ -1,0 +1,186 @@
+// Failure matrix: every (victim node x storage scheme x detection mode)
+// combination on the standard 5-node deployment must preserve all committed
+// reliably-stored data byte-exactly, and the cluster must keep serving new
+// traffic afterwards.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <tuple>
+#include <vector>
+
+#include "src/common/hash.h"
+#include "src/ring/cluster.h"
+
+namespace ring {
+namespace {
+
+struct Case {
+  net::NodeId victim;
+  bool erasure;      // SRS(3,2) vs Rep(3)
+  bool force_detect; // immediate detection vs heartbeat timeout
+};
+
+class FailureMatrixTest : public ::testing::TestWithParam<Case> {};
+
+TEST_P(FailureMatrixTest, CommittedDataSurvivesAndClusterServes) {
+  const Case c = GetParam();
+  RingOptions o;
+  o.s = 3;
+  o.d = 2;
+  o.spares = 2;
+  o.clients = 1;
+  o.seed = 1000 + c.victim * 10 + c.erasure;
+  RingCluster cluster(o);
+  const MemgestId g = *cluster.CreateMemgest(
+      c.erasure ? MemgestDescriptor::ErasureCoded(3, 2)
+                : MemgestDescriptor::Replicated(3));
+
+  std::map<Key, Buffer> committed;
+  for (int i = 0; i < 30; ++i) {
+    const Key key = "fm-" + std::to_string(i);
+    Buffer value = MakePatternBuffer(200 + 137 * i, i);
+    ASSERT_TRUE(cluster.Put(key, value, g).ok()) << key;
+    committed[key] = std::move(value);
+  }
+
+  cluster.KillNode(c.victim, c.force_detect);
+  // Heartbeat detection (35 ms) + possible election (victim 0 is the
+  // leader) + recovery.
+  cluster.RunFor(c.force_detect ? 30 * sim::kMillisecond
+                                : 150 * sim::kMillisecond);
+
+  for (const auto& [key, value] : committed) {
+    auto got = cluster.Get(key);
+    ASSERT_TRUE(got.ok()) << key << " victim=" << c.victim;
+    EXPECT_EQ(*got, value) << key;
+  }
+  // The cluster accepts and re-reads new writes on every shard.
+  for (int i = 0; i < 9; ++i) {
+    const Key key = "post-" + std::to_string(i);
+    const Buffer value = MakePatternBuffer(300 + i, 99 + i);
+    ASSERT_TRUE(cluster.Put(key, value, g).ok()) << key;
+    auto got = cluster.Get(key);
+    ASSERT_TRUE(got.ok()) << key;
+    EXPECT_EQ(*got, value) << key;
+  }
+}
+
+std::vector<Case> AllCases() {
+  std::vector<Case> cases;
+  for (net::NodeId victim = 0; victim < 5; ++victim) {
+    for (bool erasure : {false, true}) {
+      // Heartbeat detection exercised on a subset (it is slow in sim time);
+      // force-detect covers every node.
+      cases.push_back({victim, erasure, true});
+    }
+  }
+  cases.push_back({1, true, false});
+  cases.push_back({3, false, false});
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, FailureMatrixTest, ::testing::ValuesIn(AllCases()),
+    [](const ::testing::TestParamInfo<Case>& info) {
+      return std::string("victim") + std::to_string(info.param.victim) +
+             (info.param.erasure ? "_srs32" : "_rep3") +
+             (info.param.force_detect ? "_forced" : "_heartbeat");
+    });
+
+TEST(DoubleFailureTest, Srs32ToleratesTwoSequentialFailures) {
+  RingOptions o;
+  o.s = 3;
+  o.d = 2;
+  o.spares = 2;
+  o.seed = 77;
+  RingCluster cluster(o);
+  const MemgestId g =
+      *cluster.CreateMemgest(MemgestDescriptor::ErasureCoded(3, 2));
+  std::map<Key, Buffer> committed;
+  for (int i = 0; i < 20; ++i) {
+    const Key key = "df-" + std::to_string(i);
+    Buffer value = MakePatternBuffer(400 + 41 * i, i);
+    ASSERT_TRUE(cluster.Put(key, value, g).ok());
+    committed[key] = std::move(value);
+  }
+  // First failure: a data coordinator; wait for full recovery.
+  cluster.KillNode(1, /*force_detect=*/true);
+  cluster.RunFor(50 * sim::kMillisecond);
+  // Second failure: a parity home.
+  cluster.KillNode(3, /*force_detect=*/true);
+  cluster.RunFor(50 * sim::kMillisecond);
+  for (const auto& [key, value] : committed) {
+    auto got = cluster.Get(key);
+    ASSERT_TRUE(got.ok()) << key;
+    EXPECT_EQ(*got, value) << key;
+  }
+}
+
+TEST(DoubleFailureTest, Rep3SurvivesCoordinatorAndReplica) {
+  RingOptions o;
+  o.s = 3;
+  o.d = 2;
+  o.spares = 2;
+  o.seed = 78;
+  RingCluster cluster(o);
+  const MemgestId g = *cluster.CreateMemgest(MemgestDescriptor::Replicated(3));
+  const Key key = [] {
+    for (int i = 0;; ++i) {
+      Key k = "rr-" + std::to_string(i);
+      if (KeyShard(k, 3) == 1) {
+        return k;
+      }
+    }
+  }();
+  const Buffer value = MakePatternBuffer(2000, 5);
+  ASSERT_TRUE(cluster.Put(key, value, g).ok());
+  // Shard 1's copies live on slots 1 (primary), 2, 3. Kill two of them with
+  // recovery time in between.
+  cluster.KillNode(1, /*force_detect=*/true);
+  cluster.RunFor(50 * sim::kMillisecond);
+  cluster.KillNode(2, /*force_detect=*/true);
+  cluster.RunFor(50 * sim::kMillisecond);
+  auto got = cluster.Get(key);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(*got, value);
+}
+
+TEST(SparePoolExhaustionTest, UnrecoverableShardTimesOutGracefully) {
+  RingOptions o;
+  o.s = 3;
+  o.d = 2;
+  o.spares = 0;  // nobody to promote
+  o.seed = 79;
+  o.params.client_retry_timeout_ns = sim::kMillisecond;
+  RingCluster cluster(o);
+  const MemgestId g = *cluster.CreateMemgest(MemgestDescriptor::Replicated(3));
+  const Key key = [] {
+    for (int i = 0;; ++i) {
+      Key k = "sp-" + std::to_string(i);
+      if (KeyShard(k, 3) == 2) {
+        return k;
+      }
+    }
+  }();
+  ASSERT_TRUE(cluster.Put(key, "doomed-shard", g).ok());
+  cluster.KillNode(2, /*force_detect=*/true);
+  cluster.RunFor(5 * sim::kMillisecond);
+  // No spare: the shard is dark; the client errors out instead of hanging.
+  auto got = cluster.Get(key);
+  EXPECT_FALSE(got.ok());
+  EXPECT_EQ(got.status().code(), StatusCode::kTimeout);
+  // Other shards keep working.
+  const Key other = [] {
+    for (int i = 0;; ++i) {
+      Key k = "ok-" + std::to_string(i);
+      if (KeyShard(k, 3) == 0) {
+        return k;
+      }
+    }
+  }();
+  ASSERT_TRUE(cluster.Put(other, "alive", g).ok());
+  EXPECT_TRUE(cluster.Get(other).ok());
+}
+
+}  // namespace
+}  // namespace ring

@@ -1,0 +1,86 @@
+#include <gtest/gtest.h>
+
+#include "src/common/flags.h"
+
+namespace ring {
+namespace {
+
+FlagSet MakeFlags() {
+  FlagSet flags("test");
+  flags.DefineString("name", "default", "a string")
+      .DefineInt("count", 7, "an int")
+      .DefineDouble("rate", 1.5, "a double")
+      .DefineBool("verbose", false, "a bool");
+  return flags;
+}
+
+TEST(FlagsTest, DefaultsApply) {
+  FlagSet flags = MakeFlags();
+  ASSERT_TRUE(flags.Parse({}).ok());
+  EXPECT_EQ(flags.GetString("name"), "default");
+  EXPECT_EQ(flags.GetInt("count"), 7);
+  EXPECT_DOUBLE_EQ(flags.GetDouble("rate"), 1.5);
+  EXPECT_FALSE(flags.GetBool("verbose"));
+}
+
+TEST(FlagsTest, EqualsSyntax) {
+  FlagSet flags = MakeFlags();
+  ASSERT_TRUE(flags.Parse({"--name=ring", "--count=42", "--rate=2.25",
+                           "--verbose=true"})
+                  .ok());
+  EXPECT_EQ(flags.GetString("name"), "ring");
+  EXPECT_EQ(flags.GetInt("count"), 42);
+  EXPECT_DOUBLE_EQ(flags.GetDouble("rate"), 2.25);
+  EXPECT_TRUE(flags.GetBool("verbose"));
+}
+
+TEST(FlagsTest, SpaceSyntaxAndPositional) {
+  FlagSet flags = MakeFlags();
+  ASSERT_TRUE(flags.Parse({"run", "--count", "3", "extra"}).ok());
+  EXPECT_EQ(flags.GetInt("count"), 3);
+  ASSERT_EQ(flags.positional().size(), 2u);
+  EXPECT_EQ(flags.positional()[0], "run");
+  EXPECT_EQ(flags.positional()[1], "extra");
+}
+
+TEST(FlagsTest, BareAndNegatedBooleans) {
+  FlagSet flags = MakeFlags();
+  ASSERT_TRUE(flags.Parse({"--verbose"}).ok());
+  EXPECT_TRUE(flags.GetBool("verbose"));
+  FlagSet flags2 = MakeFlags();
+  ASSERT_TRUE(flags2.Parse({"--verbose", "--no-verbose"}).ok());
+  EXPECT_FALSE(flags2.GetBool("verbose"));
+}
+
+TEST(FlagsTest, UnknownFlagRejected) {
+  FlagSet flags = MakeFlags();
+  const Status s = flags.Parse({"--bogus=1"});
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(s.message().find("--bogus"), std::string::npos);
+}
+
+TEST(FlagsTest, TypeValidation) {
+  FlagSet flags = MakeFlags();
+  EXPECT_FALSE(flags.Parse({"--count=notanumber"}).ok());
+  FlagSet flags2 = MakeFlags();
+  EXPECT_FALSE(flags2.Parse({"--rate=NaN-ish"}).ok());
+  FlagSet flags3 = MakeFlags();
+  EXPECT_FALSE(flags3.Parse({"--verbose=maybe"}).ok());
+}
+
+TEST(FlagsTest, MissingValueRejected) {
+  FlagSet flags = MakeFlags();
+  EXPECT_FALSE(flags.Parse({"--count"}).ok());
+}
+
+TEST(FlagsTest, UsageListsFlags) {
+  FlagSet flags = MakeFlags();
+  const std::string usage = flags.Usage();
+  EXPECT_NE(usage.find("--count"), std::string::npos);
+  EXPECT_NE(usage.find("an int"), std::string::npos);
+  EXPECT_NE(usage.find("default: 7"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ring

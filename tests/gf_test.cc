@@ -1,0 +1,165 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/bytes.h"
+#include "src/common/rng.h"
+#include "src/gf/gf256.h"
+
+namespace ring::gf {
+namespace {
+
+TEST(Gf256Test, AdditionIsXor) {
+  EXPECT_EQ(Add(0x53, 0xCA), 0x53 ^ 0xCA);
+  EXPECT_EQ(Sub(0x53, 0xCA), 0x53 ^ 0xCA);
+  EXPECT_EQ(Add(0xFF, 0xFF), 0);
+}
+
+TEST(Gf256Test, MulIdentityAndZero) {
+  for (int a = 0; a < 256; ++a) {
+    EXPECT_EQ(Mul(static_cast<uint8_t>(a), 1), a);
+    EXPECT_EQ(Mul(1, static_cast<uint8_t>(a)), a);
+    EXPECT_EQ(Mul(static_cast<uint8_t>(a), 0), 0);
+    EXPECT_EQ(Mul(0, static_cast<uint8_t>(a)), 0);
+  }
+}
+
+TEST(Gf256Test, KnownProducts) {
+  // Spot values for the 0x11D polynomial (AES uses 0x11B; these differ).
+  EXPECT_EQ(Mul(2, 128), 29);   // x * x^7 = x^8 = 0x11D - 0x100
+  EXPECT_EQ(Mul(4, 128), 58);
+  EXPECT_EQ(Mul(3, 3), 5);      // (x+1)^2 = x^2+1
+}
+
+TEST(Gf256Test, MulCommutative) {
+  for (int a = 0; a < 256; a += 7) {
+    for (int b = 0; b < 256; b += 5) {
+      EXPECT_EQ(Mul(static_cast<uint8_t>(a), static_cast<uint8_t>(b)),
+                Mul(static_cast<uint8_t>(b), static_cast<uint8_t>(a)));
+    }
+  }
+}
+
+TEST(Gf256Test, MulAssociativeSampled) {
+  ring::Rng rng(1);
+  for (int i = 0; i < 5000; ++i) {
+    const uint8_t a = static_cast<uint8_t>(rng.NextU64());
+    const uint8_t b = static_cast<uint8_t>(rng.NextU64());
+    const uint8_t c = static_cast<uint8_t>(rng.NextU64());
+    EXPECT_EQ(Mul(Mul(a, b), c), Mul(a, Mul(b, c)));
+  }
+}
+
+TEST(Gf256Test, DistributiveSampled) {
+  ring::Rng rng(2);
+  for (int i = 0; i < 5000; ++i) {
+    const uint8_t a = static_cast<uint8_t>(rng.NextU64());
+    const uint8_t b = static_cast<uint8_t>(rng.NextU64());
+    const uint8_t c = static_cast<uint8_t>(rng.NextU64());
+    EXPECT_EQ(Mul(a, Add(b, c)), Add(Mul(a, b), Mul(a, c)));
+  }
+}
+
+TEST(Gf256Test, EveryNonzeroElementHasInverse) {
+  for (int a = 1; a < 256; ++a) {
+    const uint8_t inv = Inv(static_cast<uint8_t>(a));
+    EXPECT_EQ(Mul(static_cast<uint8_t>(a), inv), 1) << "a=" << a;
+  }
+}
+
+TEST(Gf256Test, DivIsMulByInverse) {
+  for (int a = 0; a < 256; a += 3) {
+    for (int b = 1; b < 256; b += 7) {
+      const uint8_t q =
+          Div(static_cast<uint8_t>(a), static_cast<uint8_t>(b));
+      EXPECT_EQ(Mul(q, static_cast<uint8_t>(b)), a);
+    }
+  }
+}
+
+TEST(Gf256Test, PowMatchesRepeatedMul) {
+  for (int a = 0; a < 256; a += 11) {
+    uint8_t acc = 1;
+    for (uint32_t e = 0; e < 10; ++e) {
+      EXPECT_EQ(Pow(static_cast<uint8_t>(a), e), acc)
+          << "a=" << a << " e=" << e;
+      acc = Mul(acc, static_cast<uint8_t>(a));
+    }
+  }
+}
+
+TEST(Gf256Test, PowZeroConventions) {
+  EXPECT_EQ(Pow(0, 0), 1);
+  EXPECT_EQ(Pow(0, 5), 0);
+  EXPECT_EQ(Pow(7, 0), 1);
+}
+
+TEST(Gf256Test, MultiplicativeOrderDivides255) {
+  // The multiplicative group has order 255; a^255 == 1 for all a != 0.
+  for (int a = 1; a < 256; ++a) {
+    EXPECT_EQ(Pow(static_cast<uint8_t>(a), 255), 1);
+  }
+}
+
+class RegionOpTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(RegionOpTest, AddRegionMatchesScalar) {
+  const size_t n = GetParam();
+  Buffer src = MakePatternBuffer(n, 1);
+  Buffer dst = MakePatternBuffer(n, 2);
+  Buffer expected = dst;
+  for (size_t i = 0; i < n; ++i) {
+    expected[i] = Add(expected[i], src[i]);
+  }
+  AddRegion(src, dst);
+  EXPECT_EQ(dst, expected);
+}
+
+TEST_P(RegionOpTest, MulRegionMatchesScalar) {
+  const size_t n = GetParam();
+  Buffer src = MakePatternBuffer(n, 3);
+  for (uint8_t c : {0, 1, 2, 91, 255}) {
+    Buffer dst(n, 0xAA);
+    MulRegion(c, src, dst);
+    for (size_t i = 0; i < n; ++i) {
+      ASSERT_EQ(dst[i], Mul(c, src[i])) << "c=" << int(c) << " i=" << i;
+    }
+  }
+}
+
+TEST_P(RegionOpTest, MulAddRegionMatchesScalar) {
+  const size_t n = GetParam();
+  Buffer src = MakePatternBuffer(n, 4);
+  for (uint8_t c : {0, 1, 2, 91, 255}) {
+    Buffer dst = MakePatternBuffer(n, 5);
+    Buffer expected = dst;
+    for (size_t i = 0; i < n; ++i) {
+      expected[i] = Add(expected[i], Mul(c, src[i]));
+    }
+    MulAddRegion(c, src, dst);
+    ASSERT_EQ(dst, expected) << "c=" << int(c);
+  }
+}
+
+TEST_P(RegionOpTest, AddRegionSelfIsZero) {
+  const size_t n = GetParam();
+  Buffer a = MakePatternBuffer(n, 6);
+  Buffer dst = a;
+  AddRegion(a, dst);
+  EXPECT_EQ(dst, Buffer(n, 0));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, RegionOpTest,
+                         ::testing::Values(0, 1, 7, 8, 9, 63, 64, 65, 1024,
+                                           4096));
+
+TEST(Gf256Test, MulRegionInPlaceIdentityNoCorruption) {
+  Buffer buf = MakePatternBuffer(100, 9);
+  Buffer copy = buf;
+  MulRegion(1, buf, buf);  // aliased identity copy must be a no-op
+  EXPECT_EQ(buf, copy);
+}
+
+}  // namespace
+}  // namespace ring::gf

@@ -1,0 +1,132 @@
+// Monte-Carlo validation of the Appendix A Markov models.
+//
+// The CTMC abstracts a physical process: s+m nodes failing independently at
+// rate λ, one-at-a-time repairs whose speed depends on whether a data or a
+// parity node is down, and data loss exactly when the failed-node set is
+// unrecoverable (SrsCode::CanRecover). Here we simulate that *physical*
+// process directly and check the model's annual reliability against the
+// empirical loss frequency — validating the tolerance-vector and
+// hypergeometric-repair abstractions, not just the matrix exponential.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/reliability/models.h"
+#include "src/srs/srs_code.h"
+
+namespace ring::reliability {
+namespace {
+
+// One year of the physical failure/repair process; returns true if the
+// failed set ever became unrecoverable.
+bool SimulateYear(const srs::SrsCode& code, double lambda, double mu_data,
+                  double mu_parity, Rng& rng) {
+  const uint32_t s = code.s();
+  const uint32_t m = code.m();
+  const uint32_t n = s + m;
+  std::vector<bool> failed(n, false);
+  uint32_t num_failed = 0;
+  double t = 0.0;
+  // Repair one node at a time (the model's assumption); repair target is
+  // the lowest-index failed node.
+  while (t < 1.0) {
+    const double fail_rate = (n - num_failed) * lambda;
+    double repair_rate = 0.0;
+    int repair_target = -1;
+    for (uint32_t i = 0; i < n; ++i) {
+      if (failed[i]) {
+        repair_target = static_cast<int>(i);
+        repair_rate = i < s ? mu_data : mu_parity;
+        break;
+      }
+    }
+    const double total = fail_rate + repair_rate;
+    t += rng.NextExponential(total);
+    if (t >= 1.0) {
+      break;
+    }
+    if (rng.NextDouble() < fail_rate / total) {
+      // A uniformly random live node fails.
+      uint32_t pick = static_cast<uint32_t>(rng.NextBelow(n - num_failed));
+      for (uint32_t i = 0; i < n; ++i) {
+        if (!failed[i] && pick-- == 0) {
+          failed[i] = true;
+          ++num_failed;
+          break;
+        }
+      }
+      std::vector<uint32_t> fd;
+      std::vector<uint32_t> fp;
+      for (uint32_t i = 0; i < n; ++i) {
+        if (failed[i]) {
+          (i < s ? fd : fp).push_back(i < s ? i : i - s);
+        }
+      }
+      if (!code.CanRecover(fd, fp)) {
+        return true;  // data loss
+      }
+    } else if (repair_target >= 0) {
+      failed[repair_target] = false;
+      --num_failed;
+    }
+  }
+  return false;
+}
+
+class MonteCarloTest
+    : public ::testing::TestWithParam<std::tuple<uint32_t, uint32_t, uint32_t>> {};
+
+TEST_P(MonteCarloTest, ModelMatchesPhysicalProcess) {
+  const auto [k, m, s] = GetParam();
+  auto code = srs::SrsCode::Create(k, m, s);
+  ASSERT_TRUE(code.ok());
+
+  // Aggressive rates so losses are observable with modest trial counts;
+  // double-parity codes need harsher conditions to lose data at all.
+  Environment env;
+  env.node_failure_rate = m >= 2 ? 60.0 : 20.0;  // per year
+  env.dataset_bytes =
+      (m >= 2 ? 600.0 : 60.0) * (1 << 30);  // dataset size sets rebuild time
+  const double lambda = env.node_failure_rate;
+  const double mu_parity = RebuildRate(env.dataset_bytes / k, env);
+  const double mu_data = mu_parity * static_cast<double>(s) / k;
+
+  SrsModel model(*code, env);
+  const double p_model = 1.0 - model.Reliability(1.0);
+
+  Rng rng(k * 10007 + m * 101 + s);
+  const int trials = 60'000;
+  int losses = 0;
+  for (int i = 0; i < trials; ++i) {
+    losses += SimulateYear(*code, lambda, mu_data, mu_parity, rng) ? 1 : 0;
+  }
+  const double p_sim = static_cast<double>(losses) / trials;
+
+  // The CTMC approximates the physical process (notably its repair-mix is
+  // hypergeometric rather than exact); require agreement within 25% plus
+  // 4 sigma of sampling noise.
+  const double sigma = std::sqrt(p_model * (1 - p_model) / trials);
+  EXPECT_NEAR(p_sim, p_model, 0.25 * p_model + 4 * sigma)
+      << "k=" << k << " m=" << m << " s=" << s << " p_model=" << p_model
+      << " p_sim=" << p_sim;
+  // And there must be enough signal for the test to mean something.
+  EXPECT_GT(losses, 10);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Codes, MonteCarloTest,
+    ::testing::Values(std::make_tuple(2u, 1u, 2u), std::make_tuple(2u, 1u, 4u),
+                      std::make_tuple(3u, 1u, 3u), std::make_tuple(3u, 2u, 3u),
+                      std::make_tuple(3u, 1u, 6u)),
+    [](const ::testing::TestParamInfo<std::tuple<uint32_t, uint32_t, uint32_t>>&
+           info) {
+      return "k" + std::to_string(std::get<0>(info.param)) + "m" +
+             std::to_string(std::get<1>(info.param)) + "s" +
+             std::to_string(std::get<2>(info.param));
+    });
+
+}  // namespace
+}  // namespace ring::reliability

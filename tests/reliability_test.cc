@@ -1,0 +1,206 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/reliability/ctmc.h"
+#include "src/reliability/models.h"
+#include "src/srs/srs_code.h"
+
+namespace ring::reliability {
+namespace {
+
+TEST(RealMatrixTest, ExpOfZeroIsIdentity) {
+  RealMatrix z(3, 3);
+  RealMatrix e = z.Exp();
+  for (size_t i = 0; i < 3; ++i) {
+    for (size_t j = 0; j < 3; ++j) {
+      EXPECT_NEAR(e.At(i, j), i == j ? 1.0 : 0.0, 1e-14);
+    }
+  }
+}
+
+TEST(RealMatrixTest, ExpOfDiagonal) {
+  RealMatrix d(2, 2);
+  d.Set(0, 0, 1.0);
+  d.Set(1, 1, -2.0);
+  RealMatrix e = d.Exp();
+  EXPECT_NEAR(e.At(0, 0), std::exp(1.0), 1e-12);
+  EXPECT_NEAR(e.At(1, 1), std::exp(-2.0), 1e-12);
+  EXPECT_NEAR(e.At(0, 1), 0.0, 1e-14);
+}
+
+TEST(RealMatrixTest, ExpOfNilpotent) {
+  // [[0,1],[0,0]] -> exp = [[1,1],[0,1]].
+  RealMatrix n(2, 2);
+  n.Set(0, 1, 1.0);
+  RealMatrix e = n.Exp();
+  EXPECT_NEAR(e.At(0, 0), 1.0, 1e-14);
+  EXPECT_NEAR(e.At(0, 1), 1.0, 1e-14);
+  EXPECT_NEAR(e.At(1, 1), 1.0, 1e-14);
+}
+
+TEST(RealMatrixTest, ExpLargeNormStillStochastic) {
+  // Two-state generator with large rates: rows of exp(Q t) must sum to 1.
+  RealMatrix q(2, 2);
+  q.Set(0, 0, -5e4);
+  q.Set(0, 1, 5e4);
+  q.Set(1, 0, 1e4);
+  q.Set(1, 1, -1e4);
+  RealMatrix e = q.Exp();
+  for (size_t i = 0; i < 2; ++i) {
+    EXPECT_NEAR(e.At(i, 0) + e.At(i, 1), 1.0, 1e-9);
+    EXPECT_GE(e.At(i, 0), -1e-12);
+    EXPECT_GE(e.At(i, 1), -1e-12);
+  }
+  // Stationary distribution of this chain is (1/6, 5/6).
+  EXPECT_NEAR(e.At(0, 1), 5.0 / 6.0, 1e-6);
+}
+
+TEST(CtmcTest, TwoStateAnalyticSolution) {
+  // 0 -> 1 at rate a, 1 -> 0 at rate b: P_0(t) = b/(a+b) + a/(a+b) e^{-(a+b)t}.
+  const double a = 2.0;
+  const double b = 3.0;
+  RealMatrix q(2, 2);
+  q.Set(0, 0, -a);
+  q.Set(0, 1, a);
+  q.Set(1, 0, b);
+  q.Set(1, 1, -b);
+  Ctmc chain(q);
+  for (double t : {0.1, 0.5, 1.0, 4.0}) {
+    const auto p = chain.TransientDistribution({1.0, 0.0}, t);
+    const double expected = b / (a + b) + a / (a + b) * std::exp(-(a + b) * t);
+    EXPECT_NEAR(p[0], expected, 1e-10) << t;
+    EXPECT_NEAR(p[0] + p[1], 1.0, 1e-10);
+  }
+}
+
+TEST(CtmcTest, CumulativeOccupancyMatchesIntegral) {
+  // Pure death chain 0 -> 1 at rate a (1 absorbing): time in 0 during [0,t]
+  // = (1 - e^{-at})/a.
+  const double a = 4.0;
+  RealMatrix q(2, 2);
+  q.Set(0, 0, -a);
+  q.Set(0, 1, a);
+  Ctmc chain(q);
+  const double t = 0.7;
+  const auto occ = chain.CumulativeOccupancy({1.0, 0.0}, t);
+  EXPECT_NEAR(occ[0], (1.0 - std::exp(-a * t)) / a, 1e-10);
+  EXPECT_NEAR(occ[0] + occ[1], t, 1e-10);
+}
+
+Environment TestEnv() {
+  Environment env;
+  return env;
+}
+
+TEST(RsModelTest, ReliabilityDecreasesInTime) {
+  RsModel model(3, 2, TestEnv());
+  const double r1 = model.Reliability(0.5);
+  const double r2 = model.Reliability(1.0);
+  const double r3 = model.Reliability(2.0);
+  EXPECT_GT(r1, r2);
+  EXPECT_GT(r2, r3);
+  EXPECT_GT(r3, 0.9);  // still a reliable code
+  EXPECT_LE(r1, 1.0);
+}
+
+TEST(RsModelTest, MoreParityMoreReliable) {
+  const auto env = TestEnv();
+  const double r1 = RsModel(3, 1, env).Reliability(1.0);
+  const double r2 = RsModel(3, 2, env).Reliability(1.0);
+  EXPECT_GT(Nines(r2), Nines(r1) + 1.0);  // each parity adds nines
+}
+
+TEST(RsModelTest, NoParityNoReliability) {
+  // RS(k,0) loses data on the first failure: R(t) = e^{-kλt}.
+  const auto env = TestEnv();
+  RsModel model(3, 0, env);
+  const double expected = std::exp(-3.0 * env.node_failure_rate * 1.0);
+  EXPECT_NEAR(model.Reliability(1.0), expected, 1e-9);
+}
+
+TEST(RsModelTest, AvailabilityBelowReliability) {
+  const auto env = TestEnv();
+  RsModel model(4, 2, env);
+  // Availability counts degraded-but-recovering time, so it is lower than
+  // reliability for a code this strong.
+  EXPECT_LT(model.IntervalAvailability(1.0), model.Reliability(1.0));
+  EXPECT_GT(model.IntervalAvailability(1.0), 0.99);
+}
+
+TEST(SrsModelTest, UnstretchedMatchesRsModel) {
+  const auto env = TestEnv();
+  auto code = srs::SrsCode::Create(3, 2, 3);
+  ASSERT_TRUE(code.ok());
+  SrsModel srs_model(*code, env);
+  RsModel rs_model(3, 2, env);
+  EXPECT_NEAR(Nines(srs_model.Reliability(1.0)), Nines(rs_model.Reliability(1.0)),
+              0.05);
+  EXPECT_NEAR(srs_model.IntervalAvailability(1.0),
+              rs_model.IntervalAvailability(1.0), 1e-6);
+}
+
+TEST(SrsModelTest, StretchingKeepsReliabilityComparable) {
+  // Fig. 2's headline: SRS(3,1,s) stays ~flat in s.
+  const auto env = TestEnv();
+  auto base = srs::SrsCode::Create(3, 1, 3);
+  ASSERT_TRUE(base.ok());
+  const double base_nines = Nines(SrsModel(*base, env).Reliability(1.0));
+  for (uint32_t s : {4u, 5u, 6u, 7u}) {
+    auto code = srs::SrsCode::Create(3, 1, s);
+    ASSERT_TRUE(code.ok());
+    const double n = Nines(SrsModel(*code, env).Reliability(1.0));
+    EXPECT_NEAR(n, base_nines, 1.0) << "s=" << s;
+  }
+}
+
+TEST(SrsModelTest, Srs326MoreReliableThanRs32) {
+  // Paper §3.3: "SRS(3,2,6) is more reliable than RS(3,2)" thanks to faster
+  // per-node recovery.
+  const auto env = TestEnv();
+  auto stretched = srs::SrsCode::Create(3, 2, 6);
+  auto plain = srs::SrsCode::Create(3, 2, 3);
+  ASSERT_TRUE(stretched.ok() && plain.ok());
+  EXPECT_GT(SrsModel(*stretched, env).Reliability(1.0),
+            SrsModel(*plain, env).Reliability(1.0));
+}
+
+TEST(SrsModelTest, MaxToleratedMatchesToleranceVector) {
+  const auto env = TestEnv();
+  auto code = srs::SrsCode::Create(2, 1, 4);
+  ASSERT_TRUE(code.ok());
+  SrsModel model(*code, env);
+  EXPECT_EQ(model.max_tolerated(), 2u);  // paper's appendix example
+}
+
+TEST(SrsModelTest, AvailabilityDecreasesWithStripeWidth) {
+  // Fig. 16: more nodes in the stripe -> lower availability.
+  const auto env = TestEnv();
+  auto narrow = srs::SrsCode::Create(2, 1, 2);
+  auto wide = srs::SrsCode::Create(2, 1, 8);
+  ASSERT_TRUE(narrow.ok() && wide.ok());
+  EXPECT_GT(SrsModel(*narrow, env).IntervalAvailability(1.0),
+            SrsModel(*wide, env).IntervalAvailability(1.0));
+}
+
+TEST(NinesTest, Values) {
+  EXPECT_NEAR(Nines(0.99), 2.0, 1e-12);
+  EXPECT_NEAR(Nines(0.9999), 4.0, 1e-9);
+  EXPECT_DOUBLE_EQ(Nines(1.0), 16.0);
+  EXPECT_DOUBLE_EQ(Nines(0.0), 0.0);
+}
+
+TEST(ReconstructionTimeTest, Equation6Shape) {
+  Environment env;
+  env.network_bandwidth = 1e9;
+  env.compute_bandwidth = 1e9;
+  // 1 GiB at 1 GB/s network + 1 GB/s compute ~ 2.15 s.
+  EXPECT_NEAR(ReconstructionTimeSeconds(1ULL << 30, env), 2.147, 0.01);
+  // Rebuild rate is the reciprocal in years.
+  EXPECT_NEAR(RebuildRate(1ULL << 30, env) *
+                  ReconstructionTimeSeconds(1ULL << 30, env),
+              kSecondsPerYear, 1e-3);
+}
+
+}  // namespace
+}  // namespace ring::reliability

@@ -1,0 +1,316 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <utility>
+#include <vector>
+
+#include "src/common/bytes.h"
+#include "src/common/rng.h"
+#include "src/gf/gf256.h"
+#include "src/rs/crs_bitmatrix.h"
+#include "src/rs/rs_code.h"
+
+namespace ring::rs {
+namespace {
+
+std::vector<Buffer> RandomBlocks(uint32_t k, size_t size, uint64_t seed) {
+  std::vector<Buffer> blocks;
+  for (uint32_t i = 0; i < k; ++i) {
+    blocks.push_back(MakePatternBuffer(size, seed * 100 + i));
+  }
+  return blocks;
+}
+
+std::vector<ByteSpan> Spans(const std::vector<Buffer>& blocks) {
+  return std::vector<ByteSpan>(blocks.begin(), blocks.end());
+}
+
+TEST(RsCodeTest, CreateRejectsBadParams) {
+  EXPECT_FALSE(RsCode::Create(0, 1).ok());
+  EXPECT_FALSE(RsCode::Create(200, 60).ok());
+  EXPECT_TRUE(RsCode::Create(1, 0).ok());
+  EXPECT_TRUE(RsCode::Create(3, 2).ok());
+}
+
+TEST(RsCodeTest, FirstParityRowIsXor) {
+  // The normalized Cauchy construction makes parity 0 the XOR of the data
+  // blocks — matching the paper's RS(2,1) example (Eqn. 4).
+  for (auto [k, m] : std::vector<std::pair<uint32_t, uint32_t>>{
+           {2, 1}, {3, 2}, {5, 4}}) {
+    auto code = RsCode::Create(k, m);
+    ASSERT_TRUE(code.ok());
+    for (uint32_t j = 0; j < k; ++j) {
+      EXPECT_EQ(code->Coefficient(0, j), 1);
+    }
+  }
+}
+
+TEST(RsCodeTest, CodingMatrixTopIsIdentity) {
+  auto code = RsCode::Create(4, 2);
+  ASSERT_TRUE(code.ok());
+  const auto& h = code->coding_matrix();
+  ASSERT_EQ(h.rows(), 6u);
+  ASSERT_EQ(h.cols(), 4u);
+  for (uint32_t i = 0; i < 4; ++i) {
+    for (uint32_t j = 0; j < 4; ++j) {
+      EXPECT_EQ(h.At(i, j), i == j ? 1 : 0);
+    }
+  }
+}
+
+// MDS property: every square submatrix of G must be nonsingular. Checked
+// exhaustively for small parameters.
+TEST(RsCodeTest, GeneratorSubmatricesNonsingular) {
+  auto code = RsCode::Create(4, 3);
+  ASSERT_TRUE(code.ok());
+  const auto& g = code->generator();
+  // All 1x1.
+  for (size_t i = 0; i < 3; ++i) {
+    for (size_t j = 0; j < 4; ++j) {
+      EXPECT_NE(g.At(i, j), 0);
+    }
+  }
+  // All 2x2 minors.
+  for (size_t i1 = 0; i1 < 3; ++i1) {
+    for (size_t i2 = i1 + 1; i2 < 3; ++i2) {
+      for (size_t j1 = 0; j1 < 4; ++j1) {
+        for (size_t j2 = j1 + 1; j2 < 4; ++j2) {
+          const uint8_t det = gf::Add(gf::Mul(g.At(i1, j1), g.At(i2, j2)),
+                                      gf::Mul(g.At(i1, j2), g.At(i2, j1)));
+          EXPECT_NE(det, 0) << i1 << i2 << j1 << j2;
+        }
+      }
+    }
+  }
+}
+
+struct RsParams {
+  uint32_t k;
+  uint32_t m;
+};
+
+class RsRecoveryTest : public ::testing::TestWithParam<RsParams> {};
+
+// Exhaustively verify recovery from every erasure pattern of size <= m.
+TEST_P(RsRecoveryTest, AllErasurePatternsRecoverable) {
+  const auto [k, m] = GetParam();
+  auto code = RsCode::Create(k, m);
+  ASSERT_TRUE(code.ok());
+  const size_t block_size = 64;
+  std::vector<Buffer> data = RandomBlocks(k, block_size, k * 10 + m);
+  std::vector<Buffer> parity = code->Encode(Spans(data));
+  ASSERT_EQ(parity.size(), m);
+
+  const uint32_t n = k + m;
+  // Iterate over all subsets of lost blocks with |subset| <= m.
+  for (uint32_t mask = 0; mask < (1u << n); ++mask) {
+    const int lost = __builtin_popcount(mask);
+    if (lost == 0 || static_cast<uint32_t>(lost) > m) {
+      continue;
+    }
+    std::vector<std::pair<uint32_t, ByteSpan>> available;
+    for (uint32_t i = 0; i < n; ++i) {
+      if (mask & (1u << i)) {
+        continue;
+      }
+      available.emplace_back(
+          i, i < k ? ByteSpan(data[i]) : ByteSpan(parity[i - k]));
+    }
+    auto recovered = code->RecoverData(available);
+    ASSERT_TRUE(recovered.ok()) << "mask=" << mask;
+    for (uint32_t i = 0; i < k; ++i) {
+      ASSERT_EQ((*recovered)[i], data[i]) << "mask=" << mask << " block=" << i;
+    }
+  }
+}
+
+TEST_P(RsRecoveryTest, RecoverBlocksRebuildsParity) {
+  const auto [k, m] = GetParam();
+  auto code = RsCode::Create(k, m);
+  ASSERT_TRUE(code.ok());
+  std::vector<Buffer> data = RandomBlocks(k, 48, 7);
+  std::vector<Buffer> parity = code->Encode(Spans(data));
+  if (m == 0) {
+    return;
+  }
+  // Lose parity 0 and data 0 (when m >= 2) and rebuild both.
+  std::vector<std::pair<uint32_t, ByteSpan>> available;
+  for (uint32_t i = 1; i < k; ++i) {
+    available.emplace_back(i, ByteSpan(data[i]));
+  }
+  if (m >= 2) {
+    for (uint32_t j = 1; j < m; ++j) {
+      available.emplace_back(k + j, ByteSpan(parity[j]));
+    }
+    available.emplace_back(0 + k, ByteSpan(parity[0]));  // keep parity 0 too
+    auto rebuilt = code->RecoverBlocks(available, {0, k});
+    ASSERT_TRUE(rebuilt.ok());
+    EXPECT_EQ((*rebuilt)[0], data[0]);
+    EXPECT_EQ((*rebuilt)[1], parity[0]);
+  } else {
+    available.emplace_back(0, ByteSpan(data[0]));
+    auto rebuilt = code->RecoverBlocks(available, {k});
+    ASSERT_TRUE(rebuilt.ok());
+    EXPECT_EQ((*rebuilt)[0], parity[0]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Params, RsRecoveryTest,
+    ::testing::Values(RsParams{2, 1}, RsParams{3, 1}, RsParams{3, 2},
+                      RsParams{4, 2}, RsParams{4, 3}, RsParams{5, 2},
+                      RsParams{6, 3}, RsParams{1, 1}, RsParams{1, 3}),
+    [](const ::testing::TestParamInfo<RsParams>& info) {
+      return "k" + std::to_string(info.param.k) + "m" +
+             std::to_string(info.param.m);
+    });
+
+TEST(RsCodeTest, TooFewBlocksFails) {
+  auto code = RsCode::Create(3, 2);
+  ASSERT_TRUE(code.ok());
+  std::vector<Buffer> data = RandomBlocks(3, 16, 1);
+  std::vector<std::pair<uint32_t, ByteSpan>> available = {
+      {0, ByteSpan(data[0])}, {1, ByteSpan(data[1])}};
+  auto r = code->RecoverData(available);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kDataLoss);
+}
+
+TEST(RsCodeTest, MismatchedBlockSizesRejected) {
+  auto code = RsCode::Create(2, 1);
+  ASSERT_TRUE(code.ok());
+  Buffer a(16, 1);
+  Buffer b(8, 2);
+  Buffer p(16, 3);
+  std::vector<std::pair<uint32_t, ByteSpan>> available = {
+      {0, ByteSpan(a)}, {1, ByteSpan(b)}, {2, ByteSpan(p)}};
+  EXPECT_FALSE(code->RecoverData(available).ok());
+}
+
+// Delta update equivalence (paper §3.2 "Update"): updating one data block and
+// applying parity deltas must equal re-encoding from scratch.
+TEST(RsCodeTest, ParityDeltaUpdateMatchesReencode) {
+  auto code = RsCode::Create(3, 2);
+  ASSERT_TRUE(code.ok());
+  const size_t block_size = 96;
+  std::vector<Buffer> data = RandomBlocks(3, block_size, 21);
+  std::vector<Buffer> parity = code->Encode(Spans(data));
+
+  // Overwrite data block 1.
+  Buffer updated = MakePatternBuffer(block_size, 999);
+  Buffer delta(block_size);
+  for (size_t i = 0; i < block_size; ++i) {
+    delta[i] = data[1][i] ^ updated[i];
+  }
+  for (uint32_t j = 0; j < 2; ++j) {
+    code->ApplyParityDelta(j, 1, delta, parity[j]);
+  }
+  data[1] = updated;
+  std::vector<Buffer> expected = code->Encode(Spans(data));
+  EXPECT_EQ(parity, expected);
+}
+
+TEST(RsCodeTest, CanRecoverRule) {
+  auto code = RsCode::Create(3, 2);
+  ASSERT_TRUE(code.ok());
+  EXPECT_TRUE(code->CanRecover({}));
+  EXPECT_TRUE(code->CanRecover({0}));
+  EXPECT_TRUE(code->CanRecover({0, 4}));
+  EXPECT_FALSE(code->CanRecover({0, 1, 2}));
+}
+
+// ---------------------------------------------------------------------------
+// Cauchy bitmatrix (XOR-only) encoding
+
+TEST(CrsBitmatrixTest, DimensionsAndDensity) {
+  auto code = RsCode::Create(3, 2);
+  ASSERT_TRUE(code.ok());
+  auto bm = CrsBitmatrix::FromCode(*code);
+  EXPECT_EQ(bm.k(), 3u);
+  EXPECT_EQ(bm.m(), 2u);
+  // Parity row 0 is all-ones in GF (plain XOR): its 8x8 blocks are identity
+  // matrices, 8 ones each -> exactly k*8 ones in the first 8 bit-rows.
+  size_t first_rows_ones = 0;
+  for (uint32_t r = 0; r < 8; ++r) {
+    for (uint32_t c = 0; c < 3 * 8; ++c) {
+      first_rows_ones += bm.Bit(r, c);
+    }
+  }
+  EXPECT_EQ(first_rows_ones, 3u * 8);
+  // Total density is bounded by the matrix area and is nontrivial.
+  EXPECT_GT(bm.Ones(), 3u * 8);
+  EXPECT_LT(bm.Ones(), 2u * 8 * 3 * 8);
+}
+
+TEST(CrsBitmatrixTest, IdentityBlockForUnitCoefficient) {
+  // Coefficient 1 must expand to the 8x8 identity.
+  auto code = RsCode::Create(4, 3);
+  ASSERT_TRUE(code.ok());
+  ASSERT_EQ(code->Coefficient(0, 2), 1);  // row 0 is all ones
+  auto bm = CrsBitmatrix::FromCode(*code);
+  for (uint32_t r = 0; r < 8; ++r) {
+    for (uint32_t c = 0; c < 8; ++c) {
+      EXPECT_EQ(bm.Bit(r, 2 * 8 + c), r == c) << r << "," << c;
+    }
+  }
+}
+
+class CrsEquivalenceTest : public ::testing::TestWithParam<RsParams> {};
+
+// The bitmatrix represents the same linear map as the table-based encoder:
+// parity output must be byte-identical for every parameter set.
+TEST_P(CrsEquivalenceTest, MatchesTableEncoder) {
+  const auto [k, m] = GetParam();
+  auto code = RsCode::Create(k, m);
+  ASSERT_TRUE(code.ok());
+  auto bm = CrsBitmatrix::FromCode(*code);
+  for (size_t size : {8u, 64u, 1000u}) {
+    std::vector<Buffer> data = RandomBlocks(k, size, k * 31 + m);
+    const auto table_parity = code->Encode(Spans(data));
+    const auto xor_parity = bm.Encode(Spans(data));
+    ASSERT_EQ(xor_parity.size(), table_parity.size());
+    for (uint32_t j = 0; j < m; ++j) {
+      EXPECT_EQ(xor_parity[j], table_parity[j]) << "parity " << j;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Params, CrsEquivalenceTest,
+    ::testing::Values(RsParams{2, 1}, RsParams{3, 2}, RsParams{4, 3},
+                      RsParams{6, 3}, RsParams{1, 1}),
+    [](const ::testing::TestParamInfo<RsParams>& info) {
+      return "k" + std::to_string(info.param.k) + "m" +
+             std::to_string(info.param.m);
+    });
+
+// And therefore CRS-encoded parity decodes through the unchanged RS path.
+TEST(CrsBitmatrixTest, ParityDecodesViaRsCode) {
+  auto code = RsCode::Create(3, 2);
+  ASSERT_TRUE(code.ok());
+  auto bm = CrsBitmatrix::FromCode(*code);
+  std::vector<Buffer> data = RandomBlocks(3, 256, 77);
+  const auto parity = bm.Encode(Spans(data));
+  // Lose data blocks 0 and 2; recover from block 1 + both parities.
+  std::vector<std::pair<uint32_t, ByteSpan>> available = {
+      {1, ByteSpan(data[1])},
+      {3, ByteSpan(parity[0])},
+      {4, ByteSpan(parity[1])},
+  };
+  auto recovered = code->RecoverData(available);
+  ASSERT_TRUE(recovered.ok());
+  EXPECT_EQ((*recovered)[0], data[0]);
+  EXPECT_EQ((*recovered)[2], data[2]);
+}
+
+TEST(RsCodeTest, EncodeEmptyBlocks) {
+  auto code = RsCode::Create(2, 1);
+  ASSERT_TRUE(code.ok());
+  std::vector<Buffer> data(2);
+  auto parity = code->Encode(Spans(data));
+  ASSERT_EQ(parity.size(), 1u);
+  EXPECT_TRUE(parity[0].empty());
+}
+
+}  // namespace
+}  // namespace ring::rs

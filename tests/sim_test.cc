@@ -1,0 +1,243 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/net/fabric.h"
+#include "src/sim/event_queue.h"
+#include "src/sim/simulator.h"
+
+namespace ring::sim {
+namespace {
+
+TEST(EventQueueTest, RunsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.Schedule(30, [&] { order.push_back(3); });
+  q.Schedule(10, [&] { order.push_back(1); });
+  q.Schedule(20, [&] { order.push_back(2); });
+  while (q.RunNext()) {
+  }
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(q.now(), 30u);
+  EXPECT_EQ(q.executed(), 3u);
+}
+
+TEST(EventQueueTest, TiesBreakByInsertionOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    q.Schedule(100, [&order, i] { order.push_back(i); });
+  }
+  while (q.RunNext()) {
+  }
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueueTest, PastTimesClampToNow) {
+  EventQueue q;
+  std::vector<int> order;
+  q.Schedule(50, [&] {
+    order.push_back(1);
+    q.Schedule(10, [&] { order.push_back(2); });  // in the past -> now
+  });
+  while (q.RunNext()) {
+  }
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+  EXPECT_EQ(q.now(), 50u);
+}
+
+TEST(EventQueueTest, EventsCanScheduleEvents) {
+  EventQueue q;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 10) {
+      q.Schedule(q.now() + 5, recurse);
+    }
+  };
+  q.Schedule(0, recurse);
+  while (q.RunNext()) {
+  }
+  EXPECT_EQ(depth, 10);
+  EXPECT_EQ(q.now(), 45u);
+}
+
+TEST(SimulatorTest, RunUntilStopsAtTime) {
+  Simulator simulator;
+  int count = 0;
+  for (SimTime t = 10; t <= 100; t += 10) {
+    simulator.At(t, [&] { ++count; });
+  }
+  simulator.RunUntil(55);
+  EXPECT_EQ(count, 5);
+  EXPECT_EQ(simulator.now(), 55u);
+  simulator.RunUntil(200);
+  EXPECT_EQ(count, 10);
+}
+
+TEST(SimulatorTest, AfterSchedulesRelative) {
+  Simulator simulator;
+  SimTime fired = 0;
+  simulator.At(100, [&] {
+    simulator.After(25, [&] { fired = simulator.now(); });
+  });
+  simulator.Run();
+  EXPECT_EQ(fired, 125u);
+}
+
+TEST(CpuWorkerTest, SerializesWork) {
+  Simulator simulator;
+  CpuWorker cpu(&simulator);
+  std::vector<SimTime> completions;
+  // Three items of 100 ns submitted at t=0 complete at 100, 200, 300.
+  for (int i = 0; i < 3; ++i) {
+    cpu.Execute(100, [&] { completions.push_back(simulator.now()); });
+  }
+  simulator.Run();
+  EXPECT_EQ(completions, (std::vector<SimTime>{100, 200, 300}));
+  EXPECT_EQ(cpu.consumed_ns(), 300u);
+}
+
+TEST(CpuWorkerTest, IdleGapsDoNotAccumulate) {
+  Simulator simulator;
+  CpuWorker cpu(&simulator);
+  std::vector<SimTime> completions;
+  cpu.Execute(100, [&] { completions.push_back(simulator.now()); });
+  simulator.At(1000, [&] {
+    cpu.Execute(100, [&] { completions.push_back(simulator.now()); });
+  });
+  simulator.Run();
+  // Second item starts at 1000 (idle since 100), not at 200.
+  EXPECT_EQ(completions, (std::vector<SimTime>{100, 1100}));
+}
+
+TEST(CpuWorkerTest, BacklogReportsQueuedWork) {
+  Simulator simulator;
+  CpuWorker cpu(&simulator);
+  cpu.Execute(500, [] {});
+  cpu.Execute(500, [] {});
+  EXPECT_EQ(cpu.backlog_ns(), 1000u);
+  simulator.Run();
+  EXPECT_EQ(cpu.backlog_ns(), 0u);
+}
+
+}  // namespace
+}  // namespace ring::sim
+
+namespace ring::net {
+namespace {
+
+using sim::SimTime;
+
+class FabricTest : public ::testing::Test {
+ protected:
+  FabricTest() : simulator_(1), fabric_(&simulator_, 4) {}
+  sim::Simulator simulator_;
+  Fabric fabric_;
+};
+
+TEST_F(FabricTest, SendLatencyMatchesModel) {
+  SimTime delivered = 0;
+  fabric_.Send(0, 1, 1024, [&] { delivered = simulator_.now(); });
+  simulator_.Run();
+  const auto& p = simulator_.params();
+  const uint64_t expected =
+      fabric_.SerializationNs(1024) + p.wire_latency_ns + p.server_recv_ns;
+  EXPECT_EQ(delivered, expected);
+}
+
+TEST_F(FabricTest, EgressSerializesBackToBackMessages) {
+  std::vector<SimTime> arrivals;
+  // Two 5 KiB messages from the same source: the second departs only after
+  // the first finishes serializing.
+  fabric_.Send(0, 1, 5120, [&] { arrivals.push_back(simulator_.now()); });
+  fabric_.Send(0, 2, 5120, [&] { arrivals.push_back(simulator_.now()); });
+  simulator_.Run();
+  ASSERT_EQ(arrivals.size(), 2u);
+  EXPECT_EQ(arrivals[1] - arrivals[0], fabric_.SerializationNs(5120));
+}
+
+TEST_F(FabricTest, DistinctSourcesDoNotSerialize) {
+  std::vector<SimTime> arrivals;
+  fabric_.Send(0, 2, 5120, [&] { arrivals.push_back(simulator_.now()); });
+  fabric_.Send(1, 3, 5120, [&] { arrivals.push_back(simulator_.now()); });
+  simulator_.Run();
+  ASSERT_EQ(arrivals.size(), 2u);
+  EXPECT_EQ(arrivals[0], arrivals[1]);
+}
+
+TEST_F(FabricTest, DeadDestinationDropsMessage) {
+  bool delivered = false;
+  fabric_.Kill(1);
+  fabric_.Send(0, 1, 64, [&] { delivered = true; });
+  simulator_.Run();
+  EXPECT_FALSE(delivered);
+}
+
+TEST_F(FabricTest, DeadSourceSendsNothing) {
+  bool delivered = false;
+  fabric_.Kill(0);
+  fabric_.Send(0, 1, 64, [&] { delivered = true; });
+  simulator_.Run();
+  EXPECT_FALSE(delivered);
+  EXPECT_EQ(fabric_.messages_sent(), 0u);
+}
+
+TEST_F(FabricTest, NodeDyingInFlightDropsDelivery) {
+  bool delivered = false;
+  fabric_.Send(0, 1, 1 << 20, [&] { delivered = true; });
+  // Kill the destination while the (large) message is in flight.
+  simulator_.At(1000, [&] { fabric_.Kill(1); });
+  simulator_.Run();
+  EXPECT_FALSE(delivered);
+}
+
+TEST_F(FabricTest, WriteBypassesRemoteCpu) {
+  // Saturate node 1's CPU; an RDMA write must still apply on time, while a
+  // two-sided send queues behind the CPU work.
+  fabric_.cpu(1).Execute(1'000'000, [] {});
+  SimTime write_applied = 0;
+  SimTime send_handled = 0;
+  fabric_.Write(0, 1, 256, [&] { write_applied = simulator_.now(); }, nullptr);
+  fabric_.Send(0, 1, 256, [&] { send_handled = simulator_.now(); });
+  simulator_.Run();
+  EXPECT_LT(write_applied, 10'000u);
+  EXPECT_GT(send_handled, 1'000'000u);
+}
+
+TEST_F(FabricTest, WriteCompletionAfterRoundTrip) {
+  SimTime applied = 0;
+  SimTime completed = 0;
+  fabric_.Write(0, 1, 128, [&] { applied = simulator_.now(); },
+                [&] { completed = simulator_.now(); });
+  simulator_.Run();
+  EXPECT_GT(applied, 0u);
+  EXPECT_EQ(completed, applied + simulator_.params().wire_latency_ns);
+}
+
+TEST_F(FabricTest, ReadFetchesRemoteData) {
+  int value = 0;
+  int seen = -1;
+  fabric_.Read(0, 1, 4096, [&] { value = 7; },
+               [&] { seen = value; });
+  simulator_.Run();
+  EXPECT_EQ(seen, 7);
+}
+
+TEST_F(FabricTest, DeadTargetWriteNeverCompletes) {
+  bool completed = false;
+  fabric_.Kill(1);
+  fabric_.Write(0, 1, 128, nullptr, [&] { completed = true; });
+  simulator_.Run();
+  EXPECT_FALSE(completed);
+}
+
+TEST_F(FabricTest, CountersTrackTraffic) {
+  fabric_.Send(0, 1, 100, [] {});
+  fabric_.Send(1, 0, 200, [] {});
+  simulator_.Run();
+  EXPECT_EQ(fabric_.messages_sent(), 2u);
+  EXPECT_EQ(fabric_.bytes_sent(), 300u);
+}
+
+}  // namespace
+}  // namespace ring::net

@@ -1,0 +1,304 @@
+// ringctl: command-line driver for ad-hoc experiments on a simulated Ring
+// deployment. Everything the figure harnesses hard-code is a flag here, so
+// downstream users can probe their own configurations:
+//
+//   ringctl latency    --scheme=srs32 --size=4096 --reps=2000
+//   ringctl throughput --scheme=rep3 --clients=4 --rate=400000 --groups=5
+//   ringctl recover    --scheme=srs32 --entries=5000 --victim=1
+//   ringctl reliability --k=3 --m=2 --stretch=6
+//   ringctl schemes    --shards=4 --redundant=3
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "src/common/flags.h"
+#include "src/common/hash.h"
+#include "src/reliability/models.h"
+#include "src/ring/cluster.h"
+#include "src/workload/drivers.h"
+
+namespace ring {
+namespace {
+
+Result<MemgestDescriptor> SchemeFromName(const std::string& name) {
+  if (name.rfind("rep", 0) == 0 && name.size() == 4) {
+    const uint32_t r = static_cast<uint32_t>(name[3] - '0');
+    if (r >= 1 && r <= 9) {
+      return MemgestDescriptor::Replicated(r, name);
+    }
+  }
+  if (name.rfind("srs", 0) == 0 && name.size() == 5) {
+    const uint32_t k = static_cast<uint32_t>(name[3] - '0');
+    const uint32_t m = static_cast<uint32_t>(name[4] - '0');
+    if (k >= 1 && m >= 1) {
+      return MemgestDescriptor::ErasureCoded(k, m, name);
+    }
+  }
+  return InvalidArgumentError(
+      "scheme must be repN (e.g. rep3) or srsKM (e.g. srs32), got '" + name +
+      "'");
+}
+
+Key KeyInShard(uint32_t shard, uint32_t num_shards, int i) {
+  for (int salt = 0;; ++salt) {
+    Key k = "ctl" + std::to_string(i) + "-" + std::to_string(salt);
+    if (KeyShard(k, num_shards) == shard) {
+      return k;
+    }
+  }
+}
+
+int RunLatency(FlagSet& flags) {
+  auto desc = SchemeFromName(flags.GetString("scheme"));
+  if (!desc.ok()) {
+    std::fprintf(stderr, "%s\n", desc.status().ToString().c_str());
+    return 1;
+  }
+  RingOptions o;
+  o.s = static_cast<uint32_t>(flags.GetInt("shards"));
+  o.d = static_cast<uint32_t>(flags.GetInt("redundant"));
+  o.groups = static_cast<uint32_t>(flags.GetInt("groups"));
+  o.seed = static_cast<uint64_t>(flags.GetInt("seed"));
+  o.params.wire_jitter_ns = 400;
+  RingCluster cluster(o);
+  auto g = cluster.CreateMemgest(*desc);
+  if (!g.ok()) {
+    std::fprintf(stderr, "createMemgest: %s\n", g.status().ToString().c_str());
+    return 1;
+  }
+  workload::ClosedLoopDriver driver(&cluster);
+  const size_t size = static_cast<size_t>(flags.GetInt("size"));
+  const int reps = static_cast<int>(flags.GetInt("reps"));
+  const auto put = driver.MeasurePutLatency(*g, size, reps);
+  const auto get = driver.MeasureGetLatency(*g, size, reps);
+  const auto move = driver.MeasureMoveLatency(*g, *g, size, reps / 4 + 1);
+  std::printf("%s, %zu B objects, %d reps:\n", desc->ToString().c_str(), size,
+              reps);
+  std::printf("  put   median %7.2f us   p90 %7.2f us\n", put.Median(),
+              put.Percentile(90));
+  std::printf("  get   median %7.2f us   p90 %7.2f us\n", get.Median(),
+              get.Percentile(90));
+  std::printf("  move  median %7.2f us   p90 %7.2f us\n", move.Median(),
+              move.Percentile(90));
+  return 0;
+}
+
+int RunThroughput(FlagSet& flags) {
+  auto desc = SchemeFromName(flags.GetString("scheme"));
+  if (!desc.ok()) {
+    std::fprintf(stderr, "%s\n", desc.status().ToString().c_str());
+    return 1;
+  }
+  RingOptions o;
+  o.s = static_cast<uint32_t>(flags.GetInt("shards"));
+  o.d = static_cast<uint32_t>(flags.GetInt("redundant"));
+  o.groups = static_cast<uint32_t>(flags.GetInt("groups"));
+  o.clients = static_cast<uint32_t>(flags.GetInt("clients"));
+  o.seed = static_cast<uint64_t>(flags.GetInt("seed"));
+  o.params.client_retry_timeout_ns = 200 * sim::kMillisecond;
+  if (flags.GetBool("light-clients")) {
+    o.params.client_put_byte_ns = 0.0;
+    o.params.client_base_ns = 1800;
+  }
+  RingCluster cluster(o);
+  auto g = cluster.CreateMemgest(*desc);
+  if (!g.ok()) {
+    std::fprintf(stderr, "createMemgest: %s\n", g.status().ToString().c_str());
+    return 1;
+  }
+  workload::YcsbSpec spec;
+  spec.num_keys = static_cast<uint64_t>(flags.GetInt("keys"));
+  spec.value_len = static_cast<uint32_t>(flags.GetInt("size"));
+  spec.get_fraction = flags.GetDouble("get-fraction");
+  spec.zipfian = flags.GetBool("zipfian");
+  std::vector<std::unique_ptr<workload::OpenLoopDriver>> drivers;
+  for (uint32_t i = 0; i < o.clients; ++i) {
+    workload::OpenLoopDriver::Options opt;
+    opt.rate_per_sec = flags.GetDouble("rate");
+    opt.memgest = *g;
+    opt.spec = spec;
+    opt.seed = o.seed * 100 + i;
+    drivers.push_back(
+        std::make_unique<workload::OpenLoopDriver>(&cluster, i, opt));
+    drivers.back()->Start();
+  }
+  const double seconds = flags.GetDouble("seconds");
+  cluster.RunFor(static_cast<sim::SimTime>(0.25 * sim::kSecond));  // warm-up
+  uint64_t before = 0;
+  for (auto& d : drivers) {
+    before += d->completed();
+  }
+  cluster.RunFor(static_cast<sim::SimTime>(seconds * sim::kSecond));
+  uint64_t after = 0;
+  uint64_t dropped = 0;
+  for (auto& d : drivers) {
+    after += d->completed();
+    dropped += d->dropped();
+    d->Stop();
+  }
+  std::printf(
+      "%s: %u clients x %.0f req/s offered (%.0f%% gets), %u groups ->\n"
+      "  %.0f req/s sustained (%.1f%% of offered; %llu shed by flow "
+      "control)\n",
+      desc->ToString().c_str(), o.clients, flags.GetDouble("rate"),
+      spec.get_fraction * 100, o.groups,
+      static_cast<double>(after - before) / seconds,
+      100.0 * static_cast<double>(after - before) / seconds /
+          (flags.GetDouble("rate") * o.clients),
+      static_cast<unsigned long long>(dropped));
+  return 0;
+}
+
+int RunRecover(FlagSet& flags) {
+  auto desc = SchemeFromName(flags.GetString("scheme"));
+  if (!desc.ok()) {
+    std::fprintf(stderr, "%s\n", desc.status().ToString().c_str());
+    return 1;
+  }
+  RingOptions o;
+  o.s = static_cast<uint32_t>(flags.GetInt("shards"));
+  o.d = static_cast<uint32_t>(flags.GetInt("redundant"));
+  o.spares = 1;
+  o.seed = static_cast<uint64_t>(flags.GetInt("seed"));
+  RingCluster cluster(o);
+  auto g = cluster.CreateMemgest(*desc);
+  if (!g.ok()) {
+    std::fprintf(stderr, "createMemgest: %s\n", g.status().ToString().c_str());
+    return 1;
+  }
+  const uint32_t victim = static_cast<uint32_t>(flags.GetInt("victim"));
+  const int entries = static_cast<int>(flags.GetInt("entries"));
+  const size_t size = static_cast<size_t>(flags.GetInt("size"));
+  for (int i = 0; i < entries; ++i) {
+    (void)cluster.Put(KeyInShard(victim, o.groups * o.s, i),
+                      MakePatternBuffer(size, i), *g);
+  }
+  const uint64_t meta = cluster.server(victim).TotalMetadataBytes();
+  cluster.KillNode(victim, /*force_detect=*/true);
+  auto& spare = cluster.server(o.s + o.d);
+  if (!cluster.RunUntilDone([&] { return spare.serving(); })) {
+    std::fprintf(stderr, "spare never started serving\n");
+    return 1;
+  }
+  std::printf(
+      "%s: killed node %u holding %.1f KiB metadata (%d entries x %zu B "
+      "objects)\n  metadata recovery: %.1f us; first get after failover: ",
+      desc->ToString().c_str(), victim, meta / 1024.0, entries, size);
+  cluster.client(0).RefreshConfigNow();
+  auto& client = cluster.client(0);
+  client.ResetStats();
+  auto got = cluster.Get(KeyInShard(victim, o.groups * o.s, 0));
+  std::printf("%.1f us (%s)\n",
+              client.latencies().empty() ? -1.0
+                                         : client.latencies().values().back(),
+              got.ok() ? "ok" : got.status().ToString().c_str());
+  return 0;
+}
+
+int RunReliability(FlagSet& flags) {
+  const uint32_t k = static_cast<uint32_t>(flags.GetInt("k"));
+  const uint32_t m = static_cast<uint32_t>(flags.GetInt("m"));
+  const uint32_t stretch = static_cast<uint32_t>(flags.GetInt("stretch"));
+  auto code = srs::SrsCode::Create(k, m, stretch == 0 ? k : stretch);
+  if (!code.ok()) {
+    std::fprintf(stderr, "%s\n", code.status().ToString().c_str());
+    return 1;
+  }
+  reliability::Environment env;
+  env.node_failure_rate = flags.GetDouble("lambda");
+  env.dataset_bytes = flags.GetDouble("dataset-gib") * (1ULL << 30);
+  reliability::SrsModel model(*code, env);
+  const double r = model.Reliability(1.0);
+  const double a = model.IntervalAvailability(1.0);
+  std::printf("SRS(%u,%u,%u), lambda=%.1f/yr, dataset=%.0f GiB:\n", k, m,
+              code->s(), env.node_failure_rate,
+              env.dataset_bytes / (1ULL << 30));
+  std::printf("  annual reliability   %.10f (%.2f nines)\n", r,
+              reliability::Nines(r));
+  std::printf("  interval availability %.10f (%.2f nines)\n", a,
+              reliability::Nines(a));
+  std::printf("  storage overhead     %.2fx, tolerates >= %u failures\n",
+              code->StorageOverhead(), m);
+  return 0;
+}
+
+int RunSchemes(FlagSet& flags) {
+  const uint32_t s = static_cast<uint32_t>(flags.GetInt("shards"));
+  const uint32_t d = static_cast<uint32_t>(flags.GetInt("redundant"));
+  // §3.3: "the total number of different erasure coded storage schemes with
+  // given s equals s(s-1)/2" (k in 2..s, m in 1..min(k-1, d)) — plus the
+  // replication family.
+  std::printf("memgests available on an s=%u, d=%u group:\n", s, d);
+  std::printf("  replication: Rep(1..%u)\n", s + d);
+  int count = 0;
+  std::printf("  erasure coded:");
+  for (uint32_t k = 2; k <= s; ++k) {
+    for (uint32_t m = 1; m < k && m <= d; ++m) {
+      std::printf(" SRS(%u,%u,%u)", k, m, s);
+      ++count;
+    }
+  }
+  std::printf("\n  -> %d erasure-coded schemes (s(s-1)/2 = %u without the "
+              "m <= d bound), %u replicated\n",
+              count, s * (s - 1) / 2, s + d);
+  return 0;
+}
+
+int Main(int argc, char** argv) {
+  FlagSet flags("ringctl <latency|throughput|recover|reliability|schemes>");
+  flags.DefineString("scheme", "rep3", "storage scheme: repN or srsKM")
+      .DefineInt("shards", 3, "coordinator shards per group (s)")
+      .DefineInt("redundant", 2, "redundant slots (d)")
+      .DefineInt("groups", 1, "rotated memgest groups (1 = paper layout)")
+      .DefineInt("clients", 1, "load-generating clients")
+      .DefineInt("size", 1024, "object size in bytes")
+      .DefineInt("reps", 1000, "closed-loop repetitions")
+      .DefineInt("keys", 2000, "distinct keys in the workload")
+      .DefineInt("entries", 2000, "objects on the victim shard (recover)")
+      .DefineInt("victim", 1, "node to kill (recover)")
+      .DefineInt("seed", 7, "deterministic simulation seed")
+      .DefineInt("k", 3, "SRS data blocks (reliability)")
+      .DefineInt("m", 2, "SRS parity blocks (reliability)")
+      .DefineInt("stretch", 0, "SRS stretch s (0 = k, i.e. plain RS)")
+      .DefineDouble("rate", 200000, "offered load per client, req/s")
+      .DefineDouble("seconds", 1.0, "measurement window, simulated seconds")
+      .DefineDouble("get-fraction", 0.0, "fraction of gets in the mix")
+      .DefineDouble("lambda", 10.0, "node failure rate per year")
+      .DefineDouble("dataset-gib", 600.0, "protected dataset size")
+      .DefineBool("zipfian", true, "Zipfian (vs uniform) key popularity")
+      .DefineBool("light-clients", true,
+                  "lightweight load generators (Fig. 9 style)");
+  Status s = flags.Parse(argc, argv);
+  if (!s.ok()) {
+    std::fprintf(stderr, "%s\n", s.ToString().c_str());
+    return 2;
+  }
+  if (flags.positional().size() != 1) {
+    std::fprintf(stderr, "%s", flags.Usage().c_str());
+    return 2;
+  }
+  const std::string command = flags.positional()[0];
+  if (command == "latency") {
+    return RunLatency(flags);
+  }
+  if (command == "throughput") {
+    return RunThroughput(flags);
+  }
+  if (command == "recover") {
+    return RunRecover(flags);
+  }
+  if (command == "reliability") {
+    return RunReliability(flags);
+  }
+  if (command == "schemes") {
+    return RunSchemes(flags);
+  }
+  std::fprintf(stderr, "unknown command '%s'\n%s", command.c_str(),
+               flags.Usage().c_str());
+  return 2;
+}
+
+}  // namespace
+}  // namespace ring
+
+int main(int argc, char** argv) { return ring::Main(argc, argv); }
