@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "src/obs/hub.h"
 #include "src/ring/cluster.h"
 #include "src/workload/drivers.h"
 
@@ -54,6 +55,38 @@ inline void PrintLatencyRow(const std::string& label, size_t size,
   }
   std::printf("%-8s %6zu B   median %7.2f us   p90 %7.2f us\n", label.c_str(),
               size, s.Median(), s.Percentile(90));
+}
+
+inline void PrintBreakdownRow(const std::string& label,
+                              const obs::BreakdownMean& b) {
+  std::printf("%-14s network %6.2f  coding %6.2f  cpu %6.2f  queue %6.2f  "
+              "wait %6.2f  = %7.2f us end-to-end  (%llu ops)\n",
+              label.c_str(), b.network_us, b.coding_us, b.cpu_us, b.queue_us,
+              b.wait_us, b.total_us, static_cast<unsigned long long>(b.ops));
+}
+
+// Mean per-phase breakdown of the `opname` spans currently in the tracer.
+inline obs::BreakdownMean TracedBreakdown(RingCluster& cluster,
+                                          const char* opname) {
+  return obs::MeanBreakdown(
+      cluster.simulator().hub().tracer().OpBreakdowns(), opname);
+}
+
+// Runs one traced closed-loop put pass and prints its mean per-phase
+// breakdown. Leaves tracing in the state it found it, with the tracer
+// cleared, so surrounding measurements are unaffected.
+inline void PrintTracedPutBreakdown(RingCluster& cluster,
+                                    const std::string& label,
+                                    MemgestId memgest, size_t size, int reps) {
+  obs::Hub& hub = cluster.simulator().hub();
+  const bool was_tracing = hub.tracing_enabled();
+  hub.tracer().Clear();
+  hub.EnableTracing(true);
+  workload::ClosedLoopDriver driver(&cluster);
+  driver.MeasurePutLatency(memgest, size, reps);
+  hub.EnableTracing(was_tracing);
+  PrintBreakdownRow(label, TracedBreakdown(cluster, "put"));
+  hub.tracer().Clear();
 }
 
 }  // namespace ring::bench

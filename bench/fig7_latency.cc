@@ -36,5 +36,13 @@ int main() {
   std::printf("\n");
   bench::PrintLatencyRow("get:SRS32", 1024,
                          driver.MeasureGetLatency(m.srs32, 1024, reps));
+
+  // Where the time goes: traced per-phase means for 1 KiB puts (network
+  // flight + serialization, coding CPU, other CPU, queueing, quorum wait).
+  std::printf("\n# per-phase put breakdown at 1024 B (means in us)\n");
+  for (const auto& [label, id] : schemes) {
+    bench::PrintTracedPutBreakdown(cluster, std::string("put:") + label, id,
+                                   1024, 200);
+  }
   return 0;
 }

@@ -52,6 +52,16 @@ void RunScheme(const char* label, ring::MemgestDescriptor desc) {
                 static_cast<double>(completed - last_completed) / 0.25);
     last_completed = completed;
   }
+  // Traced slice at saturation: where a put's time goes once all four
+  // clients are loaded. Runs after the measured window so the throughput
+  // numbers above are identical to an untraced run.
+  auto& hub = cluster.simulator().hub();
+  hub.EnableTracing(true);
+  cluster.RunFor(50 * ring::sim::kMillisecond);
+  hub.EnableTracing(false);
+  bench::PrintBreakdownRow("  saturated put",
+                           bench::TracedBreakdown(cluster, "put"));
+  hub.tracer().Clear();
   for (auto& d : drivers) {
     d->Stop();
   }

@@ -5,6 +5,8 @@
 namespace ring {
 namespace {
 LogLevel g_level = LogLevel::kNone;
+thread_local uint64_t tl_sim_time_ns = 0;
+thread_local int32_t tl_node = kLogNoNode;
 
 const char* LevelTag(LogLevel level) {
   switch (level) {
@@ -25,9 +27,20 @@ const char* LevelTag(LogLevel level) {
 void SetLogLevel(LogLevel level) { g_level = level; }
 LogLevel GetLogLevel() { return g_level; }
 
+void SetLogSimTime(uint64_t sim_time_ns) { tl_sim_time_ns = sim_time_ns; }
+void SetLogNode(int32_t node) { tl_node = node; }
+
 namespace internal {
 void EmitLog(LogLevel level, const std::string& message) {
-  std::fprintf(stderr, "[%s] %s\n", LevelTag(level), message.c_str());
+  if (tl_node != kLogNoNode) {
+    std::fprintf(stderr, "[%s %12.3fus n%d] %s\n", LevelTag(level),
+                 static_cast<double>(tl_sim_time_ns) / 1000.0, tl_node,
+                 message.c_str());
+  } else {
+    std::fprintf(stderr, "[%s %12.3fus] %s\n", LevelTag(level),
+                 static_cast<double>(tl_sim_time_ns) / 1000.0,
+                 message.c_str());
+  }
 }
 }  // namespace internal
 

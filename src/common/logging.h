@@ -3,6 +3,7 @@
 #ifndef RING_SRC_COMMON_LOGGING_H_
 #define RING_SRC_COMMON_LOGGING_H_
 
+#include <cstdint>
 #include <sstream>
 #include <string>
 
@@ -19,6 +20,15 @@ enum class LogLevel : int {
 // Global threshold; messages above it are discarded.
 void SetLogLevel(LogLevel level);
 LogLevel GetLogLevel();
+
+// Simulation context prefixed onto every log line, so debug logs from a
+// deterministic run correlate with traces. The simulator sets the time
+// before dispatching each event; handlers set the node. Thread-local, so
+// tests running simulations in parallel don't interleave contexts.
+void SetLogSimTime(uint64_t sim_time_ns);
+// Pass kLogNoNode to clear.
+inline constexpr int32_t kLogNoNode = -1;
+void SetLogNode(int32_t node);
 
 namespace internal {
 void EmitLog(LogLevel level, const std::string& message);

@@ -35,10 +35,18 @@ double Samples::Stddev() const {
   return std::sqrt(acc / static_cast<double>(values_.size()));
 }
 
+const std::vector<double>& Samples::Sorted() const {
+  if (!sorted_valid_) {
+    sorted_ = values_;
+    std::sort(sorted_.begin(), sorted_.end());
+    sorted_valid_ = true;
+  }
+  return sorted_;
+}
+
 double Samples::Percentile(double p) const {
   assert(!values_.empty());
-  std::vector<double> sorted = values_;
-  std::sort(sorted.begin(), sorted.end());
+  const std::vector<double>& sorted = Sorted();
   if (sorted.size() == 1) {
     return sorted[0];
   }

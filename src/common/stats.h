@@ -8,11 +8,19 @@
 
 namespace ring {
 
-// Accumulates samples; percentile queries sort a private copy lazily.
+// Accumulates samples; percentile queries sort a private copy lazily and
+// cache it, so back-to-back Percentile(50)/Percentile(90) calls sort once.
 class Samples {
  public:
-  void Add(double v) { values_.push_back(v); }
-  void Clear() { values_.clear(); }
+  void Add(double v) {
+    values_.push_back(v);
+    sorted_valid_ = false;
+  }
+  void Clear() {
+    values_.clear();
+    sorted_.clear();
+    sorted_valid_ = false;
+  }
 
   size_t count() const { return values_.size(); }
   bool empty() const { return values_.empty(); }
@@ -28,7 +36,11 @@ class Samples {
   const std::vector<double>& values() const { return values_; }
 
  private:
+  const std::vector<double>& Sorted() const;
+
   std::vector<double> values_;
+  mutable std::vector<double> sorted_;
+  mutable bool sorted_valid_ = false;
 };
 
 }  // namespace ring

@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "src/obs/hub.h"
+
 namespace ring::net {
 
 Fabric::Fabric(sim::Simulator* simulator, uint32_t num_nodes)
@@ -10,7 +12,7 @@ Fabric::Fabric(sim::Simulator* simulator, uint32_t num_nodes)
       egress_busy_(num_nodes, 0) {
   cpus_.reserve(num_nodes);
   for (uint32_t i = 0; i < num_nodes; ++i) {
-    cpus_.push_back(std::make_unique<sim::CpuWorker>(simulator));
+    cpus_.push_back(std::make_unique<sim::CpuWorker>(simulator, i));
   }
 }
 
@@ -21,14 +23,28 @@ uint64_t Fabric::SerializationNs(uint64_t payload_bytes) const {
       p.link_bytes_per_ns);
 }
 
-sim::SimTime Fabric::Depart(NodeId src, uint64_t payload_bytes) {
-  const sim::SimTime start =
+Fabric::Departure Fabric::Depart(NodeId src, NodeId dst,
+                                 uint64_t payload_bytes) {
+  const sim::SimTime ser_start =
       egress_busy_[src] > sim_->now() ? egress_busy_[src] : sim_->now();
-  egress_busy_[src] = start + SerializationNs(payload_bytes);
+  egress_busy_[src] = ser_start + SerializationNs(payload_bytes);
   ++messages_sent_;
   bytes_sent_ += payload_bytes;
+  obs::Hub& hub = sim_->hub();
+  if (hub.tracing_enabled() && ser_start > sim_->now()) {
+    hub.tracer().Record("egress_queue", obs::Category::kQueue, src,
+                        hub.current_op(), sim_->now(), ser_start);
+  }
+  if (hub.metrics_enabled()) {
+    hub.metrics().Inc("net.messages", 1, src);
+    hub.metrics().CountLink(
+        src, dst, payload_bytes + sim_->params().wire_message_overhead_bytes);
+  }
   const uint64_t jitter = sim_->params().wire_jitter_ns;
-  return egress_busy_[src] + (jitter ? sim_->rng().NextBelow(jitter) : 0);
+  const sim::SimTime arrival = egress_busy_[src] +
+                               (jitter ? sim_->rng().NextBelow(jitter) : 0) +
+                               sim_->params().wire_latency_ns;
+  return Departure{ser_start, arrival};
 }
 
 void Fabric::Send(NodeId src, NodeId dst, uint64_t payload_bytes,
@@ -36,12 +52,19 @@ void Fabric::Send(NodeId src, NodeId dst, uint64_t payload_bytes,
   if (!alive_[src]) {
     return;
   }
-  const sim::SimTime arrival =
-      Depart(src, payload_bytes) + sim_->params().wire_latency_ns;
-  sim_->At(arrival, [this, dst, handler = std::move(handler)]() mutable {
+  obs::Hub& hub = sim_->hub();
+  const uint64_t op = hub.current_op();
+  const Departure d = Depart(src, dst, payload_bytes);
+  hub.tracer().Record("wire", obs::Category::kNetwork, src, op, d.ser_start,
+                      d.arrival);
+  sim_->At(d.arrival, [this, dst, op,
+                       handler = std::move(handler)]() mutable {
     if (!alive_[dst]) {
       return;  // fail-stop: dead nodes neither receive nor respond
     }
+    // Re-establish the sender's op context around the receive-cost charge so
+    // the queue/busy spans it records stitch into the same distributed trace.
+    obs::ScopedOp scope(sim_->hub(), op);
     cpus_[dst]->Execute(sim_->params().server_recv_ns, std::move(handler));
   });
 }
@@ -52,23 +75,31 @@ void Fabric::Write(NodeId src, NodeId dst, uint64_t payload_bytes,
   if (!alive_[src]) {
     return;
   }
-  const sim::SimTime arrival =
-      Depart(src, payload_bytes) + sim_->params().wire_latency_ns;
-  sim_->At(arrival, [this, src, dst, apply = std::move(apply),
-                     on_complete = std::move(on_complete)]() mutable {
+  obs::Hub& hub = sim_->hub();
+  const uint64_t op = hub.current_op();
+  const Departure d = Depart(src, dst, payload_bytes);
+  hub.tracer().Record("rdma_write", obs::Category::kNetwork, src, op,
+                      d.ser_start, d.arrival);
+  sim_->At(d.arrival, [this, src, dst, op, apply = std::move(apply),
+                       on_complete = std::move(on_complete)]() mutable {
     if (!alive_[dst]) {
       return;  // no ack: the sender's completion never fires
     }
+    obs::ScopedOp scope(sim_->hub(), op);
     if (apply) {
       apply();  // NIC DMA: remote memory changes without CPU involvement
     }
     // Hardware ack back to the source.
-    sim_->After(sim_->params().wire_latency_ns,
-                [this, src, on_complete = std::move(on_complete)]() mutable {
-                  if (alive_[src] && on_complete) {
-                    on_complete();
-                  }
-                });
+    const uint64_t latency = sim_->params().wire_latency_ns;
+    sim_->hub().tracer().Record("rdma_ack", obs::Category::kNetwork, dst, op,
+                                sim_->now(), sim_->now() + latency);
+    sim_->After(latency, [this, src, op,
+                          on_complete = std::move(on_complete)]() mutable {
+      if (alive_[src] && on_complete) {
+        obs::ScopedOp ack_scope(sim_->hub(), op);
+        on_complete();
+      }
+    });
   });
 }
 
@@ -78,22 +109,29 @@ void Fabric::Read(NodeId src, NodeId dst, uint64_t response_bytes,
   if (!alive_[src]) {
     return;
   }
+  obs::Hub& hub = sim_->hub();
+  const uint64_t op = hub.current_op();
   // Request message is small (a work request descriptor).
-  const sim::SimTime arrival =
-      Depart(src, 0) + sim_->params().wire_latency_ns;
-  sim_->At(arrival, [this, src, dst, response_bytes,
-                     fetch = std::move(fetch),
-                     on_complete = std::move(on_complete)]() mutable {
+  const Departure req = Depart(src, dst, 0);
+  hub.tracer().Record("rdma_read_req", obs::Category::kNetwork, src, op,
+                      req.ser_start, req.arrival);
+  sim_->At(req.arrival, [this, src, dst, response_bytes, op,
+                         fetch = std::move(fetch),
+                         on_complete = std::move(on_complete)]() mutable {
     if (!alive_[dst]) {
       return;
     }
+    obs::ScopedOp scope(sim_->hub(), op);
     if (fetch) {
       fetch();
     }
-    const sim::SimTime back = Depart(dst, response_bytes) +
-                              sim_->params().wire_latency_ns;
-    sim_->At(back, [this, src, on_complete = std::move(on_complete)]() mutable {
+    const Departure resp = Depart(dst, src, response_bytes);
+    sim_->hub().tracer().Record("rdma_read_resp", obs::Category::kNetwork,
+                                dst, op, resp.ser_start, resp.arrival);
+    sim_->At(resp.arrival, [this, src, op,
+                            on_complete = std::move(on_complete)]() mutable {
       if (alive_[src] && on_complete) {
+        obs::ScopedOp resp_scope(sim_->hub(), op);
         on_complete();
       }
     });

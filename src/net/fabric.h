@@ -66,8 +66,14 @@ class Fabric {
   uint64_t bytes_sent() const { return bytes_sent_; }
 
  private:
-  // Departure time after egress serialization on src's NIC.
-  sim::SimTime Depart(NodeId src, uint64_t payload_bytes);
+  // Egress serialization on src's NIC: when the message started serializing
+  // and when it arrives at dst (serialization + jitter + wire latency).
+  // Records the egress-queue span and per-link byte counters.
+  struct Departure {
+    sim::SimTime ser_start;
+    sim::SimTime arrival;
+  };
+  Departure Depart(NodeId src, NodeId dst, uint64_t payload_bytes);
 
   sim::Simulator* sim_;
   std::vector<std::unique_ptr<sim::CpuWorker>> cpus_;

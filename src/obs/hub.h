@@ -1,0 +1,64 @@
+// Hub: per-simulation bundle of the metrics registry and the span tracer,
+// plus the "current operation" context used to stitch distributed traces.
+//
+// The simulator is single-threaded, so the current op is a plain member set
+// by ScopedOp around handler bodies. Context does not survive scheduled
+// events automatically — code that defers work through CpuWorker::Execute or
+// Fabric::Send must re-establish it from the op_id carried in the message.
+#ifndef RING_SRC_OBS_HUB_H_
+#define RING_SRC_OBS_HUB_H_
+
+#include <cstdint>
+
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+
+namespace ring::obs {
+
+// Globally unique operation id: issuing client node in the high 32 bits,
+// client-local request id in the low 32. Never 0 for a real operation.
+inline uint64_t MakeOpId(uint32_t client_node, uint32_t req_id) {
+  return (static_cast<uint64_t>(client_node + 1) << 32) | req_id;
+}
+
+class Hub {
+ public:
+  Metrics& metrics() { return metrics_; }
+  const Metrics& metrics() const { return metrics_; }
+  Tracer& tracer() { return tracer_; }
+  const Tracer& tracer() const { return tracer_; }
+
+  void EnableMetrics(bool on) { metrics_.Enable(on); }
+  void EnableTracing(bool on) { tracer_.Enable(on); }
+  bool metrics_enabled() const { return metrics_.enabled(); }
+  bool tracing_enabled() const { return tracer_.enabled(); }
+
+  uint64_t current_op() const { return current_op_; }
+  void set_current_op(uint64_t op_id) { current_op_ = op_id; }
+
+ private:
+  Metrics metrics_;
+  Tracer tracer_;
+  uint64_t current_op_ = 0;
+};
+
+// RAII guard establishing the current op for the dynamic extent of a handler
+// body. Restores the previous op on destruction, so nested scopes (client op
+// enclosing a fabric delivery) behave.
+class ScopedOp {
+ public:
+  ScopedOp(Hub& hub, uint64_t op_id) : hub_(hub), prev_(hub.current_op()) {
+    hub_.set_current_op(op_id);
+  }
+  ~ScopedOp() { hub_.set_current_op(prev_); }
+  ScopedOp(const ScopedOp&) = delete;
+  ScopedOp& operator=(const ScopedOp&) = delete;
+
+ private:
+  Hub& hub_;
+  uint64_t prev_;
+};
+
+}  // namespace ring::obs
+
+#endif  // RING_SRC_OBS_HUB_H_

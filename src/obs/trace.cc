@@ -1,0 +1,311 @@
+#include "src/obs/trace.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <unordered_map>
+
+namespace ring::obs {
+
+const char* CategoryName(Category c) {
+  switch (c) {
+    case Category::kOp:
+      return "op";
+    case Category::kNetwork:
+      return "network";
+    case Category::kCpu:
+      return "cpu";
+    case Category::kCoding:
+      return "coding";
+    case Category::kQueue:
+      return "queue";
+    case Category::kQuorum:
+      return "quorum";
+    case Category::kRecovery:
+      return "recovery";
+    case Category::kOther:
+      return "other";
+  }
+  return "?";
+}
+
+namespace {
+
+// Attribution priority for the breakdown sweep: when several spans cover the
+// same instant, the most specific mechanism wins. Quorum/recovery/other
+// spans attribute to the wait bucket (priority 0) — what they overlap is
+// covered by the cpu/network spans of the remote work they wait on.
+int Priority(Category c) {
+  switch (c) {
+    case Category::kCoding:
+      return 4;
+    case Category::kCpu:
+      return 3;
+    case Category::kNetwork:
+      return 2;
+    case Category::kQueue:
+      return 1;
+    default:
+      return 0;
+  }
+}
+
+void AddToBucket(OpBreakdown& b, int priority, uint64_t ns) {
+  switch (priority) {
+    case 4:
+      b.coding_ns += ns;
+      break;
+    case 3:
+      b.cpu_ns += ns;
+      break;
+    case 2:
+      b.network_ns += ns;
+      break;
+    case 1:
+      b.queue_ns += ns;
+      break;
+    default:
+      b.wait_ns += ns;
+      break;
+  }
+}
+
+}  // namespace
+
+std::vector<OpBreakdown> Tracer::OpBreakdowns() const {
+  std::unordered_map<uint64_t, std::vector<const Span*>> by_op;
+  for (const Span& span : spans_) {
+    if (span.category != Category::kOp && span.op_id != 0) {
+      by_op[span.op_id].push_back(&span);
+    }
+  }
+  std::vector<OpBreakdown> out;
+  for (const Span& op : spans_) {
+    if (op.category != Category::kOp) {
+      continue;
+    }
+    OpBreakdown b;
+    b.name = op.name;
+    b.op_id = op.op_id;
+    b.node = op.node;
+    b.start = op.start;
+    b.end = op.end;
+
+    // Boundary sweep over the op's tagged spans, clipped to [start, end]:
+    // each inter-boundary interval is attributed to the highest-priority
+    // active category (wait when none is active).
+    struct Boundary {
+      uint64_t t;
+      int priority;
+      int delta;  // +1 open, -1 close
+    };
+    std::vector<Boundary> bounds;
+    if (const auto it = by_op.find(op.op_id); it != by_op.end()) {
+      bounds.reserve(it->second.size() * 2);
+      for (const Span* s : it->second) {
+        const uint64_t lo = std::max(s->start, op.start);
+        const uint64_t hi = std::min(s->end, op.end);
+        if (lo >= hi) {
+          continue;
+        }
+        const int pr = Priority(s->category);
+        bounds.push_back({lo, pr, +1});
+        bounds.push_back({hi, pr, -1});
+      }
+    }
+    std::sort(bounds.begin(), bounds.end(),
+              [](const Boundary& a, const Boundary& c) { return a.t < c.t; });
+    int active[5] = {};
+    int top = 0;
+    uint64_t prev = op.start;
+    size_t i = 0;
+    while (i < bounds.size()) {
+      const uint64_t t = bounds[i].t;
+      if (t > prev) {
+        AddToBucket(b, top, t - prev);
+        prev = t;
+      }
+      while (i < bounds.size() && bounds[i].t == t) {
+        active[bounds[i].priority] += bounds[i].delta;
+        ++i;
+      }
+      top = 0;
+      for (int pr = 4; pr >= 1; --pr) {
+        if (active[pr] > 0) {
+          top = pr;
+          break;
+        }
+      }
+    }
+    if (op.end > prev) {
+      AddToBucket(b, top, op.end - prev);
+    }
+    out.push_back(b);
+  }
+  return out;
+}
+
+BreakdownMean MeanBreakdown(const std::vector<OpBreakdown>& breakdowns,
+                            const char* name_filter) {
+  BreakdownMean m;
+  uint64_t coding = 0, cpu = 0, network = 0, queue = 0, wait = 0, total = 0;
+  for (const OpBreakdown& b : breakdowns) {
+    if (name_filter != nullptr && std::strcmp(b.name, name_filter) != 0) {
+      continue;
+    }
+    ++m.ops;
+    coding += b.coding_ns;
+    cpu += b.cpu_ns;
+    network += b.network_ns;
+    queue += b.queue_ns;
+    wait += b.wait_ns;
+    total += b.total_ns();
+  }
+  if (m.ops == 0) {
+    return m;
+  }
+  const double scale = 1.0 / (1000.0 * static_cast<double>(m.ops));
+  m.coding_us = static_cast<double>(coding) * scale;
+  m.cpu_us = static_cast<double>(cpu) * scale;
+  m.network_us = static_cast<double>(network) * scale;
+  m.queue_us = static_cast<double>(queue) * scale;
+  m.wait_us = static_cast<double>(wait) * scale;
+  m.total_us = static_cast<double>(total) * scale;
+  return m;
+}
+
+std::string Tracer::ChromeTraceJson() const {
+  // Breakdowns attached to op-span B events, keyed by op_id (one op span per
+  // operation by construction).
+  std::unordered_map<uint64_t, OpBreakdown> breakdowns;
+  for (const OpBreakdown& b : OpBreakdowns()) {
+    breakdowns[b.op_id] = b;
+  }
+
+  // One B and one E event per span. Ordering at equal timestamps: closing
+  // spans first (rank 0), then opening spans (rank 1), then the E of
+  // zero-duration spans (rank 2, so a marker's E follows its own B).
+  struct Event {
+    uint64_t t;
+    int rank;
+    uint64_t seq;
+    const Span* span;
+    bool begin;
+  };
+  std::vector<Event> events;
+  events.reserve(spans_.size() * 2);
+  for (size_t i = 0; i < spans_.size(); ++i) {
+    const Span& s = spans_[i];
+    events.push_back({s.start, 1, i, &s, true});
+    events.push_back({s.end, s.end == s.start ? 2 : 0, i, &s, false});
+  }
+  std::sort(events.begin(), events.end(), [](const Event& a, const Event& b) {
+    if (a.t != b.t) {
+      return a.t < b.t;
+    }
+    if (a.rank != b.rank) {
+      return a.rank < b.rank;
+    }
+    return a.seq < b.seq;
+  });
+
+  std::ostringstream os;
+  os << "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[";
+  char buf[512];
+  bool first = true;
+  for (const Event& e : events) {
+    const Span& s = *e.span;
+    if (!first) {
+      os << ",";
+    }
+    first = false;
+    const double ts_us = static_cast<double>(e.t) / 1000.0;
+    if (e.begin) {
+      std::snprintf(buf, sizeof(buf),
+                    "\n{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"B\","
+                    "\"ts\":%.3f,\"pid\":0,\"tid\":%u",
+                    s.name, CategoryName(s.category), ts_us, s.node);
+      os << buf;
+      if (s.category == Category::kOp) {
+        const auto it = breakdowns.find(s.op_id);
+        if (it != breakdowns.end()) {
+          const OpBreakdown& b = it->second;
+          std::snprintf(
+              buf, sizeof(buf),
+              ",\"args\":{\"op_id\":%" PRIu64 ",\"network_ns\":%" PRIu64
+              ",\"cpu_ns\":%" PRIu64 ",\"coding_ns\":%" PRIu64
+              ",\"queue_ns\":%" PRIu64 ",\"wait_ns\":%" PRIu64
+              ",\"total_ns\":%" PRIu64 "}",
+              b.op_id, b.network_ns, b.cpu_ns, b.coding_ns, b.queue_ns,
+              b.wait_ns, b.total_ns());
+          os << buf;
+        }
+      } else if (s.op_id != 0) {
+        std::snprintf(buf, sizeof(buf), ",\"args\":{\"op_id\":%" PRIu64 "}",
+                      s.op_id);
+        os << buf;
+      }
+      os << "}";
+    } else {
+      std::snprintf(buf, sizeof(buf),
+                    "\n{\"ph\":\"E\",\"ts\":%.3f,\"pid\":0,\"tid\":%u}",
+                    ts_us, s.node);
+      os << buf;
+    }
+  }
+  os << "\n]}\n";
+  return os.str();
+}
+
+bool Tracer::WriteChromeTrace(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    return false;
+  }
+  out << ChromeTraceJson();
+  return static_cast<bool>(out);
+}
+
+std::string Tracer::Summary() const {
+  struct Agg {
+    uint64_t count = 0;
+    uint64_t total_ns = 0;
+  };
+  std::map<std::pair<std::string, Category>, Agg> by_name;
+  for (const Span& s : spans_) {
+    Agg& a = by_name[{s.name, s.category}];
+    ++a.count;
+    a.total_ns += s.end - s.start;
+  }
+  std::vector<std::pair<std::pair<std::string, Category>, Agg>> rows(
+      by_name.begin(), by_name.end());
+  std::sort(rows.begin(), rows.end(), [](const auto& a, const auto& b) {
+    return a.second.total_ns > b.second.total_ns;
+  });
+  std::ostringstream os;
+  char line[256];
+  std::snprintf(line, sizeof(line), "%-20s %-10s %10s %14s %12s\n", "span",
+                "category", "count", "total_us", "mean_us");
+  os << line;
+  for (const auto& [key, a] : rows) {
+    std::snprintf(line, sizeof(line), "%-20s %-10s %10" PRIu64 " %14.1f %12.2f\n",
+                  key.first.c_str(), CategoryName(key.second), a.count,
+                  static_cast<double>(a.total_ns) / 1000.0,
+                  static_cast<double>(a.total_ns) / 1000.0 /
+                      static_cast<double>(a.count));
+    os << line;
+  }
+  if (dropped_ > 0) {
+    std::snprintf(line, sizeof(line),
+                  "(%" PRIu64 " spans dropped at capacity %zu)\n", dropped_,
+                  capacity_);
+    os << line;
+  }
+  return os.str();
+}
+
+}  // namespace ring::obs

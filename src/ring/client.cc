@@ -26,16 +26,24 @@ void RingClient::RefreshConfig() {
 }
 
 template <typename Fn>
-auto RingClient::Complete(uint64_t req_id, sim::SimTime start, Fn cb) {
-  return [this, req_id, start, cb](auto&&... args) {
+auto RingClient::Complete(uint64_t req_id, sim::SimTime start,
+                          const char* opname, obs::OpKind kind,
+                          MemgestId memgest, Fn cb) {
+  return [this, req_id, start, opname, kind, memgest, cb](auto&&... args) {
     auto it = outstanding_.find(req_id);
     if (it == outstanding_.end() || it->second.done) {
       return;  // duplicate reply (multicast raced with the original)
     }
     outstanding_.erase(it);
     ++completed_;
-    latencies_.Add(static_cast<double>(rt_->simulator().now() - start) /
-                   1000.0);
+    const sim::SimTime end = rt_->simulator().now();
+    latencies_.Add(static_cast<double>(end - start) / 1000.0);
+    obs::Hub& hub = rt_->simulator().hub();
+    hub.tracer().Record(opname, obs::Category::kOp, node_, OpId(req_id),
+                        start, end);
+    hub.metrics().Inc("client.ops", 1, node_, memgest, kind);
+    hub.metrics().Observe("client.op_latency_ns", end - start, node_, memgest,
+                          kind);
     cb(std::forward<decltype(args)>(args)...);
   };
 }
@@ -88,16 +96,19 @@ void RingClient::Put(const Key& key, std::shared_ptr<Buffer> value,
   cpu().Execute(issue_cost, [this, key, value = std::move(value), memgest,
                              cb = std::move(cb), req_id, len] {
     const sim::SimTime start = rt_->simulator().now();
-    auto reply = Complete(req_id, start, cb);
+    auto reply = Complete(req_id, start, "put", obs::OpKind::kPut, memgest,
+                          cb);
     const uint64_t bytes = kHeaderBytes + key.size() + len;
     auto send = [this, key, value, memgest, req_id, reply,
                  bytes](bool broadcast) {
+      obs::ScopedOp scope(rt_->simulator().hub(), OpId(req_id));
       PutRequest r;
       r.key = key;
       r.value = value;
       r.memgest = memgest;
       r.client = node_;
       r.req_id = req_id;
+      r.op_id = OpId(req_id);
       r.retry = broadcast;
       r.reply = reply;
       if (!broadcast) {
@@ -126,13 +137,16 @@ void RingClient::Get(const Key& key, GetCallback cb) {
   cpu().Execute(p.client_base_ns + p.client_post_ns,
                 [this, key, cb = std::move(cb), req_id] {
     const sim::SimTime start = rt_->simulator().now();
-    auto reply = Complete(req_id, start, cb);
+    auto reply = Complete(req_id, start, "get", obs::OpKind::kGet,
+                          obs::kNoMemgest, cb);
     const uint64_t bytes = kHeaderBytes + key.size();
     auto send = [this, key, req_id, reply, bytes](bool broadcast) {
+      obs::ScopedOp scope(rt_->simulator().hub(), OpId(req_id));
       GetRequest r;
       r.key = key;
       r.client = node_;
       r.req_id = req_id;
+      r.op_id = OpId(req_id);
       r.retry = broadcast;
       r.reply = reply;
       if (!broadcast) {
@@ -163,14 +177,16 @@ void RingClient::Move(const Key& key, MemgestId dst, PutCallback cb) {
   cpu().Execute(p.client_base_ns + p.client_post_ns,
                 [this, key, dst, cb = std::move(cb), req_id] {
     const sim::SimTime start = rt_->simulator().now();
-    auto reply = Complete(req_id, start, cb);
+    auto reply = Complete(req_id, start, "move", obs::OpKind::kMove, dst, cb);
     const uint64_t bytes = kHeaderBytes + key.size();
     auto send = [this, key, dst, req_id, reply, bytes](bool broadcast) {
+      obs::ScopedOp scope(rt_->simulator().hub(), OpId(req_id));
       MoveRequest r;
       r.key = key;
       r.dst = dst;
       r.client = node_;
       r.req_id = req_id;
+      r.op_id = OpId(req_id);
       r.retry = broadcast;
       r.reply = reply;
       if (!broadcast) {
@@ -199,13 +215,16 @@ void RingClient::Delete(const Key& key, StatusCallback cb) {
   cpu().Execute(p.client_base_ns + p.client_post_ns,
                 [this, key, cb = std::move(cb), req_id] {
     const sim::SimTime start = rt_->simulator().now();
-    auto reply = Complete(req_id, start, cb);
+    auto reply = Complete(req_id, start, "delete", obs::OpKind::kDelete,
+                          obs::kNoMemgest, cb);
     const uint64_t bytes = kHeaderBytes + key.size();
     auto send = [this, key, req_id, reply, bytes](bool broadcast) {
+      obs::ScopedOp scope(rt_->simulator().hub(), OpId(req_id));
       DeleteRequest r;
       r.key = key;
       r.client = node_;
       r.req_id = req_id;
+      r.op_id = OpId(req_id);
       r.retry = broadcast;
       r.reply = reply;
       if (!broadcast) {
@@ -235,7 +254,8 @@ void RingClient::CreateMemgest(const MemgestDescriptor& desc,
   cpu().Execute(p.client_base_ns + p.client_post_ns,
                 [this, desc, cb = std::move(cb), req_id] {
     const sim::SimTime start = rt_->simulator().now();
-    auto reply = Complete(req_id, start, cb);
+    auto reply = Complete(req_id, start, "admin", obs::OpKind::kAdmin,
+                          obs::kNoMemgest, cb);
     auto send = [this, desc, req_id, reply](bool broadcast) {
       (void)broadcast;
       RefreshConfig();
@@ -261,7 +281,8 @@ void RingClient::DeleteMemgest(MemgestId id, AdminCallback cb) {
   cpu().Execute(p.client_base_ns + p.client_post_ns,
                 [this, id, cb = std::move(cb), req_id] {
     const sim::SimTime start = rt_->simulator().now();
-    auto reply = Complete(req_id, start, cb);
+    auto reply = Complete(req_id, start, "admin", obs::OpKind::kAdmin,
+                          obs::kNoMemgest, cb);
     auto send = [this, id, reply](bool) {
       RefreshConfig();
       AdminRequest r;
@@ -286,7 +307,8 @@ void RingClient::SetDefaultMemgest(MemgestId id, AdminCallback cb) {
   cpu().Execute(p.client_base_ns + p.client_post_ns,
                 [this, id, cb = std::move(cb), req_id] {
     const sim::SimTime start = rt_->simulator().now();
-    auto reply = Complete(req_id, start, cb);
+    auto reply = Complete(req_id, start, "admin", obs::OpKind::kAdmin,
+                          obs::kNoMemgest, cb);
     auto send = [this, id, reply](bool) {
       RefreshConfig();
       AdminRequest r;
@@ -316,7 +338,8 @@ void RingClient::GetMemgestDescriptor(
   cpu().Execute(p.client_base_ns + p.client_post_ns,
                 [this, id, cb = std::move(cb), req_id] {
     const sim::SimTime start = rt_->simulator().now();
-    auto reply = Complete(req_id, start, cb);
+    auto reply = Complete(req_id, start, "admin", obs::OpKind::kAdmin,
+                          obs::kNoMemgest, cb);
     auto send = [this, id, reply](bool) {
       RefreshConfig();
       AdminRequest r;

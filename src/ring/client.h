@@ -80,9 +80,15 @@ class RingClient {
   void Launch(uint64_t req_id, std::function<void(bool)> send,
               std::function<void()> fail);
   void CheckTimeout(uint64_t req_id);
-  // Wraps a user callback: completes the request and records latency.
+  // Wraps a user callback: completes the request, records latency, and
+  // closes the operation's end-to-end trace span.
   template <typename Fn>
-  auto Complete(uint64_t req_id, sim::SimTime start, Fn cb);
+  auto Complete(uint64_t req_id, sim::SimTime start, const char* opname,
+                obs::OpKind kind, MemgestId memgest, Fn cb);
+  // Trace id for one of this client's requests.
+  uint64_t OpId(uint64_t req_id) const {
+    return obs::MakeOpId(node_, static_cast<uint32_t>(req_id));
+  }
 
   RingRuntime* rt_;
   net::NodeId node_;

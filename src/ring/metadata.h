@@ -40,6 +40,12 @@ struct MetaEntry {
   // Remaining ack count before the entry commits (quorum for replication,
   // all m parities for erasure coding).
   uint32_t acks_needed = 0;
+  // Trace context of the write that created the entry: the originating
+  // operation and when the coordinator started waiting for acknowledgments.
+  // Plain stores, kept up to date even with tracing off (two words per
+  // entry); read only at commit time.
+  uint64_t trace_op = 0;
+  uint64_t trace_quorum_start = 0;
   // Deferred readers/movers released at commit time (Fig. 5's client D).
   std::vector<std::function<void()>> waiters;
 };

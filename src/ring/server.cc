@@ -75,6 +75,8 @@ RingServer::RingServer(RingRuntime* runtime, net::NodeId id)
 
 sim::CpuWorker& RingServer::cpu() { return rt_->fabric().cpu(id_); }
 
+obs::Hub& RingServer::hub() { return rt_->simulator().hub(); }
+
 bool RingServer::IsAlive() const { return rt_->fabric().alive(id_); }
 
 bool RingServer::Coordinates(uint32_t shard) const {
@@ -110,6 +112,7 @@ void RingServer::HandlePut(PutRequest req) {
   if (!IsAlive()) {
     return;
   }
+  obs::ScopedOp scope(hub(), req.op_id);
   const auto& p = rt_->simulator().params();
   const uint32_t len =
       req.value ? static_cast<uint32_t>(req.value->size()) : 0;
@@ -119,13 +122,16 @@ void RingServer::HandlePut(PutRequest req) {
   const MemgestInfo* info = rt_->registry().Get(gid);
   uint64_t cost = p.server_base_ns +
                   static_cast<uint64_t>(p.mem_byte_ns * len) + p.post_send_ns;
+  uint64_t coding_cost = 0;
   if (info != nullptr && info->erasure_coded()) {
-    cost += static_cast<uint64_t>(p.gf_byte_ns * len) +
-            info->desc.m * p.post_send_ns;
+    coding_cost = static_cast<uint64_t>(p.gf_byte_ns * len);
+    cost += coding_cost + info->desc.m * p.post_send_ns;
   } else if (info != nullptr) {
     cost += (info->desc.r - 1) * p.post_send_ns;
   }
+  const uint64_t op_id = req.op_id;
   cpu().Execute(cost, [this, req = std::move(req), info]() mutable {
+    obs::ScopedOp op_scope(hub(), req.op_id);
     if (!IsAlive() || !serving_) {
       return;
     }
@@ -147,14 +153,22 @@ void RingServer::HandlePut(PutRequest req) {
       return;
     }
     ++counters_.puts;
+    hub().metrics().Inc("server.puts", 1, id_, info->id, obs::OpKind::kPut);
     const Version version = volatile_index_.NextVersion(req.key);
     StartWrite(*info, shard, req.key, version, req.value, false,
-               [this, client = req.client, reply = req.reply,
-                version](Status s) {
+               [this, client = req.client, reply = req.reply, version,
+                op_id = req.op_id](Status s) {
+                 obs::ScopedOp reply_scope(hub(), op_id);
                  ReplyToClient(client, kReplyBytes,
                                [reply, s, version] { reply(s, version); });
                });
   });
+  // The GF delta work is the tail of the put's CPU charge: mark it so the
+  // breakdown can split coding out of plain CPU time.
+  if (coding_cost > 0) {
+    hub().tracer().Record("encode", obs::Category::kCoding, id_, op_id,
+                          cpu().busy_until() - coding_cost, cpu().busy_until());
+  }
 }
 
 void RingServer::StartWrite(const MemgestInfo& info, uint32_t shard,
@@ -195,6 +209,10 @@ void RingServer::StartWrite(const MemgestInfo& info, uint32_t shard,
   MetaEntry& e = store.meta.Insert(key, std::move(entry));
   volatile_index_.Add(key, version, info.id);
   e.waiters.push_back([on_commit] { on_commit(OkStatus()); });
+  const uint64_t op_id = hub().current_op();
+  e.trace_op = op_id;
+  hub().tracer().Record("write_ahead", obs::Category::kOther, id_, op_id,
+                        rt_->simulator().now(), rt_->simulator().now());
 
   if (info.desc.kind == SchemeKind::kReplicated) {
     if (info.desc.unreliable()) {
@@ -209,6 +227,7 @@ void RingServer::StartWrite(const MemgestInfo& info, uint32_t shard,
     e.acks_needed = info.desc.full_sync
                         ? static_cast<uint32_t>(slots.size())
                         : info.desc.r / 2;
+    e.trace_quorum_start = rt_->simulator().now();
     for (uint32_t ordinal = 0; ordinal < slots.size(); ++ordinal) {
       ReplicaAppend msg;
       msg.memgest = info.id;
@@ -222,6 +241,7 @@ void RingServer::StartWrite(const MemgestInfo& info, uint32_t shard,
       msg.bytes = value;
       msg.ordinal = ordinal;
       msg.from = id_;
+      msg.op_id = op_id;
       auto* peer = rt_->server(config_.node_of_slot[slots[ordinal]]);
       SendToSlot(slots[ordinal], ReqBytes(key.size(), len),
                  [peer, msg = std::move(msg)]() mutable {
@@ -241,6 +261,7 @@ void RingServer::StartWrite(const MemgestInfo& info, uint32_t shard,
     CommitEntry(info, shard, key, version);
     return;
   }
+  e.trace_quorum_start = rt_->simulator().now();
   for (uint32_t j = 0; j < parity_slots.size(); ++j) {
     ParityUpdate msg;
     msg.memgest = info.id;
@@ -255,6 +276,7 @@ void RingServer::StartWrite(const MemgestInfo& info, uint32_t shard,
     msg.parity_index = j;
     msg.from = id_;
     msg.seq = store.write_seq;
+    msg.op_id = op_id;
     auto* peer = rt_->server(config_.node_of_slot[parity_slots[j]]);
     // Parity updates carry replicated metadata on top of the payload (§6.1).
     SendToSlot(parity_slots[j],
@@ -269,11 +291,13 @@ void RingServer::HandleReplicaAppend(ReplicaAppend msg) {
   if (!IsAlive()) {
     return;
   }
+  obs::ScopedOp scope(hub(), msg.op_id);
   const auto& p = rt_->simulator().params();
   const uint64_t cost = p.replica_base_ns +
                         static_cast<uint64_t>(p.mem_byte_ns * msg.len) +
                         p.post_send_ns;
   cpu().Execute(cost, [this, msg = std::move(msg)]() mutable {
+    obs::ScopedOp op_scope(hub(), msg.op_id);
     if (!IsAlive()) {
       return;
     }
@@ -282,6 +306,7 @@ void RingServer::HandleReplicaAppend(ReplicaAppend msg) {
       return;
     }
     ++counters_.replica_appends;
+    hub().metrics().Inc("server.replica_appends", 1, id_, info->id);
     MemgestState& state = StateOf(*info);
     ShardStore& store = StoreOf(state, msg.shard);
     if (msg.len > 0 && msg.bytes) {
@@ -309,11 +334,13 @@ void RingServer::HandleParityUpdate(ParityUpdate msg) {
   if (!IsAlive()) {
     return;
   }
+  obs::ScopedOp scope(hub(), msg.op_id);
   const auto& p = rt_->simulator().params();
-  const uint64_t cost = p.parity_base_ns +
-                        static_cast<uint64_t>(p.gf_byte_ns * msg.len) +
-                        p.post_send_ns;
+  const uint64_t coding_cost = static_cast<uint64_t>(p.gf_byte_ns * msg.len);
+  const uint64_t cost = p.parity_base_ns + coding_cost + p.post_send_ns;
+  const uint64_t op_id = msg.op_id;
   cpu().Execute(cost, [this, msg = std::move(msg)]() mutable {
+    obs::ScopedOp op_scope(hub(), msg.op_id);
     if (!IsAlive()) {
       return;
     }
@@ -334,6 +361,7 @@ void RingServer::HandleParityUpdate(ParityUpdate msg) {
       return;
     }
     ++counters_.parity_updates;
+    hub().metrics().Inc("server.parity_updates", 1, id_, info->id);
     ApplyParityBytes(*info, msg);
     ++state.log_len;
     MetaEntry entry;
@@ -351,6 +379,12 @@ void RingServer::HandleParityUpdate(ParityUpdate msg) {
     rt_->fabric().Write(id_, msg.from, kAckBytes,
                         [peer, ack] { peer->ApplyAck(ack); }, nullptr);
   });
+  // GF multiply-add of the delta into the parity buffer, the tail of the
+  // parity node's CPU charge.
+  if (coding_cost > 0) {
+    hub().tracer().Record("parity_mad", obs::Category::kCoding, id_, op_id,
+                          cpu().busy_until() - coding_cost, cpu().busy_until());
+  }
 }
 
 void RingServer::ApplyParityBytes(const MemgestInfo& info,
@@ -416,6 +450,16 @@ void RingServer::CommitEntry(const MemgestInfo& info, uint32_t shard,
   }
   entry->committed = true;
   ++counters_.commits;
+  if (hub().tracing_enabled()) {
+    const sim::SimTime now = rt_->simulator().now();
+    if (entry->trace_quorum_start != 0 && now > entry->trace_quorum_start) {
+      hub().tracer().Record("quorum_wait", obs::Category::kQuorum, id_,
+                            entry->trace_op, entry->trace_quorum_start, now);
+    }
+    hub().tracer().Record("commit", obs::Category::kOther, id_,
+                          entry->trace_op, now, now);
+  }
+  hub().metrics().Inc("server.commits", 1, id_, info.id);
   auto waiters = std::move(entry->waiters);
   entry->waiters.clear();
   // Remove superseded versions: "one instance of the key of a certain
@@ -503,8 +547,10 @@ void RingServer::HandleGet(GetRequest req) {
   if (!IsAlive()) {
     return;
   }
+  obs::ScopedOp scope(hub(), req.op_id);
   cpu().Execute(rt_->simulator().params().server_base_ns,
                 [this, req = std::move(req)]() mutable {
+    obs::ScopedOp op_scope(hub(), req.op_id);
     if (!IsAlive() || !serving_) {
       return;
     }
@@ -520,6 +566,8 @@ void RingServer::HandleGet(GetRequest req) {
       retried_seen_[id] = true;
     }
     ++counters_.gets;
+    hub().metrics().Inc("server.gets", 1, id_, obs::kNoMemgest,
+                        obs::OpKind::kGet);
     const auto ref = volatile_index_.Highest(req.key);
     if (!ref.has_value()) {
       ReplyToClient(req.client, kReplyBytes, [reply = req.reply] {
@@ -561,14 +609,21 @@ void RingServer::DeliverGet(const MemgestInfo& info, uint32_t shard,
   if (!entry->committed) {
     // Fig. 5, client D: the reply is postponed until the version commits.
     ++counters_.deferred_gets;
+    hub().metrics().Inc("server.deferred_gets", 1, id_);
+    const sim::SimTime defer_start = rt_->simulator().now();
     const Version version = entry->version;
     const MemgestInfo* info_ptr = &info;
-    entry->waiters.push_back(
-        [this, info_ptr, shard, key, version, req = std::move(req)]() mutable {
-          MetaEntry* e =
-              StoreOf(StateOf(*info_ptr), shard).meta.Find(key, version);
-          DeliverGet(*info_ptr, shard, key, e, std::move(req));
-        });
+    entry->waiters.push_back([this, info_ptr, shard, key, version,
+                              defer_start, req = std::move(req)]() mutable {
+      // The waiter fires from CommitEntry under the *writer's* op context;
+      // restore the reader's and account the blocked interval to its wait.
+      obs::ScopedOp defer_scope(hub(), req.op_id);
+      hub().tracer().Record("get_deferred", obs::Category::kQuorum, id_,
+                            req.op_id, defer_start, rt_->simulator().now());
+      MetaEntry* e =
+          StoreOf(StateOf(*info_ptr), shard).meta.Find(key, version);
+      DeliverGet(*info_ptr, shard, key, e, std::move(req));
+    });
     return;
   }
   const Version version = entry->version;
@@ -577,6 +632,7 @@ void RingServer::DeliverGet(const MemgestInfo& info, uint32_t shard,
       info, shard, key_copy, version,
       [this, info_ptr = &info, shard, key = key_copy, version,
        req = std::move(req)](Status s) mutable {
+        obs::ScopedOp present_scope(hub(), req.op_id);
         if (!s.ok()) {
           ReplyToClient(req.client, kReplyBytes,
                         [reply = req.reply, s] {
@@ -599,6 +655,7 @@ void RingServer::DeliverGet(const MemgestInfo& info, uint32_t shard,
         const uint32_t len = e->len;
         cpu().Execute(cost, [this, info_ptr, shard, addr, len, version,
                              req = std::move(req)]() mutable {
+          obs::ScopedOp read_scope(hub(), req.op_id);
           if (!IsAlive()) {
             return;
           }
@@ -621,8 +678,10 @@ void RingServer::HandleMove(MoveRequest req) {
   if (!IsAlive()) {
     return;
   }
+  obs::ScopedOp scope(hub(), req.op_id);
   cpu().Execute(rt_->simulator().params().server_base_ns,
                 [this, req = std::move(req)]() mutable {
+    obs::ScopedOp op_scope(hub(), req.op_id);
     if (!IsAlive() || !serving_) {
       return;
     }
@@ -638,6 +697,7 @@ void RingServer::HandleMove(MoveRequest req) {
       retried_seen_[id] = true;
     }
     ++counters_.moves;
+    hub().metrics().Inc("server.moves", 1, id_, req.dst, obs::OpKind::kMove);
     const auto ref = volatile_index_.Highest(req.key);
     if (!ref.has_value()) {
       ReplyToClient(req.client, kReplyBytes, [reply = req.reply] {
@@ -679,6 +739,7 @@ void RingServer::HandleMove(MoveRequest req) {
         *src, shard, key_copy, src_version,
         [this, src, dst, shard, src_version,
          req = std::move(req)](Status s) mutable {
+          obs::ScopedOp present_scope(hub(), req.op_id);
           if (!s.ok()) {
             ReplyToClient(req.client, kReplyBytes,
                           [reply = req.reply, s] { reply(s, 0); });
@@ -706,8 +767,13 @@ void RingServer::HandleMove(MoveRequest req) {
           }
           const uint64_t addr = e->addr;
           const uint32_t len = e->len;
+          const uint64_t coding_cost =
+              dst->erasure_coded()
+                  ? static_cast<uint64_t>(p.gf_byte_ns * e->len)
+                  : 0;
           cpu().Execute(cost, [this, src, dst, shard, addr, len,
                                req = std::move(req)]() mutable {
+            obs::ScopedOp write_scope(hub(), req.op_id);
             if (!IsAlive() || !serving_) {
               return;
             }
@@ -717,14 +783,21 @@ void RingServer::HandleMove(MoveRequest req) {
             value->assign(bytes.begin(), bytes.end());
             const Version version = volatile_index_.NextVersion(req.key);
             StartWrite(*dst, shard, req.key, version, value, false,
-                       [this, client = req.client, reply = req.reply,
-                        version](Status st) {
+                       [this, client = req.client, reply = req.reply, version,
+                        op_id = req.op_id](Status st) {
+                         obs::ScopedOp reply_scope(hub(), op_id);
                          ReplyToClient(client, kReplyBytes, [reply, st,
                                                              version] {
                            reply(st, version);
                          });
                        });
           });
+          if (coding_cost > 0) {
+            hub().tracer().Record("encode", obs::Category::kCoding, id_,
+                                  hub().current_op(),
+                                  cpu().busy_until() - coding_cost,
+                                  cpu().busy_until());
+          }
         });
   });
 }
@@ -733,8 +806,10 @@ void RingServer::HandleDelete(DeleteRequest req) {
   if (!IsAlive()) {
     return;
   }
+  obs::ScopedOp scope(hub(), req.op_id);
   cpu().Execute(rt_->simulator().params().server_base_ns,
                 [this, req = std::move(req)]() mutable {
+    obs::ScopedOp op_scope(hub(), req.op_id);
     if (!IsAlive() || !serving_) {
       return;
     }
@@ -743,6 +818,8 @@ void RingServer::HandleDelete(DeleteRequest req) {
       return;
     }
     ++counters_.deletes;
+    hub().metrics().Inc("server.deletes", 1, id_, obs::kNoMemgest,
+                        obs::OpKind::kDelete);
     const auto ref = volatile_index_.Highest(req.key);
     if (!ref.has_value()) {
       ReplyToClient(req.client, kReplyBytes, [reply = req.reply] {
@@ -760,7 +837,9 @@ void RingServer::HandleDelete(DeleteRequest req) {
     // highest version; commit then garbage-collects every older version.
     const Version version = volatile_index_.NextVersion(req.key);
     StartWrite(*info, shard, req.key, version, nullptr, true,
-               [this, client = req.client, reply = req.reply](Status s) {
+               [this, client = req.client, reply = req.reply,
+                op_id = req.op_id](Status s) {
+                 obs::ScopedOp reply_scope(hub(), op_id);
                  ReplyToClient(client, kReplyBytes,
                                [reply, s] { reply(s); });
                });

@@ -46,6 +46,7 @@ struct PutRequest {
   MemgestId memgest = kDefaultMemgest;
   net::NodeId client = 0;
   uint64_t req_id = 0;
+  uint64_t op_id = 0;  // trace id stitching client/server/redundancy spans
   bool retry = false;
   std::function<void(Status, Version)> reply;
 };
@@ -54,6 +55,7 @@ struct GetRequest {
   Key key;
   net::NodeId client = 0;
   uint64_t req_id = 0;
+  uint64_t op_id = 0;
   bool retry = false;
   std::function<void(GetResult)> reply;
 };
@@ -63,6 +65,7 @@ struct MoveRequest {
   MemgestId dst = kDefaultMemgest;
   net::NodeId client = 0;
   uint64_t req_id = 0;
+  uint64_t op_id = 0;
   bool retry = false;
   std::function<void(Status, Version)> reply;
 };
@@ -71,6 +74,7 @@ struct DeleteRequest {
   Key key;
   net::NodeId client = 0;
   uint64_t req_id = 0;
+  uint64_t op_id = 0;
   bool retry = false;
   std::function<void(Status)> reply;
 };
@@ -119,6 +123,7 @@ class RingServer {
     std::shared_ptr<Buffer> bytes;
     uint32_t ordinal;  // replica ordinal (ack bit)
     net::NodeId from;
+    uint64_t op_id = 0;
   };
   void HandleReplicaAppend(ReplicaAppend msg);
 
@@ -137,6 +142,7 @@ class RingServer {
     // Per-(memgest, shard) write sequence number: fences parity rebuild
     // against in-flight updates (apply only seq > snapshot seq).
     uint64_t seq = 0;
+    uint64_t op_id = 0;
   };
   void HandleParityUpdate(ParityUpdate msg);
 
@@ -189,6 +195,7 @@ class RingServer {
     uint64_t addr;
     uint32_t len;
     net::NodeId requester;
+    uint64_t op_id = 0;
     std::function<void(std::shared_ptr<Buffer>)> reply;
   };
   void HandleRecoverBlock(RecoverBlock msg);
@@ -287,6 +294,7 @@ class RingServer {
   };
 
   sim::CpuWorker& cpu();
+  obs::Hub& hub();
   const consensus::ClusterConfig& config() const { return config_; }
   bool IsAlive() const;
   // True when this node currently coordinates `shard`.

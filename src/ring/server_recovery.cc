@@ -99,6 +99,10 @@ void RingServer::BeginPromotion(uint32_t new_slot) {
       RebuildVolatileIndex();
       serving_ = true;
       last_recovery_ns_ = rt_->simulator().now() - start;
+      hub().tracer().Record("promotion", obs::Category::kRecovery, id_, 0,
+                            start, rt_->simulator().now());
+      hub().metrics().Observe("recovery.promotion_ns", last_recovery_ns_, id_,
+                              obs::kNoMemgest, obs::OpKind::kRecovery);
       RING_LOG(kInfo) << "node " << id_ << " serving after "
                       << last_recovery_ns_ / 1000 << "us";
       RecoverAllData([this] { NotifyRedundancyRecovered(); });
@@ -292,9 +296,14 @@ void RingServer::EnsureDataPresent(const MemgestInfo& info, uint32_t shard,
   const uint64_t addr = entry->addr;
   const uint32_t len = entry->len;
   const MemgestInfo* info_ptr = &info;
+  const uint64_t op_id = hub().current_op();
+  const sim::SimTime recover_start = rt_->simulator().now();
 
-  auto complete = [this, info_ptr, shard, key, version,
+  auto complete = [this, info_ptr, shard, key, version, op_id, recover_start,
                    then = std::move(then)](std::shared_ptr<Buffer> bytes) {
+    obs::ScopedOp scope(hub(), op_id);
+    hub().tracer().Record("block_recovery", obs::Category::kRecovery, id_,
+                          op_id, recover_start, rt_->simulator().now());
     if (!IsAlive()) {
       return;
     }
@@ -312,6 +321,8 @@ void RingServer::EnsureDataPresent(const MemgestInfo& info, uint32_t shard,
     sh.Write(e->addr, *bytes);
     e->data_present = true;
     ++counters_.blocks_recovered;
+    hub().metrics().Inc("recovery.blocks", 1, id_, info_ptr->id,
+                        obs::OpKind::kRecovery);
     then(OkStatus());
   };
 
@@ -364,6 +375,7 @@ void RingServer::EnsureDataPresent(const MemgestInfo& info, uint32_t shard,
     msg.addr = addr;
     msg.len = len;
     msg.requester = id_;
+    msg.op_id = op_id;
     msg.reply = complete;
     rt_->fabric().Send(id_, node, kSmallMsgBytes,
                        [peer, msg = std::move(msg)]() mutable {
@@ -378,8 +390,10 @@ void RingServer::HandleRecoverBlock(RecoverBlock msg) {
   if (!IsAlive()) {
     return;
   }
+  obs::ScopedOp scope(hub(), msg.op_id);
   const auto& p = rt_->simulator().params();
   cpu().Execute(p.server_base_ns, [this, msg = std::move(msg)]() mutable {
+    obs::ScopedOp op_scope(hub(), msg.op_id);
     if (!IsAlive()) {
       return;
     }
@@ -422,10 +436,13 @@ void RingServer::HandleRecoverBlock(RecoverBlock msg) {
         }
         *finished = true;
         const auto& pr = rt_->simulator().params();
+        const uint64_t decode_cost =
+            static_cast<uint64_t>(pr.decode_byte_ns * k * seg.length);
         cpu().Execute(
-            static_cast<uint64_t>(pr.decode_byte_ns * k * seg.length),
+            decode_cost,
             [this, info, seg, out_off, result, remaining, failed, collected,
              msg] {
+          obs::ScopedOp decode_scope(hub(), msg.op_id);
           if (!IsAlive()) {
             return;
           }
@@ -448,6 +465,11 @@ void RingServer::HandleRecoverBlock(RecoverBlock msg) {
                                [reply = msg.reply, out] { reply(out); });
           }
         });
+        if (decode_cost > 0) {
+          hub().tracer().Record("decode", obs::Category::kCoding, id_,
+                                msg.op_id, cpu().busy_until() - decode_cost,
+                                cpu().busy_until());
+        }
       };
 
       uint32_t launched = 0;
@@ -611,6 +633,7 @@ void RingServer::RebuildParity(const MemgestInfo& info, uint32_t group,
   MemgestState& state = StateOf(info);
   assert(state.parity.count(group) > 0);
   const uint32_t s = config_.s;
+  const sim::SimTime rebuild_start = rt_->simulator().now();
 
   struct ShardSnapshot {
     std::shared_ptr<Buffer> bytes;
@@ -622,7 +645,7 @@ void RingServer::RebuildParity(const MemgestInfo& info, uint32_t group,
   const MemgestInfo* info_ptr = &info;
 
   std::function<void()> assemble = [this, info_ptr, group, snaps,
-                                    done = std::move(done)] {
+                                    rebuild_start, done = std::move(done)] {
     if (!IsAlive()) {
       return;
     }
@@ -631,10 +654,11 @@ void RingServer::RebuildParity(const MemgestInfo& info, uint32_t group,
       total_bytes += snap.extent;
     }
     const auto& p = rt_->simulator().params();
+    const uint64_t gf_cost =
+        static_cast<uint64_t>(p.gf_byte_ns * total_bytes);
     cpu().Execute(
-        p.server_base_ns +
-            static_cast<uint64_t>(p.gf_byte_ns * total_bytes),
-        [this, info_ptr, group, snaps, done] {
+        p.server_base_ns + gf_cost,
+        [this, info_ptr, group, snaps, rebuild_start, done] {
       if (!IsAlive()) {
         return;
       }
@@ -683,10 +707,18 @@ void RingServer::RebuildParity(const MemgestInfo& info, uint32_t group,
         rt_->fabric().Write(id_, coord, kAckBytes,
                             [peer, ack] { peer->ApplyAck(ack); }, nullptr);
       }
+      hub().tracer().Record("parity_rebuild", obs::Category::kRecovery, id_,
+                            0, rebuild_start, rt_->simulator().now());
+      hub().metrics().Inc("recovery.parity_rebuilds", 1, id_, info_ptr->id,
+                          obs::OpKind::kRecovery);
       RING_LOG(kInfo) << "node " << id_ << " rebuilt parity for memgest "
                       << info_ptr->id;
       done();
     });
+    if (gf_cost > 0) {
+      hub().tracer().Record("parity_encode", obs::Category::kCoding, id_, 0,
+                            cpu().busy_until() - gf_cost, cpu().busy_until());
+    }
   };
 
   for (uint32_t sigma = 0; sigma < s; ++sigma) {

@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "src/common/logging.h"
+
 namespace ring::sim {
 
 void EventQueue::Schedule(SimTime t, std::function<void()> fn) {
@@ -17,6 +19,7 @@ bool EventQueue::RunNext() {
   heap_.pop();
   now_ = ev.time;
   ++executed_;
+  SetLogSimTime(now_);
   ev.fn();
   return true;
 }

@@ -1,5 +1,7 @@
 #include "src/sim/simulator.h"
 
+#include "src/common/logging.h"
+
 namespace ring::sim {
 
 void Simulator::Run() {
@@ -21,7 +23,34 @@ void CpuWorker::Execute(uint64_t cost_ns, std::function<void()> fn) {
       busy_until_ > sim_->now() ? busy_until_ : sim_->now();
   busy_until_ = start + cost_ns;
   consumed_ += cost_ns;
-  sim_->At(busy_until_, std::move(fn));
+  obs::Hub& hub = sim_->hub();
+  if (hub.tracing_enabled()) {
+    const uint64_t op = hub.current_op();
+    if (start > sim_->now()) {
+      hub.tracer().Record("cpu_queue", obs::Category::kQueue, node_, op,
+                          sim_->now(), start);
+    }
+    if (cost_ns > 0) {
+      hub.tracer().Record("cpu", obs::Category::kCpu, node_, op, start,
+                          busy_until_);
+    }
+  }
+  if (hub.metrics_enabled()) {
+    hub.metrics().Inc("cpu.busy_ns", cost_ns, node_);
+    if (start > sim_->now()) {
+      hub.metrics().Observe("cpu.queue_wait_ns", start - sim_->now(), node_);
+    }
+    hub.metrics().SetGauge("cpu.backlog_ns",
+                           static_cast<int64_t>(busy_until_ - sim_->now()),
+                           node_);
+  }
+  // Wrap the completion so RING_LOG lines emitted by the work item carry
+  // the node they ran on.
+  sim_->At(busy_until_, [node = node_, fn = std::move(fn)] {
+    SetLogNode(static_cast<int32_t>(node));
+    fn();
+    SetLogNode(kLogNoNode);
+  });
 }
 
 uint64_t CpuWorker::backlog_ns() const {

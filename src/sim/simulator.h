@@ -6,6 +6,7 @@
 #include <memory>
 
 #include "src/common/rng.h"
+#include "src/obs/hub.h"
 #include "src/sim/event_queue.h"
 #include "src/sim/params.h"
 
@@ -36,10 +37,16 @@ class Simulator {
   uint64_t events_executed() const { return queue_.executed(); }
   EventQueue& queue() { return queue_; }
 
+  // Per-simulation observability: metrics + tracer + current-op context.
+  // Owned here so parallel test simulations stay isolated.
+  obs::Hub& hub() { return hub_; }
+  const obs::Hub& hub() const { return hub_; }
+
  private:
   EventQueue queue_;
   Rng rng_;
   SimParams params_;
+  obs::Hub hub_;
 };
 
 // Models one single-threaded server core: work items execute FIFO, each
@@ -48,7 +55,8 @@ class Simulator {
 // busy-until bookkeeping.
 class CpuWorker {
  public:
-  explicit CpuWorker(Simulator* simulator) : sim_(simulator) {}
+  explicit CpuWorker(Simulator* simulator, uint32_t node = 0)
+      : sim_(simulator), node_(node) {}
 
   // Enqueues a work item costing `cost_ns`; `fn` runs when it completes.
   void Execute(uint64_t cost_ns, std::function<void()> fn);
@@ -65,8 +73,11 @@ class CpuWorker {
     consumed_ = 0;
   }
 
+  uint32_t node() const { return node_; }
+
  private:
   Simulator* sim_;
+  uint32_t node_ = 0;
   SimTime busy_until_ = 0;
   uint64_t consumed_ = 0;
 };

@@ -167,6 +167,26 @@ TEST(StatsTest, PercentilesOfKnownSequence) {
   EXPECT_NEAR(s.Mean(), 50.5, 1e-9);
 }
 
+TEST(StatsTest, PercentileCacheInvalidatedByAddAndClear) {
+  // Percentile() caches its sorted copy; adding samples (or clearing) must
+  // invalidate it, and Add must not disturb insertion order in values().
+  Samples s;
+  s.Add(3.0);
+  s.Add(1.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(0), 1.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(100), 3.0);
+  s.Add(0.5);  // below the cached minimum
+  s.Add(9.0);  // above the cached maximum
+  EXPECT_DOUBLE_EQ(s.Percentile(0), 0.5);
+  EXPECT_DOUBLE_EQ(s.Percentile(100), 9.0);
+  const std::vector<double> want = {3.0, 1.0, 0.5, 9.0};
+  EXPECT_EQ(s.values(), want);
+  s.Clear();
+  EXPECT_TRUE(s.empty());
+  s.Add(7.0);
+  EXPECT_DOUBLE_EQ(s.Median(), 7.0);
+}
+
 TEST(StatsTest, SingleSample) {
   Samples s;
   s.Add(42.0);

@@ -1,0 +1,360 @@
+// Tests for the observability layer (src/obs): histogram bucketing, counter
+// aggregation, the exact per-op breakdown sweep, and the Chrome trace_event
+// export for a tiny 2-node put.
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/obs/hub.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+#include "src/ring/cluster.h"
+
+namespace ring {
+namespace {
+
+// ---------------------------------------------------------------- histogram
+
+TEST(HistogramTest, BucketBoundaries) {
+  // Bucket 0 holds only the value 0; bucket b >= 1 holds [2^(b-1), 2^b - 1].
+  EXPECT_EQ(obs::Histogram::BucketOf(0), 0);
+  EXPECT_EQ(obs::Histogram::BucketOf(1), 1);
+  EXPECT_EQ(obs::Histogram::BucketOf(2), 2);
+  EXPECT_EQ(obs::Histogram::BucketOf(3), 2);
+  EXPECT_EQ(obs::Histogram::BucketOf(4), 3);
+  EXPECT_EQ(obs::Histogram::BucketOf(7), 3);
+  EXPECT_EQ(obs::Histogram::BucketOf(8), 4);
+  for (int b = 1; b < obs::Histogram::kBuckets; ++b) {
+    const uint64_t lo = obs::Histogram::BucketLowerBound(b);
+    EXPECT_EQ(obs::Histogram::BucketOf(lo), b) << "bucket " << b;
+    EXPECT_EQ(obs::Histogram::BucketOf(lo - 1), b - 1) << "bucket " << b;
+  }
+  EXPECT_EQ(obs::Histogram::BucketOf(~0ULL), obs::Histogram::kBuckets - 1);
+  EXPECT_EQ(obs::Histogram::BucketLowerBound(0), 0u);
+  EXPECT_EQ(obs::Histogram::BucketLowerBound(1), 1u);
+  EXPECT_EQ(obs::Histogram::BucketLowerBound(5), 16u);
+}
+
+TEST(HistogramTest, ObserveAccumulatesAndMerges) {
+  obs::Histogram h;
+  h.Observe(0);
+  h.Observe(1);
+  h.Observe(1000);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_EQ(h.sum(), 1001u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 1000u);
+  EXPECT_EQ(h.bucket(0), 1u);
+  EXPECT_EQ(h.bucket(1), 1u);
+  EXPECT_EQ(h.bucket(obs::Histogram::BucketOf(1000)), 1u);
+  // p100 reports the upper bound of the top occupied bucket (log2 estimate).
+  EXPECT_GE(h.ApproxPercentile(100), 1000u);
+  EXPECT_EQ(h.ApproxPercentile(0), 0u);
+
+  obs::Histogram other;
+  other.Observe(1000);
+  other.Observe(5);
+  h.MergeFrom(other);
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_EQ(h.sum(), 2006u);
+  EXPECT_EQ(h.bucket(obs::Histogram::BucketOf(1000)), 2u);
+  EXPECT_EQ(h.max(), 1000u);
+}
+
+// ------------------------------------------------------------------ metrics
+
+TEST(MetricsTest, DisabledRecordsNothing) {
+  obs::Metrics m;
+  m.Inc("x", 5, 0);
+  m.Observe("y", 7, 0);
+  m.CountLink(0, 1, 100);
+  EXPECT_EQ(m.CounterTotal("x"), 0u);
+  EXPECT_EQ(m.FindHistogram("y", 0), nullptr);
+  EXPECT_EQ(m.LinkBytes(0, 1), 0u);
+}
+
+TEST(MetricsTest, CounterAggregationAcrossNodes) {
+  obs::Metrics m;
+  m.Enable(true);
+  m.Inc("server.puts", 3, /*node=*/0, /*memgest=*/1, obs::OpKind::kPut);
+  m.Inc("server.puts", 4, /*node=*/1, /*memgest=*/1, obs::OpKind::kPut);
+  m.Inc("server.puts", 5, /*node=*/1, /*memgest=*/2, obs::OpKind::kPut);
+  m.Inc("other", 100, /*node=*/0);
+  EXPECT_EQ(m.CounterValue("server.puts", 0, 1, obs::OpKind::kPut), 3u);
+  EXPECT_EQ(m.CounterValue("server.puts", 1, 1, obs::OpKind::kPut), 4u);
+  EXPECT_EQ(m.CounterValue("server.puts", 9), 0u);
+  // Cluster-wide aggregation sums every {node, memgest, op} key.
+  EXPECT_EQ(m.CounterTotal("server.puts"), 12u);
+  EXPECT_EQ(m.CounterTotal("other"), 100u);
+
+  m.Observe("lat", 8, 0);
+  m.Observe("lat", 16, 1);
+  const obs::Histogram agg = m.AggregateHistogram("lat");
+  EXPECT_EQ(agg.count(), 2u);
+  EXPECT_EQ(agg.sum(), 24u);
+
+  m.CountLink(0, 1, 100);
+  m.CountLink(0, 1, 50);
+  EXPECT_EQ(m.LinkBytes(0, 1), 150u);
+  EXPECT_EQ(m.LinkBytes(1, 0), 0u);
+}
+
+// -------------------------------------------------------------------- spans
+
+TEST(TracerTest, DisabledAndCapacity) {
+  obs::Tracer t;
+  t.Record("a", obs::Category::kCpu, 0, 1, 0, 10);
+  EXPECT_TRUE(t.spans().empty());
+  t.Enable(true);
+  t.set_capacity(2);
+  t.Record("a", obs::Category::kCpu, 0, 1, 0, 10);
+  t.Record("b", obs::Category::kCpu, 0, 1, 10, 20);
+  t.Record("c", obs::Category::kCpu, 0, 1, 20, 30);
+  EXPECT_EQ(t.spans().size(), 2u);
+  EXPECT_EQ(t.dropped(), 1u);
+}
+
+TEST(TracerTest, NestedSpansPartitionTheOpExactly) {
+  obs::Tracer t;
+  t.Enable(true);
+  const uint64_t op = obs::MakeOpId(2, 7);
+  t.Record("put", obs::Category::kOp, 2, op, 0, 100);
+  t.Record("cpu", obs::Category::kCpu, 0, op, 10, 30);
+  // Coding overlaps the tail of the cpu span and wins by priority.
+  t.Record("encode", obs::Category::kCoding, 0, op, 20, 40);
+  t.Record("wire", obs::Category::kNetwork, 0, op, 50, 60);
+  t.Record("egress_queue", obs::Category::kQueue, 0, op, 60, 70);
+  // A quorum span contributes to `wait`; spans of other ops are ignored.
+  t.Record("quorum_wait", obs::Category::kQuorum, 0, op, 70, 80);
+  t.Record("cpu", obs::Category::kCpu, 0, obs::MakeOpId(3, 1), 0, 100);
+
+  const auto breakdowns = t.OpBreakdowns();
+  ASSERT_EQ(breakdowns.size(), 1u);
+  const obs::OpBreakdown& b = breakdowns[0];
+  EXPECT_STREQ(b.name, "put");
+  EXPECT_EQ(b.coding_ns, 20u);   // [20,40]
+  EXPECT_EQ(b.cpu_ns, 10u);      // [10,20]; [20,30] went to coding
+  EXPECT_EQ(b.network_ns, 10u);  // [50,60]
+  EXPECT_EQ(b.queue_ns, 10u);    // [60,70]
+  EXPECT_EQ(b.wait_ns, 50u);     // [0,10] + [40,50] + [70,100]
+  EXPECT_EQ(b.coding_ns + b.cpu_ns + b.network_ns + b.queue_ns + b.wait_ns,
+            b.total_ns());
+}
+
+TEST(TracerTest, ChildSpansAreClippedToTheOpWindow) {
+  obs::Tracer t;
+  t.Enable(true);
+  const uint64_t op = obs::MakeOpId(0, 1);
+  t.Record("put", obs::Category::kOp, 0, op, 100, 200);
+  t.Record("cpu", obs::Category::kCpu, 0, op, 50, 150);    // clips to [100,150]
+  t.Record("wire", obs::Category::kNetwork, 0, op, 150, 300);  // [150,200]
+  const auto breakdowns = t.OpBreakdowns();
+  ASSERT_EQ(breakdowns.size(), 1u);
+  EXPECT_EQ(breakdowns[0].cpu_ns, 50u);
+  EXPECT_EQ(breakdowns[0].network_ns, 50u);
+  EXPECT_EQ(breakdowns[0].wait_ns, 0u);
+}
+
+// ---------------------------------------------------- Chrome trace golden
+
+// Minimal JSON parser: accepts exactly the RFC 8259 grammar the exporter
+// emits; any structural error fails the test.
+class JsonChecker {
+ public:
+  explicit JsonChecker(const std::string& s) : s_(s) {}
+  bool Valid() {
+    SkipWs();
+    if (!Value()) {
+      return false;
+    }
+    SkipWs();
+    return pos_ == s_.size();
+  }
+
+ private:
+  bool Value() {
+    if (pos_ >= s_.size()) {
+      return false;
+    }
+    switch (s_[pos_]) {
+      case '{': return Object();
+      case '[': return Array();
+      case '"': return String();
+      case 't': return Literal("true");
+      case 'f': return Literal("false");
+      case 'n': return Literal("null");
+      default: return Number();
+    }
+  }
+  bool Object() {
+    ++pos_;  // '{'
+    SkipWs();
+    if (Peek() == '}') { ++pos_; return true; }
+    while (true) {
+      SkipWs();
+      if (!String()) { return false; }
+      SkipWs();
+      if (Peek() != ':') { return false; }
+      ++pos_;
+      SkipWs();
+      if (!Value()) { return false; }
+      SkipWs();
+      if (Peek() == ',') { ++pos_; continue; }
+      if (Peek() == '}') { ++pos_; return true; }
+      return false;
+    }
+  }
+  bool Array() {
+    ++pos_;  // '['
+    SkipWs();
+    if (Peek() == ']') { ++pos_; return true; }
+    while (true) {
+      SkipWs();
+      if (!Value()) { return false; }
+      SkipWs();
+      if (Peek() == ',') { ++pos_; continue; }
+      if (Peek() == ']') { ++pos_; return true; }
+      return false;
+    }
+  }
+  bool String() {
+    if (Peek() != '"') { return false; }
+    ++pos_;
+    while (pos_ < s_.size() && s_[pos_] != '"') {
+      if (s_[pos_] == '\\') { ++pos_; }
+      ++pos_;
+    }
+    if (pos_ >= s_.size()) { return false; }
+    ++pos_;  // closing quote
+    return true;
+  }
+  bool Number() {
+    const size_t start = pos_;
+    if (Peek() == '-') { ++pos_; }
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) ||
+            s_[pos_] == '.' || s_[pos_] == 'e' || s_[pos_] == 'E' ||
+            s_[pos_] == '+' || s_[pos_] == '-')) {
+      ++pos_;
+    }
+    return pos_ > start;
+  }
+  bool Literal(const char* lit) {
+    const std::string l(lit);
+    if (s_.compare(pos_, l.size(), l) != 0) { return false; }
+    pos_ += l.size();
+    return true;
+  }
+  char Peek() const { return pos_ < s_.size() ? s_[pos_] : '\0'; }
+  void SkipWs() {
+    while (pos_ < s_.size() &&
+           std::isspace(static_cast<unsigned char>(s_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  const std::string& s_;
+  size_t pos_ = 0;
+};
+
+// Extracts the value of `"key":` occurrences following each position where
+// `"ph":"X"` appears — just enough scraping to pair B/E events without a
+// full DOM.
+std::vector<std::pair<char, std::string>> PhAndTid(const std::string& json) {
+  std::vector<std::pair<char, std::string>> out;
+  size_t pos = 0;
+  while ((pos = json.find("\"ph\":\"", pos)) != std::string::npos) {
+    const char ph = json[pos + 6];
+    const size_t tid = json.find("\"tid\":", pos);
+    size_t end = tid + 6;
+    while (end < json.size() && json[end] != ',' && json[end] != '}') {
+      ++end;
+    }
+    out.emplace_back(ph, json.substr(tid + 6, end - tid - 6));
+    pos += 6;
+  }
+  return out;
+}
+
+TEST(ChromeTraceTest, TwoNodePutExportsBalancedValidJson) {
+  RingOptions o;
+  o.s = 1;
+  o.d = 1;
+  o.clients = 1;
+  o.seed = 11;
+  RingCluster cluster(o);
+  obs::Hub& hub = cluster.simulator().hub();
+  hub.EnableTracing(true);
+  auto g = cluster.CreateMemgest(MemgestDescriptor::Replicated(2, "REP2"));
+  ASSERT_TRUE(g.ok());
+  ASSERT_TRUE(cluster.Put("k", std::string("hello"), *g).ok());
+  hub.EnableTracing(false);
+
+  const std::string json = hub.tracer().ChromeTraceJson();
+  ASSERT_FALSE(hub.tracer().spans().empty());
+  EXPECT_TRUE(JsonChecker(json).Valid()) << json.substr(0, 400);
+  EXPECT_NE(json.find("\"displayTimeUnit\":\"ns\""), std::string::npos);
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"put\""), std::string::npos);
+
+  // Every span becomes one B and one E on its thread, properly nested.
+  const auto events = PhAndTid(json);
+  EXPECT_EQ(events.size(), 2 * hub.tracer().spans().size());
+  std::map<std::string, int> depth;
+  for (const auto& [ph, tid] : events) {
+    ASSERT_TRUE(ph == 'B' || ph == 'E') << ph;
+    depth[tid] += ph == 'B' ? 1 : -1;
+    ASSERT_GE(depth[tid], 0) << "E before matching B on tid " << tid;
+  }
+  for (const auto& [tid, d] : depth) {
+    EXPECT_EQ(d, 0) << "unbalanced B/E on tid " << tid;
+  }
+
+  // The put's breakdown partitions its latency exactly (the 1 us acceptance
+  // bound holds with zero error by construction).
+  const auto breakdowns = hub.tracer().OpBreakdowns();
+  ASSERT_FALSE(breakdowns.empty());
+  for (const auto& b : breakdowns) {
+    EXPECT_EQ(b.coding_ns + b.cpu_ns + b.network_ns + b.queue_ns + b.wait_ns,
+              b.total_ns())
+        << b.name;
+  }
+}
+
+TEST(ChromeTraceTest, MetricsCountTheTwoNodePut) {
+  RingOptions o;
+  o.s = 1;
+  o.d = 1;
+  o.clients = 1;
+  RingCluster cluster(o);
+  obs::Hub& hub = cluster.simulator().hub();
+  hub.EnableMetrics(true);
+  auto g = cluster.CreateMemgest(MemgestDescriptor::Replicated(2, "REP2"));
+  ASSERT_TRUE(g.ok());
+  ASSERT_TRUE(cluster.Put("k", std::string("hello"), *g).ok());
+  ASSERT_TRUE(cluster.Get("k").ok());
+
+  const obs::Metrics& m = hub.metrics();
+  EXPECT_EQ(m.CounterTotal("server.puts"), 1u);
+  EXPECT_EQ(m.CounterTotal("server.gets"), 1u);
+  EXPECT_EQ(m.CounterTotal("server.replica_appends"), 1u);
+  EXPECT_GE(m.CounterTotal("server.commits"), 1u);
+  EXPECT_GE(m.CounterTotal("net.messages"), 4u);
+  EXPECT_GT(m.CounterTotal("cpu.busy_ns"), 0u);
+  // The put crossed the coordinator -> replica link.
+  uint64_t cross = 0;
+  for (const auto& [link, bytes] : m.link_bytes()) {
+    if (link.first != link.second) {
+      cross += bytes;
+    }
+  }
+  EXPECT_GT(cross, 0u);
+}
+
+}  // namespace
+}  // namespace ring

@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# Tier-1 gate: builds the tree and runs the test suite normally, then again
+# under AddressSanitizer + UndefinedBehaviorSanitizer (RING_SANITIZE, see the
+# top-level CMakeLists.txt).
+#
+#   tools/check.sh            # plain + asan,ubsan
+#   tools/check.sh --fast     # plain build + tests only
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+JOBS="$(nproc 2>/dev/null || echo 4)"
+
+run_suite() {
+  local build_dir="$1"
+  shift
+  cmake -B "${build_dir}" -S . "$@"
+  cmake --build "${build_dir}" -j "${JOBS}"
+  ctest --test-dir "${build_dir}" --output-on-failure -j "${JOBS}"
+}
+
+echo "== tier-1: plain build + ctest =="
+run_suite build
+
+if [[ "${1:-}" == "--fast" ]]; then
+  exit 0
+fi
+
+echo "== tier-1: asan,ubsan build + ctest =="
+ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=0}" \
+UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1}" \
+run_suite build-sanitize -DRING_SANITIZE=address,undefined
+
+echo "check.sh: all suites passed"

@@ -7,12 +7,22 @@
 //   ringctl recover    --scheme=srs32 --entries=5000 --victim=1
 //   ringctl reliability --k=3 --m=2 --stretch=6
 //   ringctl schemes    --shards=4 --redundant=3
+//   ringctl stats      --scheme=srs32 --reps=500
+//   ringctl trace      --scheme=srs32 --trace_out=trace.json
+//
+// Commands can also be selected with --mode=<command>, and any
+// latency/trace run can emit a Chrome trace_event file via
+// --trace_out=<file> (open it in chrome://tracing or ui.perfetto.dev).
+#include <algorithm>
 #include <cstdio>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "src/common/flags.h"
 #include "src/common/hash.h"
+#include "src/common/logging.h"
+#include "src/obs/hub.h"
 #include "src/reliability/models.h"
 #include "src/ring/cluster.h"
 #include "src/workload/drivers.h"
@@ -48,6 +58,27 @@ Key KeyInShard(uint32_t shard, uint32_t num_shards, int i) {
   }
 }
 
+// Number of end-to-end (kOp) spans recorded so far; used to slice the
+// breakdown list by measurement pass (op spans complete in issue order under
+// a closed-loop driver).
+size_t OpSpanCount(const obs::Tracer& tracer) {
+  size_t n = 0;
+  for (const auto& s : tracer.spans()) {
+    if (s.category == obs::Category::kOp) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+void PrintBreakdownRow(const std::string& label, const obs::BreakdownMean& b) {
+  std::printf(
+      "  %-10s network %6.2f  coding %6.2f  cpu %6.2f  queue %6.2f  "
+      "wait %6.2f  = %7.2f us end-to-end  (%llu ops)\n",
+      label.c_str(), b.network_us, b.coding_us, b.cpu_us, b.queue_us,
+      b.wait_us, b.total_us, static_cast<unsigned long long>(b.ops));
+}
+
 int RunLatency(FlagSet& flags) {
   auto desc = SchemeFromName(flags.GetString("scheme"));
   if (!desc.ok()) {
@@ -80,6 +111,156 @@ int RunLatency(FlagSet& flags) {
               get.Percentile(90));
   std::printf("  move  median %7.2f us   p90 %7.2f us\n", move.Median(),
               move.Percentile(90));
+
+  const std::string trace_out = flags.GetString("trace_out");
+  if (trace_out.empty()) {
+    return 0;
+  }
+  // Traced pass: the requested scheme plus rep3 and srs32, so the emitted
+  // trace always covers both a replicated and an erasure-coded put path.
+  std::vector<std::pair<std::string, MemgestId>> traced;
+  traced.emplace_back(desc->ToString(), *g);
+  for (const char* extra : {"rep3", "srs32"}) {
+    if (flags.GetString("scheme") == extra) {
+      continue;
+    }
+    auto d2 = SchemeFromName(extra);
+    auto g2 = cluster.CreateMemgest(*d2);
+    if (g2.ok()) {
+      traced.emplace_back(d2->ToString(), *g2);
+    }
+  }
+  obs::Hub& hub = cluster.simulator().hub();
+  hub.tracer().Clear();
+  hub.EnableTracing(true);
+  const int traced_reps = std::min(reps, 100);
+  struct Slice {
+    std::string label;
+    size_t begin;
+    size_t end;
+  };
+  std::vector<Slice> slices;
+  for (const auto& [label, id] : traced) {
+    const size_t begin = OpSpanCount(hub.tracer());
+    driver.MeasurePutLatency(id, size, traced_reps);
+    slices.push_back({label, begin, OpSpanCount(hub.tracer())});
+  }
+  hub.EnableTracing(false);
+
+  const auto breakdowns = hub.tracer().OpBreakdowns();
+  uint64_t max_dev = 0;
+  for (const auto& b : breakdowns) {
+    const uint64_t sum =
+        b.coding_ns + b.cpu_ns + b.network_ns + b.queue_ns + b.wait_ns;
+    const uint64_t dev =
+        sum > b.total_ns() ? sum - b.total_ns() : b.total_ns() - sum;
+    max_dev = std::max(max_dev, dev);
+  }
+  std::printf("\ntraced put breakdown (%d reps each), per-op means in us:\n",
+              traced_reps);
+  for (const auto& sl : slices) {
+    const std::vector<obs::OpBreakdown> ours(breakdowns.begin() + sl.begin,
+                                             breakdowns.begin() + sl.end);
+    PrintBreakdownRow(sl.label, obs::MeanBreakdown(ours, "put"));
+  }
+  std::printf(
+      "  breakdown sum == end-to-end latency for all %zu traced ops "
+      "(max deviation %llu ns)\n",
+      breakdowns.size(), static_cast<unsigned long long>(max_dev));
+  if (!hub.tracer().WriteChromeTrace(trace_out)) {
+    std::fprintf(stderr, "cannot write %s\n", trace_out.c_str());
+    return 1;
+  }
+  std::printf("  wrote %zu spans to %s (open in chrome://tracing or "
+              "ui.perfetto.dev)\n",
+              hub.tracer().spans().size(), trace_out.c_str());
+  return 0;
+}
+
+// `ringctl stats`: run a closed-loop put/get/move mix with the metrics
+// registry enabled and dump every counter, gauge, histogram and per-link
+// byte count it accumulated.
+int RunStats(FlagSet& flags) {
+  auto desc = SchemeFromName(flags.GetString("scheme"));
+  if (!desc.ok()) {
+    std::fprintf(stderr, "%s\n", desc.status().ToString().c_str());
+    return 1;
+  }
+  RingOptions o;
+  o.s = static_cast<uint32_t>(flags.GetInt("shards"));
+  o.d = static_cast<uint32_t>(flags.GetInt("redundant"));
+  o.groups = static_cast<uint32_t>(flags.GetInt("groups"));
+  o.seed = static_cast<uint64_t>(flags.GetInt("seed"));
+  o.params.wire_jitter_ns = 400;
+  RingCluster cluster(o);
+  cluster.simulator().hub().EnableMetrics(true);
+  auto g = cluster.CreateMemgest(*desc);
+  if (!g.ok()) {
+    std::fprintf(stderr, "createMemgest: %s\n", g.status().ToString().c_str());
+    return 1;
+  }
+  workload::ClosedLoopDriver driver(&cluster);
+  const size_t size = static_cast<size_t>(flags.GetInt("size"));
+  const int reps = static_cast<int>(flags.GetInt("reps"));
+  driver.MeasurePutLatency(*g, size, reps);
+  driver.MeasureGetLatency(*g, size, reps);
+  driver.MeasureMoveLatency(*g, *g, size, reps / 4 + 1);
+  std::printf("%s, %zu B objects, %d put + %d get + %d move:\n\n%s",
+              desc->ToString().c_str(), size, reps, reps, reps / 4 + 1,
+              cluster.simulator().hub().metrics().Summary().c_str());
+  return 0;
+}
+
+// `ringctl trace`: run a short traced put/get/move mix, print the per
+// {span, category} totals and the mean per-op latency breakdowns, and
+// optionally write the Chrome trace file.
+int RunTrace(FlagSet& flags) {
+  auto desc = SchemeFromName(flags.GetString("scheme"));
+  if (!desc.ok()) {
+    std::fprintf(stderr, "%s\n", desc.status().ToString().c_str());
+    return 1;
+  }
+  RingOptions o;
+  o.s = static_cast<uint32_t>(flags.GetInt("shards"));
+  o.d = static_cast<uint32_t>(flags.GetInt("redundant"));
+  o.groups = static_cast<uint32_t>(flags.GetInt("groups"));
+  o.seed = static_cast<uint64_t>(flags.GetInt("seed"));
+  o.params.wire_jitter_ns = 400;
+  RingCluster cluster(o);
+  auto g = cluster.CreateMemgest(*desc);
+  if (!g.ok()) {
+    std::fprintf(stderr, "createMemgest: %s\n", g.status().ToString().c_str());
+    return 1;
+  }
+  obs::Hub& hub = cluster.simulator().hub();
+  hub.EnableTracing(true);
+  workload::ClosedLoopDriver driver(&cluster);
+  const size_t size = static_cast<size_t>(flags.GetInt("size"));
+  const int reps = std::min(static_cast<int>(flags.GetInt("reps")), 200);
+  driver.MeasurePutLatency(*g, size, reps);
+  driver.MeasureGetLatency(*g, size, reps);
+  driver.MeasureMoveLatency(*g, *g, size, reps / 4 + 1);
+  hub.EnableTracing(false);
+  std::printf("%s, %zu B objects, traced:\n\n%s\n",
+              desc->ToString().c_str(), size, hub.tracer().Summary().c_str());
+  const auto breakdowns = hub.tracer().OpBreakdowns();
+  std::printf("per-op mean latency breakdown (us):\n");
+  for (const char* op : {"put", "get", "move"}) {
+    const auto m = obs::MeanBreakdown(breakdowns, op);
+    if (m.ops > 0) {
+      PrintBreakdownRow(op, m);
+    }
+  }
+  const std::string trace_out = flags.GetString("trace_out");
+  if (!trace_out.empty()) {
+    if (!hub.tracer().WriteChromeTrace(trace_out)) {
+      std::fprintf(stderr, "cannot write %s\n", trace_out.c_str());
+      return 1;
+    }
+    std::printf("wrote %zu spans to %s (open in chrome://tracing or "
+                "ui.perfetto.dev)\n",
+                hub.tracer().spans().size(), trace_out.c_str());
+  }
   return 0;
 }
 
@@ -245,8 +426,15 @@ int RunSchemes(FlagSet& flags) {
 }
 
 int Main(int argc, char** argv) {
-  FlagSet flags("ringctl <latency|throughput|recover|reliability|schemes>");
+  FlagSet flags(
+      "ringctl <latency|throughput|recover|reliability|schemes|stats|trace>");
   flags.DefineString("scheme", "rep3", "storage scheme: repN or srsKM")
+      .DefineString("mode", "", "command (alias for the positional argument)")
+      .DefineString("trace_out", "",
+                    "write a Chrome trace_event JSON file (latency/trace)")
+      .DefineString("log", "",
+                    "log level: error, warn, info or debug (default off); "
+                    "lines carry simulated time + node")
       .DefineInt("shards", 3, "coordinator shards per group (s)")
       .DefineInt("redundant", 2, "redundant slots (d)")
       .DefineInt("groups", 1, "rotated memgest groups (1 = paper layout)")
@@ -273,11 +461,27 @@ int Main(int argc, char** argv) {
     std::fprintf(stderr, "%s\n", s.ToString().c_str());
     return 2;
   }
-  if (flags.positional().size() != 1) {
+  const std::string log = flags.GetString("log");
+  if (log == "error") {
+    SetLogLevel(LogLevel::kError);
+  } else if (log == "warn") {
+    SetLogLevel(LogLevel::kWarn);
+  } else if (log == "info") {
+    SetLogLevel(LogLevel::kInfo);
+  } else if (log == "debug") {
+    SetLogLevel(LogLevel::kDebug);
+  } else if (!log.empty()) {
+    std::fprintf(stderr, "unknown --log level '%s'\n", log.c_str());
+    return 2;
+  }
+  if (flags.positional().size() > 1 ||
+      (flags.positional().empty() && flags.GetString("mode").empty())) {
     std::fprintf(stderr, "%s", flags.Usage().c_str());
     return 2;
   }
-  const std::string command = flags.positional()[0];
+  const std::string command = flags.positional().empty()
+                                  ? flags.GetString("mode")
+                                  : flags.positional()[0];
   if (command == "latency") {
     return RunLatency(flags);
   }
@@ -292,6 +496,12 @@ int Main(int argc, char** argv) {
   }
   if (command == "schemes") {
     return RunSchemes(flags);
+  }
+  if (command == "stats") {
+    return RunStats(flags);
+  }
+  if (command == "trace") {
+    return RunTrace(flags);
   }
   std::fprintf(stderr, "unknown command '%s'\n%s", command.c_str(),
                flags.Usage().c_str());
