@@ -1,0 +1,140 @@
+#include "src/policy/mover.h"
+
+#include <algorithm>
+
+namespace ring::policy {
+
+Mover::Mover(RingCluster* cluster, MoverOptions options)
+    : cluster_(cluster),
+      options_(options),
+      tokens_(options.burst),
+      last_refill_(cluster->simulator().now()) {}
+
+bool Mover::Retryable(const Status& s) {
+  // Timeouts (coordinator failover in progress) and transient unavailability
+  // are worth another attempt; NotFound/InvalidArgument are terminal — the
+  // key or destination is gone and the move is moot.
+  return s.code() == StatusCode::kTimeout ||
+         s.code() == StatusCode::kUnavailable ||
+         s.code() == StatusCode::kDataLoss;
+}
+
+void Mover::Enqueue(const Key& key, MemgestId dst) {
+  auto it = pending_.find(key);
+  if (it != pending_.end()) {
+    it->second = dst;  // coalesce: queued entries pick up the new target
+    return;
+  }
+  pending_[key] = dst;
+  queue_.push_back(Job{key, dst, 0});
+  ++scheduled_;
+  cluster_->simulator().hub().metrics().Inc(
+      "policy.moves_scheduled", 1, cluster_->client(options_.client_index)
+                                       .node(),
+      dst, obs::OpKind::kMove);
+}
+
+void Mover::RefillTokens() {
+  const sim::SimTime now = cluster_->simulator().now();
+  if (now > last_refill_) {
+    tokens_ = std::min(
+        options_.burst,
+        tokens_ + static_cast<double>(now - last_refill_) *
+                      options_.moves_per_sec / 1e9);
+    last_refill_ = now;
+  }
+}
+
+void Mover::Tick() {
+  RefillTokens();
+  while (tokens_ >= 1.0 && in_flight_ < options_.max_concurrent &&
+         !queue_.empty()) {
+    Job job = queue_.front();
+    queue_.pop_front();
+    // A queued entry may have been re-targeted since it was pushed.
+    auto it = pending_.find(job.key);
+    if (it == pending_.end()) {
+      continue;  // cancelled
+    }
+    job.dst = it->second;
+    tokens_ -= 1.0;
+    Launch(std::move(job));
+  }
+  // Blocked on tokens (not concurrency): wake up when the next one matures.
+  if (!queue_.empty() && in_flight_ < options_.max_concurrent &&
+      tokens_ < 1.0 && !refill_timer_armed_) {
+    refill_timer_armed_ = true;
+    const sim::SimTime wait =
+        static_cast<sim::SimTime>((1.0 - tokens_) / options_.moves_per_sec *
+                                  1e9) +
+        1;
+    cluster_->simulator().After(wait, [this] {
+      refill_timer_armed_ = false;
+      Tick();
+    });
+  }
+}
+
+void Mover::Launch(Job job) {
+  ++launched_;
+  ++in_flight_;
+  const sim::SimTime start = cluster_->simulator().now();
+  auto& client = cluster_->client(options_.client_index);
+  const Key key = job.key;
+  const MemgestId dst = job.dst;
+  client.Move(key, dst,
+              [this, job = std::move(job), start](Status s, Version) mutable {
+                obs::Hub& hub = cluster_->simulator().hub();
+                hub.tracer().Record("tier_move", obs::Category::kOther,
+                                    cluster_->client(options_.client_index)
+                                        .node(),
+                                    /*op_id=*/0, start,
+                                    cluster_->simulator().now());
+                OnDone(std::move(job), s);
+              });
+}
+
+void Mover::OnDone(Job job, const Status& status) {
+  --in_flight_;
+  Finish(std::move(job), status);
+  Tick();  // a slot freed up: launch the next queued move if tokens allow
+}
+
+void Mover::Finish(Job job, const Status& status) {
+  obs::Metrics& metrics = cluster_->simulator().hub().metrics();
+  const uint32_t node = cluster_->client(options_.client_index).node();
+  if (status.ok()) {
+    ++completed_;
+    metrics.Inc("policy.moves_completed", 1, node, job.dst,
+                obs::OpKind::kMove);
+    pending_.erase(job.key);
+    if (done_hook_) {
+      done_hook_(job.key, job.dst, status);
+    }
+    return;
+  }
+  if (Retryable(status) && job.attempts + 1 < options_.max_retries) {
+    ++retried_;
+    metrics.Inc("policy.moves_retried", 1, node, job.dst, obs::OpKind::kMove);
+    ++job.attempts;
+    // Back off, then requeue; the next Tick (or this timer) relaunches it
+    // under the same token/concurrency budget.
+    cluster_->simulator().After(options_.retry_backoff_ns,
+                                [this, job = std::move(job)]() mutable {
+                                  if (pending_.count(job.key) == 0) {
+                                    return;  // cancelled while backing off
+                                  }
+                                  queue_.push_back(std::move(job));
+                                  Tick();
+                                });
+    return;
+  }
+  ++aborted_;
+  metrics.Inc("policy.moves_aborted", 1, node, job.dst, obs::OpKind::kMove);
+  pending_.erase(job.key);
+  if (done_hook_) {
+    done_hook_(job.key, job.dst, status);
+  }
+}
+
+}  // namespace ring::policy

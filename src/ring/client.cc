@@ -90,6 +90,7 @@ void RingClient::Put(const Key& key, std::shared_ptr<Buffer> value,
   const auto& p = rt_->simulator().params();
   const uint32_t len = value ? static_cast<uint32_t>(value->size()) : 0;
   const uint64_t req_id = next_req_++;
+  NotifyObserver(key, obs::OpKind::kPut, memgest, len);
   const uint64_t issue_cost =
       p.client_base_ns + p.client_post_ns +
       static_cast<uint64_t>(p.client_put_byte_ns * len);
@@ -134,6 +135,7 @@ void RingClient::Put(const Key& key, std::shared_ptr<Buffer> value,
 void RingClient::Get(const Key& key, GetCallback cb) {
   const auto& p = rt_->simulator().params();
   const uint64_t req_id = next_req_++;
+  NotifyObserver(key, obs::OpKind::kGet, kDefaultMemgest, 0);
   cpu().Execute(p.client_base_ns + p.client_post_ns,
                 [this, key, cb = std::move(cb), req_id] {
     const sim::SimTime start = rt_->simulator().now();
@@ -174,6 +176,7 @@ void RingClient::Get(const Key& key, GetCallback cb) {
 void RingClient::Move(const Key& key, MemgestId dst, PutCallback cb) {
   const auto& p = rt_->simulator().params();
   const uint64_t req_id = next_req_++;
+  NotifyObserver(key, obs::OpKind::kMove, dst, 0);
   cpu().Execute(p.client_base_ns + p.client_post_ns,
                 [this, key, dst, cb = std::move(cb), req_id] {
     const sim::SimTime start = rt_->simulator().now();
@@ -212,6 +215,7 @@ void RingClient::Move(const Key& key, MemgestId dst, PutCallback cb) {
 void RingClient::Delete(const Key& key, StatusCallback cb) {
   const auto& p = rt_->simulator().params();
   const uint64_t req_id = next_req_++;
+  NotifyObserver(key, obs::OpKind::kDelete, kDefaultMemgest, 0);
   cpu().Execute(p.client_base_ns + p.client_post_ns,
                 [this, key, cb = std::move(cb), req_id] {
     const sim::SimTime start = rt_->simulator().now();

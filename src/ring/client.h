@@ -29,6 +29,16 @@ class RingClient {
   using StatusCallback = std::function<void(Status)>;
   using AdminCallback = std::function<void(Result<MemgestId>)>;
 
+  // Control-plane tap on the op issue path: (key, op, memgest, value bytes).
+  // `memgest` is the put/move target (kDefaultMemgest when not applicable)
+  // and `bytes` the value size (0 when unknown). Observers run at issue time
+  // in zero simulated time and must not call back into the client.
+  using AccessObserver =
+      std::function<void(const Key&, obs::OpKind, MemgestId, uint64_t)>;
+  void set_access_observer(AccessObserver observer) {
+    access_observer_ = std::move(observer);
+  }
+
   // put(key, object[, memgestID]) — paper §5.
   void Put(const Key& key, std::shared_ptr<Buffer> value,
            MemgestId memgest, PutCallback cb);
@@ -90,8 +100,16 @@ class RingClient {
     return obs::MakeOpId(node_, static_cast<uint32_t>(req_id));
   }
 
+  void NotifyObserver(const Key& key, obs::OpKind op, MemgestId memgest,
+                      uint64_t bytes) {
+    if (access_observer_) {
+      access_observer_(key, op, memgest, bytes);
+    }
+  }
+
   RingRuntime* rt_;
   net::NodeId node_;
+  AccessObserver access_observer_;
   consensus::ClusterConfig config_;
   uint64_t next_req_ = 1;
   std::map<uint64_t, Outstanding> outstanding_;

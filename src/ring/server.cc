@@ -729,8 +729,15 @@ void RingServer::HandleMove(MoveRequest req) {
     }
     if (!entry->committed) {
       // "The move request will also be postponed if the requested object is
-      // not durable" (§5.2).
-      entry->waiters.push_back([this, req]() mutable { HandleMove(req); });
+      // not durable" (§5.2). The request already passed the retried-request
+      // dedup above, so the re-invocation must not carry the retry flag —
+      // otherwise the dedup map swallows the postponed move when the entry
+      // commits and the client never hears back (it would burn through all
+      // its retries, every one deduped, and report a spurious timeout).
+      entry->waiters.push_back([this, req]() mutable {
+        req.retry = false;
+        HandleMove(req);
+      });
       return;
     }
     const Version src_version = entry->version;

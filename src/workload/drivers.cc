@@ -102,7 +102,9 @@ void OpenLoopDriver::IssueOne() {
     ++dropped_;  // request window full: flow control sheds load
     return;
   }
-  const Op op = workload_.Next();
+  const Op op = workload_.Next(HotspotOffset(cluster_->simulator().now(),
+                                             options_.hotspot_period_ns,
+                                             options_.hotspot_shift));
   ++issued_;
   if (op.kind == OpKind::kGet) {
     client.Get(op.key, [this](GetResult r) {

@@ -11,6 +11,15 @@
 
 namespace ring::workload {
 
+// Rotating-hotspot rank offset at simulated time `now`: the Zipf head sits
+// on rank `phase * shift` where the phase advances every `period_ns`. With
+// period 0 the hotspot is static (offset 0). Deterministic in sim time, so
+// benches replaying the same schedule see identical hot→cold transitions.
+inline uint64_t HotspotOffset(sim::SimTime now, sim::SimTime period_ns,
+                              uint64_t shift) {
+  return period_ns == 0 ? 0 : (now / period_ns) * shift;
+}
+
 // One operation at a time, N repetitions; the paper's latency methodology
 // ("each measurement is repeated 5000 times, the figure reports the median
 // and the 90th percentile").
@@ -48,6 +57,10 @@ class OpenLoopDriver {
     MemgestId memgest = kDefaultMemgest;
     YcsbSpec spec;
     uint64_t seed = 7;
+    // Time-varying Zipf hotspot: every `hotspot_period_ns` the popularity
+    // ranking rotates by `hotspot_shift` keys (0 = static distribution).
+    sim::SimTime hotspot_period_ns = 0;
+    uint64_t hotspot_shift = 0;
   };
 
   OpenLoopDriver(RingCluster* cluster, uint32_t client_index,

@@ -18,12 +18,12 @@ std::string YcsbWorkload::KeyOf(uint64_t rank) const {
   return std::string(buf, spec_.key_len);
 }
 
-Op YcsbWorkload::Next() {
+Op YcsbWorkload::Next(uint64_t rank_offset) {
   const uint64_t rank =
       spec_.zipfian ? zipf_.Next(rng_) : uniform_.Next(rng_);
   const OpKind kind =
       rng_.NextDouble() < spec_.get_fraction ? OpKind::kGet : OpKind::kPut;
-  return Op{kind, KeyOf(rank)};
+  return Op{kind, KeyOf((rank + rank_offset) % spec_.num_keys)};
 }
 
 }  // namespace ring::workload

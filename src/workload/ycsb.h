@@ -33,7 +33,12 @@ class YcsbWorkload {
  public:
   YcsbWorkload(YcsbSpec spec, uint64_t seed);
 
-  Op Next();
+  Op Next() { return Next(0); }
+  // Same stream with the popularity ranking rotated by `rank_offset`: the
+  // Zipf head lands on rank `rank_offset` instead of rank 0. Drivers use
+  // this to march a hotspot across the key space over time (hot→cold
+  // transitions for tiering experiments) without changing the key set.
+  Op Next(uint64_t rank_offset);
   const YcsbSpec& spec() const { return spec_; }
 
   // The fixed-width key string of a rank (shared with loaders).

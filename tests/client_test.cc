@@ -139,5 +139,64 @@ TEST(ClientTest, AdminOpsThroughLeader) {
   EXPECT_FALSE(cluster.DeleteMemgest(*created).ok());
 }
 
+// Regression: a *retried* move that gets postponed behind an uncommitted
+// version (§5.2) must still answer once that version commits. The postponed
+// continuation used to re-enter HandleMove with the retry flag still set, so
+// the retried-request dedup map swallowed it on commit — the client burned
+// through all its retries (each deduped the same way) and reported a
+// spurious timeout for a move the server could have completed.
+TEST(ClientTest, DeferredRetriedMoveStillReplies) {
+  RingCluster cluster(Opts(8));
+  auto fsync =
+      *cluster.CreateMemgest(MemgestDescriptor::FullSyncReplicated(2));
+  auto rep1 = *cluster.CreateMemgest(MemgestDescriptor::Replicated(1));
+  const Key key = [] {
+    for (int i = 0;; ++i) {
+      Key k = "dm-" + std::to_string(i);
+      if (KeyShard(k, 3) == 2) {
+        return k;
+      }
+    }
+  }();
+  // Wedge the commit: the full-sync put needs an ack from its replica on
+  // node 3, which is dead but not yet detected.
+  cluster.KillNode(3, /*force_detect=*/false);
+  bool put_done = false;
+  cluster.client(0).Put(key, std::make_shared<Buffer>(ToBuffer("wedged")),
+                        fsync, [&](Status, Version) { put_done = true; });
+  cluster.RunFor(1 * sim::kMillisecond);
+  EXPECT_FALSE(put_done);  // write-ahead done, commit pending
+
+  // The move arrives as a client *retry* (multicast after the original was
+  // lost) and is postponed behind the uncommitted version.
+  bool move_done = false;
+  Status move_status = InternalError("no reply");
+  MoveRequest req;
+  req.key = key;
+  req.dst = rep1;
+  req.client = cluster.client(1).node();
+  req.req_id = 7777;
+  req.retry = true;
+  req.reply = [&](Status s, Version) {
+    move_status = s;
+    move_done = true;
+  };
+  cluster.server(2).HandleMove(req);
+  cluster.RunFor(1 * sim::kMillisecond);
+  EXPECT_FALSE(move_done);
+  // Later retries of the same request are deduplicated while it waits.
+  cluster.server(2).HandleMove(req);
+
+  // Failure detection promotes the spare, the pending version commits, and
+  // the postponed move re-executes — it must reply despite having entered
+  // as a retry.
+  cluster.RunFor(150 * sim::kMillisecond);
+  ASSERT_TRUE(move_done);
+  EXPECT_TRUE(move_status.ok()) << move_status;
+  auto got = cluster.Get(key);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(ToString(*got), "wedged");
+}
+
 }  // namespace
 }  // namespace ring

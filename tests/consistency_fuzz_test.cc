@@ -14,11 +14,13 @@
 #include <gtest/gtest.h>
 
 #include <map>
+#include <optional>
 #include <set>
 #include <string>
 #include <vector>
 
 #include "src/common/hash.h"
+#include "src/policy/autotier.h"
 #include "src/ring/cluster.h"
 
 namespace ring {
@@ -34,19 +36,18 @@ Buffer EncodeValue(const Key& key, uint64_t nonce, size_t size) {
   return out;
 }
 
-// (seed, memgest groups): the grouped variants exercise §5.4 rotation under
-// the same random traffic.
-class ConsistencyFuzzTest
-    : public ::testing::TestWithParam<std::pair<uint64_t, uint32_t>> {};
-
-TEST_P(ConsistencyFuzzTest, RandomConcurrentTraffic) {
-  const auto [seed, groups] = GetParam();
+// Random concurrent traffic against one cluster; shared by the plain fuzz
+// and the policy variant. `with_policy` runs the adaptive resilience
+// manager (src/policy) on top of the same traffic: its background moves —
+// driven by the temperatures the traffic itself induces — interleave with
+// the puts/gets/deletes, and the same consistency properties must hold.
+void RunRandomTraffic(uint64_t seed, uint32_t groups, bool with_policy) {
   RingOptions options;
   options.s = 3;
   options.d = 2;
   options.groups = groups;
   options.spares = 1;
-  options.clients = 3;
+  options.clients = with_policy ? 4 : 3;  // client 3 issues policy moves
   options.seed = seed;
   RingCluster cluster(options);
   std::vector<MemgestId> memgests = {
@@ -55,6 +56,23 @@ TEST_P(ConsistencyFuzzTest, RandomConcurrentTraffic) {
       *cluster.CreateMemgest(MemgestDescriptor::ErasureCoded(2, 1)),
       *cluster.CreateMemgest(MemgestDescriptor::ErasureCoded(3, 2)),
   };
+
+  std::optional<policy::AutoTierManager> manager;
+  if (with_policy) {
+    policy::AutoTierOptions ao;
+    ao.epoch_ns = 2 * sim::kMillisecond;
+    ao.mover.client_index = 3;
+    ao.mover.moves_per_sec = 10'000.0;
+    manager.emplace(
+        &cluster,
+        std::vector<policy::Tier>{
+            {memgests[1], MemgestDescriptor::Replicated(3),
+             cost::PriceTable{}.hot},
+            {memgests[3], MemgestDescriptor::ErasureCoded(3, 2),
+             cost::PriceTable{}.cool}},
+        ao);
+    manager->Start();
+  }
 
   Rng rng(seed * 977 + 13);
   const int kKeys = 12;
@@ -143,23 +161,67 @@ TEST_P(ConsistencyFuzzTest, RandomConcurrentTraffic) {
   }
   ASSERT_TRUE(cluster.RunUntilDone([&] { return outstanding == 0; }));
   cluster.RunFor(5 * sim::kMillisecond);
+  if (manager.has_value()) {
+    // Let queued policy moves finish so the sweep also covers freshly
+    // re-tiered keys.
+    ASSERT_TRUE(cluster.RunUntilDone([&] { return manager->mover().idle(); }));
+    cluster.RunFor(2 * sim::kMillisecond);
+  }
 
   // Quiescent agreement + read-your-writes sweep: all clients agree, and
-  // the version is at least the highest acked put version.
+  // the version is at least the highest acked put version (background moves
+  // only ever advance a key's version).
   for (int i = 0; i < kKeys; ++i) {
     const Key key = key_of(i);
-    std::vector<Result<Buffer>> reads;
+    std::vector<GetResult> reads;
     for (uint32_t c = 0; c < 3; ++c) {
-      reads.push_back(cluster.Get(key, c));
+      GetResult r;
+      bool done = false;
+      cluster.client(c).Get(key, [&](GetResult got) {
+        r = std::move(got);
+        done = true;
+      });
+      ASSERT_TRUE(cluster.RunUntilDone([&] { return done; }));
+      check_read(key, r);
+      reads.push_back(std::move(r));
     }
     for (uint32_t c = 1; c < 3; ++c) {
-      ASSERT_EQ(reads[0].ok(), reads[c].ok()) << key;
-      if (reads[0].ok()) {
-        EXPECT_EQ(*reads[0], *reads[c]) << "clients disagree on " << key;
+      ASSERT_EQ(reads[0].status.ok(), reads[c].status.ok()) << key;
+      if (reads[0].status.ok()) {
+        EXPECT_EQ(*reads[0].data, *reads[c].data)
+            << "clients disagree on " << key;
       }
+    }
+    const KeyState& st = truth[key];
+    if (!st.acked_puts.empty() && reads[0].status.ok()) {
+      EXPECT_GE(reads[0].version, st.acked_puts.rbegin()->first)
+          << "read-your-writes violated on " << key;
     }
   }
   EXPECT_EQ(violations, 0);
+  if (manager.has_value()) {
+    manager->Stop();
+  }
+}
+
+// (seed, memgest groups): the grouped variants exercise §5.4 rotation under
+// the same random traffic.
+class ConsistencyFuzzTest
+    : public ::testing::TestWithParam<std::pair<uint64_t, uint32_t>> {};
+
+TEST_P(ConsistencyFuzzTest, RandomConcurrentTraffic) {
+  const auto [seed, groups] = GetParam();
+  RunRandomTraffic(seed, groups, /*with_policy=*/false);
+}
+
+// Same properties with the adaptive resilience manager re-tiering keys in
+// the background while the traffic runs.
+class PolicyConsistencyFuzzTest
+    : public ::testing::TestWithParam<std::pair<uint64_t, uint32_t>> {};
+
+TEST_P(PolicyConsistencyFuzzTest, BackgroundMovesPreserveConsistency) {
+  const auto [seed, groups] = GetParam();
+  RunRandomTraffic(seed, groups, /*with_policy=*/true);
 }
 
 INSTANTIATE_TEST_SUITE_P(
@@ -168,6 +230,15 @@ INSTANTIATE_TEST_SUITE_P(
                       std::make_pair(3ULL, 1u), std::make_pair(7ULL, 1u),
                       std::make_pair(13ULL, 1u), std::make_pair(21ULL, 5u),
                       std::make_pair(42ULL, 5u), std::make_pair(99ULL, 5u)),
+    [](const ::testing::TestParamInfo<std::pair<uint64_t, uint32_t>>& info) {
+      return "seed" + std::to_string(info.param.first) + "_g" +
+             std::to_string(info.param.second);
+    });
+
+INSTANTIATE_TEST_SUITE_P(
+    Seeds, PolicyConsistencyFuzzTest,
+    ::testing::Values(std::make_pair(4ULL, 1u), std::make_pair(11ULL, 1u),
+                      std::make_pair(23ULL, 1u), std::make_pair(57ULL, 5u)),
     [](const ::testing::TestParamInfo<std::pair<uint64_t, uint32_t>>& info) {
       return "seed" + std::to_string(info.param.first) + "_g" +
              std::to_string(info.param.second);

@@ -9,6 +9,7 @@
 //   ringctl schemes    --shards=4 --redundant=3
 //   ringctl stats      --scheme=srs32 --reps=500
 //   ringctl trace      --scheme=srs32 --trace_out=trace.json
+//   ringctl autotier   --scheme=rep3 --cold-scheme=srs32 --keys=240
 //
 // Commands can also be selected with --mode=<command>, and any
 // latency/trace run can emit a Chrome trace_event file via
@@ -23,9 +24,11 @@
 #include "src/common/hash.h"
 #include "src/common/logging.h"
 #include "src/obs/hub.h"
+#include "src/policy/autotier.h"
 #include "src/reliability/models.h"
 #include "src/ring/cluster.h"
 #include "src/workload/drivers.h"
+#include "src/workload/zipf.h"
 
 namespace ring {
 namespace {
@@ -403,6 +406,123 @@ int RunReliability(FlagSet& flags) {
   return 0;
 }
 
+// `ringctl autotier`: run the adaptive resilience manager against a
+// shifting-hotspot workload and report the storage it saves versus keeping
+// every key in the hot scheme.
+int RunAutotier(FlagSet& flags) {
+  auto hot_desc = SchemeFromName(flags.GetString("scheme"));
+  auto cold_desc = SchemeFromName(flags.GetString("cold-scheme"));
+  if (!hot_desc.ok() || !cold_desc.ok()) {
+    std::fprintf(stderr, "%s\n",
+                 (hot_desc.ok() ? cold_desc : hot_desc).status().ToString()
+                     .c_str());
+    return 1;
+  }
+  RingOptions o;
+  o.s = static_cast<uint32_t>(flags.GetInt("shards"));
+  o.d = static_cast<uint32_t>(flags.GetInt("redundant"));
+  o.groups = static_cast<uint32_t>(flags.GetInt("groups"));
+  o.clients = 2;  // client 1 carries the manager's background moves
+  o.seed = static_cast<uint64_t>(flags.GetInt("seed"));
+  o.params.wire_jitter_ns = 400;
+  // Large objects take > the default retry timeout on the simulated wire.
+  o.params.client_retry_timeout_ns = 200 * sim::kMillisecond;
+  RingCluster cluster(o);
+  auto hot = cluster.CreateMemgest(*hot_desc);
+  auto cold = cluster.CreateMemgest(*cold_desc);
+  if (!hot.ok() || !cold.ok()) {
+    std::fprintf(stderr, "createMemgest: %s\n",
+                 (hot.ok() ? cold : hot).status().ToString().c_str());
+    return 1;
+  }
+
+  policy::AutoTierOptions ao;
+  ao.epoch_ns =
+      static_cast<sim::SimTime>(flags.GetDouble("epoch-ms") *
+                                static_cast<double>(sim::kMillisecond));
+  ao.policy.mode = flags.GetBool("cost-objective")
+                       ? policy::PolicyMode::kCostObjective
+                       : policy::PolicyMode::kThreshold;
+  ao.policy.hot_enter = flags.GetDouble("hot-enter");
+  ao.policy.cold_enter = flags.GetDouble("cold-enter");
+  ao.policy.ops_per_month_per_temp = flags.GetDouble("ops-per-temp");
+  ao.mover.moves_per_sec = flags.GetDouble("moves-per-sec");
+  ao.mover.client_index = 1;
+  policy::AutoTierManager manager(
+      &cluster,
+      {policy::Tier{*hot, *hot_desc, cost::PriceTable{}.hot},
+       policy::Tier{*cold, *cold_desc, cost::PriceTable{}.cool}},
+      ao);
+
+  const int keys = static_cast<int>(flags.GetInt("keys"));
+  const size_t size = static_cast<size_t>(flags.GetInt("size"));
+  auto key_of = [](int i) { return "tier-" + std::to_string(i); };
+  for (int i = 0; i < keys; ++i) {
+    (void)cluster.Put(key_of(i), MakePatternBuffer(size, i), *hot);
+  }
+  const uint32_t num_nodes = o.groups * o.s + o.d;
+  auto cluster_memory = [&] {
+    uint64_t total = 0;
+    for (net::NodeId n = 0; n < num_nodes; ++n) {
+      total += cluster.server(n).LiveBytes();
+    }
+    return total;
+  };
+  const uint64_t all_hot = cluster_memory();
+  manager.Start();
+
+  // Closed-loop Zipf gets whose head rotates through the key space, so the
+  // manager has to both demote the cold tail and chase the hotspot.
+  const auto period = static_cast<sim::SimTime>(
+      flags.GetDouble("hotspot-period-ms") *
+      static_cast<double>(sim::kMillisecond));
+  const uint64_t shift = static_cast<uint64_t>(flags.GetInt("hotspot-shift"));
+  workload::ZipfGenerator zipf(static_cast<uint64_t>(keys), 0.99);
+  Rng rng(o.seed + 1);
+  auto& client = cluster.client(0);
+  client.ResetStats();
+  const auto horizon = static_cast<sim::SimTime>(
+      flags.GetDouble("seconds") * static_cast<double>(sim::kSecond));
+  const sim::SimTime t0 = cluster.simulator().now();
+  uint64_t gets = 0;
+  while (cluster.simulator().now() - t0 < horizon) {
+    const uint64_t offset = workload::HotspotOffset(
+        cluster.simulator().now() - t0, period, shift);
+    const uint64_t rank = (zipf.Next(rng) + offset) % keys;
+    (void)cluster.Get(key_of(rank));
+    ++gets;
+  }
+  cluster.RunFor(10 * sim::kMillisecond);  // drain queued moves + GC
+  const uint64_t tiered = cluster_memory();
+  const auto& mover = manager.mover();
+
+  std::printf(
+      "autotier %s <-> %s, %d keys x %zu B, hotspot rotating %llu keys "
+      "every %.0f ms:\n",
+      hot_desc->ToString().c_str(), cold_desc->ToString().c_str(), keys, size,
+      static_cast<unsigned long long>(shift),
+      flags.GetDouble("hotspot-period-ms"));
+  std::printf("  %llu closed-loop gets, get p99 %.2f us\n",
+              static_cast<unsigned long long>(gets),
+              client.latencies().empty() ? -1.0
+                                         : client.latencies().Percentile(99));
+  std::printf("  all-%s memory %9.1f KiB -> tiered %9.1f KiB (%.1f%% saved)\n",
+              hot_desc->ToString().c_str(), all_hot / 1024.0, tiered / 1024.0,
+              100.0 * (1.0 - static_cast<double>(tiered) / all_hot));
+  std::printf(
+      "  moves: %llu scheduled, %llu completed, %llu retried, %llu aborted\n",
+      static_cast<unsigned long long>(mover.scheduled()),
+      static_cast<unsigned long long>(mover.completed()),
+      static_cast<unsigned long long>(mover.retried()),
+      static_cast<unsigned long long>(mover.aborted()));
+  std::printf("  realized storage+ops cost: %.4f $/month (%s policy)\n",
+              manager.RealizedStorageCost(),
+              flags.GetBool("cost-objective") ? "cost-objective"
+                                              : "threshold");
+  manager.Stop();
+  return 0;
+}
+
 int RunSchemes(FlagSet& flags) {
   const uint32_t s = static_cast<uint32_t>(flags.GetInt("shards"));
   const uint32_t d = static_cast<uint32_t>(flags.GetInt("redundant"));
@@ -427,8 +547,11 @@ int RunSchemes(FlagSet& flags) {
 
 int Main(int argc, char** argv) {
   FlagSet flags(
-      "ringctl <latency|throughput|recover|reliability|schemes|stats|trace>");
+      "ringctl "
+      "<latency|throughput|recover|reliability|schemes|stats|trace|autotier>");
   flags.DefineString("scheme", "rep3", "storage scheme: repN or srsKM")
+      .DefineString("cold-scheme", "srs32",
+                    "cold-tier scheme for autotier: repN or srsKM")
       .DefineString("mode", "", "command (alias for the positional argument)")
       .DefineString("trace_out", "",
                     "write a Chrome trace_event JSON file (latency/trace)")
@@ -453,6 +576,22 @@ int Main(int argc, char** argv) {
       .DefineDouble("get-fraction", 0.0, "fraction of gets in the mix")
       .DefineDouble("lambda", 10.0, "node failure rate per year")
       .DefineDouble("dataset-gib", 600.0, "protected dataset size")
+      .DefineDouble("epoch-ms", 5.0, "autotier temperature epoch, ms")
+      .DefineDouble("moves-per-sec", 4000.0,
+                    "background move rate limit (autotier)")
+      .DefineDouble("hot-enter", 8.0, "accesses/epoch to promote (autotier)")
+      .DefineDouble("cold-enter", 2.0, "accesses/epoch to demote (autotier)")
+      .DefineDouble("hotspot-period-ms", 30.0,
+                    "hotspot rotation period, ms (autotier; 0 = static)")
+      .DefineInt("hotspot-shift", 80,
+                 "keys the hotspot shifts by each period (autotier)")
+      .DefineBool("cost-objective", false,
+                  "price placements with the cloud cost model instead of "
+                  "temperature thresholds (autotier)")
+      .DefineDouble("ops-per-temp", 1e6,
+                    "monthly ops per unit temperature for pricing "
+                    "(autotier --cost-objective; lower values make storage "
+                    "rent dominate)")
       .DefineBool("zipfian", true, "Zipfian (vs uniform) key popularity")
       .DefineBool("light-clients", true,
                   "lightweight load generators (Fig. 9 style)");
@@ -502,6 +641,9 @@ int Main(int argc, char** argv) {
   }
   if (command == "trace") {
     return RunTrace(flags);
+  }
+  if (command == "autotier") {
+    return RunAutotier(flags);
   }
   std::fprintf(stderr, "unknown command '%s'\n%s", command.c_str(),
                flags.Usage().c_str());
