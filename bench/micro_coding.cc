@@ -2,9 +2,23 @@
 // region operations, RS(k,m) encode/decode, SRS object encode, and parity
 // delta updates. These are the kernels the paper's erasure-coded put path
 // spends its CPU in ("RS codes are compute-bound", §6.1).
+//
+// Multiply coefficients are randomized per iteration: a fixed constant lets
+// the branch predictor and L1 flatter the scalar table walk (one hot row)
+// and would skew calibration.
+//
+// Dispatch-path coverage: BM_GfMulAddRegion_<impl> variants are registered
+// at startup for every kernel tier this build/CPU offers, so one JSON run
+// (`--benchmark_format=json`, committed as BENCH_coding.json) records the
+// scalar baseline next to the vectorized kernels.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <string>
+#include <vector>
+
 #include "src/common/bytes.h"
+#include "src/common/rng.h"
 #include "src/gf/gf256.h"
 #include "src/rs/rs_code.h"
 #include "src/srs/srs_code.h"
@@ -12,6 +26,17 @@
 namespace {
 
 using namespace ring;
+
+// 257 entries (coprime with every power-of-two buffer count) cycled per
+// iteration; excludes 0 and 1 so no iteration takes the memset/XOR fast path.
+std::vector<uint8_t> MixedCoefficients() {
+  ring::Rng rng(1234);
+  std::vector<uint8_t> c(257);
+  for (auto& v : c) {
+    v = static_cast<uint8_t>(rng.NextU64() % 254 + 2);
+  }
+  return c;
+}
 
 void BM_GfAddRegion(benchmark::State& state) {
   const size_t n = static_cast<size_t>(state.range(0));
@@ -22,22 +47,72 @@ void BM_GfAddRegion(benchmark::State& state) {
     benchmark::DoNotOptimize(dst.data());
   }
   state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * n);
+  state.SetLabel(gf::RegionImplName(gf::ActiveRegionImpl()));
 }
 BENCHMARK(BM_GfAddRegion)->Arg(1024)->Arg(65536)->Arg(1 << 20);
 
 void BM_GfMulAddRegion(benchmark::State& state) {
   const size_t n = static_cast<size_t>(state.range(0));
+  const auto coeffs = MixedCoefficients();
   Buffer src = MakePatternBuffer(n, 1);
   Buffer dst = MakePatternBuffer(n, 2);
+  size_t i = 0;
   for (auto _ : state) {
-    gf::MulAddRegion(0x57, src, dst);
+    gf::MulAddRegion(coeffs[i++ % coeffs.size()], src, dst);
     benchmark::DoNotOptimize(dst.data());
   }
   state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * n);
+  state.SetLabel(gf::RegionImplName(gf::ActiveRegionImpl()));
 }
 BENCHMARK(BM_GfMulAddRegion)->Arg(1024)->Arg(65536)->Arg(1 << 20);
 
-void BM_RsEncode(benchmark::State& state) {
+// Same kernel pinned to one dispatch tier; registered in main() for every
+// tier available so the scalar baseline lands in the same JSON as the
+// vectorized paths.
+void BM_GfMulAddRegionImpl(benchmark::State& state, gf::RegionImpl impl) {
+  const gf::RegionImpl prev = gf::ActiveRegionImpl();
+  gf::SetRegionImpl(impl);
+  const size_t n = static_cast<size_t>(state.range(0));
+  const auto coeffs = MixedCoefficients();
+  Buffer src = MakePatternBuffer(n, 1);
+  Buffer dst = MakePatternBuffer(n, 2);
+  size_t i = 0;
+  for (auto _ : state) {
+    gf::MulAddRegion(coeffs[i++ % coeffs.size()], src, dst);
+    benchmark::DoNotOptimize(dst.data());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * n);
+  gf::SetRegionImpl(prev);
+}
+
+// Fused multi-source accumulate vs. k sequential sweeps over dst.
+void BM_GfMulAddRegionMulti(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const uint32_t k = static_cast<uint32_t>(state.range(1));
+  const auto coeffs = MixedCoefficients();
+  std::vector<Buffer> sources;
+  std::vector<const uint8_t*> srcs;
+  std::vector<uint8_t> cs;
+  for (uint32_t i = 0; i < k; ++i) {
+    sources.push_back(MakePatternBuffer(n, i));
+    cs.push_back(coeffs[i]);
+  }
+  for (const auto& b : sources) {
+    srcs.push_back(b.data());
+  }
+  Buffer dst = MakePatternBuffer(n, 99);
+  for (auto _ : state) {
+    gf::MulAddRegionMulti(cs, std::span<const uint8_t* const>(srcs), dst);
+    benchmark::DoNotOptimize(dst.data());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * n * k);
+  state.SetLabel(gf::RegionImplName(gf::ActiveRegionImpl()));
+}
+BENCHMARK(BM_GfMulAddRegionMulti)->Args({65536, 3})->Args({65536, 6});
+
+// Fused stripe encode (RsCode::EncodeInto, one pass over the k sources per
+// parity block)...
+void BM_RsEncodeFused(benchmark::State& state) {
   const uint32_t k = static_cast<uint32_t>(state.range(0));
   const uint32_t m = static_cast<uint32_t>(state.range(1));
   const size_t block = 64 * 1024;
@@ -47,14 +122,43 @@ void BM_RsEncode(benchmark::State& state) {
     data.push_back(MakePatternBuffer(block, i));
   }
   std::vector<ByteSpan> spans(data.begin(), data.end());
+  std::vector<Buffer> parity(m, Buffer(block));
+  std::vector<MutableByteSpan> pspans(parity.begin(), parity.end());
   for (auto _ : state) {
-    auto parity = code->Encode(spans);
+    code->EncodeInto(spans, pspans);
     benchmark::DoNotOptimize(parity.data());
   }
   state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * k *
                           block);
+  state.SetLabel(gf::RegionImplName(gf::ActiveRegionImpl()));
 }
-BENCHMARK(BM_RsEncode)->Args({2, 1})->Args({3, 2})->Args({6, 3});
+BENCHMARK(BM_RsEncodeFused)->Args({2, 1})->Args({3, 2})->Args({6, 3});
+
+// ...vs. the pre-fusion shape: k*m full-buffer MulAddRegion sweeps.
+void BM_RsEncodeNaive(benchmark::State& state) {
+  const uint32_t k = static_cast<uint32_t>(state.range(0));
+  const uint32_t m = static_cast<uint32_t>(state.range(1));
+  const size_t block = 64 * 1024;
+  auto code = rs::RsCode::Create(k, m);
+  std::vector<Buffer> data;
+  for (uint32_t i = 0; i < k; ++i) {
+    data.push_back(MakePatternBuffer(block, i));
+  }
+  std::vector<Buffer> parity(m, Buffer(block));
+  for (auto _ : state) {
+    for (uint32_t j = 0; j < m; ++j) {
+      std::fill(parity[j].begin(), parity[j].end(), 0);
+      for (uint32_t i = 0; i < k; ++i) {
+        gf::MulAddRegion(code->Coefficient(j, i), data[i], parity[j]);
+      }
+    }
+    benchmark::DoNotOptimize(parity.data());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * k *
+                          block);
+  state.SetLabel(gf::RegionImplName(gf::ActiveRegionImpl()));
+}
+BENCHMARK(BM_RsEncodeNaive)->Args({3, 2})->Args({6, 3});
 
 void BM_RsDecode(benchmark::State& state) {
   const uint32_t k = static_cast<uint32_t>(state.range(0));
@@ -81,6 +185,7 @@ void BM_RsDecode(benchmark::State& state) {
   }
   state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * k *
                           block);
+  state.SetLabel(gf::RegionImplName(gf::ActiveRegionImpl()));
 }
 BENCHMARK(BM_RsDecode)->Args({2, 1})->Args({3, 2})->Args({6, 3});
 
@@ -96,6 +201,7 @@ void BM_SrsEncodeObject(benchmark::State& state) {
   }
   state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
                           object.size());
+  state.SetLabel(gf::RegionImplName(gf::ActiveRegionImpl()));
 }
 BENCHMARK(BM_SrsEncodeObject)
     ->Args({3, 2, 3})
@@ -112,9 +218,31 @@ void BM_ParityDeltaUpdate(benchmark::State& state) {
     benchmark::DoNotOptimize(parity.data());
   }
   state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * block);
+  state.SetLabel(gf::RegionImplName(gf::ActiveRegionImpl()));
 }
 BENCHMARK(BM_ParityDeltaUpdate)->Arg(1024)->Arg(65536);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // One pinned-dispatch benchmark per kernel tier this host can run.
+  const gf::RegionImpl prev = gf::ActiveRegionImpl();
+  for (gf::RegionImpl impl : {gf::RegionImpl::kScalar, gf::RegionImpl::kSsse3,
+                              gf::RegionImpl::kAvx2, gf::RegionImpl::kNeon}) {
+    if (gf::SetRegionImpl(impl) != impl) {
+      continue;
+    }
+    const std::string name =
+        std::string("BM_GfMulAddRegion_") + gf::RegionImplName(impl);
+    benchmark::RegisterBenchmark(name.c_str(), BM_GfMulAddRegionImpl, impl)
+        ->Arg(65536);
+  }
+  gf::SetRegionImpl(prev);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

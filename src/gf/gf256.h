@@ -5,9 +5,11 @@
 // region operations erasure coding spends its cycles in (XOR and
 // multiply-accumulate over whole buffers).
 //
-// Tables are built once at static-init time: 256x256 multiplication (64 KiB,
-// one L1-friendly row per scalar constant) and log/exp tables for division
-// and exponentiation.
+// Region operations dispatch once at startup to the widest kernel the CPU
+// supports — split-nibble PSHUFB/TBL multiply for SSSE3, AVX2 and NEON —
+// with the portable scalar table-lookup code as the fallback. The scalar
+// path can be forced for testing with the RING_FORCE_SCALAR CMake option
+// (compile-time) or the RING_FORCE_SCALAR environment variable (runtime).
 #ifndef RING_SRC_GF_GF256_H_
 #define RING_SRC_GF_GF256_H_
 
@@ -37,6 +39,21 @@ uint8_t Inv(uint8_t a);
 // a raised to the e-th power (Pow(0, 0) == 1 by convention).
 uint8_t Pow(uint8_t a, uint32_t e);
 
+// Kernel dispatch -----------------------------------------------------------
+
+enum class RegionImpl : uint8_t { kScalar = 0, kSsse3, kAvx2, kNeon };
+
+// The implementation the region operations currently run on. Selected once
+// on first use: widest supported tier, unless RING_FORCE_SCALAR is set.
+RegionImpl ActiveRegionImpl();
+const char* RegionImplName(RegionImpl impl);
+
+// Force a specific implementation (differential tests, calibration). If the
+// requested tier is unavailable on this CPU/build the active implementation
+// is left unchanged. Returns the implementation now in effect. Not
+// thread-safe with concurrent region calls.
+RegionImpl SetRegionImpl(RegionImpl impl);
+
 // Region operations ---------------------------------------------------------
 // All spans must have equal sizes; src and dst may not alias partially (they
 // may be identical or disjoint).
@@ -49,6 +66,21 @@ void MulRegion(uint8_t c, std::span<const uint8_t> src, std::span<uint8_t> dst);
 
 // dst ^= c * src   (the inner loop of RS encode/decode/delta-update)
 void MulAddRegion(uint8_t c, std::span<const uint8_t> src,
+                  std::span<uint8_t> dst);
+
+// Fused multi-source accumulate: dst ^= sum_i coeffs[i] * srcs[i], where
+// every srcs[i] points at a region of dst.size() bytes. Zero coefficients
+// are skipped. Unlike a loop of MulAddRegion calls (which sweeps dst once
+// per source), the fused kernel streams all sources per cache-resident dst
+// block, touching each dst byte once — the shape of RS stripe encode.
+// No srcs[i] may partially overlap dst.
+void MulAddRegionMulti(std::span<const uint8_t> coeffs,
+                       std::span<const uint8_t* const> srcs,
+                       std::span<uint8_t> dst);
+
+// Fused encode: dst = sum_i coeffs[i] * srcs[i] (dst is zero-filled first).
+void EncodeRegion(std::span<const uint8_t> coeffs,
+                  std::span<const uint8_t* const> srcs,
                   std::span<uint8_t> dst);
 
 }  // namespace ring::gf

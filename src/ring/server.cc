@@ -185,11 +185,8 @@ void RingServer::StartWrite(const MemgestInfo& info, uint32_t shard,
   std::shared_ptr<Buffer> delta;
   if (info.erasure_coded() && len > 0) {
     store.EnsureSize(addr + len);
-    delta = std::make_shared<Buffer>(len);
-    const ByteSpan old = store.Read(addr, len);
-    for (uint32_t i = 0; i < len; ++i) {
-      (*delta)[i] = old[i] ^ (*value)[i];
-    }
+    delta = std::make_shared<Buffer>(value->begin(), value->end());
+    gf::AddRegion(store.Read(addr, len), *delta);
   }
   if (len > 0) {
     store.Write(addr, *value);

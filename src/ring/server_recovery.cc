@@ -665,6 +665,19 @@ void RingServer::RebuildParity(const MemgestInfo& info, uint32_t group,
       MemgestState& st = StateOf(*info_ptr);
       ParityStore& par = st.parity.at(group);
       std::fill(par.mem.begin(), par.mem.end(), 0);
+      // Collect every (coefficient, source, parity range) contribution
+      // first, then fuse: segments from different shards that map to the
+      // same parity range (same mini-stripe cell) are accumulated in one
+      // multi-source pass so each parity cache line is touched once instead
+      // of once per shard.
+      struct Contribution {
+        uint64_t parity_offset;
+        uint64_t length;
+        uint8_t coeff;
+        const uint8_t* src;
+      };
+      std::vector<Contribution> contribs;
+      uint64_t max_extent = 0;
       for (uint32_t sigma = 0; sigma < snaps->size(); ++sigma) {
         const auto& snap = (*snaps)[sigma];
         if (!snap.bytes || snap.bytes->empty()) {
@@ -672,15 +685,39 @@ void RingServer::RebuildParity(const MemgestInfo& info, uint32_t group,
         }
         for (const auto& seg :
              info_ptr->map->MapDataRange(sigma, 0, snap.bytes->size())) {
-          uint64_t max_extent = seg.parity_offset + seg.length;
-          par.EnsureSize(max_extent);
-          gf::MulAddRegion(
-              info_ptr->code->rs().Coefficient(par.parity_index,
-                                               seg.rs_block),
-              ByteSpan(snap.bytes->data() + seg.node_offset, seg.length),
-              MutableByteSpan(par.mem.data() + seg.parity_offset,
-                              seg.length));
+          contribs.push_back(
+              {seg.parity_offset, seg.length,
+               info_ptr->code->rs().Coefficient(par.parity_index,
+                                                seg.rs_block),
+               snap.bytes->data() + seg.node_offset});
+          max_extent = std::max(max_extent, seg.parity_offset + seg.length);
         }
+      }
+      par.EnsureSize(max_extent);
+      std::sort(contribs.begin(), contribs.end(),
+                [](const Contribution& a, const Contribution& b) {
+                  return a.parity_offset != b.parity_offset
+                             ? a.parity_offset < b.parity_offset
+                             : a.length < b.length;
+                });
+      std::vector<uint8_t> coeffs;
+      std::vector<const uint8_t*> srcs;
+      for (size_t i = 0; i < contribs.size();) {
+        size_t j = i;
+        coeffs.clear();
+        srcs.clear();
+        while (j < contribs.size() &&
+               contribs[j].parity_offset == contribs[i].parity_offset &&
+               contribs[j].length == contribs[i].length) {
+          coeffs.push_back(contribs[j].coeff);
+          srcs.push_back(contribs[j].src);
+          ++j;
+        }
+        gf::MulAddRegionMulti(
+            coeffs, std::span<const uint8_t* const>(srcs),
+            MutableByteSpan(par.mem.data() + contribs[i].parity_offset,
+                            contribs[i].length));
+        i = j;
       }
       par.rebuilt = true;
       // Drain updates queued during the rebuild. The write fence keeps the

@@ -43,16 +43,27 @@ Result<RsCode> RsCode::Create(uint32_t k, uint32_t m) {
 }
 
 std::vector<Buffer> RsCode::Encode(const std::vector<ByteSpan>& data) const {
-  assert(data.size() == k_);
   const size_t block_size = data.empty() ? 0 : data[0].size();
   std::vector<Buffer> parity(m_, Buffer(block_size, 0));
-  for (uint32_t j = 0; j < m_; ++j) {
-    for (uint32_t i = 0; i < k_; ++i) {
-      assert(data[i].size() == block_size);
-      gf::MulAddRegion(g_.At(j, i), data[i], parity[j]);
-    }
-  }
+  std::vector<MutableByteSpan> spans(parity.begin(), parity.end());
+  EncodeInto(data, spans);
   return parity;
+}
+
+void RsCode::EncodeInto(const std::vector<ByteSpan>& data,
+                        std::span<MutableByteSpan> parity) const {
+  assert(data.size() == k_);
+  assert(parity.size() == m_);
+  std::vector<const uint8_t*> srcs(k_);
+  for (uint32_t i = 0; i < k_; ++i) {
+    assert(data[i].size() == (data.empty() ? 0 : data[0].size()));
+    srcs[i] = data[i].data();
+  }
+  for (uint32_t j = 0; j < m_; ++j) {
+    assert(parity[j].size() == (data.empty() ? 0 : data[0].size()));
+    gf::EncodeRegion(std::span<const uint8_t>(g_.Row(j), k_),
+                     std::span<const uint8_t* const>(srcs), parity[j]);
+  }
 }
 
 void RsCode::ApplyParityDelta(uint32_t parity_index, uint32_t data_index,
@@ -92,11 +103,17 @@ Result<std::vector<Buffer>> RsCode::RecoverData(
   if (!decode.ok()) {
     return InternalError("decode matrix singular (violates MDS property)");
   }
+  std::vector<const uint8_t*> srcs(k_);
+  for (uint32_t i = 0; i < k_; ++i) {
+    srcs[i] = chosen[i].second.data();
+  }
+  // Fused decode: one pass over the k sources per output block. Decode rows
+  // for surviving data blocks are unit vectors, so the zero-coefficient skip
+  // reduces those outputs to a single memcpy-equivalent accumulate.
   std::vector<Buffer> out(k_, Buffer(block_size, 0));
   for (uint32_t d = 0; d < k_; ++d) {
-    for (uint32_t i = 0; i < k_; ++i) {
-      gf::MulAddRegion(decode.value().At(d, i), chosen[i].second, out[d]);
-    }
+    gf::MulAddRegionMulti(std::span<const uint8_t>(decode.value().Row(d), k_),
+                          std::span<const uint8_t* const>(srcs), out[d]);
   }
   return out;
 }
@@ -106,16 +123,19 @@ Result<std::vector<Buffer>> RsCode::RecoverBlocks(
     const std::vector<uint32_t>& wanted) const {
   RING_ASSIGN_OR_RETURN(std::vector<Buffer> data, RecoverData(available));
   const size_t block_size = data.empty() ? 0 : data[0].size();
+  std::vector<const uint8_t*> srcs(k_);
+  for (uint32_t i = 0; i < k_; ++i) {
+    srcs[i] = data[i].data();
+  }
   std::vector<Buffer> out;
   out.reserve(wanted.size());
   for (uint32_t w : wanted) {
     if (w < k_) {
       out.push_back(data[w]);
     } else if (w < k_ + m_) {
-      Buffer p(block_size, 0);
-      for (uint32_t i = 0; i < k_; ++i) {
-        gf::MulAddRegion(g_.At(w - k_, i), data[i], p);
-      }
+      Buffer p(block_size);
+      gf::EncodeRegion(std::span<const uint8_t>(g_.Row(w - k_), k_),
+                       std::span<const uint8_t* const>(srcs), p);
       out.push_back(std::move(p));
     } else {
       return InvalidArgumentError("wanted block index out of range");

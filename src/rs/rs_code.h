@@ -45,6 +45,15 @@ class RsCode {
   // `data.size() == k`; all blocks share one size. Returns m blocks.
   std::vector<Buffer> Encode(const std::vector<ByteSpan>& data) const;
 
+  // Fused, allocation-free encode into caller-owned parity buffers
+  // (`parity.size() == m`, each block data[0].size() bytes). Each parity
+  // block is produced in one pass over all k sources per cache-resident
+  // output region (gf::EncodeRegion) instead of k full-buffer sweeps; zero
+  // generator coefficients are skipped. Parity buffers may hold garbage on
+  // entry; they are overwritten.
+  void EncodeInto(const std::vector<ByteSpan>& data,
+                  std::span<MutableByteSpan> parity) const;
+
   // In-place delta update of one parity block: parity ^= g[parity_idx][data_idx] * delta.
   void ApplyParityDelta(uint32_t parity_index, uint32_t data_index,
                         ByteSpan delta, MutableByteSpan parity) const;

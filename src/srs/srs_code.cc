@@ -64,16 +64,21 @@ SrsCode::Encoded SrsCode::EncodeObject(ByteSpan object) const {
     }
   }
   // Parity payloads: per mini-stripe t, parity chunk j over the k data
-  // chunks {b*(l/k)+t}.
+  // chunks {b*(l/k)+t}. Fused encode: each parity chunk is produced in one
+  // pass over its k sources instead of k sweeps.
   const uint32_t lk = l_ / k_;
-  enc.parity_nodes.assign(m_, Buffer(lk * enc.chunk_size, 0));
+  enc.parity_nodes.assign(m_, Buffer(lk * enc.chunk_size));
+  std::vector<const uint8_t*> srcs(k_);
   for (uint32_t j = 0; j < m_; ++j) {
+    const std::span<const uint8_t> coeffs(rs_.generator().Row(j), k_);
     for (uint32_t t = 0; t < lk; ++t) {
-      MutableByteSpan p(enc.parity_nodes[j].data() + t * enc.chunk_size,
-                        enc.chunk_size);
       for (uint32_t b = 0; b < k_; ++b) {
-        gf::MulAddRegion(rs_.Coefficient(j, b), chunks[DataChunk(b, t)], p);
+        srcs[b] = chunks[DataChunk(b, t)].data();
       }
+      gf::EncodeRegion(coeffs, std::span<const uint8_t* const>(srcs),
+                       MutableByteSpan(
+                           enc.parity_nodes[j].data() + t * enc.chunk_size,
+                           enc.chunk_size));
     }
   }
   return enc;

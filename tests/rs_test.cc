@@ -312,5 +312,76 @@ TEST(RsCodeTest, EncodeEmptyBlocks) {
   EXPECT_TRUE(parity[0].empty());
 }
 
+// Fused encode property: EncodeInto (one pass over all k sources per parity
+// block) must equal the naive per-coefficient definition
+// parity[j][i] = sum_b g[j][b] * data[b][i], under every kernel tier.
+TEST(RsCodeTest, FusedEncodeMatchesNaiveDefinition) {
+  const gf::RegionImpl prev = gf::ActiveRegionImpl();
+  for (auto [k, m] : {std::pair<uint32_t, uint32_t>{2, 1},
+                      std::pair<uint32_t, uint32_t>{3, 2},
+                      std::pair<uint32_t, uint32_t>{6, 3}}) {
+    auto code = RsCode::Create(k, m);
+    ASSERT_TRUE(code.ok());
+    const size_t block = 1021;  // odd size: vector strips + scalar tail
+    const auto data = RandomBlocks(k, block, k * 10 + m);
+    std::vector<Buffer> naive(m, Buffer(block, 0));
+    for (uint32_t j = 0; j < m; ++j) {
+      for (uint32_t b = 0; b < k; ++b) {
+        const uint8_t c = code->Coefficient(j, b);
+        for (size_t i = 0; i < block; ++i) {
+          naive[j][i] = gf::Add(naive[j][i], gf::Mul(c, data[b][i]));
+        }
+      }
+    }
+    for (gf::RegionImpl impl :
+         {gf::RegionImpl::kScalar, gf::RegionImpl::kSsse3,
+          gf::RegionImpl::kAvx2, gf::RegionImpl::kNeon}) {
+      if (gf::SetRegionImpl(impl) != impl) {
+        continue;
+      }
+      std::vector<Buffer> fused(m, Buffer(block, 0xCD));
+      std::vector<MutableByteSpan> spans(fused.begin(), fused.end());
+      code->EncodeInto(Spans(data), spans);
+      for (uint32_t j = 0; j < m; ++j) {
+        ASSERT_EQ(fused[j], naive[j])
+            << "impl=" << gf::RegionImplName(impl) << " k=" << k
+            << " m=" << m << " parity=" << j;
+      }
+      // Encode() must route through the same fused path.
+      EXPECT_EQ(code->Encode(Spans(data)), naive);
+    }
+  }
+  gf::SetRegionImpl(prev);
+}
+
+TEST(RsCodeTest, RecoveryIdenticalAcrossKernelTiers) {
+  const gf::RegionImpl prev = gf::ActiveRegionImpl();
+  auto code = RsCode::Create(4, 2);
+  ASSERT_TRUE(code.ok());
+  const auto data = RandomBlocks(4, 2048 + 7, 55);
+  const auto parity = code->Encode(Spans(data));
+  std::vector<std::pair<uint32_t, ByteSpan>> available;
+  available.emplace_back(1, ByteSpan(data[1]));
+  available.emplace_back(3, ByteSpan(data[3]));
+  available.emplace_back(4, ByteSpan(parity[0]));
+  available.emplace_back(5, ByteSpan(parity[1]));
+  ASSERT_EQ(gf::SetRegionImpl(gf::RegionImpl::kScalar),
+            gf::RegionImpl::kScalar);
+  auto scalar = code->RecoverData(available);
+  ASSERT_TRUE(scalar.ok());
+  EXPECT_EQ((*scalar)[0], data[0]);
+  EXPECT_EQ((*scalar)[2], data[2]);
+  for (gf::RegionImpl impl : {gf::RegionImpl::kSsse3, gf::RegionImpl::kAvx2,
+                              gf::RegionImpl::kNeon}) {
+    if (gf::SetRegionImpl(impl) != impl) {
+      continue;
+    }
+    auto vec = code->RecoverData(available);
+    ASSERT_TRUE(vec.ok());
+    EXPECT_EQ(*vec, *scalar) << gf::RegionImplName(impl);
+  }
+  gf::SetRegionImpl(prev);
+}
+
 }  // namespace
 }  // namespace ring::rs

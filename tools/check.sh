@@ -1,9 +1,11 @@
 #!/usr/bin/env bash
 # Tier-1 gate: builds the tree and runs the test suite normally, then again
 # under AddressSanitizer + UndefinedBehaviorSanitizer (RING_SANITIZE, see the
-# top-level CMakeLists.txt).
+# top-level CMakeLists.txt), then a scalar-forced coding build
+# (-DRING_FORCE_SCALAR=ON) covering the portable GF(2^8) kernels that SIMD
+# hosts would otherwise never execute.
 #
-#   tools/check.sh            # plain + asan,ubsan
+#   tools/check.sh            # plain + asan,ubsan + scalar-forced
 #   tools/check.sh --fast     # plain build + tests only
 set -euo pipefail
 
@@ -21,6 +23,10 @@ run_suite() {
 echo "== tier-1: plain build + ctest =="
 run_suite build
 
+echo "== coding bench smoke =="
+./build/bench/micro_coding --benchmark_filter='BM_GfMulAddRegion/1024$' \
+  --benchmark_min_time=0.01
+
 if [[ "${1:-}" == "--fast" ]]; then
   exit 0
 fi
@@ -29,5 +35,14 @@ echo "== tier-1: asan,ubsan build + ctest =="
 ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=0}" \
 UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1}" \
 run_suite build-sanitize -DRING_SANITIZE=address,undefined
+
+echo "== coding: scalar-forced build (RING_FORCE_SCALAR=ON) =="
+cmake -B build-scalar -S . -DRING_FORCE_SCALAR=ON
+cmake --build build-scalar -j "${JOBS}" \
+  --target gf_test rs_test srs_test ring_test micro_coding
+ctest --test-dir build-scalar --output-on-failure -j "${JOBS}" \
+  -R 'gf_test|rs_test|srs_test|ring_test'
+./build-scalar/bench/micro_coding --benchmark_filter='BM_GfMulAddRegion/1024$' \
+  --benchmark_min_time=0.01
 
 echo "check.sh: all suites passed"

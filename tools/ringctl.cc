@@ -10,6 +10,7 @@
 //   ringctl stats      --scheme=srs32 --reps=500
 //   ringctl trace      --scheme=srs32 --trace_out=trace.json
 //   ringctl autotier   --scheme=rep3 --cold-scheme=srs32 --keys=240
+//   ringctl calibrate  --json
 //
 // Commands can also be selected with --mode=<command>, and any
 // latency/trace run can emit a Chrome trace_event file via
@@ -26,7 +27,9 @@
 #include "src/obs/hub.h"
 #include "src/policy/autotier.h"
 #include "src/reliability/models.h"
+#include "src/gf/gf256.h"
 #include "src/ring/cluster.h"
+#include "src/sim/calibrate.h"
 #include "src/workload/drivers.h"
 #include "src/workload/zipf.h"
 
@@ -50,6 +53,63 @@ Result<MemgestDescriptor> SchemeFromName(const std::string& name) {
   return InvalidArgumentError(
       "scheme must be repN (e.g. rep3) or srsKM (e.g. srs32), got '" + name +
       "'");
+}
+
+// Applies host calibration (measured GF kernel throughput) to the simulated
+// coding cost model when --calibrate is set. Opt-in: without the flag the
+// defaults — and therefore all figure outputs — are untouched.
+void MaybeCalibrate(FlagSet& flags, sim::SimParams& params) {
+  if (!flags.GetBool("calibrate")) {
+    return;
+  }
+  const auto cal = sim::MeasureCodingThroughput();
+  const sim::SimParams calibrated = sim::Calibrated(params, cal);
+  std::printf(
+      "calibrated coding cost model (%s kernels): gf_byte_ns %.3f -> %.4f, "
+      "decode_byte_ns %.3f -> %.4f\n",
+      gf::RegionImplName(cal.impl), params.gf_byte_ns, calibrated.gf_byte_ns,
+      params.decode_byte_ns, calibrated.decode_byte_ns);
+  params = calibrated;
+}
+
+int RunCalibrate(FlagSet& flags) {
+  const size_t block = static_cast<size_t>(flags.GetInt("block"));
+  const auto cal = sim::MeasureCodingThroughput(block);
+  const sim::SimParams base;
+  const sim::SimParams derived = sim::Calibrated(base, cal);
+  if (flags.GetBool("json")) {
+    std::printf(
+        "{\n"
+        "  \"impl\": \"%s\",\n"
+        "  \"block_bytes\": %zu,\n"
+        "  \"add_gbps\": %.3f,\n"
+        "  \"mulacc_gbps\": %.3f,\n"
+        "  \"fused_encode_gbps\": %.3f,\n"
+        "  \"decode_gbps\": %.3f,\n"
+        "  \"gf_byte_ns\": %.6f,\n"
+        "  \"decode_byte_ns\": %.6f\n"
+        "}\n",
+        gf::RegionImplName(cal.impl), cal.block_bytes, cal.add_bytes_per_ns,
+        cal.mulacc_bytes_per_ns, cal.fused_bytes_per_ns,
+        cal.decode_bytes_per_ns, derived.gf_byte_ns, derived.decode_byte_ns);
+    return 0;
+  }
+  std::printf("coding substrate: %s kernels, %zu B regions\n",
+              gf::RegionImplName(cal.impl), cal.block_bytes);
+  std::printf("  xor (AddRegion)          %8.2f GB/s\n", cal.add_bytes_per_ns);
+  std::printf("  mul-acc (MulAddRegion)   %8.2f GB/s  (random coefficients)\n",
+              cal.mulacc_bytes_per_ns);
+  std::printf("  fused RS(3,2) encode     %8.2f GB/s  per source byte\n",
+              cal.fused_bytes_per_ns);
+  std::printf("  RS(3,2) decode           %8.2f GB/s  per source byte\n",
+              cal.decode_bytes_per_ns);
+  std::printf("derived SimParams (defaults %.3f / %.3f):\n", base.gf_byte_ns,
+              base.decode_byte_ns);
+  std::printf("  gf_byte_ns     = %.6f\n", derived.gf_byte_ns);
+  std::printf("  decode_byte_ns = %.6f\n", derived.decode_byte_ns);
+  std::printf(
+      "apply with --calibrate on `ringctl latency|throughput|recover`\n");
+  return 0;
 }
 
 Key KeyInShard(uint32_t shard, uint32_t num_shards, int i) {
@@ -94,6 +154,7 @@ int RunLatency(FlagSet& flags) {
   o.groups = static_cast<uint32_t>(flags.GetInt("groups"));
   o.seed = static_cast<uint64_t>(flags.GetInt("seed"));
   o.params.wire_jitter_ns = 400;
+  MaybeCalibrate(flags, o.params);
   RingCluster cluster(o);
   auto g = cluster.CreateMemgest(*desc);
   if (!g.ok()) {
@@ -284,6 +345,7 @@ int RunThroughput(FlagSet& flags) {
     o.params.client_put_byte_ns = 0.0;
     o.params.client_base_ns = 1800;
   }
+  MaybeCalibrate(flags, o.params);
   RingCluster cluster(o);
   auto g = cluster.CreateMemgest(*desc);
   if (!g.ok()) {
@@ -344,6 +406,7 @@ int RunRecover(FlagSet& flags) {
   o.d = static_cast<uint32_t>(flags.GetInt("redundant"));
   o.spares = 1;
   o.seed = static_cast<uint64_t>(flags.GetInt("seed"));
+  MaybeCalibrate(flags, o.params);
   RingCluster cluster(o);
   auto g = cluster.CreateMemgest(*desc);
   if (!g.ok()) {
@@ -592,6 +655,14 @@ int Main(int argc, char** argv) {
                     "monthly ops per unit temperature for pricing "
                     "(autotier --cost-objective; lower values make storage "
                     "rent dominate)")
+      .DefineBool("calibrate", false,
+                  "measure the host's GF kernel throughput and derive "
+                  "gf_byte_ns/decode_byte_ns before simulating "
+                  "(latency/throughput/recover)")
+      .DefineBool("json", false, "machine-readable output (calibrate)")
+      .DefineInt("block", 65536,
+                 "region size in bytes timed by calibrate (the paper's "
+                 "64 KiB recovery block)")
       .DefineBool("zipfian", true, "Zipfian (vs uniform) key popularity")
       .DefineBool("light-clients", true,
                   "lightweight load generators (Fig. 9 style)");
@@ -644,6 +715,9 @@ int Main(int argc, char** argv) {
   }
   if (command == "autotier") {
     return RunAutotier(flags);
+  }
+  if (command == "calibrate") {
+    return RunCalibrate(flags);
   }
   std::fprintf(stderr, "unknown command '%s'\n%s", command.c_str(),
                flags.Usage().c_str());
