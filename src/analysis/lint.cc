@@ -1,0 +1,446 @@
+#include "src/analysis/lint.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <regex>
+#include <set>
+#include <sstream>
+
+namespace ring::analysis {
+namespace {
+
+namespace fs = std::filesystem;
+
+// Directories the text rules police. src/analysis is deliberately excluded:
+// the lint rules themselves spell out the forbidden tokens.
+constexpr const char* kScannedDirs[] = {"src/sim/", "src/net/", "src/ring/",
+                                        "src/srs/", "src/policy/"};
+
+bool InScannedDir(const std::string& relpath) {
+  for (const char* dir : kScannedDirs) {
+    if (relpath.rfind(dir, 0) == 0) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::vector<std::string> SplitLines(const std::string& content) {
+  std::vector<std::string> lines;
+  size_t pos = 0;
+  while (pos <= content.size()) {
+    const size_t nl = content.find('\n', pos);
+    if (nl == std::string::npos) {
+      if (pos < content.size()) {
+        lines.push_back(content.substr(pos));
+      }
+      break;
+    }
+    lines.push_back(content.substr(pos, nl - pos));
+    pos = nl + 1;
+  }
+  return lines;
+}
+
+// `// ring-lint: ok(rule-a, rule-b)` on the access line or the line above.
+bool Allowlisted(const std::vector<std::string>& lines, size_t index,
+                 const std::string& rule) {
+  static const std::regex kOk(R"(//\s*ring-lint:\s*ok\(([^)]*)\))");
+  for (size_t i = index; i + 1 >= index && i < lines.size(); --i) {
+    std::smatch m;
+    if (std::regex_search(lines[i], m, kOk)) {
+      std::stringstream list(m[1].str());
+      std::string item;
+      while (std::getline(list, item, ',')) {
+        const size_t b = item.find_first_not_of(" \t");
+        const size_t e = item.find_last_not_of(" \t");
+        if (b != std::string::npos && item.substr(b, e - b + 1) == rule) {
+          return true;
+        }
+      }
+    }
+    if (i == 0) {
+      break;
+    }
+  }
+  return false;
+}
+
+// Strips // comments and the contents of string literals so rule regexes
+// don't fire on prose or quoted text; the allowlist check runs on the raw
+// line before this.
+std::string CodeOnly(const std::string& line) {
+  std::string out;
+  out.reserve(line.size());
+  bool in_string = false;
+  char quote = 0;
+  for (size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (in_string) {
+      if (c == '\\') {
+        ++i;
+      } else if (c == quote) {
+        in_string = false;
+        out += quote;
+      }
+      continue;
+    }
+    if (c == '"' || c == '\'') {
+      in_string = true;
+      quote = c;
+      out += c;
+      continue;
+    }
+    if (c == '/' && i + 1 < line.size() && line[i + 1] == '/') {
+      break;
+    }
+    out += c;
+  }
+  return out;
+}
+
+struct TextRule {
+  const char* name;
+  const char* message;
+  std::regex pattern;
+};
+
+const std::vector<TextRule>& WallclockAndRandRules() {
+  static const std::vector<TextRule>* rules = new std::vector<TextRule>{
+      {"wallclock",
+       "host clock read in simulation code; derive time from sim::Simulator",
+       std::regex(R"(std::chrono::(system_clock|steady_clock|high_resolution_clock))"
+                  R"(|\bgettimeofday\s*\()"
+                  R"(|\bclock_gettime\s*\()"
+                  R"(|[^\w.:>]time\s*\(\s*(NULL|nullptr|0)?\s*\))")},
+      {"rand",
+       "non-simulator randomness; route through the simulator-owned "
+       "ring::Rng",
+       std::regex(R"(\brand\s*\(\s*\))"
+                  R"(|\bsrand\s*\()"
+                  R"(|std::random_device)"
+                  R"(|std::mt19937)"
+                  R"(|\bdrand48\s*\()")},
+  };
+  return *rules;
+}
+
+const TextRule& RawScheduleRule() {
+  static const TextRule* rule = new TextRule{
+      "raw-schedule",
+      "direct event-queue Schedule() outside src/sim; use net::Fabric or "
+      "Simulator At/After",
+      std::regex(R"((\.|->)\s*Schedule\s*\(|\bqueue\(\)\s*\.\s*Schedule\b)")};
+  return *rule;
+}
+
+// Member/local names declared as std::unordered_{map,set}. Single-line
+// declarations only — an AST-lite compromise that covers this codebase.
+std::set<std::string> UnorderedNames(const std::string& content) {
+  static const std::regex kDecl(
+      R"(\bunordered_(?:map|set)\s*<.*>\s+([A-Za-z_]\w*)\s*[;={])");
+  std::set<std::string> names;
+  for (const std::string& raw : SplitLines(content)) {
+    const std::string line = CodeOnly(raw);
+    for (std::sregex_iterator it(line.begin(), line.end(), kDecl), end;
+         it != end; ++it) {
+      names.insert((*it)[1].str());
+    }
+  }
+  return names;
+}
+
+void LintUnorderedIter(const SourceInput& in,
+                       const std::vector<std::string>& lines,
+                       std::vector<LintFinding>* findings) {
+  std::set<std::string> names = UnorderedNames(in.content);
+  if (!in.paired_header.empty()) {
+    std::set<std::string> from_header = UnorderedNames(in.paired_header);
+    names.insert(from_header.begin(), from_header.end());
+  }
+  if (names.empty()) {
+    return;
+  }
+  std::string alt;
+  for (const std::string& n : names) {
+    if (!alt.empty()) {
+      alt += '|';
+    }
+    alt += n;
+  }
+  // Range-for over the container, or explicit .begin() iteration.
+  const std::regex use(R"(for\s*\([^;)]*:\s*[^)]*\b(?:)" + alt +
+                       R"()\b\s*\)|\b(?:)" + alt + R"()\s*\.\s*begin\s*\()");
+  for (size_t i = 0; i < lines.size(); ++i) {
+    const std::string code = CodeOnly(lines[i]);
+    if (!std::regex_search(code, use)) {
+      continue;
+    }
+    if (Allowlisted(lines, i, "unordered-iter")) {
+      continue;
+    }
+    findings->push_back(
+        {in.relpath, static_cast<int>(i + 1), "unordered-iter",
+         "iteration over an unordered container can feed hash-order into "
+         "sim-visible decisions; use an ordered container or allowlist "
+         "after review"});
+  }
+}
+
+// ---- build-graph rule ------------------------------------------------------
+
+struct CmakeCommand {
+  std::string name;
+  std::vector<std::string> args;
+};
+
+std::vector<CmakeCommand> ParseCmake(const std::string& content) {
+  std::vector<CmakeCommand> commands;
+  // Strip comments.
+  std::string text;
+  text.reserve(content.size());
+  for (const std::string& line : SplitLines(content)) {
+    const size_t hash = line.find('#');
+    text += hash == std::string::npos ? line : line.substr(0, hash);
+    text += '\n';
+  }
+  static const std::regex kCall(R"(([A-Za-z_]\w*)\s*\(([^()]*)\))");
+  for (std::sregex_iterator it(text.begin(), text.end(), kCall), end;
+       it != end; ++it) {
+    CmakeCommand cmd;
+    cmd.name = (*it)[1].str();
+    std::stringstream args((*it)[2].str());
+    std::string arg;
+    while (args >> arg) {
+      cmd.args.push_back(arg);
+    }
+    commands.push_back(std::move(cmd));
+  }
+  return commands;
+}
+
+bool IsCmakeKeyword(const std::string& arg) {
+  return arg == "PUBLIC" || arg == "PRIVATE" || arg == "INTERFACE" ||
+         arg == "STATIC" || arg == "SHARED" || arg == "OBJECT";
+}
+
+std::vector<LintFinding> BuildGraphFindings(const std::string& root) {
+  std::vector<LintFinding> findings;
+  std::map<std::string, std::vector<std::string>> target_sources;  // rel .cc
+  std::map<std::string, std::vector<std::string>> target_deps;
+  std::vector<std::string> test_roots;
+
+  std::vector<fs::path> cmake_files;
+  std::error_code ec;
+  for (fs::recursive_directory_iterator it(root, ec), end; it != end;
+       it.increment(ec)) {
+    if (ec) {
+      break;
+    }
+    const fs::path& p = it->path();
+    const std::string name = p.filename().string();
+    if (it->is_directory() &&
+        (name == "build" || name.rfind("build-", 0) == 0 ||
+         name == ".git" || name == "third_party")) {
+      it.disable_recursion_pending();
+      continue;
+    }
+    if (name == "CMakeLists.txt") {
+      cmake_files.push_back(p);
+    }
+  }
+  std::sort(cmake_files.begin(), cmake_files.end());
+
+  for (const fs::path& path : cmake_files) {
+    std::ifstream f(path);
+    std::stringstream ss;
+    ss << f.rdbuf();
+    const std::string dir =
+        fs::relative(path.parent_path(), root).generic_string();
+    for (const CmakeCommand& cmd : ParseCmake(ss.str())) {
+      if (cmd.args.empty() || cmd.args[0].find("${") != std::string::npos) {
+        continue;  // function bodies parameterize the target name
+      }
+      const std::string& target = cmd.args[0];
+      if (cmd.name == "add_library" || cmd.name == "add_executable") {
+        for (size_t i = 1; i < cmd.args.size(); ++i) {
+          const std::string& arg = cmd.args[i];
+          if (IsCmakeKeyword(arg) || arg.size() < 4 ||
+              arg.compare(arg.size() - 3, 3, ".cc") != 0) {
+            continue;
+          }
+          target_sources[target].push_back(dir == "." ? arg : dir + "/" + arg);
+        }
+      } else if (cmd.name == "target_link_libraries") {
+        for (size_t i = 1; i < cmd.args.size(); ++i) {
+          if (!IsCmakeKeyword(cmd.args[i])) {
+            target_deps[target].push_back(cmd.args[i]);
+          }
+        }
+      } else if (cmd.name == "ring_add_test" || cmd.name == "ring_add_bench") {
+        target_sources[target].push_back(dir + "/" + target + ".cc");
+        for (size_t i = 1; i < cmd.args.size(); ++i) {
+          target_deps[target].push_back(cmd.args[i]);
+        }
+        if (cmd.name == "ring_add_test") {
+          test_roots.push_back(target);
+        }
+      }
+    }
+  }
+
+  // Link closure from the test executables.
+  std::set<std::string> reachable;
+  std::vector<std::string> frontier = test_roots;
+  while (!frontier.empty()) {
+    const std::string target = frontier.back();
+    frontier.pop_back();
+    if (!reachable.insert(target).second) {
+      continue;
+    }
+    const auto deps = target_deps.find(target);
+    if (deps != target_deps.end()) {
+      for (const std::string& dep : deps->second) {
+        frontier.push_back(dep);
+      }
+    }
+  }
+
+  std::map<std::string, std::string> cc_to_target;
+  for (const auto& [target, sources] : target_sources) {
+    for (const std::string& source : sources) {
+      cc_to_target[source] = target;
+    }
+  }
+
+  std::vector<fs::path> src_ccs;
+  for (fs::recursive_directory_iterator it(fs::path(root) / "src", ec), end;
+       it != end; it.increment(ec)) {
+    if (ec) {
+      break;
+    }
+    if (it->is_regular_file() && it->path().extension() == ".cc") {
+      src_ccs.push_back(it->path());
+    }
+  }
+  std::sort(src_ccs.begin(), src_ccs.end());
+  for (const fs::path& cc : src_ccs) {
+    const std::string rel = fs::relative(cc, root).generic_string();
+    const auto owner = cc_to_target.find(rel);
+    if (owner == cc_to_target.end()) {
+      findings.push_back({rel, 0, "orphan-cc",
+                          "not listed in any CMake target; dead code or a "
+                          "missing add_library entry"});
+    } else if (reachable.find(owner->second) == reachable.end()) {
+      findings.push_back({rel, 0, "orphan-cc",
+                          "target '" + owner->second +
+                              "' is not linked (directly or transitively) "
+                              "by any test executable"});
+    }
+  }
+  return findings;
+}
+
+}  // namespace
+
+std::vector<LintFinding> LintSource(const SourceInput& in,
+                                    bool force_all_rules) {
+  std::vector<LintFinding> findings;
+  const bool scanned = force_all_rules || InScannedDir(in.relpath);
+  if (!scanned) {
+    return findings;
+  }
+  const std::vector<std::string> lines = SplitLines(in.content);
+  for (const TextRule& rule : WallclockAndRandRules()) {
+    for (size_t i = 0; i < lines.size(); ++i) {
+      if (std::regex_search(CodeOnly(lines[i]), rule.pattern) &&
+          !Allowlisted(lines, i, rule.name)) {
+        findings.push_back(
+            {in.relpath, static_cast<int>(i + 1), rule.name, rule.message});
+      }
+    }
+  }
+  const bool sim_internal = !force_all_rules &&
+                            in.relpath.rfind("src/sim/", 0) == 0;
+  if (!sim_internal) {
+    const TextRule& rule = RawScheduleRule();
+    for (size_t i = 0; i < lines.size(); ++i) {
+      if (std::regex_search(CodeOnly(lines[i]), rule.pattern) &&
+          !Allowlisted(lines, i, rule.name)) {
+        findings.push_back(
+            {in.relpath, static_cast<int>(i + 1), rule.name, rule.message});
+      }
+    }
+  }
+  LintUnorderedIter(in, lines, &findings);
+  std::sort(findings.begin(), findings.end());
+  return findings;
+}
+
+std::vector<LintFinding> LintBuildGraph(const std::string& root) {
+  return BuildGraphFindings(root);
+}
+
+std::vector<LintFinding> LintTree(const std::string& root) {
+  std::vector<LintFinding> findings;
+  std::vector<fs::path> files;
+  std::error_code ec;
+  for (fs::recursive_directory_iterator it(fs::path(root) / "src", ec), end;
+       it != end; it.increment(ec)) {
+    if (ec) {
+      break;
+    }
+    if (!it->is_regular_file()) {
+      continue;
+    }
+    const std::string ext = it->path().extension().string();
+    if (ext == ".cc" || ext == ".h") {
+      files.push_back(it->path());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  for (const fs::path& path : files) {
+    SourceInput in;
+    in.relpath = fs::relative(path, root).generic_string();
+    if (!InScannedDir(in.relpath)) {
+      continue;
+    }
+    std::ifstream f(path);
+    std::stringstream ss;
+    ss << f.rdbuf();
+    in.content = ss.str();
+    if (path.extension() == ".cc") {
+      fs::path header = path;
+      header.replace_extension(".h");
+      if (fs::exists(header, ec)) {
+        std::ifstream hf(header);
+        std::stringstream hs;
+        hs << hf.rdbuf();
+        in.paired_header = hs.str();
+      }
+    }
+    std::vector<LintFinding> file_findings = LintSource(in);
+    findings.insert(findings.end(), file_findings.begin(),
+                    file_findings.end());
+  }
+  std::vector<LintFinding> graph = LintBuildGraph(root);
+  findings.insert(findings.end(), graph.begin(), graph.end());
+  std::sort(findings.begin(), findings.end());
+  return findings;
+}
+
+std::string FormatFindings(const std::vector<LintFinding>& findings) {
+  std::ostringstream os;
+  for (const LintFinding& f : findings) {
+    os << f.file;
+    if (f.line > 0) {
+      os << ":" << f.line;
+    }
+    os << ": [" << f.rule << "] " << f.message << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace ring::analysis

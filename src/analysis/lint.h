@@ -1,0 +1,82 @@
+// ring-lint: determinism hygiene rules for the simulator tree.
+//
+// The whole evaluation rests on the discrete-event simulator being
+// bit-deterministic: same seed, same event order, same bytes out. These
+// rules catch the ways that property quietly erodes:
+//
+//   wallclock       host-clock reads (std::chrono clocks, gettimeofday,
+//                   clock_gettime, time(NULL)) in simulation code — host
+//                   time must never leak into simulated decisions.
+//   rand            non-seeded randomness (rand, srand, std::random_device,
+//                   std::mt19937, drand48) — all randomness must flow
+//                   through the simulator-owned ring::Rng.
+//   unordered-iter  iteration over std::unordered_map/unordered_set
+//                   members or locals — hash-table order is stdlib- and
+//                   insertion-dependent, so any sim-visible decision fed by
+//                   it is a determinism hazard. Reviewed iterations are
+//                   allowlisted in place (see below).
+//   raw-schedule    direct Simulator/EventQueue `Schedule(...)` calls
+//                   outside src/sim — protocol code must go through
+//                   net::Fabric (or the Simulator At/After wrappers for
+//                   local timers) so every event is attributable.
+//   orphan-cc       a .cc under src/ whose target is not reachable from any
+//                   test executable's link graph — untested code.
+//
+// Text rules scan src/sim, src/net, src/ring, src/srs and src/policy
+// (raw-schedule exempts src/sim itself). The build-graph rule covers all of
+// src/. This is a regex/AST-lite pass: it reads lines, not a real AST, so a
+// reviewed, genuinely-safe use is silenced with an allowlist comment on the
+// same or the preceding line:
+//
+//   // ring-lint: ok(unordered-iter) <reason>
+#ifndef RING_SRC_ANALYSIS_LINT_H_
+#define RING_SRC_ANALYSIS_LINT_H_
+
+#include <string>
+#include <vector>
+
+namespace ring::analysis {
+
+struct LintFinding {
+  std::string file;  // repo-relative path
+  int line = 0;      // 1-based; 0 = file-level (orphan-cc)
+  std::string rule;
+  std::string message;
+
+  bool operator<(const LintFinding& o) const {
+    if (file != o.file) {
+      return file < o.file;
+    }
+    if (line != o.line) {
+      return line < o.line;
+    }
+    return rule < o.rule;
+  }
+};
+
+struct SourceInput {
+  std::string relpath;        // decides which rules apply
+  std::string content;
+  std::string paired_header;  // for a .cc: its .h, so member declarations
+                              // feed unordered-iter; empty if none
+};
+
+// Text rules over one file. With `force_all_rules`, every text rule runs
+// regardless of path (used for fixtures and tests).
+std::vector<LintFinding> LintSource(const SourceInput& in,
+                                    bool force_all_rules = false);
+
+// Build-graph rule: parses every CMakeLists.txt under `root` and reports
+// each src/ .cc not reachable from a test target's link closure.
+std::vector<LintFinding> LintBuildGraph(const std::string& root);
+
+// Walks `root` (a repo checkout), runs text rules over the scanned dirs and
+// the build-graph rule, and returns all findings sorted by (file, line).
+std::vector<LintFinding> LintTree(const std::string& root);
+
+// "file:line: [rule] message" lines, one per finding.
+std::string FormatFindings(const std::vector<LintFinding>& findings);
+
+}  // namespace ring::analysis
+
+#endif  // RING_SRC_ANALYSIS_LINT_H_

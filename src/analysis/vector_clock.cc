@@ -1,0 +1,48 @@
+#include "src/analysis/vector_clock.h"
+
+#include <algorithm>
+
+namespace ring::analysis {
+
+void VectorClock::Tick(uint32_t actor) {
+  if (actor >= c_.size()) {
+    c_.resize(actor + 1, 0);
+  }
+  ++c_[actor];
+}
+
+void VectorClock::MergeFrom(const VectorClock& other) {
+  if (other.c_.size() > c_.size()) {
+    c_.resize(other.c_.size(), 0);
+  }
+  for (size_t i = 0; i < other.c_.size(); ++i) {
+    c_[i] = std::max(c_[i], other.c_[i]);
+  }
+}
+
+bool VectorClock::Leq(const VectorClock& a, const VectorClock& b) {
+  for (size_t i = 0; i < a.c_.size(); ++i) {
+    if (a.c_[i] > (i < b.c_.size() ? b.c_[i] : 0)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string VectorClock::ToString() const {
+  std::string out = "[";
+  size_t last = c_.size();
+  while (last > 0 && c_[last - 1] == 0) {
+    --last;
+  }
+  for (size_t i = 0; i < last; ++i) {
+    if (i > 0) {
+      out += ' ';
+    }
+    out += std::to_string(c_[i]);
+  }
+  out += ']';
+  return out;
+}
+
+}  // namespace ring::analysis

@@ -1,0 +1,49 @@
+// Vector clocks for the happens-before race detector (src/analysis/race.h).
+//
+// Components are indexed by *actor*: one logical clock per sequential
+// execution context (node CPUs, plus one slot for code driving the simulator
+// from outside any handler). Clocks grow on demand; a missing component is 0.
+#ifndef RING_SRC_ANALYSIS_VECTOR_CLOCK_H_
+#define RING_SRC_ANALYSIS_VECTOR_CLOCK_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ring::analysis {
+
+class VectorClock {
+ public:
+  // Component for `actor` (0 when never ticked).
+  uint64_t Get(uint32_t actor) const {
+    return actor < c_.size() ? c_[actor] : 0;
+  }
+
+  // Advances this clock's own component.
+  void Tick(uint32_t actor);
+
+  // Pointwise maximum (the join used by every synchronization edge).
+  void MergeFrom(const VectorClock& other);
+
+  // True when every component of `a` is <= the matching component of `b`:
+  // a's task happened before (or is) b's task.
+  static bool Leq(const VectorClock& a, const VectorClock& b);
+
+  // Two accesses race iff neither clock is <= the other.
+  static bool Ordered(const VectorClock& a, const VectorClock& b) {
+    return Leq(a, b) || Leq(b, a);
+  }
+
+  bool empty() const { return c_.empty(); }
+  void Clear() { c_.clear(); }
+
+  // "[a0 a1 ...]" — trailing zero components are omitted.
+  std::string ToString() const;
+
+ private:
+  std::vector<uint64_t> c_;
+};
+
+}  // namespace ring::analysis
+
+#endif  // RING_SRC_ANALYSIS_VECTOR_CLOCK_H_

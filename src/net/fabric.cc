@@ -1,7 +1,9 @@
 #include "src/net/fabric.h"
 
+#include <optional>
 #include <utility>
 
+#include "src/analysis/race.h"
 #include "src/obs/hub.h"
 
 namespace ring::net {
@@ -57,7 +59,14 @@ void Fabric::Send(NodeId src, NodeId dst, uint64_t payload_bytes,
   const Departure d = Depart(src, dst, payload_bytes);
   hub.tracer().Record("wire", obs::Category::kNetwork, src, op, d.ser_start,
                       d.arrival);
-  sim_->At(d.arrival, [this, dst, op,
+  // Message edge: the receive handler is ordered after everything the sender
+  // did before issuing.
+  analysis::RaceDetector* race = sim_->race();
+  std::optional<analysis::VectorClock> edge;
+  if (race != nullptr) {
+    edge = race->CaptureEdge();
+  }
+  sim_->At(d.arrival, [this, dst, op, race, edge = std::move(edge),
                        handler = std::move(handler)]() mutable {
     if (!alive_[dst]) {
       return;  // fail-stop: dead nodes neither receive nor respond
@@ -65,6 +74,11 @@ void Fabric::Send(NodeId src, NodeId dst, uint64_t payload_bytes,
     // Re-establish the sender's op context around the receive-cost charge so
     // the queue/busy spans it records stitch into the same distributed trace.
     obs::ScopedOp scope(sim_->hub(), op);
+    // Carrier frame: CpuWorker::Execute captures the deferred handler's edge
+    // from the current context, which must be the sender's clock here, not
+    // the event loop's.
+    analysis::ScopedOneSidedTask carry(race,
+                                       edge.has_value() ? &*edge : nullptr);
     cpus_[dst]->Execute(sim_->params().server_recv_ns, std::move(handler));
   });
 }
@@ -80,23 +94,37 @@ void Fabric::Write(NodeId src, NodeId dst, uint64_t payload_bytes,
   const Departure d = Depart(src, dst, payload_bytes);
   hub.tracer().Record("rdma_write", obs::Category::kNetwork, src, op,
                       d.ser_start, d.arrival);
-  sim_->At(d.arrival, [this, src, dst, op, apply = std::move(apply),
+  analysis::RaceDetector* race = sim_->race();
+  std::optional<analysis::VectorClock> edge;
+  if (race != nullptr) {
+    edge = race->CaptureEdge();
+  }
+  sim_->At(d.arrival, [this, src, dst, op, race, edge = std::move(edge),
+                       apply = std::move(apply),
                        on_complete = std::move(on_complete)]() mutable {
     if (!alive_[dst]) {
       return;  // no ack: the sender's completion never fires
     }
     obs::ScopedOp scope(sim_->hub(), op);
     if (apply) {
-      apply();  // NIC DMA: remote memory changes without CPU involvement
+      // NIC DMA: remote memory changes without CPU involvement, so the
+      // accesses it performs carry the issuer's clock only — they are never
+      // joined into the destination CPU.
+      analysis::ScopedOneSidedTask dma(race,
+                                       edge.has_value() ? &*edge : nullptr);
+      apply();
     }
     // Hardware ack back to the source.
     const uint64_t latency = sim_->params().wire_latency_ns;
     sim_->hub().tracer().Record("rdma_ack", obs::Category::kNetwork, dst, op,
                                 sim_->now(), sim_->now() + latency);
-    sim_->After(latency, [this, src, op,
+    sim_->After(latency, [this, src, op, race, edge = std::move(edge),
                           on_complete = std::move(on_complete)]() mutable {
       if (alive_[src] && on_complete) {
         obs::ScopedOp ack_scope(sim_->hub(), op);
+        // Completion is observed by the issuing CPU polling its queue.
+        analysis::ScopedCpuTask done(race, src,
+                                     edge.has_value() ? &*edge : nullptr);
         on_complete();
       }
     });
@@ -115,23 +143,33 @@ void Fabric::Read(NodeId src, NodeId dst, uint64_t response_bytes,
   const Departure req = Depart(src, dst, 0);
   hub.tracer().Record("rdma_read_req", obs::Category::kNetwork, src, op,
                       req.ser_start, req.arrival);
-  sim_->At(req.arrival, [this, src, dst, response_bytes, op,
-                         fetch = std::move(fetch),
+  analysis::RaceDetector* race = sim_->race();
+  std::optional<analysis::VectorClock> edge;
+  if (race != nullptr) {
+    edge = race->CaptureEdge();
+  }
+  sim_->At(req.arrival, [this, src, dst, response_bytes, op, race,
+                         edge = std::move(edge), fetch = std::move(fetch),
                          on_complete = std::move(on_complete)]() mutable {
     if (!alive_[dst]) {
       return;
     }
     obs::ScopedOp scope(sim_->hub(), op);
     if (fetch) {
+      // One-sided fetch: reads remote memory under the issuer's clock only.
+      analysis::ScopedOneSidedTask dma(race,
+                                       edge.has_value() ? &*edge : nullptr);
       fetch();
     }
     const Departure resp = Depart(dst, src, response_bytes);
     sim_->hub().tracer().Record("rdma_read_resp", obs::Category::kNetwork,
                                 dst, op, resp.ser_start, resp.arrival);
-    sim_->At(resp.arrival, [this, src, op,
+    sim_->At(resp.arrival, [this, src, op, race, edge = std::move(edge),
                             on_complete = std::move(on_complete)]() mutable {
       if (alive_[src] && on_complete) {
         obs::ScopedOp resp_scope(sim_->hub(), op);
+        analysis::ScopedCpuTask done(race, src,
+                                     edge.has_value() ? &*edge : nullptr);
         on_complete();
       }
     });

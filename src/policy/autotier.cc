@@ -105,6 +105,7 @@ MemgestId AutoTierManager::PlacementOf(const Key& key) const {
 
 uint64_t AutoTierManager::ManagedBytes() const {
   uint64_t total = 0;
+  // ring-lint: ok(unordered-iter) commutative sum; order-independent.
   for (const auto& [key, state] : placements_) {
     total += state.bytes;
   }
@@ -113,6 +114,7 @@ uint64_t AutoTierManager::ManagedBytes() const {
 
 double AutoTierManager::RealizedStorageBytes() const {
   double total = 0.0;
+  // ring-lint: ok(unordered-iter) gauge-only sum; never feeds scheduling.
   for (const auto& [key, state] : placements_) {
     double overhead = 1.0;
     if (const Tier* tier = engine_.TierOf(state.memgest)) {
@@ -128,6 +130,7 @@ double AutoTierManager::RealizedStorageBytes() const {
 
 double AutoTierManager::RealizedStorageCost() const {
   double total = 0.0;
+  // ring-lint: ok(unordered-iter) gauge-only sum; never feeds scheduling.
   for (const auto& [key, state] : placements_) {
     const Tier* tier = engine_.TierOf(state.memgest);
     if (tier == nullptr) {

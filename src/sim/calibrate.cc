@@ -11,9 +11,13 @@ namespace ring::sim {
 namespace {
 
 uint64_t NowNs() {
+  // Calibration measures the host on purpose; its output only feeds
+  // SimParams chosen before a simulation starts.
+  const auto now =
+      std::chrono::steady_clock::now();  // ring-lint: ok(wallclock)
   return static_cast<uint64_t>(
       std::chrono::duration_cast<std::chrono::nanoseconds>(
-          std::chrono::steady_clock::now().time_since_epoch())
+          now.time_since_epoch())
           .count());
 }
 

@@ -1,5 +1,7 @@
 #include "src/sim/simulator.h"
 
+#include <optional>
+
 #include "src/common/logging.h"
 
 namespace ring::sim {
@@ -44,9 +46,19 @@ void CpuWorker::Execute(uint64_t cost_ns, std::function<void()> fn) {
                            static_cast<int64_t>(busy_until_ - sim_->now()),
                            node_);
   }
+  // Race detection: the deferred item runs on this node's CPU; the edge
+  // from the enqueuing context (captured now) orders it after its cause.
+  analysis::RaceDetector* race = sim_->race();
+  std::optional<analysis::VectorClock> edge;
+  if (race != nullptr) {
+    edge = race->CaptureEdge();
+  }
   // Wrap the completion so RING_LOG lines emitted by the work item carry
   // the node they ran on.
-  sim_->At(busy_until_, [node = node_, fn = std::move(fn)] {
+  sim_->At(busy_until_, [race, node = node_, edge = std::move(edge),
+                         fn = std::move(fn)] {
+    analysis::ScopedCpuTask task(race, node,
+                                 edge.has_value() ? &*edge : nullptr);
     SetLogNode(static_cast<int32_t>(node));
     fn();
     SetLogNode(kLogNoNode);

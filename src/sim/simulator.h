@@ -5,6 +5,7 @@
 #include <functional>
 #include <memory>
 
+#include "src/analysis/race.h"
 #include "src/common/rng.h"
 #include "src/obs/hub.h"
 #include "src/sim/event_queue.h"
@@ -15,7 +16,8 @@ namespace ring::sim {
 class Simulator {
  public:
   explicit Simulator(uint64_t seed = 1, SimParams params = kDefaultParams)
-      : rng_(seed), params_(params) {}
+      : rng_(seed), params_(params),
+        race_(analysis::RaceDetector::FromEnv()) {}
 
   SimTime now() const { return queue_.now(); }
   const SimParams& params() const { return params_; }
@@ -42,11 +44,25 @@ class Simulator {
   obs::Hub& hub() { return hub_; }
   const obs::Hub& hub() const { return hub_; }
 
+  // Happens-before race detector (src/analysis). Null unless opted in via
+  // RING_ANALYZE=race or EnableRaceDetection(); every hook site checks for
+  // null, so the disabled path costs one branch and perturbs nothing.
+  analysis::RaceDetector* race() { return race_.get(); }
+  // Attaching the detector deliberately leaves tracing alone: every access
+  // carries its own phase label, and Report() only consults the tracer for
+  // the richer per-op phase stacks when the caller enabled tracing itself.
+  void EnableRaceDetection() {
+    if (race_ == nullptr) {
+      race_ = std::make_unique<analysis::RaceDetector>();
+    }
+  }
+
  private:
   EventQueue queue_;
   Rng rng_;
   SimParams params_;
   obs::Hub hub_;
+  std::unique_ptr<analysis::RaceDetector> race_;
 };
 
 // Models one single-threaded server core: work items execute FIFO, each

@@ -49,6 +49,10 @@ void RunRandomTraffic(uint64_t seed, uint32_t groups, bool with_policy) {
   options.spares = 1;
   options.clients = with_policy ? 4 : 3;  // client 3 issues policy moves
   options.seed = seed;
+  // Run the happens-before race detector alongside the traffic: strong
+  // consistency also means no unfenced RDMA access pairs (observation only —
+  // the schedule is unchanged).
+  options.analyze_races = true;
   RingCluster cluster(options);
   std::vector<MemgestId> memgests = {
       *cluster.CreateMemgest(MemgestDescriptor::Replicated(1)),
@@ -199,6 +203,10 @@ void RunRandomTraffic(uint64_t seed, uint32_t groups, bool with_policy) {
     }
   }
   EXPECT_EQ(violations, 0);
+  const analysis::RaceDetector* race = cluster.simulator().race();
+  ASSERT_NE(race, nullptr);
+  EXPECT_TRUE(race->races().empty()) << race->Report(
+      &cluster.simulator().hub().tracer());
   if (manager.has_value()) {
     manager->Stop();
   }

@@ -1,0 +1,43 @@
+// Allowlist fixture for lint_test: the same hazards as fixture_bad.cc, each
+// silenced with a reviewed `ring-lint: ok(<rule>)` comment. The lint must
+// report nothing here even with force_all_rules.
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <random>
+#include <unordered_map>
+
+namespace fixture {
+
+struct Sim {
+  void Schedule(int) {}
+};
+
+inline unsigned long long OkWallclock() {
+  auto t = std::chrono::steady_clock::now();  // ring-lint: ok(wallclock)
+  (void)t;
+  // ring-lint: ok(wallclock)
+  return static_cast<unsigned long long>(time(nullptr));
+}
+
+inline int OkRand() {
+  std::random_device rd;  // ring-lint: ok(rand)
+  (void)rd;
+  return rand();  // ring-lint: ok(rand)
+}
+
+inline int OkUnorderedIter() {
+  std::unordered_map<int, int> counts;
+  int total = 0;
+  // ring-lint: ok(unordered-iter)
+  for (const auto& [k, v] : counts) {
+    total += v;
+  }
+  return total;
+}
+
+inline void OkRawSchedule(Sim* sim) {
+  sim->Schedule(7);  // ring-lint: ok(raw-schedule)
+}
+
+}  // namespace fixture

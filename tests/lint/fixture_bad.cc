@@ -1,0 +1,40 @@
+// Seeded-violation fixture for lint_test: every text rule must fire on this
+// file (scanned with force_all_rules). Never compiled into any target.
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <random>
+#include <unordered_map>
+
+namespace fixture {
+
+struct Sim {
+  void Schedule(int) {}
+};
+
+inline unsigned long long BadWallclock() {
+  auto t = std::chrono::steady_clock::now();  // wallclock
+  (void)t;
+  return static_cast<unsigned long long>(time(nullptr));  // wallclock
+}
+
+inline int BadRand() {
+  std::random_device rd;  // rand
+  (void)rd;
+  return rand();  // rand
+}
+
+inline int BadUnorderedIter() {
+  std::unordered_map<int, int> counts;
+  int total = 0;
+  for (const auto& [k, v] : counts) {  // unordered-iter
+    total += v;
+  }
+  return total;
+}
+
+inline void BadRawSchedule(Sim* sim) {
+  sim->Schedule(7);  // raw-schedule
+}
+
+}  // namespace fixture

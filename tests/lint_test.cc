@@ -1,0 +1,209 @@
+// Tests for ring-lint (src/analysis/lint.h): each text rule on inline
+// snippets, the seeded-violation and allowlist fixtures, the build-graph
+// orphan rule on a synthetic tree, and the real repo staying clean.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/analysis/lint.h"
+
+#ifndef RING_SOURCE_ROOT
+#error "lint_test requires RING_SOURCE_ROOT (set in tests/CMakeLists.txt)"
+#endif
+
+namespace ring::analysis {
+namespace {
+
+std::vector<std::string> RulesOf(const std::vector<LintFinding>& findings) {
+  std::vector<std::string> rules;
+  rules.reserve(findings.size());
+  for (const auto& f : findings) {
+    rules.push_back(f.rule);
+  }
+  return rules;
+}
+
+bool HasRule(const std::vector<LintFinding>& findings,
+             const std::string& rule) {
+  for (const auto& f : findings) {
+    if (f.rule == rule) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::vector<LintFinding> LintSnippet(const std::string& code,
+                                     const std::string& relpath = "src/ring/"
+                                                                  "x.cc") {
+  SourceInput in;
+  in.relpath = relpath;
+  in.content = code;
+  return LintSource(in, /*force_all_rules=*/true);
+}
+
+TEST(LintRulesTest, WallclockFires) {
+  const auto f =
+      LintSnippet("uint64_t T() {\n"
+                  "  return std::chrono::steady_clock::now()\n"
+                  "      .time_since_epoch().count();\n"
+                  "}\n");
+  ASSERT_EQ(f.size(), 1u) << FormatFindings(f);
+  EXPECT_EQ(f[0].rule, "wallclock");
+  EXPECT_EQ(f[0].line, 2);
+}
+
+TEST(LintRulesTest, RandFires) {
+  const auto f = LintSnippet("int a = rand();\nstd::mt19937 gen(42);\n");
+  EXPECT_EQ(f.size(), 2u) << FormatFindings(f);
+  EXPECT_TRUE(HasRule(f, "rand"));
+}
+
+TEST(LintRulesTest, CommentsAndStringsAreStripped) {
+  const auto f = LintSnippet(
+      "// std::mt19937 would be bad\n"
+      "const char* kMsg = \"call rand() for std::random_device\";\n"
+      "int x = 0;  // time(NULL) in a comment\n");
+  EXPECT_TRUE(f.empty()) << FormatFindings(f);
+}
+
+TEST(LintRulesTest, UnorderedIterOverMemberFromPairedHeader) {
+  SourceInput in;
+  in.relpath = "src/ring/x.cc";
+  in.paired_header = "class T {\n  std::unordered_map<int, int> live_;\n};\n";
+  in.content =
+      "void T::Sweep() {\n"
+      "  for (const auto& [k, v] : live_) {\n"
+      "    Use(k, v);\n"
+      "  }\n"
+      "}\n";
+  const auto f = LintSource(in, /*force_all_rules=*/true);
+  ASSERT_EQ(f.size(), 1u) << FormatFindings(f);
+  EXPECT_EQ(f[0].rule, "unordered-iter");
+  EXPECT_EQ(f[0].line, 2);
+}
+
+TEST(LintRulesTest, OrderedContainersAreFine) {
+  SourceInput in;
+  in.relpath = "src/ring/x.cc";
+  in.paired_header = "class T {\n  std::map<int, int> live_;\n};\n";
+  in.content = "void T::Sweep() {\n  for (auto& [k, v] : live_) {}\n}\n";
+  EXPECT_TRUE(LintSource(in, true).empty());
+}
+
+TEST(LintRulesTest, RawScheduleFiresOutsideSimOnly) {
+  const std::string code = "void F(sim::Simulator* s) {\n"
+                           "  s->Schedule(Event{});\n"
+                           "}\n";
+  SourceInput ring_file;
+  ring_file.relpath = "src/ring/x.cc";
+  ring_file.content = code;
+  EXPECT_TRUE(HasRule(LintSource(ring_file), "raw-schedule"));
+  SourceInput sim_file;
+  sim_file.relpath = "src/sim/event_queue.cc";
+  sim_file.content = code;
+  EXPECT_FALSE(HasRule(LintSource(sim_file), "raw-schedule"));
+}
+
+TEST(LintRulesTest, AllowlistSilencesNamedRuleOnly) {
+  const auto same_line =
+      LintSnippet("int a = rand();  // ring-lint: ok(rand)\n");
+  EXPECT_TRUE(same_line.empty()) << FormatFindings(same_line);
+  const auto prev_line = LintSnippet(
+      "// ring-lint: ok(rand)\n"
+      "int a = rand();\n");
+  EXPECT_TRUE(prev_line.empty()) << FormatFindings(prev_line);
+  // An ok(...) for a different rule must not silence this one.
+  const auto wrong_rule =
+      LintSnippet("int a = rand();  // ring-lint: ok(wallclock)\n");
+  ASSERT_EQ(wrong_rule.size(), 1u);
+  EXPECT_EQ(wrong_rule[0].rule, "rand");
+}
+
+// ---- fixtures -------------------------------------------------------------
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << path;
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+TEST(LintFixtureTest, SeededViolationsAllFire) {
+  SourceInput in;
+  in.relpath = "tests/lint/fixture_bad.cc";
+  in.content = ReadFile(std::string(RING_SOURCE_ROOT) +
+                        "/tests/lint/fixture_bad.cc");
+  const auto f = LintSource(in, /*force_all_rules=*/true);
+  EXPECT_TRUE(HasRule(f, "wallclock")) << FormatFindings(f);
+  EXPECT_TRUE(HasRule(f, "rand"));
+  EXPECT_TRUE(HasRule(f, "unordered-iter"));
+  EXPECT_TRUE(HasRule(f, "raw-schedule"));
+  EXPECT_GE(f.size(), 6u) << FormatFindings(f);
+}
+
+TEST(LintFixtureTest, AllowlistedFixtureIsClean) {
+  SourceInput in;
+  in.relpath = "tests/lint/fixture_allowlisted.cc";
+  in.content = ReadFile(std::string(RING_SOURCE_ROOT) +
+                        "/tests/lint/fixture_allowlisted.cc");
+  const auto f = LintSource(in, /*force_all_rules=*/true);
+  EXPECT_TRUE(f.empty()) << FormatFindings(f);
+}
+
+// ---- build graph ----------------------------------------------------------
+
+TEST(LintBuildGraphTest, ReportsOrphanSourcesAndTargets) {
+  namespace fs = std::filesystem;
+  const fs::path root =
+      fs::path(::testing::TempDir()) / "ring_lint_orphan_test";
+  fs::remove_all(root);
+  fs::create_directories(root / "src" / "core");
+  fs::create_directories(root / "tests");
+  auto write = [](const fs::path& p, const std::string& text) {
+    std::ofstream(p) << text;
+  };
+  write(root / "CMakeLists.txt",
+        "add_subdirectory(src/core)\nadd_subdirectory(tests)\n");
+  write(root / "src" / "core" / "CMakeLists.txt",
+        "add_library(core linked.cc)\n"
+        "add_library(island island.cc)\n");
+  write(root / "src" / "core" / "linked.cc", "int L() { return 1; }\n");
+  write(root / "src" / "core" / "island.cc", "int I() { return 2; }\n");
+  write(root / "src" / "core" / "orphan.cc", "int O() { return 3; }\n");
+  write(root / "tests" / "CMakeLists.txt",
+        "ring_add_test(core_test core)\n");
+  write(root / "tests" / "core_test.cc", "int main() { return 0; }\n");
+
+  const auto f = LintBuildGraph(root.string());
+  ASSERT_EQ(f.size(), 2u) << FormatFindings(f);
+  EXPECT_EQ(RulesOf(f), (std::vector<std::string>{"orphan-cc", "orphan-cc"}));
+  const std::string text = FormatFindings(f);
+  EXPECT_NE(text.find("island.cc"), std::string::npos) << text;
+  EXPECT_NE(text.find("orphan.cc"), std::string::npos) << text;
+  EXPECT_EQ(text.find("linked.cc"), std::string::npos) << text;
+  fs::remove_all(root);
+}
+
+// ---- the gate: the repo itself stays clean --------------------------------
+
+TEST(LintTreeTest, RepositoryIsClean) {
+  const auto f = LintTree(RING_SOURCE_ROOT);
+  EXPECT_TRUE(f.empty()) << FormatFindings(f);
+}
+
+TEST(LintTreeTest, FormatIsFileLineRuleMessage) {
+  LintFinding a{"src/ring/x.cc", 12, "rand", "msg"};
+  LintFinding b{"src/sim/y.cc", 0, "orphan-cc", "file-level"};
+  EXPECT_EQ(FormatFindings({a, b}),
+            "src/ring/x.cc:12: [rand] msg\n"
+            "src/sim/y.cc: [orphan-cc] file-level\n");
+}
+
+}  // namespace
+}  // namespace ring::analysis

@@ -1,48 +1,95 @@
 #!/usr/bin/env bash
-# Tier-1 gate: builds the tree and runs the test suite normally, then again
-# under AddressSanitizer + UndefinedBehaviorSanitizer (RING_SANITIZE, see the
-# top-level CMakeLists.txt), then a scalar-forced coding build
-# (-DRING_FORCE_SCALAR=ON) covering the portable GF(2^8) kernels that SIMD
-# hosts would otherwise never execute.
+# Tier-1 gate: builds the tree and runs the test suite normally, then the
+# analysis gate (ring-lint + clang-tidy), then again under AddressSanitizer +
+# UndefinedBehaviorSanitizer with leak detection on, a ThreadSanitizer subset
+# (the coding/sim kernels a future threaded runtime would touch first), and a
+# scalar-forced coding build (-DRING_FORCE_SCALAR=ON) covering the portable
+# GF(2^8) kernels that SIMD hosts would otherwise never execute. The coding
+# bench smoke runs in every built leg, including the scalar one.
 #
-#   tools/check.sh            # plain + asan,ubsan + scalar-forced
-#   tools/check.sh --fast     # plain build + tests only
+#   tools/check.sh            # everything
+#   tools/check.sh --fast     # plain build + ctest + bench smoke only
+#   tools/check.sh --lint     # ring-lint + clang-tidy only
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 JOBS="$(nproc 2>/dev/null || echo 4)"
+MODE="${1:-}"
+
+# ccache (when installed) transparently accelerates every rebuilt leg.
+LAUNCHER_ARGS=()
+if command -v ccache >/dev/null 2>&1; then
+  LAUNCHER_ARGS=(-DCMAKE_CXX_COMPILER_LAUNCHER=ccache)
+fi
 
 run_suite() {
   local build_dir="$1"
   shift
-  cmake -B "${build_dir}" -S . "$@"
+  cmake -B "${build_dir}" -S . "${LAUNCHER_ARGS[@]}" "$@"
   cmake --build "${build_dir}" -j "${JOBS}"
   ctest --test-dir "${build_dir}" --output-on-failure -j "${JOBS}"
 }
 
-echo "== tier-1: plain build + ctest =="
-run_suite build
+bench_smoke() {
+  "$1/bench/micro_coding" --benchmark_filter='BM_GfMulAddRegion/1024$' \
+    --benchmark_min_time=0.01
+}
 
-echo "== coding bench smoke =="
-./build/bench/micro_coding --benchmark_filter='BM_GfMulAddRegion/1024$' \
-  --benchmark_min_time=0.01
+run_lint() {
+  echo "== analysis: ring-lint determinism hygiene =="
+  cmake -B build -S . "${LAUNCHER_ARGS[@]}" >/dev/null
+  cmake --build build -j "${JOBS}" --target ring-lint
+  ./build/tools/ring-lint .
 
-if [[ "${1:-}" == "--fast" ]]; then
+  if command -v clang-tidy >/dev/null 2>&1; then
+    echo "== analysis: clang-tidy (src/common src/sim) =="
+    cmake -B build -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON \
+      "${LAUNCHER_ARGS[@]}" >/dev/null
+    clang-tidy -p build --quiet src/common/*.cc src/sim/*.cc
+  else
+    echo "clang-tidy not installed; skipping (checks listed in .clang-tidy)"
+  fi
+}
+
+if [[ "${MODE}" == "--lint" ]]; then
+  run_lint
+  echo "check.sh: lint passed"
   exit 0
 fi
 
-echo "== tier-1: asan,ubsan build + ctest =="
-ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=0}" \
+echo "== tier-1: plain build + ctest =="
+run_suite build
+
+echo "== coding bench smoke (plain) =="
+bench_smoke build
+
+if [[ "${MODE}" == "--fast" ]]; then
+  echo "check.sh: fast suite passed"
+  exit 0
+fi
+
+run_lint
+
+echo "== tier-1: asan,ubsan build + ctest (leak detection on) =="
+ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=1}" \
 UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1}" \
 run_suite build-sanitize -DRING_SANITIZE=address,undefined
 
+echo "== tsan build: coding + sim subset =="
+cmake -B build-tsan -S . -DRING_SANITIZE=thread "${LAUNCHER_ARGS[@]}"
+cmake --build build-tsan -j "${JOBS}" \
+  --target gf_test rs_test srs_test sim_test micro_coding
+TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}" \
+ctest --test-dir build-tsan --output-on-failure -j "${JOBS}" \
+  -R 'gf_test|rs_test|srs_test|sim_test'
+bench_smoke build-tsan
+
 echo "== coding: scalar-forced build (RING_FORCE_SCALAR=ON) =="
-cmake -B build-scalar -S . -DRING_FORCE_SCALAR=ON
+cmake -B build-scalar -S . -DRING_FORCE_SCALAR=ON "${LAUNCHER_ARGS[@]}"
 cmake --build build-scalar -j "${JOBS}" \
   --target gf_test rs_test srs_test ring_test micro_coding
 ctest --test-dir build-scalar --output-on-failure -j "${JOBS}" \
   -R 'gf_test|rs_test|srs_test|ring_test'
-./build-scalar/bench/micro_coding --benchmark_filter='BM_GfMulAddRegion/1024$' \
-  --benchmark_min_time=0.01
+bench_smoke build-scalar
 
 echo "check.sh: all suites passed"

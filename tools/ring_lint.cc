@@ -1,0 +1,30 @@
+// ring-lint: command-line front end for the determinism lint
+// (src/analysis/lint.h). Scans a repo checkout and prints findings as
+// "file:line: [rule] message"; exit status 1 if anything fired.
+//
+//   ring-lint [repo-root]        defaults to the current directory
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/analysis/lint.h"
+
+int main(int argc, char** argv) {
+  std::string root = ".";
+  if (argc > 1) {
+    root = argv[1];
+  }
+  if (argc > 2) {
+    std::fprintf(stderr, "usage: %s [repo-root]\n", argv[0]);
+    return 2;
+  }
+  const std::vector<ring::analysis::LintFinding> findings =
+      ring::analysis::LintTree(root);
+  if (findings.empty()) {
+    std::printf("ring-lint: clean\n");
+    return 0;
+  }
+  std::fputs(ring::analysis::FormatFindings(findings).c_str(), stdout);
+  std::fprintf(stderr, "ring-lint: %zu finding(s)\n", findings.size());
+  return 1;
+}
