@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_balancing.dir/ablation_balancing.cc.o"
+  "CMakeFiles/ablation_balancing.dir/ablation_balancing.cc.o.d"
+  "ablation_balancing"
+  "ablation_balancing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_balancing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_quorum.dir/ablation_quorum.cc.o"
+  "CMakeFiles/ablation_quorum.dir/ablation_quorum.cc.o.d"
+  "ablation_quorum"
+  "ablation_quorum.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_quorum.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_srs_remap.dir/ablation_srs_remap.cc.o"
+  "CMakeFiles/ablation_srs_remap.dir/ablation_srs_remap.cc.o.d"
+  "ablation_srs_remap"
+  "ablation_srs_remap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_srs_remap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

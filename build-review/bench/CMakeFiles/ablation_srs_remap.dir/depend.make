@@ -1,0 +1,2 @@
+# Empty dependencies file for ablation_srs_remap.
+# This may be replaced when dependencies are built.

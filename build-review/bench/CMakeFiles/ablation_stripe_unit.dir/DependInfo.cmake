@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ablation_stripe_unit.cc" "bench/CMakeFiles/ablation_stripe_unit.dir/ablation_stripe_unit.cc.o" "gcc" "bench/CMakeFiles/ablation_stripe_unit.dir/ablation_stripe_unit.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/ring/CMakeFiles/ring_core.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/workload/CMakeFiles/ring_workload.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/consensus/CMakeFiles/ring_consensus.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/net/CMakeFiles/ring_net.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/sim/CMakeFiles/ring_sim.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/analysis/CMakeFiles/ring_analysis.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/obs/CMakeFiles/ring_obs.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/srs/CMakeFiles/ring_srs.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/rs/CMakeFiles/ring_rs.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/matrix/CMakeFiles/ring_matrix.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/gf/CMakeFiles/ring_gf.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/common/CMakeFiles/ring_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

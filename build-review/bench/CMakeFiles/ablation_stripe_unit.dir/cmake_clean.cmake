@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_stripe_unit.dir/ablation_stripe_unit.cc.o"
+  "CMakeFiles/ablation_stripe_unit.dir/ablation_stripe_unit.cc.o.d"
+  "ablation_stripe_unit"
+  "ablation_stripe_unit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_stripe_unit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for ablation_stripe_unit.
+# This may be replaced when dependencies are built.

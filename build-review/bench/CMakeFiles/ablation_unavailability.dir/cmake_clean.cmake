@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_unavailability.dir/ablation_unavailability.cc.o"
+  "CMakeFiles/ablation_unavailability.dir/ablation_unavailability.cc.o.d"
+  "ablation_unavailability"
+  "ablation_unavailability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_unavailability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autotier_adaptive.dir/autotier_adaptive.cc.o"
+  "CMakeFiles/autotier_adaptive.dir/autotier_adaptive.cc.o.d"
+  "autotier_adaptive"
+  "autotier_adaptive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autotier_adaptive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

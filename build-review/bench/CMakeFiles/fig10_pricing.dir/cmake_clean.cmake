@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_pricing.dir/fig10_pricing.cc.o"
+  "CMakeFiles/fig10_pricing.dir/fig10_pricing.cc.o.d"
+  "fig10_pricing"
+  "fig10_pricing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_pricing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

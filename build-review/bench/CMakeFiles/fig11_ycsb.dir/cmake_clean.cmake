@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_ycsb.dir/fig11_ycsb.cc.o"
+  "CMakeFiles/fig11_ycsb.dir/fig11_ycsb.cc.o.d"
+  "fig11_ycsb"
+  "fig11_ycsb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_ycsb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_metadata_recovery.dir/fig12_metadata_recovery.cc.o"
+  "CMakeFiles/fig12_metadata_recovery.dir/fig12_metadata_recovery.cc.o.d"
+  "fig12_metadata_recovery"
+  "fig12_metadata_recovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_metadata_recovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

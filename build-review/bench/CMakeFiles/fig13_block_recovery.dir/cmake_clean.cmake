@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_block_recovery.dir/fig13_block_recovery.cc.o"
+  "CMakeFiles/fig13_block_recovery.dir/fig13_block_recovery.cc.o.d"
+  "fig13_block_recovery"
+  "fig13_block_recovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_block_recovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

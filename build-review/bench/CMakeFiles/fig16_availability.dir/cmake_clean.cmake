@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_availability.dir/fig16_availability.cc.o"
+  "CMakeFiles/fig16_availability.dir/fig16_availability.cc.o.d"
+  "fig16_availability"
+  "fig16_availability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_availability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_reliability.dir/fig2_reliability.cc.o"
+  "CMakeFiles/fig2_reliability.dir/fig2_reliability.cc.o.d"
+  "fig2_reliability"
+  "fig2_reliability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_reliability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7c_baselines.dir/fig7c_baselines.cc.o"
+  "CMakeFiles/fig7c_baselines.dir/fig7c_baselines.cc.o.d"
+  "fig7c_baselines"
+  "fig7c_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7c_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_move.dir/fig8_move.cc.o"
+  "CMakeFiles/fig8_move.dir/fig8_move.cc.o.d"
+  "fig8_move"
+  "fig8_move.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_move.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_tradeoffs.dir/table1_tradeoffs.cc.o"
+  "CMakeFiles/table1_tradeoffs.dir/table1_tradeoffs.cc.o.d"
+  "table1_tradeoffs"
+  "table1_tradeoffs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_tradeoffs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

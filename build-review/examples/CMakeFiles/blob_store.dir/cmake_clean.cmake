@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/blob_store.dir/blob_store.cpp.o"
+  "CMakeFiles/blob_store.dir/blob_store.cpp.o.d"
+  "blob_store"
+  "blob_store.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/blob_store.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

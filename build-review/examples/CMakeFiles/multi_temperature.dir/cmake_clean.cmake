@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_temperature.dir/multi_temperature.cpp.o"
+  "CMakeFiles/multi_temperature.dir/multi_temperature.cpp.o.d"
+  "multi_temperature"
+  "multi_temperature.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_temperature.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/online_auction.dir/online_auction.cpp.o"
+  "CMakeFiles/online_auction.dir/online_auction.cpp.o.d"
+  "online_auction"
+  "online_auction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/online_auction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

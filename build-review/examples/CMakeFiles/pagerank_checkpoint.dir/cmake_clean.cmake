@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pagerank_checkpoint.dir/pagerank_checkpoint.cpp.o"
+  "CMakeFiles/pagerank_checkpoint.dir/pagerank_checkpoint.cpp.o.d"
+  "pagerank_checkpoint"
+  "pagerank_checkpoint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pagerank_checkpoint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

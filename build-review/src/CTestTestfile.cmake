@@ -1,0 +1,22 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build-review/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("obs")
+subdirs("analysis")
+subdirs("gf")
+subdirs("matrix")
+subdirs("rs")
+subdirs("srs")
+subdirs("reliability")
+subdirs("sim")
+subdirs("net")
+subdirs("consensus")
+subdirs("ring")
+subdirs("workload")
+subdirs("cost")
+subdirs("policy")
+subdirs("baselines")

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/lint.cc" "src/analysis/CMakeFiles/ring_analysis.dir/lint.cc.o" "gcc" "src/analysis/CMakeFiles/ring_analysis.dir/lint.cc.o.d"
+  "/root/repo/src/analysis/race.cc" "src/analysis/CMakeFiles/ring_analysis.dir/race.cc.o" "gcc" "src/analysis/CMakeFiles/ring_analysis.dir/race.cc.o.d"
+  "/root/repo/src/analysis/vector_clock.cc" "src/analysis/CMakeFiles/ring_analysis.dir/vector_clock.cc.o" "gcc" "src/analysis/CMakeFiles/ring_analysis.dir/vector_clock.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/obs/CMakeFiles/ring_obs.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/common/CMakeFiles/ring_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ring_analysis.dir/lint.cc.o"
+  "CMakeFiles/ring_analysis.dir/lint.cc.o.d"
+  "CMakeFiles/ring_analysis.dir/race.cc.o"
+  "CMakeFiles/ring_analysis.dir/race.cc.o.d"
+  "CMakeFiles/ring_analysis.dir/vector_clock.cc.o"
+  "CMakeFiles/ring_analysis.dir/vector_clock.cc.o.d"
+  "libring_analysis.a"
+  "libring_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ring_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

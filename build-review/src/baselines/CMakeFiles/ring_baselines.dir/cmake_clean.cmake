@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ring_baselines.dir/baselines.cc.o"
+  "CMakeFiles/ring_baselines.dir/baselines.cc.o.d"
+  "libring_baselines.a"
+  "libring_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ring_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ring_common.dir/bytes.cc.o"
+  "CMakeFiles/ring_common.dir/bytes.cc.o.d"
+  "CMakeFiles/ring_common.dir/flags.cc.o"
+  "CMakeFiles/ring_common.dir/flags.cc.o.d"
+  "CMakeFiles/ring_common.dir/hash.cc.o"
+  "CMakeFiles/ring_common.dir/hash.cc.o.d"
+  "CMakeFiles/ring_common.dir/logging.cc.o"
+  "CMakeFiles/ring_common.dir/logging.cc.o.d"
+  "CMakeFiles/ring_common.dir/rng.cc.o"
+  "CMakeFiles/ring_common.dir/rng.cc.o.d"
+  "CMakeFiles/ring_common.dir/stats.cc.o"
+  "CMakeFiles/ring_common.dir/stats.cc.o.d"
+  "CMakeFiles/ring_common.dir/status.cc.o"
+  "CMakeFiles/ring_common.dir/status.cc.o.d"
+  "libring_common.a"
+  "libring_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ring_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

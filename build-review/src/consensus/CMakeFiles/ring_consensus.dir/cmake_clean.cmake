@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ring_consensus.dir/config.cc.o"
+  "CMakeFiles/ring_consensus.dir/config.cc.o.d"
+  "CMakeFiles/ring_consensus.dir/membership.cc.o"
+  "CMakeFiles/ring_consensus.dir/membership.cc.o.d"
+  "libring_consensus.a"
+  "libring_consensus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ring_consensus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ring_cost.dir/pricing.cc.o"
+  "CMakeFiles/ring_cost.dir/pricing.cc.o.d"
+  "libring_cost.a"
+  "libring_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ring_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

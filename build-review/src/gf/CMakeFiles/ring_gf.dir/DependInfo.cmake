@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gf/gf256.cc" "src/gf/CMakeFiles/ring_gf.dir/gf256.cc.o" "gcc" "src/gf/CMakeFiles/ring_gf.dir/gf256.cc.o.d"
+  "/root/repo/src/gf/gf256_simd.cc" "src/gf/CMakeFiles/ring_gf.dir/gf256_simd.cc.o" "gcc" "src/gf/CMakeFiles/ring_gf.dir/gf256_simd.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/common/CMakeFiles/ring_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

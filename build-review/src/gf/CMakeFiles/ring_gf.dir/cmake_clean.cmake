@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ring_gf.dir/gf256.cc.o"
+  "CMakeFiles/ring_gf.dir/gf256.cc.o.d"
+  "CMakeFiles/ring_gf.dir/gf256_simd.cc.o"
+  "CMakeFiles/ring_gf.dir/gf256_simd.cc.o.d"
+  "libring_gf.a"
+  "libring_gf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ring_gf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ring_matrix.dir/matrix.cc.o"
+  "CMakeFiles/ring_matrix.dir/matrix.cc.o.d"
+  "libring_matrix.a"
+  "libring_matrix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ring_matrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ring_net.dir/fabric.cc.o"
+  "CMakeFiles/ring_net.dir/fabric.cc.o.d"
+  "libring_net.a"
+  "libring_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ring_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ring_obs.dir/metrics.cc.o"
+  "CMakeFiles/ring_obs.dir/metrics.cc.o.d"
+  "CMakeFiles/ring_obs.dir/trace.cc.o"
+  "CMakeFiles/ring_obs.dir/trace.cc.o.d"
+  "libring_obs.a"
+  "libring_obs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ring_obs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

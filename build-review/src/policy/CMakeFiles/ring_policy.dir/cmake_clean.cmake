@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ring_policy.dir/access_tracker.cc.o"
+  "CMakeFiles/ring_policy.dir/access_tracker.cc.o.d"
+  "CMakeFiles/ring_policy.dir/autotier.cc.o"
+  "CMakeFiles/ring_policy.dir/autotier.cc.o.d"
+  "CMakeFiles/ring_policy.dir/mover.cc.o"
+  "CMakeFiles/ring_policy.dir/mover.cc.o.d"
+  "CMakeFiles/ring_policy.dir/policy.cc.o"
+  "CMakeFiles/ring_policy.dir/policy.cc.o.d"
+  "libring_policy.a"
+  "libring_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ring_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

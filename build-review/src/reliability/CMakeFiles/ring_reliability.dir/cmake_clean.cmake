@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ring_reliability.dir/ctmc.cc.o"
+  "CMakeFiles/ring_reliability.dir/ctmc.cc.o.d"
+  "CMakeFiles/ring_reliability.dir/models.cc.o"
+  "CMakeFiles/ring_reliability.dir/models.cc.o.d"
+  "libring_reliability.a"
+  "libring_reliability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ring_reliability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

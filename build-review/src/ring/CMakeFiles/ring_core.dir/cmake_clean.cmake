@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ring_core.dir/client.cc.o"
+  "CMakeFiles/ring_core.dir/client.cc.o.d"
+  "CMakeFiles/ring_core.dir/cluster.cc.o"
+  "CMakeFiles/ring_core.dir/cluster.cc.o.d"
+  "CMakeFiles/ring_core.dir/metadata.cc.o"
+  "CMakeFiles/ring_core.dir/metadata.cc.o.d"
+  "CMakeFiles/ring_core.dir/registry.cc.o"
+  "CMakeFiles/ring_core.dir/registry.cc.o.d"
+  "CMakeFiles/ring_core.dir/runtime.cc.o"
+  "CMakeFiles/ring_core.dir/runtime.cc.o.d"
+  "CMakeFiles/ring_core.dir/server.cc.o"
+  "CMakeFiles/ring_core.dir/server.cc.o.d"
+  "CMakeFiles/ring_core.dir/server_recovery.cc.o"
+  "CMakeFiles/ring_core.dir/server_recovery.cc.o.d"
+  "libring_core.a"
+  "libring_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ring_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

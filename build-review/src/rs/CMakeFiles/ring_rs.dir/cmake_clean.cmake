@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ring_rs.dir/crs_bitmatrix.cc.o"
+  "CMakeFiles/ring_rs.dir/crs_bitmatrix.cc.o.d"
+  "CMakeFiles/ring_rs.dir/rs_code.cc.o"
+  "CMakeFiles/ring_rs.dir/rs_code.cc.o.d"
+  "libring_rs.a"
+  "libring_rs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ring_rs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

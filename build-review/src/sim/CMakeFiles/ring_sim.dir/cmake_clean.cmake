@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ring_sim.dir/calibrate.cc.o"
+  "CMakeFiles/ring_sim.dir/calibrate.cc.o.d"
+  "CMakeFiles/ring_sim.dir/event_queue.cc.o"
+  "CMakeFiles/ring_sim.dir/event_queue.cc.o.d"
+  "CMakeFiles/ring_sim.dir/simulator.cc.o"
+  "CMakeFiles/ring_sim.dir/simulator.cc.o.d"
+  "libring_sim.a"
+  "libring_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ring_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

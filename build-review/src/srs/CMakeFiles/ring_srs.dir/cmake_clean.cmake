@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ring_srs.dir/address_map.cc.o"
+  "CMakeFiles/ring_srs.dir/address_map.cc.o.d"
+  "CMakeFiles/ring_srs.dir/srs_code.cc.o"
+  "CMakeFiles/ring_srs.dir/srs_code.cc.o.d"
+  "libring_srs.a"
+  "libring_srs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ring_srs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libring_srs.a"
+)

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ring_workload.dir/drivers.cc.o"
+  "CMakeFiles/ring_workload.dir/drivers.cc.o.d"
+  "CMakeFiles/ring_workload.dir/spc_trace.cc.o"
+  "CMakeFiles/ring_workload.dir/spc_trace.cc.o.d"
+  "CMakeFiles/ring_workload.dir/ycsb.cc.o"
+  "CMakeFiles/ring_workload.dir/ycsb.cc.o.d"
+  "CMakeFiles/ring_workload.dir/zipf.cc.o"
+  "CMakeFiles/ring_workload.dir/zipf.cc.o.d"
+  "libring_workload.a"
+  "libring_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ring_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

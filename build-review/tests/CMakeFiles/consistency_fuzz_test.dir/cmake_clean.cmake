@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/consistency_fuzz_test.dir/consistency_fuzz_test.cc.o"
+  "CMakeFiles/consistency_fuzz_test.dir/consistency_fuzz_test.cc.o.d"
+  "consistency_fuzz_test"
+  "consistency_fuzz_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/consistency_fuzz_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/failure_matrix_test.dir/failure_matrix_test.cc.o"
+  "CMakeFiles/failure_matrix_test.dir/failure_matrix_test.cc.o.d"
+  "failure_matrix_test"
+  "failure_matrix_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/failure_matrix_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

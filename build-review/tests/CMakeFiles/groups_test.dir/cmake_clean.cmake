@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/groups_test.dir/groups_test.cc.o"
+  "CMakeFiles/groups_test.dir/groups_test.cc.o.d"
+  "groups_test"
+  "groups_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/groups_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reliability_mc_test.dir/reliability_mc_test.cc.o"
+  "CMakeFiles/reliability_mc_test.dir/reliability_mc_test.cc.o.d"
+  "reliability_mc_test"
+  "reliability_mc_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reliability_mc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ring_test.dir/ring_test.cc.o"
+  "CMakeFiles/ring_test.dir/ring_test.cc.o.d"
+  "ring_test"
+  "ring_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ring_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

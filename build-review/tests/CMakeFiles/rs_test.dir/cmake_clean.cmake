@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rs_test.dir/rs_test.cc.o"
+  "CMakeFiles/rs_test.dir/rs_test.cc.o.d"
+  "rs_test"
+  "rs_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

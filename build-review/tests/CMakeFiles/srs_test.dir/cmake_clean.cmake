@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/srs_test.dir/srs_test.cc.o"
+  "CMakeFiles/srs_test.dir/srs_test.cc.o.d"
+  "srs_test"
+  "srs_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/srs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

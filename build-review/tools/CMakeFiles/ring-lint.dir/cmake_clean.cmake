@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ring-lint.dir/ring_lint.cc.o"
+  "CMakeFiles/ring-lint.dir/ring_lint.cc.o.d"
+  "ring-lint"
+  "ring-lint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ring-lint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ringctl.dir/ringctl.cc.o"
+  "CMakeFiles/ringctl.dir/ringctl.cc.o.d"
+  "ringctl"
+  "ringctl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ringctl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

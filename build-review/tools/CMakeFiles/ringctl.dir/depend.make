@@ -1,0 +1,2 @@
+# Empty dependencies file for ringctl.
+# This may be replaced when dependencies are built.
