@@ -1,0 +1,147 @@
+// Chaos availability: unavailability windows per resilience scheme under a
+// scripted fault schedule (paper §6 availability discussion, Fig. 10/16
+// flavour, driven by the src/fault injector instead of clean Kill calls).
+//
+// A fixed-cadence open-loop prober issues gets against keys homed on the
+// victim shard while the schedule plays out: a crash-recovery of the
+// coordinator (the node restarts memory-less and rejoins), then a gray
+// pause of whichever node serves the shard after failover. Probes that fail
+// or stall mark the timeline "unavailable"; contiguous runs are reported as
+// windows. Replication rides out the crash with a replica promotion;
+// erasure coding pays decoding on first touch; Rep(1) keys on the victim
+// are lost for good — the rejoined node comes back memory-less.
+#include "bench/bench_util.h"
+
+#include "src/common/hash.h"
+#include "src/fault/fault.h"
+
+namespace {
+
+using namespace ring;
+
+Key VictimKey(uint32_t shard, int i) {
+  for (int salt = 0;; ++salt) {
+    Key k = "ca" + std::to_string(i) + "-" + std::to_string(salt);
+    if (KeyShard(k, 3) == shard) {
+      return k;
+    }
+  }
+}
+
+struct Probe {
+  sim::SimTime issued;
+  sim::SimTime completed = 0;
+  bool done = false;
+  bool ok = false;
+};
+
+void Run(const char* label, MemgestDescriptor desc) {
+  RingOptions o = bench::PaperCluster(/*clients=*/1, /*spares=*/1, 1307);
+  // Fast failure handling so the crash window is dominated by the protocol,
+  // not by a deliberately conservative detector; probes fail fast instead of
+  // burning the full default retry budget.
+  o.params.heartbeat_period_ns = 500 * sim::kMicrosecond;
+  o.params.failure_timeout_ns = 2 * sim::kMillisecond;
+  o.params.client_retry_timeout_ns = 200 * sim::kMicrosecond;
+  o.params.client_retry_budget_ns = 3 * sim::kMillisecond;
+  // The schedule: the shard-1 coordinator crashes at 5 ms and restarts
+  // memory-less at 30 ms (rejoining via the spare/recovery path); at 60 ms
+  // the promoted spare (node 5) suffers an 8 ms gray pause — alive on the
+  // wire, making no progress — healed before the detector gives up on it.
+  o.fault_plan = *fault::ParseFaultPlan(
+      "crash node=1 at=5ms recover=30ms\n"
+      "pause node=5 at=60ms resume=68ms");
+  o.fault_seed = 1307;
+  RingCluster cluster(o);
+  auto g = *cluster.CreateMemgest(desc);
+
+  const int kKeys = 32;
+  std::vector<Key> keys;
+  for (int i = 0; i < kKeys; ++i) {
+    keys.push_back(VictimKey(1, i));
+    (void)cluster.Put(keys[i], MakePatternBuffer(1024, i), g);
+  }
+
+  // Open-loop probe stream: one get every 100 us for 100 ms.
+  const sim::SimTime kProbeGap = 100 * sim::kMicrosecond;
+  const sim::SimTime kHorizon = 100 * sim::kMillisecond;
+  const sim::SimTime t0 = cluster.simulator().now();
+  std::vector<Probe> probes;
+  probes.reserve(kHorizon / kProbeGap + 1);
+  auto& client = cluster.client(0);
+  for (int i = 0; cluster.simulator().now() - t0 < kHorizon; ++i) {
+    const size_t slot = probes.size();
+    probes.push_back(Probe{cluster.simulator().now() - t0});
+    client.Get(keys[i % kKeys],
+               [&probes, slot, &cluster, t0](GetResult r) {
+      probes[slot].done = true;
+      probes[slot].ok = r.status.ok();
+      probes[slot].completed = cluster.simulator().now() - t0;
+    });
+    cluster.RunFor(kProbeGap);
+  }
+  cluster.RunFor(50 * sim::kMillisecond);  // drain stragglers
+
+  // A probe marks its issue instant unavailable if it failed outright or
+  // stalled past the SLO (it had to ride out detection + failover before a
+  // retry landed). Merge contiguous bad probes into windows.
+  const sim::SimTime kSlo = 1 * sim::kMillisecond;
+  struct Window {
+    sim::SimTime start, end;
+  };
+  std::vector<Window> windows;
+  int failed = 0;
+  int stalled = 0;
+  for (const Probe& p : probes) {
+    const bool lost = !p.done || !p.ok;
+    const bool slow = !lost && p.completed - p.issued > kSlo;
+    if (!lost && !slow) {
+      continue;
+    }
+    failed += lost ? 1 : 0;
+    stalled += slow ? 1 : 0;
+    if (!windows.empty() && p.issued - windows.back().end <= 2 * kProbeGap) {
+      windows.back().end = p.issued;
+    } else {
+      windows.push_back(Window{p.issued, p.issued});
+    }
+  }
+  sim::SimTime total = 0;
+  sim::SimTime longest = 0;
+  for (const Window& w : windows) {
+    const sim::SimTime span = w.end - w.start + kProbeGap;
+    total += span;
+    longest = std::max(longest, span);
+  }
+
+  std::printf("%s:\n", label);
+  std::printf("  probes %zu, failed %d, stalled(>1ms) %d, windows %zu\n",
+              probes.size(), failed, stalled, windows.size());
+  std::printf("  unavailable %7.2f ms total, longest window %7.2f ms\n",
+              static_cast<double>(total) / 1e6,
+              static_cast<double>(longest) / 1e6);
+  for (const Window& w : windows) {
+    std::printf("    [%7.2f, %7.2f] ms\n", static_cast<double>(w.start) / 1e6,
+                static_cast<double>(w.end + kProbeGap) / 1e6);
+  }
+  const auto& f = cluster.runtime().injector()->counters();
+  std::printf("  injected: crashes %llu, recoveries %llu, pauses %llu, "
+              "deferred deliveries %llu\n\n",
+              static_cast<unsigned long long>(f.crashes),
+              static_cast<unsigned long long>(f.recoveries),
+              static_cast<unsigned long long>(f.pauses),
+              static_cast<unsigned long long>(f.deferred));
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "# Chaos availability: crash-recovery at 5-30 ms + gray pause at "
+      "60-68 ms,\n# 1 KiB objects on the victim shard, probe every 100 us\n\n");
+  Run("Rep(3)   (replica promotion)", MemgestDescriptor::Replicated(3));
+  Run("SRS(3,2) (decode on demand)", MemgestDescriptor::ErasureCoded(3, 2));
+  Run("Rep(1)   (unreliable: lost for good, until rewritten)",
+      MemgestDescriptor::Replicated(1));
+  return 0;
+}

@@ -42,6 +42,7 @@ void MembershipGroup::Start() {
     // Phase-staggered ticks: simultaneous election checks would let two
     // ranked candidates promote themselves in the same instant before
     // either's config broadcast lands.
+    agent->ticking = true;
     simulator->After(simulator->params().heartbeat_period_ns +
                          id * 200 * kMicrosecondStagger,
                      [this, id] { HeartbeatTick(id); });
@@ -50,19 +51,57 @@ void MembershipGroup::Start() {
 
 void MembershipGroup::HeartbeatTick(net::NodeId node) {
   if (!fabric_->alive(node)) {
-    return;  // dead nodes stop ticking
+    agents_[node]->ticking = false;
+    return;  // dead nodes stop ticking (Rejoin restarts the chain)
   }
   Agent& agent = *agents_[node];
   auto* simulator = fabric_->simulator();
-  if (agent.is_leader) {
+  if (fabric_->paused(node)) {
+    // Gray failure: the wedged process neither sends nor checks anything,
+    // but its timer survives the stall and resumes firing afterwards.
+    simulator->After(simulator->params().heartbeat_period_ns,
+                     [this, node] { HeartbeatTick(node); });
+    return;
+  }
+  if (agent.config.failed[node]) {
+    // Excluded from the cluster (restarted after a crash, or a gray failure
+    // that outlived the detection window): a failed node must neither elect
+    // nor be elected. Petition every member for readmission instead — only
+    // an actual leader acts, and repeating each tick survives chaos-dropped
+    // petitions. The epoch makes duplicated petitions harmless: once the
+    // readmission bumps the epoch, stale copies are ignored.
+    const uint64_t petition_epoch = agent.config.epoch;
+    for (net::NodeId peer = 0; peer < num_members(); ++peer) {
+      if (peer == node) {
+        continue;
+      }
+      fabric_->Send(node, peer, kHeartbeatBytes,
+                    [this, peer, node, petition_epoch] {
+                      HandleJoinRequest(peer, node, petition_epoch);
+                    });
+    }
+  } else if (agent.is_leader) {
     // Leader broadcasts liveness and checks followers.
+    const uint64_t sender_epoch = agent.config.epoch;
     for (net::NodeId peer = 0; peer < num_members(); ++peer) {
       if (peer == node || agent.config.failed[peer]) {
         continue;
       }
-      fabric_->Send(node, peer, kHeartbeatBytes, [this, peer, node] {
-        agents_[peer]->last_leader_seen = fabric_->simulator()->now();
-        (void)node;
+      fabric_->Send(node, peer, kHeartbeatBytes,
+                    [this, peer, node, sender_epoch] {
+        Agent& receiver = *agents_[peer];
+        if (receiver.config.epoch > sender_epoch &&
+            receiver.config.leader != node) {
+          // Deposed leader still heartbeating on a stale view (it was
+          // paused through an election): push the newer config instead of
+          // letting its heartbeats suppress anyone's failure detection.
+          const ClusterConfig snapshot = receiver.config;
+          fabric_->Send(peer, node, kConfigBytes, [this, node, snapshot] {
+            ApplyConfig(node, snapshot);
+          });
+          return;
+        }
+        receiver.last_leader_seen = fabric_->simulator()->now();
       });
     }
     LeaderCheck(node);
@@ -70,13 +109,92 @@ void MembershipGroup::HeartbeatTick(net::NodeId node) {
     // Follower heartbeats to its view of the leader and watches for leader
     // silence.
     const net::NodeId leader = agent.config.leader;
-    fabric_->Send(node, leader, kHeartbeatBytes, [this, leader, node] {
-      agents_[leader]->last_seen[node] = fabric_->simulator()->now();
+    const uint64_t sender_epoch = agent.config.epoch;
+    fabric_->Send(node, leader, kHeartbeatBytes,
+                  [this, leader, node, sender_epoch] {
+      Agent& receiver = *agents_[leader];
+      receiver.last_seen[node] = fabric_->simulator()->now();
+      if (receiver.config.epoch > sender_epoch) {
+        // Anti-entropy: the follower missed a config broadcast (lossy or
+        // partitioned link); repair it from the heartbeat exchange.
+        const ClusterConfig snapshot = receiver.config;
+        fabric_->Send(leader, node, kConfigBytes, [this, node, snapshot] {
+          ApplyConfig(node, snapshot);
+        });
+      }
     });
     FollowerCheck(node);
   }
   simulator->After(simulator->params().heartbeat_period_ns,
                    [this, node] { HeartbeatTick(node); });
+}
+
+void MembershipGroup::HandleJoinRequest(net::NodeId member, net::NodeId node,
+                                        uint64_t petition_epoch) {
+  Agent& agent = *agents_[member];
+  if (!agent.is_leader || node >= num_members()) {
+    return;  // only the leader readmits; stale petitions die here
+  }
+  if (!agent.config.failed[node]) {
+    if (petition_epoch < agent.config.epoch) {
+      // A chaos-duplicated (or long-delayed) petition from before the
+      // readmission: acting on it would spuriously re-fail the node.
+      return;
+    }
+    const int32_t slot = agent.config.slot_of_node[node];
+    if (slot != kSpareSlot && agent.config.node_of_slot[slot] == node) {
+      // Crash + restart inside one detection window: the cluster never saw
+      // the death. Process the failure first so the memory-less node is
+      // re-integrated through the promotion path rather than silently
+      // serving from an empty store.
+      HandleNodeFailure(member, node);
+    } else {
+      return;  // already a live member: duplicate petition
+    }
+  }
+  agent.config.failed[node] = false;
+  ++agent.config.epoch;
+  agent.last_seen[node] = fabric_->simulator()->now();
+  ++config_changes_;
+  RING_LOG(kInfo) << "leader " << member << " readmits node " << node
+                  << (agent.config.slot_of_node[node] == kSpareSlot
+                          ? " as a spare"
+                          : " into its old slot");
+  BroadcastConfig(member);
+}
+
+void MembershipGroup::Rejoin(net::NodeId node) {
+  Agent& agent = *agents_[node];
+  auto* simulator = fabric_->simulator();
+  // Memory-less restart: the process rebooted knowing only its id and its
+  // boot-time view; it marks itself failed in that view (it must not vote or
+  // lead) and petitions for readmission from its tick loop.
+  agent.is_leader = false;
+  agent.config.failed[node] = true;
+  agent.last_leader_seen = simulator->now();
+  for (net::NodeId peer = 0; peer < num_members(); ++peer) {
+    agent.last_seen[peer] = simulator->now();
+  }
+  if (!agent.ticking) {
+    agent.ticking = true;
+    simulator->After(simulator->params().heartbeat_period_ns,
+                     [this, node] { HeartbeatTick(node); });
+  }
+}
+
+void MembershipGroup::NoteResumed(net::NodeId node) {
+  if (node >= num_members()) {
+    return;
+  }
+  Agent& agent = *agents_[node];
+  auto* simulator = fabric_->simulator();
+  // The node stalled, not its peers: restart every detection clock so it
+  // does not instantly declare the world dead (or elect itself) based on
+  // silence it caused.
+  agent.last_leader_seen = simulator->now();
+  for (net::NodeId peer = 0; peer < num_members(); ++peer) {
+    agent.last_seen[peer] = simulator->now();
+  }
 }
 
 void MembershipGroup::LeaderCheck(net::NodeId node) {

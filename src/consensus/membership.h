@@ -50,6 +50,18 @@ class MembershipGroup {
   // missed heartbeats.
   void InjectFailure(net::NodeId victim);
 
+  // Crash-recovery: `node` restarted memory-less (fabric already revived).
+  // It marks itself failed in its own stale view and petitions the cluster
+  // for readmission each tick until a leader broadcasts a config that
+  // includes it again — as a spare when its old slot was re-assigned, or
+  // re-promoted into its own slot (walking the normal spare-recovery path)
+  // when no spare had been available.
+  void Rejoin(net::NodeId node);
+
+  // Gray-failure resume: resets `node`'s failure-detection timers so the
+  // stall it just experienced is not misread as everyone else's silence.
+  void NoteResumed(net::NodeId node);
+
   // Benchmark aid: makes the leader handle `victim`'s death immediately,
   // bypassing the heartbeat timeout (Fig. 12 measures recovery from the
   // moment of detection).
@@ -67,9 +79,14 @@ class MembershipGroup {
     std::vector<sim::SimTime> last_seen;
     sim::SimTime last_leader_seen = 0;
     bool is_leader = false;
+    // Whether this node's heartbeat-tick chain is scheduled. The chain dies
+    // with the node; Rejoin restarts it exactly once.
+    bool ticking = false;
   };
 
   void HeartbeatTick(net::NodeId node);
+  void HandleJoinRequest(net::NodeId member, net::NodeId node,
+                         uint64_t petition_epoch);
   void LeaderCheck(net::NodeId node);
   void FollowerCheck(net::NodeId node);
   void TakeOver(net::NodeId node);

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "src/analysis/race.h"
+#include "src/fault/fault.h"
 #include "src/obs/hub.h"
 
 namespace ring::net {
@@ -49,10 +50,57 @@ Fabric::Departure Fabric::Depart(NodeId src, NodeId dst,
   return Departure{ser_start, arrival};
 }
 
+bool Fabric::paused(NodeId node) const {
+  return injector_ != nullptr && injector_->paused(node);
+}
+
+void Fabric::DeliverSend(NodeId dst, uint64_t op,
+                         std::optional<analysis::VectorClock> edge,
+                         std::function<void()> handler) {
+  if (!alive_[dst]) {
+    return;  // fail-stop: dead nodes neither receive nor respond
+  }
+  if (injector_ != nullptr && injector_->paused(dst)) {
+    // Gray failure: the NIC accepted the message but the wedged process
+    // makes no progress. Buffer the delivery; the injector replays it (in
+    // arrival order) at resume, or discards it if the node crashes instead.
+    injector_->Defer(dst, [this, dst, op, edge = std::move(edge),
+                           handler = std::move(handler)]() mutable {
+      DeliverSend(dst, op, std::move(edge), std::move(handler));
+    });
+    return;
+  }
+  // Re-establish the sender's op context around the receive-cost charge so
+  // the queue/busy spans it records stitch into the same distributed trace.
+  obs::ScopedOp scope(sim_->hub(), op);
+  // Carrier frame: CpuWorker::Execute captures the deferred handler's edge
+  // from the current context, which must be the sender's clock here, not
+  // the event loop's.
+  analysis::RaceDetector* race = sim_->race();
+  analysis::ScopedOneSidedTask carry(race,
+                                     edge.has_value() ? &*edge : nullptr);
+  cpus_[dst]->Execute(sim_->params().server_recv_ns, std::move(handler));
+}
+
 void Fabric::Send(NodeId src, NodeId dst, uint64_t payload_bytes,
                   std::function<void()> handler) {
   if (!alive_[src]) {
     return;
+  }
+  uint64_t extra_delay = 0;
+  uint64_t dup_delay = 0;
+  bool duplicate = false;
+  if (injector_ != nullptr) {
+    if (injector_->paused(src)) {
+      return;  // a wedged process posts no sends
+    }
+    const fault::Verdict v = injector_->OnTwoSided(src, dst);
+    if (v.drop) {
+      return;
+    }
+    extra_delay = v.extra_delay_ns;
+    duplicate = v.duplicate;
+    dup_delay = v.dup_delay_ns;
   }
   obs::Hub& hub = sim_->hub();
   const uint64_t op = hub.current_op();
@@ -66,21 +114,16 @@ void Fabric::Send(NodeId src, NodeId dst, uint64_t payload_bytes,
   if (race != nullptr) {
     edge = race->CaptureEdge();
   }
-  sim_->At(d.arrival, [this, dst, op, race, edge = std::move(edge),
-                       handler = std::move(handler)]() mutable {
-    if (!alive_[dst]) {
-      return;  // fail-stop: dead nodes neither receive nor respond
-    }
-    // Re-establish the sender's op context around the receive-cost charge so
-    // the queue/busy spans it records stitch into the same distributed trace.
-    obs::ScopedOp scope(sim_->hub(), op);
-    // Carrier frame: CpuWorker::Execute captures the deferred handler's edge
-    // from the current context, which must be the sender's clock here, not
-    // the event loop's.
-    analysis::ScopedOneSidedTask carry(race,
-                                       edge.has_value() ? &*edge : nullptr);
-    cpus_[dst]->Execute(sim_->params().server_recv_ns, std::move(handler));
-  });
+  if (duplicate) {
+    sim_->At(d.arrival + dup_delay, [this, dst, op, edge, handler]() mutable {
+      DeliverSend(dst, op, std::move(edge), std::move(handler));
+    });
+  }
+  sim_->At(d.arrival + extra_delay,
+           [this, dst, op, edge = std::move(edge),
+            handler = std::move(handler)]() mutable {
+             DeliverSend(dst, op, std::move(edge), std::move(handler));
+           });
 }
 
 void Fabric::Write(NodeId src, NodeId dst, uint64_t payload_bytes,
@@ -89,9 +132,24 @@ void Fabric::Write(NodeId src, NodeId dst, uint64_t payload_bytes,
   if (!alive_[src]) {
     return;
   }
+  uint64_t extra_delay = 0;
+  if (injector_ != nullptr) {
+    if (injector_->paused(src)) {
+      return;  // a wedged process posts no work requests
+    }
+    // One-sided: the verb is hardware-to-hardware, so a *paused* destination
+    // still serves it (gray failure leaves the NIC alive). A dropped verb
+    // models a torn QP: the issuer never sees a completion.
+    const fault::Verdict v = injector_->OnOneSided(src, dst);
+    if (v.drop) {
+      return;
+    }
+    extra_delay = v.extra_delay_ns;
+  }
   obs::Hub& hub = sim_->hub();
   const uint64_t op = hub.current_op();
-  const Departure d = Depart(src, dst, payload_bytes);
+  Departure d = Depart(src, dst, payload_bytes);
+  d.arrival += extra_delay;
   hub.tracer().Record("rdma_write", obs::Category::kNetwork, src, op,
                       d.ser_start, d.arrival);
   analysis::RaceDetector* race = sim_->race();
@@ -137,10 +195,22 @@ void Fabric::Read(NodeId src, NodeId dst, uint64_t response_bytes,
   if (!alive_[src]) {
     return;
   }
+  uint64_t extra_delay = 0;
+  if (injector_ != nullptr) {
+    if (injector_->paused(src)) {
+      return;  // a wedged process posts no work requests
+    }
+    const fault::Verdict v = injector_->OnOneSided(src, dst);
+    if (v.drop) {
+      return;
+    }
+    extra_delay = v.extra_delay_ns;
+  }
   obs::Hub& hub = sim_->hub();
   const uint64_t op = hub.current_op();
   // Request message is small (a work request descriptor).
-  const Departure req = Depart(src, dst, 0);
+  Departure req = Depart(src, dst, 0);
+  req.arrival += extra_delay;
   hub.tracer().Record("rdma_read_req", obs::Category::kNetwork, src, op,
                       req.ser_start, req.arrival);
   analysis::RaceDetector* race = sim_->race();

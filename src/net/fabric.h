@@ -18,9 +18,15 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <vector>
 
+#include "src/analysis/race.h"
 #include "src/sim/simulator.h"
+
+namespace ring::fault {
+class FaultInjector;
+}  // namespace ring::fault
 
 namespace ring::net {
 
@@ -40,6 +46,14 @@ class Fabric {
   void Kill(NodeId node) { alive_[node] = false; }
   void Revive(NodeId node) { alive_[node] = true; }
   bool alive(NodeId node) const { return alive_[node]; }
+
+  // Chaos injection (src/fault). Null keeps every fast path one branch away
+  // from the injection-free behaviour — required for determinism_test.
+  void set_injector(fault::FaultInjector* injector) { injector_ = injector; }
+  fault::FaultInjector* injector() { return injector_; }
+  // Gray failure: the node's CPU is wedged but its NIC still answers
+  // one-sided verbs and buffers received messages until resume.
+  bool paused(NodeId node) const;
 
   // Two-sided send: after egress serialization + wire latency, charges
   // `server_recv_ns` on the destination CPU and runs `handler`.
@@ -75,7 +89,15 @@ class Fabric {
   };
   Departure Depart(NodeId src, NodeId dst, uint64_t payload_bytes);
 
+  // Terminal leg of a two-sided Send: re-checks liveness/pause at delivery
+  // time and charges the receive cost. Re-defers itself while the receiver
+  // is paused (the injector flushes its buffer at resume).
+  void DeliverSend(NodeId dst, uint64_t op,
+                   std::optional<analysis::VectorClock> edge,
+                   std::function<void()> handler);
+
   sim::Simulator* sim_;
+  fault::FaultInjector* injector_ = nullptr;
   std::vector<std::unique_ptr<sim::CpuWorker>> cpus_;
   std::vector<bool> alive_;
   std::vector<sim::SimTime> egress_busy_;

@@ -27,6 +27,8 @@ const char* CategoryName(Category c) {
       return "quorum";
     case Category::kRecovery:
       return "recovery";
+    case Category::kFault:
+      return "fault";
     case Category::kOther:
       return "other";
   }

@@ -28,6 +28,7 @@ enum class Category : uint8_t {
   kQueue,     // CPU run-queue or NIC egress wait
   kQuorum,    // coordinator waiting for replication/parity acknowledgments
   kRecovery,  // promotion, parity rebuild, on-demand block recovery
+  kFault,     // injected fault events (chaos schedules, src/fault)
   kOther,     // markers (write-ahead, commit) and uncategorized work
 };
 

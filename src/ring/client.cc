@@ -5,13 +5,13 @@
 namespace ring {
 namespace {
 constexpr uint64_t kHeaderBytes = 64;
-constexpr uint32_t kMaxRetries = 64;
 }  // namespace
 
 RingClient::RingClient(RingRuntime* runtime, uint32_t index)
     : rt_(runtime),
       node_(runtime->client_node(index)),
-      config_(runtime->membership().ConfigView(0)) {}
+      config_(runtime->membership().ConfigView(0)),
+      rng_(runtime->options().seed * 0x9e3779b97f4a7c15ULL + node_) {}
 
 uint32_t RingClient::ShardFor(const Key& key) const {
   return KeyShard(key, config_.num_shards());
@@ -49,14 +49,58 @@ auto RingClient::Complete(uint64_t req_id, sim::SimTime start,
 }
 
 void RingClient::Launch(uint64_t req_id, std::function<void(bool)> send,
-                        std::function<void()> fail) {
+                        std::function<void()> fail, bool hedgeable) {
+  const auto& p = rt_->simulator().params();
   Outstanding o;
   o.send = send;
   o.fail = std::move(fail);
+  if (p.client_retry_budget_ns > 0) {
+    o.deadline = rt_->simulator().now() + p.client_retry_budget_ns;
+  }
   outstanding_.emplace(req_id, std::move(o));
   send(false);
-  rt_->simulator().After(rt_->simulator().params().client_retry_timeout_ns,
+  if (hedgeable && p.client_hedge_delay_ns > 0 &&
+      p.client_hedge_delay_ns < p.client_retry_timeout_ns) {
+    rt_->simulator().After(p.client_hedge_delay_ns, [this, req_id] {
+      auto it = outstanding_.find(req_id);
+      if (it == outstanding_.end() || it->second.done ||
+          it->second.retries > 0 || !rt_->fabric().alive(node_)) {
+        return;
+      }
+      // Hedge: multicast without waiting for the retry timeout. The request
+      // stays outstanding; whichever reply lands first wins and the
+      // duplicate is dropped by Complete.
+      ++hedges_;
+      rt_->simulator().hub().metrics().Inc("client.hedges", 1, node_);
+      const auto& params = rt_->simulator().params();
+      auto send_again = it->second.send;
+      cpu().Execute(params.client_base_ns +
+                        rt_->membership().num_members() * params.client_post_ns,
+                    [send_again] { send_again(true); });
+    });
+  }
+  rt_->simulator().After(p.client_retry_timeout_ns,
                          [this, req_id] { CheckTimeout(req_id); });
+}
+
+uint64_t RingClient::NextRetryWait(Outstanding* o) {
+  const auto& p = rt_->simulator().params();
+  const uint64_t base = p.client_retry_timeout_ns;
+  if (o->prev_wait == 0) {
+    // First re-arm stays flat: a single clean retry keeps the same timing
+    // as the pre-backoff client (and the fault-free benchmarks).
+    o->prev_wait = base;
+    return base;
+  }
+  // Decorrelated jitter: uniform in [base, 3 * prev), clipped to the cap.
+  const uint64_t span =
+      o->prev_wait * 3 > base ? o->prev_wait * 3 - base : 1;
+  uint64_t wait = base + rng_.NextBelow(span);
+  if (wait > p.client_backoff_cap_ns) {
+    wait = p.client_backoff_cap_ns;
+  }
+  o->prev_wait = wait;
+  return wait;
 }
 
 void RingClient::CheckTimeout(uint64_t req_id) {
@@ -67,8 +111,13 @@ void RingClient::CheckTimeout(uint64_t req_id) {
   if (!rt_->fabric().alive(node_)) {
     return;
   }
-  if (++it->second.retries > kMaxRetries) {
+  const auto& p = rt_->simulator().params();
+  const sim::SimTime now = rt_->simulator().now();
+  if (++it->second.retries > p.client_max_retries ||
+      (it->second.deadline != 0 && now >= it->second.deadline)) {
+    // Budget exhausted: surface unavailability instead of retrying forever.
     ++timeouts_;
+    rt_->simulator().hub().metrics().Inc("client.unavailable", 1, node_);
     auto fail = it->second.fail;
     fail();  // marks done + erases via the Complete wrapper
     return;
@@ -76,12 +125,11 @@ void RingClient::CheckTimeout(uint64_t req_id) {
   // Re-learn the configuration and multicast: only the responsible node
   // will answer (§5.5).
   RefreshConfig();
-  const auto& p = rt_->simulator().params();
   auto send = it->second.send;
   cpu().Execute(p.client_base_ns +
                     rt_->membership().num_members() * p.client_post_ns,
                 [send] { send(true); });
-  rt_->simulator().After(p.client_retry_timeout_ns,
+  rt_->simulator().After(NextRetryWait(&it->second),
                          [this, req_id] { CheckTimeout(req_id); });
 }
 
@@ -127,7 +175,9 @@ void RingClient::Put(const Key& key, std::shared_ptr<Buffer> value,
                            [peer, r] { peer->HandlePut(r); });
       }
     };
-    auto fail = [reply] { reply(TimeoutError("put timed out"), 0); };
+    auto fail = [reply] {
+      reply(UnavailableError("put retry budget exhausted"), 0);
+    };
     Launch(req_id, std::move(send), std::move(fail));
   });
 }
@@ -167,9 +217,10 @@ void RingClient::Get(const Key& key, GetCallback cb) {
       }
     };
     auto fail = [reply] {
-      reply(GetResult{TimeoutError("get timed out"), 0, nullptr});
+      reply(GetResult{UnavailableError("get retry budget exhausted"), 0,
+                      nullptr});
     };
-    Launch(req_id, std::move(send), std::move(fail));
+    Launch(req_id, std::move(send), std::move(fail), /*hedgeable=*/true);
   });
 }
 
@@ -207,7 +258,9 @@ void RingClient::Move(const Key& key, MemgestId dst, PutCallback cb) {
                            [peer, r] { peer->HandleMove(r); });
       }
     };
-    auto fail = [reply] { reply(TimeoutError("move timed out"), 0); };
+    auto fail = [reply] {
+      reply(UnavailableError("move retry budget exhausted"), 0);
+    };
     Launch(req_id, std::move(send), std::move(fail));
   });
 }
@@ -246,7 +299,9 @@ void RingClient::Delete(const Key& key, StatusCallback cb) {
                            [peer, r] { peer->HandleDelete(r); });
       }
     };
-    auto fail = [reply] { reply(TimeoutError("delete timed out")); };
+    auto fail = [reply] {
+      reply(UnavailableError("delete retry budget exhausted"));
+    };
     Launch(req_id, std::move(send), std::move(fail));
   });
 }

@@ -11,6 +11,7 @@
 #include <map>
 #include <memory>
 
+#include "src/common/rng.h"
 #include "src/common/stats.h"
 #include "src/ring/runtime.h"
 #include "src/ring/server.h"
@@ -59,6 +60,7 @@ class RingClient {
   // ---- statistics ----
   uint64_t completed() const { return completed_; }
   uint64_t timeouts() const { return timeouts_; }
+  uint64_t hedges() const { return hedges_; }
   // Requests in flight (issued, not yet answered).
   size_t outstanding() const { return outstanding_.size(); }
   // Re-reads the cluster configuration (normally done lazily on retry;
@@ -78,6 +80,10 @@ class RingClient {
   struct Outstanding {
     bool done = false;
     uint32_t retries = 0;
+    // Absolute give-up time (0: bounded by the retry count only).
+    sim::SimTime deadline = 0;
+    // Previous backoff wait; seeds the decorrelated-jitter draw.
+    uint64_t prev_wait = 0;
     std::function<void(bool broadcast)> send;
     std::function<void()> fail;
   };
@@ -86,10 +92,14 @@ class RingClient {
   uint32_t ShardFor(const Key& key) const;
   net::NodeId CoordinatorFor(const Key& key) const;
   void RefreshConfig();
-  // Registers the request, sends it, and arms the retry timer.
+  // Registers the request, sends it, and arms the retry timer. Hedgeable
+  // requests (side-effect-free gets) may additionally multicast early when
+  // client_hedge_delay_ns is set.
   void Launch(uint64_t req_id, std::function<void(bool)> send,
-              std::function<void()> fail);
+              std::function<void()> fail, bool hedgeable = false);
   void CheckTimeout(uint64_t req_id);
+  // Next retry wait: flat once, then decorrelated jitter up to the cap.
+  uint64_t NextRetryWait(Outstanding* o);
   // Wraps a user callback: completes the request, records latency, and
   // closes the operation's end-to-end trace span.
   template <typename Fn>
@@ -115,6 +125,10 @@ class RingClient {
   std::map<uint64_t, Outstanding> outstanding_;
   uint64_t completed_ = 0;
   uint64_t timeouts_ = 0;
+  uint64_t hedges_ = 0;
+  // Private backoff-jitter stream: client retry spacing must not perturb
+  // (or be perturbed by) the simulator's global rng.
+  Rng rng_;
   Samples latencies_;
 };
 

@@ -46,6 +46,10 @@ class RingCluster {
   // timeout, as the paper's recovery measurements do).
   void KillNode(net::NodeId node, bool force_detect = false);
 
+  // Crash-recovery: brings a killed node back memory-less; it petitions the
+  // cluster for readmission and rebuilds via the spare/recovery path.
+  void RestartNode(net::NodeId node) { runtime_->RestartNode(node); }
+
   // Runs the simulation until `done` returns true (or the event budget is
   // exhausted). Returns true on success.
   bool RunUntilDone(const std::function<bool()>& done,

@@ -48,6 +48,15 @@ struct MetaEntry {
   uint64_t trace_quorum_start = 0;
   // Deferred readers/movers released at commit time (Fig. 5's client D).
   std::vector<std::function<void()>> waiters;
+  // Re-send closures for this write's backup messages, indexed by replica
+  // ordinal / parity index; invoked by the retransmit timer for every
+  // ordinal still owed an ack. Cleared at commit.
+  std::vector<std::function<void()>> backup_resend;
+  // Slot that supplied this entry during a merged recovery metadata fetch
+  // (-1 otherwise). Quorum-committed writes may live on only a subset of the
+  // replicas, so block recovery must copy bytes from a slot known to hold
+  // the entry — not from an arbitrary survivor.
+  int32_t recovery_src = -1;
 };
 
 // Per-(memgest, shard) metadata hashtable.

@@ -1,10 +1,23 @@
 #include "src/ring/runtime.h"
 
 namespace ring {
+namespace {
+
+// Under a fault plan, lost backup messages must not strand quorum rounds:
+// turn on coordinator retransmission unless the caller picked a period.
+// Fault-free deployments keep it off so their schedules stay byte-identical.
+RingOptions WithChaosDefaults(RingOptions o) {
+  if (!o.fault_plan.empty() && o.params.write_retransmit_ns == 0) {
+    o.params.write_retransmit_ns = o.params.client_retry_timeout_ns / 2;
+  }
+  return o;
+}
+
+}  // namespace
 
 RingRuntime::RingRuntime(const RingOptions& options)
-    : options_(options),
-      simulator_(options.seed, options.params),
+    : options_(WithChaosDefaults(options)),
+      simulator_(options_.seed, options_.params),
       fabric_(&simulator_, options.s + options.d + options.spares +
                                options.clients),
       membership_(&fabric_, options.s, options.d,
@@ -22,8 +35,30 @@ RingRuntime::RingRuntime(const RingOptions& options)
           srv->OnConfig(config);
         }
       });
+  if (!options.fault_plan.empty()) {
+    injector_ = std::make_unique<fault::FaultInjector>(
+        &simulator_, fabric_.num_nodes(), options.fault_plan,
+        options.seed ^ options.fault_seed);
+    fault::FaultInjector::Hooks hooks;
+    hooks.crash = [this](uint32_t node) { fabric_.Kill(node); };
+    hooks.recover = [this](uint32_t node) { RestartNode(node); };
+    hooks.resumed = [this](uint32_t node) { membership_.NoteResumed(node); };
+    injector_->set_hooks(std::move(hooks));
+    fabric_.set_injector(injector_.get());
+    injector_->Arm();
+  }
   if (options.start_membership) {
     membership_.Start();
+  }
+}
+
+void RingRuntime::RestartNode(net::NodeId node) {
+  fabric_.Revive(node);
+  if (auto* srv = server(node)) {
+    srv->Restart();
+  }
+  if (node < membership_.num_members()) {
+    membership_.Rejoin(node);
   }
 }
 

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "src/consensus/membership.h"
+#include "src/fault/fault.h"
 #include "src/net/fabric.h"
 #include "src/ring/registry.h"
 #include "src/ring/server.h"
@@ -41,6 +42,13 @@ struct RingOptions {
   // deployment, equivalent to RING_ANALYZE=race. Observation only: the
   // simulated schedule is unchanged.
   bool analyze_races = false;
+  // Chaos schedule (src/fault): link faults and node events injected into
+  // the fabric. An empty plan creates no injector and leaves every code
+  // path byte-identical to a fault-free run.
+  fault::FaultPlan fault_plan;
+  // Seed of the injector's private random stream (fault coin flips must not
+  // perturb the simulator's main stream). Combined with `seed`.
+  uint64_t fault_seed = 0;
 };
 
 class RingRuntime {
@@ -66,6 +74,14 @@ class RingRuntime {
   // The node currently acting as leader (membership's view).
   net::NodeId leader_node() const { return membership_.CurrentLeader(); }
 
+  // The fault injector, or nullptr when the options carried no plan.
+  fault::FaultInjector* injector() { return injector_.get(); }
+
+  // Crash-recovery entry point (also driven by FaultPlan `recover` events):
+  // revives `node` on the fabric as a memory-less restart and walks it back
+  // through membership readmission and the spare-promotion recovery path.
+  void RestartNode(net::NodeId node);
+
  private:
   RingOptions options_;
   sim::Simulator simulator_;
@@ -73,6 +89,7 @@ class RingRuntime {
   consensus::MembershipGroup membership_;
   MemgestRegistry registry_;
   std::vector<std::unique_ptr<RingServer>> servers_;
+  std::unique_ptr<fault::FaultInjector> injector_;
 };
 
 }  // namespace ring

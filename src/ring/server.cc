@@ -144,6 +144,39 @@ void RingServer::SendToSlot(uint32_t slot_index, uint64_t bytes,
                      std::move(fn));
 }
 
+bool RingServer::ClaimClientOp(net::NodeId client, uint64_t req_id) {
+  const auto id = std::make_pair(client, req_id);
+  auto it = client_ops_.find(id);
+  if (it != client_ops_.end()) {
+    if (it->second) {
+      // Executed already but the reply was evidently lost: resend it.
+      ++counters_.resent_replies;
+      hub().metrics().Inc("server.resent_replies", 1, id_);
+      it->second();
+    }
+    // Else still executing; the in-flight reply will cover this duplicate.
+    return false;
+  }
+  client_ops_.emplace(id, nullptr);
+  client_ops_order_.push_back(id);
+  while (client_ops_order_.size() > kClientOpWindow) {
+    client_ops_.erase(client_ops_order_.front());
+    client_ops_order_.pop_front();
+  }
+  return true;
+}
+
+void RingServer::ReplyToClientOnce(net::NodeId client, uint64_t req_id,
+                                   uint64_t bytes, std::function<void()> fn) {
+  auto it = client_ops_.find(std::make_pair(client, req_id));
+  if (it != client_ops_.end()) {
+    it->second = [this, client, bytes, fn] {
+      ReplyToClient(client, bytes, fn);
+    };
+  }
+  ReplyToClient(client, bytes, std::move(fn));
+}
+
 // ---------------------------------------------------------------------------
 // Write path (paper §5.2-5.3)
 
@@ -178,28 +211,25 @@ void RingServer::HandlePut(PutRequest req) {
     if (!Coordinates(shard)) {
       return;  // not responsible: client will retry / multicast
     }
-    if (req.retry) {
-      const auto id = std::make_pair(req.client, req.req_id);
-      if (retried_seen_.count(id) > 0) {
-        return;
-      }
-      retried_seen_[id] = true;
+    if (!ClaimClientOp(req.client, req.req_id)) {
+      return;  // duplicate: executed (reply resent) or still in flight
     }
     if (info == nullptr) {
-      ReplyToClient(req.client, kReplyBytes, [reply = req.reply] {
-        reply(InvalidArgumentError("no such memgest"), 0);
-      });
+      ReplyToClientOnce(req.client, req.req_id, kReplyBytes,
+                        [reply = req.reply] {
+                          reply(InvalidArgumentError("no such memgest"), 0);
+                        });
       return;
     }
     ++counters_.puts;
     hub().metrics().Inc("server.puts", 1, id_, info->id, obs::OpKind::kPut);
     const Version version = volatile_index_.NextVersion(req.key);
     StartWrite(*info, shard, req.key, version, req.value, false,
-               [this, client = req.client, reply = req.reply, version,
-                op_id = req.op_id](Status s) {
+               [this, client = req.client, req_id = req.req_id,
+                reply = req.reply, version, op_id = req.op_id](Status s) {
                  obs::ScopedOp reply_scope(hub(), op_id);
-                 ReplyToClient(client, kReplyBytes,
-                               [reply, s, version] { reply(s, version); });
+                 ReplyToClientOnce(client, req_id, kReplyBytes,
+                                   [reply, s, version] { reply(s, version); });
                });
   });
   // The GF delta work is the tail of the put's CPU charge: mark it so the
@@ -284,13 +314,20 @@ void RingServer::StartWrite(const MemgestInfo& info, uint32_t shard,
       msg.bytes = value;
       msg.ordinal = ordinal;
       msg.from = id_;
+      msg.seq = store.write_seq;
       msg.op_id = op_id;
-      auto* peer = rt_->server(config_.node_of_slot[slots[ordinal]]);
-      SendToSlot(slots[ordinal], ReqBytes(key.size(), len),
-                 [peer, msg = std::move(msg)]() mutable {
-                   peer->HandleReplicaAppend(std::move(msg));
-                 });
+      // Re-resolves the slot's node on every (re)send so a retransmission
+      // after a promotion reaches the new slot owner.
+      auto send = [this, slot = slots[ordinal],
+                   bytes = ReqBytes(key.size(), len), msg = std::move(msg)] {
+        auto* peer = rt_->server(config_.node_of_slot[slot]);
+        SendToSlot(slot, bytes,
+                   [peer, msg] { peer->HandleReplicaAppend(msg); });
+      };
+      send();
+      e.backup_resend.push_back(std::move(send));
     }
+    ScheduleWriteRetransmit(info.id, shard, key, version);
     return;
   }
 
@@ -320,14 +357,53 @@ void RingServer::StartWrite(const MemgestInfo& info, uint32_t shard,
     msg.from = id_;
     msg.seq = store.write_seq;
     msg.op_id = op_id;
-    auto* peer = rt_->server(config_.node_of_slot[parity_slots[j]]);
     // Parity updates carry replicated metadata on top of the payload (§6.1).
-    SendToSlot(parity_slots[j],
-               ReqBytes(key.size(), len) + p.parity_update_metadata_bytes,
-               [peer, msg = std::move(msg)]() mutable {
-                 peer->HandleParityUpdate(std::move(msg));
-               });
+    auto send = [this, slot = parity_slots[j],
+                 bytes = ReqBytes(key.size(), len) +
+                         p.parity_update_metadata_bytes,
+                 msg = std::move(msg)] {
+      auto* peer = rt_->server(config_.node_of_slot[slot]);
+      SendToSlot(slot, bytes, [peer, msg] { peer->HandleParityUpdate(msg); });
+    };
+    send();
+    e.backup_resend.push_back(std::move(send));
   }
+  ScheduleWriteRetransmit(info.id, shard, key, version);
+}
+
+// Periodic per-write repair: while the quorum round is un-acked, resend the
+// missing backup messages. Replay fences dedup re-applied messages and
+// receivers re-ack, so a lost append, update, or ack cannot wedge the key.
+// The chain dies as soon as the entry commits, is superseded, or loses its
+// pending bits to a configuration change.
+void RingServer::ScheduleWriteRetransmit(MemgestId gid, uint32_t shard,
+                                         const Key& key, Version version) {
+  const uint64_t period = rt_->simulator().params().write_retransmit_ns;
+  if (period == 0) {
+    return;
+  }
+  rt_->simulator().After(period, [this, gid, shard, key, version] {
+    if (!IsAlive() || is_spare_) {
+      return;
+    }
+    const MemgestInfo* info = rt_->registry().Get(gid);
+    if (info == nullptr) {
+      return;
+    }
+    MetaEntry* entry = StoreOf(StateOf(*info), shard).meta.Find(key, version);
+    if (entry == nullptr || entry->committed || entry->acks_pending == 0) {
+      return;
+    }
+    for (uint32_t ordinal = 0; ordinal < entry->backup_resend.size();
+         ++ordinal) {
+      if ((entry->acks_pending & (1u << ordinal)) != 0) {
+        ++counters_.retransmits;
+        hub().metrics().Inc("server.retransmits", 1, id_, gid);
+        entry->backup_resend[ordinal]();
+      }
+    }
+    ScheduleWriteRetransmit(gid, shard, key, version);
+  });
 }
 
 void RingServer::HandleReplicaAppend(ReplicaAppend msg) {
@@ -348,10 +424,23 @@ void RingServer::HandleReplicaAppend(ReplicaAppend msg) {
     if (info == nullptr) {
       return;
     }
-    ++counters_.replica_appends;
-    hub().metrics().Inc("server.replica_appends", 1, id_, info->id);
+    if (is_spare_) {
+      return;  // restarted memory-less: stale appends must not resurrect
+    }
     MemgestState& state = StateOf(*info);
     ShardStore& store = StoreOf(state, msg.shard);
+    if (!store.replica_seqs.MarkOnce(msg.seq)) {
+      // Chaos duplicate: applied already. Re-ack — the first ack may have
+      // been lost, and ApplyAck is idempotent on the coordinator.
+      ++counters_.dup_backups;
+      Ack ack{msg.memgest, msg.shard, msg.key, msg.version, msg.ordinal};
+      auto* peer = rt_->server(msg.from);
+      rt_->fabric().Write(id_, msg.from, kAckBytes,
+                          [peer, ack] { peer->ApplyAck(ack); }, nullptr);
+      return;
+    }
+    ++counters_.replica_appends;
+    hub().metrics().Inc("server.replica_appends", 1, id_, info->id);
     if (msg.len > 0 && msg.bytes) {
       NoteAccess(RegionKind::kHeap, AccessKind::kWrite,
                  ScopeOf(msg.memgest, msg.shard), msg.addr,
@@ -397,12 +486,26 @@ void RingServer::HandleParityUpdate(ParityUpdate msg) {
     if (info == nullptr) {
       return;
     }
+    if (is_spare_) {
+      return;  // restarted memory-less: stale updates must not corrupt parity
+    }
     MemgestState& state = StateOf(*info);
     const uint32_t group = config_.GroupOfShard(msg.shard);
     auto [pit, inserted] = state.parity.try_emplace(group);
     ParityStore& parity = pit->second;
     if (inserted) {
       parity.parity_index = msg.parity_index;
+    }
+    if (!parity.applied_seqs[msg.shard].MarkOnce(msg.seq)) {
+      // Chaos duplicate. The GF multiply-add is not idempotent, so the
+      // update must not apply twice; still re-ack in case the first ack
+      // was lost.
+      ++counters_.dup_backups;
+      Ack ack{msg.memgest, msg.shard, msg.key, msg.version, msg.parity_index};
+      auto* peer = rt_->server(msg.from);
+      rt_->fabric().Write(id_, msg.from, kAckBytes,
+                          [peer, ack] { peer->ApplyAck(ack); }, nullptr);
+      return;
     }
     if (!parity.rebuilt) {
       // Freshly promoted parity: queue until the buffer is reconstructed.
@@ -532,6 +635,7 @@ void RingServer::CommitEntry(const MemgestInfo& info, uint32_t shard,
                           entry->trace_op, now, now);
   }
   hub().metrics().Inc("server.commits", 1, id_, info.id);
+  entry->backup_resend.clear();
   auto waiters = std::move(entry->waiters);
   entry->waiters.clear();
   // Remove superseded versions: "one instance of the key of a certain
@@ -559,6 +663,12 @@ void RingServer::GcOldVersions(const Key& key, Version below) {
     MemgestState& state = StateOf(*info);
     ShardStore& store = StoreOf(state, shard);
     MetaEntry* entry = store.meta.Find(key, ref.version);
+    if (entry != nullptr && !entry->committed) {
+      // A concurrent write still in its quorum round: reclaiming it here
+      // would orphan its waiters and the client would never get a reply.
+      // It is collected after it commits, by the next write of the key.
+      continue;
+    }
     if (entry != nullptr) {
       if (entry->region_len > 0) {
         store.free_list.emplace_back(entry->addr, entry->region_len);
@@ -644,42 +754,43 @@ void RingServer::HandleGet(GetRequest req) {
     if (!Coordinates(shard)) {
       return;
     }
-    if (req.retry) {
-      const auto id = std::make_pair(req.client, req.req_id);
-      if (retried_seen_.count(id) > 0) {
-        return;
-      }
-      retried_seen_[id] = true;
-    }
+    // Gets are not deduplicated: re-execution is side-effect free and the
+    // client's completion table drops whichever reply arrives second (a
+    // retry or a hedge may race the original under fault injection).
     ++counters_.gets;
     hub().metrics().Inc("server.gets", 1, id_, obs::kNoMemgest,
                         obs::OpKind::kGet);
-    NoteAccess(RegionKind::kVersionWord, AccessKind::kRead, kVersionScope,
-               HashKey(req.key), HashKey(req.key) + 1, "get/version");
-    const auto ref = volatile_index_.Highest(req.key);
-    if (!ref.has_value()) {
-      ReplyToClient(req.client, kReplyBytes, [reply = req.reply] {
-        reply(GetResult{NotFoundError("no such key"), 0, nullptr});
-      });
-      return;
-    }
-    const MemgestInfo* info = rt_->registry().Get(ref->memgest);
-    if (info == nullptr) {
-      ReplyToClient(req.client, kReplyBytes, [reply = req.reply] {
-        reply(GetResult{InternalError("memgest vanished"), 0, nullptr});
-      });
-      return;
-    }
-    NoteAccess(RegionKind::kMetadata, AccessKind::kRead,
-               ScopeOf(ref->memgest, shard), HashKey(req.key),
-               HashKey(req.key) + 1, "get/meta");
-    MetaEntry* entry =
-        StoreOf(StateOf(*info), shard).meta.Find(req.key, ref->version);
-    // Copy the key before handing `req` off: DeliverGet moves the request
-    // into closures, which would gut a reference into req.key.
-    const Key key = req.key;
-    DeliverGet(*info, shard, key, entry, std::move(req));
+    ResolveGet(std::move(req));
   });
+}
+
+void RingServer::ResolveGet(GetRequest req) {
+  const uint32_t shard = KeyShard(req.key, config_.num_shards());
+  NoteAccess(RegionKind::kVersionWord, AccessKind::kRead, kVersionScope,
+             HashKey(req.key), HashKey(req.key) + 1, "get/version");
+  const auto ref = volatile_index_.Highest(req.key);
+  if (!ref.has_value()) {
+    ReplyToClient(req.client, kReplyBytes, [reply = req.reply] {
+      reply(GetResult{NotFoundError("no such key"), 0, nullptr});
+    });
+    return;
+  }
+  const MemgestInfo* info = rt_->registry().Get(ref->memgest);
+  if (info == nullptr) {
+    ReplyToClient(req.client, kReplyBytes, [reply = req.reply] {
+      reply(GetResult{InternalError("memgest vanished"), 0, nullptr});
+    });
+    return;
+  }
+  NoteAccess(RegionKind::kMetadata, AccessKind::kRead,
+             ScopeOf(ref->memgest, shard), HashKey(req.key),
+             HashKey(req.key) + 1, "get/meta");
+  MetaEntry* entry =
+      StoreOf(StateOf(*info), shard).meta.Find(req.key, ref->version);
+  // Copy the key before handing `req` off: DeliverGet moves the request
+  // into closures, which would gut a reference into req.key.
+  const Key key = req.key;
+  DeliverGet(*info, shard, key, entry, std::move(req));
 }
 
 void RingServer::DeliverGet(const MemgestInfo& info, uint32_t shard,
@@ -747,13 +858,26 @@ void RingServer::DeliverGet(const MemgestInfo& info, uint32_t shard,
             static_cast<uint64_t>(p.mem_byte_ns * e->len) + p.post_send_ns;
         const uint64_t addr = e->addr;
         const uint32_t len = e->len;
-        cpu().Execute(cost, [this, info_ptr, shard, addr, len, version,
+        cpu().Execute(cost, [this, info_ptr, shard, key, addr, len, version,
                              req = std::move(req)]() mutable {
           obs::ScopedOp read_scope(hub(), req.op_id);
           if (!IsAlive()) {
             return;
           }
           ShardStore& store = StoreOf(StateOf(*info_ptr), shard);
+          // Validate-and-retry (the check backing the paper's optimistic
+          // one-sided reads): the version may have been garbage-collected —
+          // and its heap region reused by a newer write — while this copy
+          // was queued behind other CPU work. Re-resolve; a newer committed
+          // version exists whenever that happens.
+          const MetaEntry* live = store.meta.Find(key, version);
+          if (live == nullptr || !live->committed || live->tombstone ||
+              !live->data_present || live->addr != addr) {
+            ++counters_.op_restarts;
+            hub().metrics().Inc("server.op_restarts", 1, id_);
+            ResolveGet(std::move(req));
+            return;
+          }
           NoteAccess(RegionKind::kHeap, AccessKind::kRead,
                      ScopeOf(info_ptr->id, shard), addr, addr + len,
                      "get/heap");
@@ -786,12 +910,8 @@ void RingServer::HandleMove(MoveRequest req) {
     if (!Coordinates(shard)) {
       return;
     }
-    if (req.retry) {
-      const auto id = std::make_pair(req.client, req.req_id);
-      if (retried_seen_.count(id) > 0) {
-        return;
-      }
-      retried_seen_[id] = true;
+    if (!req.resumed && !ClaimClientOp(req.client, req.req_id)) {
+      return;  // duplicate: executed (reply resent) or still in flight
     }
     ++counters_.moves;
     hub().metrics().Inc("server.moves", 1, id_, req.dst, obs::OpKind::kMove);
@@ -799,42 +919,46 @@ void RingServer::HandleMove(MoveRequest req) {
                HashKey(req.key), HashKey(req.key) + 1, "move/version");
     const auto ref = volatile_index_.Highest(req.key);
     if (!ref.has_value()) {
-      ReplyToClient(req.client, kReplyBytes, [reply = req.reply] {
-        reply(NotFoundError("no such key"), 0);
-      });
+      ReplyToClientOnce(req.client, req.req_id, kReplyBytes,
+                        [reply = req.reply] {
+                          reply(NotFoundError("no such key"), 0);
+                        });
       return;
     }
     const MemgestInfo* dst = rt_->registry().Get(req.dst);
     if (dst == nullptr) {
-      ReplyToClient(req.client, kReplyBytes, [reply = req.reply] {
-        reply(InvalidArgumentError("no such memgest"), 0);
-      });
+      ReplyToClientOnce(req.client, req.req_id, kReplyBytes,
+                        [reply = req.reply] {
+                          reply(InvalidArgumentError("no such memgest"), 0);
+                        });
       return;
     }
     const MemgestInfo* src = rt_->registry().Get(ref->memgest);
     if (src == nullptr) {
-      ReplyToClient(req.client, kReplyBytes, [reply = req.reply] {
-        reply(InternalError("source memgest vanished"), 0);
-      });
+      ReplyToClientOnce(req.client, req.req_id, kReplyBytes,
+                        [reply = req.reply] {
+                          reply(InternalError("source memgest vanished"), 0);
+                        });
       return;
     }
     MetaEntry* entry =
         StoreOf(StateOf(*src), shard).meta.Find(req.key, ref->version);
     if (entry == nullptr || entry->tombstone) {
-      ReplyToClient(req.client, kReplyBytes, [reply = req.reply] {
-        reply(NotFoundError("deleted"), 0);
-      });
+      ReplyToClientOnce(req.client, req.req_id, kReplyBytes,
+                        [reply = req.reply] {
+                          reply(NotFoundError("deleted"), 0);
+                        });
       return;
     }
     if (!entry->committed) {
       // "The move request will also be postponed if the requested object is
-      // not durable" (§5.2). The request already passed the retried-request
-      // dedup above, so the re-invocation must not carry the retry flag —
-      // otherwise the dedup map swallows the postponed move when the entry
-      // commits and the client never hears back (it would burn through all
-      // its retries, every one deduped, and report a spurious timeout).
+      // not durable" (§5.2). The request already claimed its at-most-once
+      // slot above, so the re-invocation must skip the claim — otherwise
+      // the dedup table swallows the postponed move when the entry commits
+      // and the client never hears back (it would burn through all its
+      // retries, every one deduped, and report a spurious timeout).
       entry->waiters.push_back([this, req]() mutable {
-        req.retry = false;
+        req.resumed = true;
         HandleMove(req);
       });
       return;
@@ -847,16 +971,17 @@ void RingServer::HandleMove(MoveRequest req) {
          req = std::move(req)](Status s) mutable {
           obs::ScopedOp present_scope(hub(), req.op_id);
           if (!s.ok()) {
-            ReplyToClient(req.client, kReplyBytes,
-                          [reply = req.reply, s] { reply(s, 0); });
+            ReplyToClientOnce(req.client, req.req_id, kReplyBytes,
+                              [reply = req.reply, s] { reply(s, 0); });
             return;
           }
           MetaEntry* e =
               StoreOf(StateOf(*src), shard).meta.Find(req.key, src_version);
           if (e == nullptr) {
-            ReplyToClient(req.client, kReplyBytes, [reply = req.reply] {
-              reply(NotFoundError("gone"), 0);
-            });
+            ReplyToClientOnce(req.client, req.req_id, kReplyBytes,
+                              [reply = req.reply] {
+                                reply(NotFoundError("gone"), 0);
+                              });
             return;
           }
           // Local read + re-encode into the destination memgest. All data is
@@ -877,13 +1002,25 @@ void RingServer::HandleMove(MoveRequest req) {
               dst->erasure_coded()
                   ? static_cast<uint64_t>(p.gf_byte_ns * e->len)
                   : 0;
-          cpu().Execute(cost, [this, src, dst, shard, addr, len,
+          cpu().Execute(cost, [this, src, dst, shard, addr, len, src_version,
                                req = std::move(req)]() mutable {
             obs::ScopedOp write_scope(hub(), req.op_id);
             if (!IsAlive() || !serving_) {
               return;
             }
             ShardStore& store = StoreOf(StateOf(*src), shard);
+            // Validate-and-retry, as in the get path: the source version may
+            // have been garbage-collected (region reused) while the copy was
+            // queued. Restart the move against the current highest version.
+            const MetaEntry* live = store.meta.Find(req.key, src_version);
+            if (live == nullptr || live->tombstone || !live->data_present ||
+                live->addr != addr) {
+              ++counters_.op_restarts;
+              hub().metrics().Inc("server.op_restarts", 1, id_);
+              req.resumed = true;
+              HandleMove(std::move(req));
+              return;
+            }
             NoteAccess(RegionKind::kHeap, AccessKind::kRead,
                        ScopeOf(src->id, shard), addr, addr + len,
                        "move/heap");
@@ -892,13 +1029,14 @@ void RingServer::HandleMove(MoveRequest req) {
             value->assign(bytes.begin(), bytes.end());
             const Version version = volatile_index_.NextVersion(req.key);
             StartWrite(*dst, shard, req.key, version, value, false,
-                       [this, client = req.client, reply = req.reply, version,
+                       [this, client = req.client, req_id = req.req_id,
+                        reply = req.reply, version,
                         op_id = req.op_id](Status st) {
                          obs::ScopedOp reply_scope(hub(), op_id);
-                         ReplyToClient(client, kReplyBytes, [reply, st,
-                                                             version] {
-                           reply(st, version);
-                         });
+                         ReplyToClientOnce(client, req_id, kReplyBytes,
+                                           [reply, st, version] {
+                                             reply(st, version);
+                                           });
                        });
           });
           if (coding_cost > 0) {
@@ -926,6 +1064,9 @@ void RingServer::HandleDelete(DeleteRequest req) {
     if (!Coordinates(shard)) {
       return;
     }
+    if (!ClaimClientOp(req.client, req.req_id)) {
+      return;  // duplicate: executed (reply resent) or still in flight
+    }
     ++counters_.deletes;
     hub().metrics().Inc("server.deletes", 1, id_, obs::kNoMemgest,
                         obs::OpKind::kDelete);
@@ -933,26 +1074,27 @@ void RingServer::HandleDelete(DeleteRequest req) {
                HashKey(req.key), HashKey(req.key) + 1, "delete/version");
     const auto ref = volatile_index_.Highest(req.key);
     if (!ref.has_value()) {
-      ReplyToClient(req.client, kReplyBytes, [reply = req.reply] {
-        reply(NotFoundError("no such key"));
-      });
+      ReplyToClientOnce(req.client, req.req_id, kReplyBytes,
+                        [reply = req.reply] {
+                          reply(NotFoundError("no such key"));
+                        });
       return;
     }
     const MemgestInfo* info = rt_->registry().Get(ref->memgest);
     if (info == nullptr) {
-      ReplyToClient(req.client, kReplyBytes,
-                    [reply = req.reply] { reply(OkStatus()); });
+      ReplyToClientOnce(req.client, req.req_id, kReplyBytes,
+                        [reply = req.reply] { reply(OkStatus()); });
       return;
     }
     // A delete is a replicated tombstone in the memgest of the current
     // highest version; commit then garbage-collects every older version.
     const Version version = volatile_index_.NextVersion(req.key);
     StartWrite(*info, shard, req.key, version, nullptr, true,
-               [this, client = req.client, reply = req.reply,
-                op_id = req.op_id](Status s) {
+               [this, client = req.client, req_id = req.req_id,
+                reply = req.reply, op_id = req.op_id](Status s) {
                  obs::ScopedOp reply_scope(hub(), op_id);
-                 ReplyToClient(client, kReplyBytes,
-                               [reply, s] { reply(s); });
+                 ReplyToClientOnce(client, req_id, kReplyBytes,
+                                   [reply, s] { reply(s); });
                });
   });
 }

@@ -12,10 +12,12 @@
 #ifndef RING_SRC_RING_SERVER_H_
 #define RING_SRC_RING_SERVER_H_
 
+#include <deque>
 #include <functional>
 #include <map>
 #include <memory>
 #include <optional>
+#include <set>
 #include <vector>
 
 #include "src/analysis/race.h"
@@ -68,6 +70,9 @@ struct MoveRequest {
   uint64_t req_id = 0;
   uint64_t op_id = 0;
   bool retry = false;
+  // Internal re-entry of a move that was postponed on an uncommitted entry:
+  // it already claimed its at-most-once slot, so the dedup check is skipped.
+  bool resumed = false;
   std::function<void(Status, Version)> reply;
 };
 
@@ -124,6 +129,9 @@ class RingServer {
     std::shared_ptr<Buffer> bytes;
     uint32_t ordinal;  // replica ordinal (ack bit)
     net::NodeId from;
+    // Per-(memgest, shard) write sequence number: replay fence for chaos
+    // duplicates (each append applies exactly once per replica).
+    uint64_t seq = 0;
     uint64_t op_id = 0;
   };
   void HandleReplicaAppend(ReplicaAppend msg);
@@ -204,6 +212,13 @@ class RingServer {
   // Membership callback: reconfiguration / spare promotion (paper §5.5).
   void OnConfig(const consensus::ClusterConfig& config);
 
+  // Crash-recovery: the process rebooted memory-less. Clears all store
+  // state; the node re-enters as a non-serving spare and (if the cluster
+  // readmits it into its old slot) rebuilds through the normal promotion
+  // path. The fabric node object itself survives — in-flight closures hold
+  // raw pointers to it.
+  void Restart();
+
   // ---- introspection (tests & benches) ----
   struct Counters {
     uint64_t puts = 0;
@@ -215,6 +230,16 @@ class RingServer {
     uint64_t replica_appends = 0;
     uint64_t blocks_recovered = 0;
     uint64_t deferred_gets = 0;
+    // Duplicate client requests answered from the at-most-once table.
+    uint64_t resent_replies = 0;
+    // Duplicate backup messages absorbed by the replay fences.
+    uint64_t dup_backups = 0;
+    // Backup messages resent by the write-retransmit timer.
+    uint64_t retransmits = 0;
+    // Reads/moves that found their version garbage-collected (region
+    // reused) after the data-copy CPU charge and restarted resolution —
+    // the validate-and-retry of the paper's optimistic one-sided reads.
+    uint64_t op_restarts = 0;
   };
   const Counters& counters() const { return counters_; }
 
@@ -254,12 +279,41 @@ class RingServer {
   // Per-shard object store: a virtual address space (heap) plus the shard's
   // metadata hashtable. Coordinators own one for their shard; replicas hold
   // mirrors for shards they back.
+  // Sliding-window replay fence: records which write sequence numbers have
+  // been applied so chaos-duplicated backup messages execute at most once.
+  // Sequences below the retained window are treated as already seen (the
+  // window only slides forward past applied entries).
+  struct SeqWindow {
+    std::set<uint64_t> seen;
+    uint64_t min_retained = 0;
+
+    // True exactly once per sequence number.
+    bool MarkOnce(uint64_t seq) {
+      if (seq < min_retained) {
+        return false;
+      }
+      if (!seen.insert(seq).second) {
+        return false;
+      }
+      while (seen.size() > kWindow) {
+        auto oldest = seen.begin();
+        min_retained = *oldest + 1;
+        seen.erase(oldest);
+      }
+      return true;
+    }
+
+    static constexpr size_t kWindow = 4096;
+  };
+
   struct ShardStore {
     Buffer heap;
     uint64_t next_addr = 0;
     uint64_t write_seq = 0;  // fencing counter for parity rebuild
     std::vector<std::pair<uint64_t, uint32_t>> free_list;  // (addr, len)
     MetadataTable meta;
+    // Replay fence for ReplicaAppend duplicates on this mirror.
+    SeqWindow replica_seqs;
 
     // Reuses a freed region when possible (keeps parity deltas cheap),
     // otherwise extends the heap. Returns (addr, region_len).
@@ -281,6 +335,10 @@ class RingServer {
     // decodes and queues incoming updates.
     bool rebuilt = true;
     std::vector<ParityUpdate> queued;
+    // Replay fences for ParityUpdate duplicates, per data shard. Parity
+    // XOR-accumulation is not idempotent, so a duplicated update must never
+    // apply twice (and must still re-ack: the first ack may have been lost).
+    std::map<uint32_t, SeqWindow> applied_seqs;
 
     void EnsureSize(uint64_t size);
   };
@@ -316,9 +374,17 @@ class RingServer {
                   bool tombstone, std::function<void(Status)> on_commit);
   void CommitEntry(const MemgestInfo& info, uint32_t shard, const Key& key,
                    Version version);
+  // Resends un-acked backup messages for a pending write every
+  // write_retransmit_ns until it commits (no-op when the period is 0).
+  void ScheduleWriteRetransmit(MemgestId gid, uint32_t shard, const Key& key,
+                               Version version);
   void GcOldVersions(const Key& key, Version below);
 
   // Read path pieces.
+  // Resolves the highest version of req.key and dispatches DeliverGet.
+  // Called once per get and again whenever validate-and-retry detects that
+  // the resolved version was garbage-collected mid-read.
+  void ResolveGet(GetRequest req);
   void DeliverGet(const MemgestInfo& info, uint32_t shard, const Key& key,
                   MetaEntry* entry, GetRequest req);
   void EnsureDataPresent(const MemgestInfo& info, uint32_t shard,
@@ -329,7 +395,11 @@ class RingServer {
   void BeginPromotion(uint32_t new_slot);
   void FetchShardMetadata(const MemgestInfo& info, uint32_t shard,
                           bool as_parity, std::function<void()> done);
-  int32_t AliveMetaSource(const MemgestInfo& info, uint32_t shard) const;
+  // Alive holders of a shard's metadata, preference-ordered. All of them
+  // for replicated schemes (quorum commit: survivors must be unioned), one
+  // for erasure coding (every parity node has the full table).
+  std::vector<int32_t> AliveMetaSources(const MemgestInfo& info,
+                                        uint32_t shard) const;
   void RebuildVolatileIndex();
   void NotifyRedundancyRecovered();
   void RebuildParity(const MemgestInfo& info, uint32_t group,
@@ -344,6 +414,16 @@ class RingServer {
   void SendToSlot(uint32_t slot_index, uint64_t bytes,
                   std::function<void()> fn);
 
+  // At-most-once execution of client mutations. ClaimClientOp returns true
+  // exactly once per (client, req_id): the caller may execute the operation.
+  // On a duplicate whose reply was already produced, the recorded reply is
+  // resent; a duplicate of a still-executing op is ignored (the pending
+  // reply will reach the client). ReplyToClientOnce records the reply
+  // closure against the claim so later duplicates can replay it.
+  bool ClaimClientOp(net::NodeId client, uint64_t req_id);
+  void ReplyToClientOnce(net::NodeId client, uint64_t req_id, uint64_t bytes,
+                         std::function<void()> fn);
+
   RingRuntime* rt_;
   net::NodeId id_;
   consensus::ClusterConfig config_;
@@ -351,10 +431,20 @@ class RingServer {
   std::map<MemgestId, MemgestState> memgests_;
   bool serving_ = true;  // spares flip to false until promoted & recovered
   bool is_spare_ = true;
+  // Set while the cluster considers this node failed (its slot was marked
+  // dark). Cleared when a later config readmits it; the transition drives
+  // the rejoin edge in OnConfig.
+  bool excluded_ = false;
   uint64_t last_recovery_ns_ = 0;
   Counters counters_;
-  // Dedup of retried client requests: (client, req_id) handled already.
-  std::map<std::pair<net::NodeId, uint64_t>, bool> retried_seen_;
+  // At-most-once table for client mutations: (client, req_id) -> recorded
+  // reply resend closure (null while the op is still executing). Bounded by
+  // FIFO eviction; clients never have more than one op in flight, so the
+  // window is generous.
+  std::map<std::pair<net::NodeId, uint64_t>, std::function<void()>>
+      client_ops_;
+  std::deque<std::pair<net::NodeId, uint64_t>> client_ops_order_;
+  static constexpr size_t kClientOpWindow = 8192;
 };
 
 }  // namespace ring

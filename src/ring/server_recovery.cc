@@ -33,15 +33,59 @@ void RingServer::OnConfig(const consensus::ClusterConfig& config) {
   const int32_t old_slot = config_.slot_of_node[id_];
   config_ = config;
   if (config.failed[id_]) {
+    // The cluster considers this node dead (it may in fact be alive and
+    // recovering). Stop serving; a later config that readmits it drives the
+    // rejoin transition below.
     serving_ = false;
+    excluded_ = true;
     return;
   }
+  const bool readmitted = excluded_;
+  excluded_ = false;
   const int32_t new_slot = config.slot_of_node[id_];
-  if (old_slot == consensus::kSpareSlot &&
-      new_slot != consensus::kSpareSlot) {
+  if (new_slot == consensus::kSpareSlot) {
+    if (old_slot != consensus::kSpareSlot || readmitted) {
+      // Demoted (our old slot was re-assigned while we were out) or
+      // readmitted into the spare pool after a crash: whatever state we
+      // hold is stale. Start over as a clean, non-serving spare.
+      memgests_.clear();
+      volatile_index_ = VolatileIndex();
+      serving_ = false;
+      is_spare_ = true;
+    }
+    return;
+  }
+  if (old_slot == consensus::kSpareSlot || readmitted) {
     is_spare_ = false;
+    if (readmitted) {
+      // Readmitted straight into a slot (typically our own old slot, when
+      // no spare had been available to take it): the restart was
+      // memory-less, so rebuild through the normal promotion path.
+      memgests_.clear();
+      volatile_index_ = VolatileIndex();
+    }
     BeginPromotion(static_cast<uint32_t>(new_slot));
   }
+}
+
+void RingServer::Restart() {
+  // Memory-less reboot: every byte of store state is gone. The node comes
+  // back as a non-serving spare; membership readmission (and, if the
+  // cluster re-promotes it, the normal recovery path) restores service.
+  memgests_.clear();
+  volatile_index_ = VolatileIndex();
+  client_ops_.clear();
+  client_ops_order_.clear();
+  counters_ = Counters{};
+  last_recovery_ns_ = 0;
+  serving_ = false;
+  is_spare_ = true;
+  // Our view of the config is stale by construction: mark ourselves failed
+  // and parked on the spare slot so the readmission config (which may hand
+  // back our old slot) registers as a promotion edge in OnConfig.
+  config_.failed[id_] = true;
+  config_.slot_of_node[id_] = consensus::kSpareSlot;
+  excluded_ = true;
 }
 
 void RingServer::BeginPromotion(uint32_t new_slot) {
@@ -134,8 +178,8 @@ void RingServer::BeginPromotion(uint32_t new_slot) {
   }
 }
 
-int32_t RingServer::AliveMetaSource(const MemgestInfo& info,
-                                    uint32_t shard) const {
+std::vector<int32_t> RingServer::AliveMetaSources(const MemgestInfo& info,
+                                                  uint32_t shard) const {
   // Candidate holders of the shard's metadata, in preference order:
   // the coordinator itself, then replicas (Rep) or parity nodes (SRS).
   std::vector<uint32_t> candidates;
@@ -151,82 +195,110 @@ int32_t RingServer::AliveMetaSource(const MemgestInfo& info,
     }
   }
   const int32_t my_slot = config_.slot_of_node[id_];
+  std::vector<int32_t> alive;
   for (uint32_t slot : candidates) {
     if (static_cast<int32_t>(slot) == my_slot) {
       continue;
     }
     const net::NodeId node = config_.node_of_slot[slot];
     if (!config_.failed[node] && rt_->fabric().alive(node)) {
-      return static_cast<int32_t>(slot);
+      alive.push_back(static_cast<int32_t>(slot));
     }
   }
-  return -1;
+  // Replication commits on a quorum: any single survivor may be missing
+  // committed writes, so recovery must union the metadata of every alive
+  // holder. Parity nodes ack every update before commit — any one of them
+  // has the complete table.
+  if (info.desc.kind != SchemeKind::kReplicated && alive.size() > 1) {
+    alive.resize(1);
+  }
+  return alive;
 }
 
 void RingServer::FetchShardMetadata(const MemgestInfo& info, uint32_t shard,
                                     bool as_parity,
                                     std::function<void()> done) {
-  const int32_t src_slot = AliveMetaSource(info, shard);
-  if (src_slot < 0) {
+  const std::vector<int32_t> sources = AliveMetaSources(info, shard);
+  if (sources.empty()) {
     done();  // nothing recoverable (e.g. unreliable memgest)
     return;
   }
-  MetaFetch msg;
-  msg.memgest = info.id;
-  msg.shard = shard;
-  msg.requester = id_;
-  const MemgestInfo* info_ptr = &info;
-  msg.reply = [this, info_ptr, shard, as_parity, done = std::move(done)](
-                  std::shared_ptr<MetadataTable> table, uint64_t wire_bytes) {
-    (void)wire_bytes;
-    const auto& p = rt_->simulator().params();
-    cpu().Execute(table->entry_count() * p.recovery_entry_ns,
-                  [this, info_ptr, shard, as_parity, table,
-                   done = std::move(done)] {
-      if (!IsAlive()) {
-        return;
-      }
-      MemgestState& state = StateOf(*info_ptr);
-      MetadataTable& target =
-          as_parity
-              ? state.parity.at(config_.GroupOfShard(shard)).shard_meta[shard]
-              : StoreOf(state, shard).meta;
-      // Bulk re-population of the whole shard table on the promoted node.
-      NoteAccess(RegionKind::kMetadata, AccessKind::kWrite,
-                 as_parity ? ParityMetaScope(info_ptr->id, shard)
-                           : ScopeOf(info_ptr->id, shard),
-                 0, UINT64_MAX, "meta_fetch/install");
-      uint64_t high_water = 0;
-      table->ForEach([&](const Key& key, const MetaEntry& src) {
-        MetaEntry entry = src;
-        // Surviving entries are durable: treat them as committed. Their
-        // bytes are not local yet.
-        entry.committed = true;
-        entry.acks_pending = 0;
-        entry.acks_needed = 0;
-        entry.waiters.clear();
-        entry.data_present = entry.tombstone || entry.len == 0;
-        high_water = std::max(high_water, entry.addr + entry.region_len);
-        target.Insert(key, std::move(entry));
+  auto remaining = std::make_shared<size_t>(sources.size());
+  auto shared_done = std::make_shared<std::function<void()>>(std::move(done));
+  for (const int32_t src_slot : sources) {
+    MetaFetch msg;
+    msg.memgest = info.id;
+    msg.shard = shard;
+    msg.requester = id_;
+    const MemgestInfo* info_ptr = &info;
+    msg.reply = [this, info_ptr, shard, as_parity, src_slot, remaining,
+                 shared_done](std::shared_ptr<MetadataTable> table,
+                              uint64_t wire_bytes) {
+      (void)wire_bytes;
+      const auto& p = rt_->simulator().params();
+      cpu().Execute(table->entry_count() * p.recovery_entry_ns,
+                    [this, info_ptr, shard, as_parity, src_slot, table,
+                     remaining, shared_done] {
+        if (!IsAlive()) {
+          return;
+        }
+        MemgestState& state = StateOf(*info_ptr);
+        MetadataTable& target =
+            as_parity
+                ? state.parity.at(config_.GroupOfShard(shard))
+                      .shard_meta[shard]
+                : StoreOf(state, shard).meta;
+        // Bulk re-population of the whole shard table on the promoted node.
+        // Tables from multiple sources are unioned: quorum commit means a
+        // write may survive on any single holder, so every survivor's view
+        // contributes the entries the others missed.
+        NoteAccess(RegionKind::kMetadata, AccessKind::kWrite,
+                   as_parity ? ParityMetaScope(info_ptr->id, shard)
+                             : ScopeOf(info_ptr->id, shard),
+                   0, UINT64_MAX, "meta_fetch/install");
+        uint64_t high_water = 0;
+        uint64_t installed = 0;
+        table->ForEach([&](const Key& key, const MetaEntry& src) {
+          if (target.Find(key, src.version) != nullptr) {
+            return;  // another source already supplied this version
+          }
+          MetaEntry entry = src;
+          // Surviving entries are durable: treat them as committed. Their
+          // bytes are not local yet and must be copied from a node that
+          // actually holds this entry.
+          entry.committed = true;
+          entry.acks_pending = 0;
+          entry.acks_needed = 0;
+          entry.waiters.clear();
+          entry.backup_resend.clear();
+          entry.data_present = entry.tombstone || entry.len == 0;
+          entry.recovery_src = src_slot;
+          high_water = std::max(high_water, entry.addr + entry.region_len);
+          target.Insert(key, std::move(entry));
+          ++installed;
+        });
+        if (!as_parity) {
+          // The allocator must never re-issue addresses of recovered
+          // regions: new puts racing with background data recovery would
+          // overwrite the surviving replica/parity copies they are
+          // recovered from.
+          ShardStore& store = StoreOf(state, shard);
+          store.next_addr = std::max(store.next_addr, high_water);
+          store.EnsureSize(store.next_addr);
+          store.write_seq += table->entry_count();  // fencing stays monotonic
+        }
+        state.log_len += installed;
+        if (--*remaining == 0) {
+          (*shared_done)();
+        }
       });
-      if (!as_parity) {
-        // The allocator must never re-issue addresses of recovered regions:
-        // new puts racing with background data recovery would overwrite the
-        // surviving replica/parity copies they are recovered from.
-        ShardStore& store = StoreOf(state, shard);
-        store.next_addr = std::max(store.next_addr, high_water);
-        store.EnsureSize(store.next_addr);
-        store.write_seq += table->entry_count();  // fencing stays monotonic
-      }
-      state.log_len += table->entry_count();
-      done();
-    });
-  };
-  auto* peer = rt_->server(config_.node_of_slot[src_slot]);
-  SendToSlot(static_cast<uint32_t>(src_slot), kSmallMsgBytes,
-             [peer, msg = std::move(msg)]() mutable {
-               peer->HandleMetaFetch(std::move(msg));
-             });
+    };
+    auto* peer = rt_->server(config_.node_of_slot[src_slot]);
+    SendToSlot(static_cast<uint32_t>(src_slot), kSmallMsgBytes,
+               [peer, msg = std::move(msg)]() mutable {
+                 peer->HandleMetaFetch(std::move(msg));
+               });
+  }
 }
 
 void RingServer::HandleMetaFetch(MetaFetch msg) {
@@ -353,8 +425,14 @@ void RingServer::EnsureDataPresent(const MemgestInfo& info, uint32_t shard,
   };
 
   if (info.desc.kind == SchemeKind::kReplicated) {
-    // Copy from any available replica over one-sided reads (§5.5).
+    // Copy over one-sided reads (§5.5) — first choice is the slot that
+    // supplied this entry's metadata: with quorum commit other survivors
+    // may never have applied the write, and their heap bytes at this
+    // address would be stale.
     std::vector<uint32_t> candidates;
+    if (entry->recovery_src >= 0) {
+      candidates.push_back(static_cast<uint32_t>(entry->recovery_src));
+    }
     candidates.push_back(config_.SlotOfShard(shard));  // the coordinator
     for (uint32_t slot : rt_->registry().ReplicaSlots(info, shard)) {
       candidates.push_back(slot);

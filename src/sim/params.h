@@ -76,6 +76,46 @@ struct SimParams {
   uint64_t failure_timeout_ns = 35 * kMillisecond;
   uint64_t client_retry_timeout_ns = 300 * kMicrosecond;
 
+  // --- Client retry policy (chaos hardening) ---
+  // The first retry fires one flat client_retry_timeout_ns after issue;
+  // subsequent waits use decorrelated jitter — uniform in
+  // [timeout, 3 * previous_wait), clipped to the cap — so synchronized
+  // retry storms from many clients spread out instead of re-colliding.
+  uint64_t client_backoff_cap_ns = 10 * kMillisecond;
+  // Bounded retry budget: a request older than this fails with kUnavailable
+  // rather than retrying forever (0 disables the deadline; the retry count
+  // below still bounds it).
+  uint64_t client_retry_budget_ns = 20 * kMillisecond;
+  uint32_t client_max_retries = 64;
+  // Hedged gets: when nonzero, an un-answered get is multicast once this
+  // early — well before the retry timeout — to route around a slow or
+  // gray-failed coordinator. Mutations are never hedged (they would race
+  // their own at-most-once claim for no latency win).
+  uint64_t client_hedge_delay_ns = 0;
+  // Coordinator-side backup retransmission: while a write's quorum round is
+  // un-acked past this period, the coordinator resends the missing replica
+  // appends / parity updates (the per-(shard, seq) replay fences make the
+  // resends idempotent, and receivers re-ack absorbed duplicates). Client
+  // retries cannot drive this — the at-most-once table swallows them — so
+  // without it a single lost backup message wedges the key forever. 0
+  // disables it (the fault-free default: no timer events, byte-identical
+  // schedules); RingRuntime turns it on whenever a fault plan is installed.
+  uint64_t write_retransmit_ns = 0;
+
+  // Worst-case failure-detection window: a node that dies right after
+  // heartbeating is declared failed once its silence exceeds the timeout,
+  // observed at the next detection tick.
+  uint64_t detection_window_ns() const {
+    return failure_timeout_ns + 2 * heartbeat_period_ns;
+  }
+  // Worst-case window until a dead *leader* is replaced: the ranked election
+  // adds up to half a heartbeat period per candidate rank, then the new
+  // leader must detect and handle the failure.
+  uint64_t election_window_ns(uint32_t candidates) const {
+    return detection_window_ns() +
+           candidates * heartbeat_period_ns / 2 + heartbeat_period_ns;
+  }
+
   // --- Baseline systems (Fig. 7c) ---
   // Kernel TCP/IP stack one-way latency for memcached/Cocytus-style systems.
   uint64_t tcp_latency_ns = 25000;

@@ -1,0 +1,443 @@
+// Chaos testing: randomized fault plans (drops, duplicates, delays,
+// reorders, partitions, gray-failure pauses, crash-recovery) injected under
+// random traffic, with the consistency oracles of consistency_fuzz_test:
+//   - integrity: a read of a known version returns its bytes exactly,
+//   - monotonicity: reliable keys never travel back in time,
+//   - committed data: after the plan quiesces and the cluster heals, every
+//     acked write to a reliable memgest reads back byte-exactly with
+//     version >= the acked one (read-your-writes),
+//   - Rep(1) honesty: unreliable keys either return the exact acked bytes
+//     or a clean error — never stale/corrupt data, never a hang.
+// Every run is deterministic in (seed): replaying the same seed must
+// produce byte-identical metrics, traffic outcomes, and fault counters.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/common/hash.h"
+#include "src/fault/fault.h"
+#include "src/ring/cluster.h"
+
+namespace ring {
+namespace {
+
+Buffer EncodeValue(const Key& key, uint64_t nonce, size_t size) {
+  Buffer out = MakePatternBuffer(size, HashKey(key) ^ nonce);
+  const std::string tag = key + "#" + std::to_string(nonce) + ";";
+  for (size_t i = 0; i < tag.size() && i < out.size(); ++i) {
+    out[i] = static_cast<uint8_t>(tag[i]);
+  }
+  return out;
+}
+
+// Everything observable a chaos run produced. Two runs of the same seed
+// must compare equal, field for field.
+struct ChaosDigest {
+  std::string metrics;
+  std::string outcomes;  // per-op completion log, in completion order
+  uint64_t faults_dropped = 0;
+  uint64_t faults_duplicated = 0;
+  uint64_t faults_deferred = 0;
+  uint64_t crashes = 0;
+  uint64_t oracle_violations = 0;
+
+  bool operator==(const ChaosDigest& o) const {
+    return metrics == o.metrics && outcomes == o.outcomes &&
+           faults_dropped == o.faults_dropped &&
+           faults_duplicated == o.faults_duplicated &&
+           faults_deferred == o.faults_deferred && crashes == o.crashes &&
+           oracle_violations == o.oracle_violations;
+  }
+};
+
+// One full chaos run: random plan + random traffic + oracles + final sweep.
+ChaosDigest RunChaos(uint64_t seed) {
+  RingOptions options;
+  options.s = 3;
+  options.d = 2;
+  options.spares = 2;
+  options.clients = 2;
+  options.seed = seed;
+  const uint32_t servers = options.s + options.d + options.spares;
+
+  fault::ChaosShape shape;
+  for (uint32_t n = 0; n < servers; ++n) {
+    shape.faultable.push_back(n);
+  }
+  shape.num_nodes = servers + options.clients;
+  shape.horizon_ns = 60 * sim::kMillisecond;
+  shape.quiet_after_ns = 40 * sim::kMillisecond;
+  shape.link_faults = 4;
+  shape.node_events = 2;
+  options.fault_plan = fault::RandomFaultPlan(seed * 31 + 7, shape);
+  options.fault_seed = seed;
+
+  RingCluster cluster(options);
+  obs::Hub& hub = cluster.simulator().hub();
+  hub.EnableMetrics(true);
+  const auto& p = cluster.simulator().params();
+
+  const MemgestId rep1 =
+      *cluster.CreateMemgest(MemgestDescriptor::Replicated(1));
+  const std::vector<MemgestId> reliable = {
+      *cluster.CreateMemgest(MemgestDescriptor::Replicated(3)),
+      *cluster.CreateMemgest(MemgestDescriptor::ErasureCoded(3, 2)),
+  };
+
+  Rng rng(seed * 7919 + 3);
+  std::ostringstream outcomes;
+  uint64_t violations = 0;
+
+  // Reliable-key ground truth, from completion callbacks only.
+  struct KeyState {
+    std::map<Version, Buffer> acked;  // version -> bytes
+    Version highest_read = 0;
+  };
+  std::map<Key, KeyState> truth;
+  // Rep(1) keys are written once each: a read returns those bytes or a
+  // clean error, nothing else.
+  std::map<Key, Buffer> rep1_truth;
+
+  // `floor` is the highest version some get had *completed* with when this
+  // get was issued: a later-issued read may never travel below it. Reads
+  // whose lifetimes overlap are allowed to complete in either order (a
+  // delayed reply carries the version that was current when it was served).
+  auto check_reliable_read = [&](const Key& key, Version floor,
+                                 const GetResult& r) {
+    if (!r.status.ok()) {
+      return;  // clean failure under faults is legal mid-chaos
+    }
+    KeyState& st = truth[key];
+    auto it = st.acked.find(r.version);
+    if (it != st.acked.end() && *r.data != it->second) {
+      ++violations;
+      ADD_FAILURE() << "corrupt read of " << key << " v" << r.version
+                    << " seed=" << seed;
+    }
+    if (r.version < floor) {
+      ++violations;
+      ADD_FAILURE() << "time travel on " << key << ": v" << r.version
+                    << " after v" << floor << " seed=" << seed;
+    }
+    st.highest_read = std::max(st.highest_read, r.version);
+  };
+
+  const int kKeys = 10;
+  uint64_t next_nonce = 1;
+  int outstanding = 0;
+  const int kOps = 400;
+  for (int op = 0; op < kOps; ++op) {
+    const uint32_t client = static_cast<uint32_t>(rng.NextBelow(2));
+    const double dice = rng.NextDouble();
+    if (dice < 0.06) {
+      // Fire-once Rep(1) key: unreliable by design.
+      const Key key = "r1-" + std::to_string(next_nonce);
+      Buffer value = EncodeValue(key, next_nonce, 16 + rng.NextBelow(500));
+      ++next_nonce;
+      ++outstanding;
+      cluster.client(client).Put(
+          key, std::make_shared<Buffer>(value), rep1,
+          [&, key, value](Status s, Version) {
+            --outstanding;
+            outcomes << "p1 " << key << " " << StatusCodeName(s.code())
+                     << "\n";
+            if (s.ok()) {
+              rep1_truth[key] = value;
+            }
+          });
+    } else if (dice < 0.40) {
+      const Key key = "ck-" + std::to_string(rng.NextBelow(kKeys));
+      const uint64_t nonce = next_nonce++;
+      Buffer value = EncodeValue(key, nonce, 16 + rng.NextBelow(2000));
+      const MemgestId g = reliable[rng.NextBelow(reliable.size())];
+      ++outstanding;
+      cluster.client(client).Put(
+          key, std::make_shared<Buffer>(value), g,
+          [&, key, value](Status s, Version v) {
+            --outstanding;
+            outcomes << "put " << key << " " << StatusCodeName(s.code())
+                     << " v" << v << "\n";
+            if (s.ok()) {
+              auto [it, fresh] = truth[key].acked.emplace(v, value);
+              if (!fresh && it->second != value) {
+                ++violations;
+                ADD_FAILURE() << "version reuse on " << key << " v" << v
+                              << " seed=" << seed;
+              }
+            }
+          });
+    } else if (dice < 0.85) {
+      const Key key = rng.NextBernoulli(0.15) && !rep1_truth.empty()
+                          ? rep1_truth.rbegin()->first
+                          : "ck-" + std::to_string(rng.NextBelow(kKeys));
+      ++outstanding;
+      const Version floor = truth[key].highest_read;
+      cluster.client(client).Get(key, [&, key, floor](GetResult r) {
+        --outstanding;
+        outcomes << "get " << key << " " << StatusCodeName(r.status.code())
+                 << "\n";
+        auto r1 = rep1_truth.find(key);
+        if (r1 != rep1_truth.end()) {
+          // Rep(1): exact bytes or clean error, never stale garbage.
+          if (r.status.ok() && *r.data != r1->second) {
+            ++violations;
+            ADD_FAILURE() << "stale/corrupt rep1 read of " << key
+                          << " seed=" << seed;
+          }
+        } else {
+          check_reliable_read(key, floor, r);
+        }
+      });
+    } else {
+      const Key key = "ck-" + std::to_string(rng.NextBelow(kKeys));
+      const MemgestId g = reliable[rng.NextBelow(reliable.size())];
+      ++outstanding;
+      cluster.client(client).Move(key, g, [&, key](Status s, Version) {
+        --outstanding;
+        outcomes << "mov " << key << " " << StatusCodeName(s.code()) << "\n";
+      });
+    }
+    if (rng.NextBernoulli(0.6)) {
+      cluster.RunFor(rng.NextBelow(200) * sim::kMicrosecond);
+    }
+  }
+  // Drain all traffic (bounded: the retry budget turns every wedged op into
+  // a clean kUnavailable), then run past the plan's quiet point plus a
+  // detection + recovery window so crashed nodes have rejoined.
+  EXPECT_TRUE(cluster.RunUntilDone([&] { return outstanding == 0; }))
+      << "seed=" << seed << ": an operation hung past the retry budget";
+  const sim::SimTime settle = shape.quiet_after_ns +
+                              2 * p.detection_window_ns() +
+                              30 * sim::kMillisecond;
+  if (cluster.simulator().now() < settle) {
+    cluster.RunFor(settle - cluster.simulator().now());
+  }
+
+  // Committed-data / read-your-writes sweep on the healed cluster.
+  for (const auto& [key, st] : truth) {
+    if (st.acked.empty()) {
+      continue;
+    }
+    bool done = false;
+    GetResult r;
+    cluster.client(0).Get(key, [&](GetResult got) {
+      r = std::move(got);
+      done = true;
+    });
+    EXPECT_TRUE(cluster.RunUntilDone([&] { return done; })) << key;
+    outcomes << "swp " << key << " " << StatusCodeName(r.status.code())
+             << "\n";
+    if (!r.status.ok()) {
+      ++violations;
+      ADD_FAILURE() << "committed reliable key " << key
+                    << " unreadable after heal: " << r.status
+                    << " seed=" << seed;
+      continue;
+    }
+    check_reliable_read(key, st.highest_read, r);
+    if (r.version < st.acked.rbegin()->first) {
+      ++violations;
+      ADD_FAILURE() << "read-your-writes violated on " << key << ": v"
+                    << r.version << " < acked v" << st.acked.rbegin()->first
+                    << " seed=" << seed;
+    }
+  }
+
+  const fault::FaultInjector* inj = cluster.runtime().injector();
+  EXPECT_NE(inj, nullptr);  // the random plan is never empty
+  ChaosDigest digest;
+  digest.metrics = hub.metrics().Summary();
+  digest.outcomes = outcomes.str();
+  if (inj != nullptr) {
+    digest.faults_dropped =
+        inj->counters().dropped + inj->counters().partition_dropped;
+    digest.faults_duplicated = inj->counters().duplicated;
+    digest.faults_deferred = inj->counters().deferred;
+    digest.crashes = inj->counters().crashes;
+  }
+  digest.oracle_violations = violations;
+  return digest;
+}
+
+class ChaosFuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ChaosFuzzTest, OraclesHoldUnderRandomFaultPlan) {
+  const ChaosDigest d = RunChaos(GetParam());
+  EXPECT_EQ(d.oracle_violations, 0u);
+  EXPECT_FALSE(d.outcomes.empty());
+}
+
+// 20+ seeded plans; each generates a distinct fault schedule.
+INSTANTIATE_TEST_SUITE_P(
+    Seeds, ChaosFuzzTest,
+    ::testing::Values(1ULL, 2ULL, 3ULL, 4ULL, 5ULL, 6ULL, 7ULL, 8ULL, 9ULL,
+                      10ULL, 11ULL, 12ULL, 13ULL, 14ULL, 15ULL, 16ULL, 17ULL,
+                      18ULL, 19ULL, 20ULL, 33ULL, 77ULL),
+    [](const ::testing::TestParamInfo<uint64_t>& info) {
+      return "seed" + std::to_string(info.param);
+    });
+
+// Determinism: the same seed replays byte-identically — same metrics dump,
+// same per-op outcome log, same fault counters.
+TEST(ChaosReplayTest, SameSeedReplaysByteIdentically) {
+  for (uint64_t seed : {2ULL, 9ULL, 14ULL}) {
+    const ChaosDigest first = RunChaos(seed);
+    const ChaosDigest again = RunChaos(seed);
+    EXPECT_TRUE(first == again) << "seed " << seed << " diverged on replay";
+    EXPECT_EQ(first.metrics, again.metrics);
+    EXPECT_EQ(first.outcomes, again.outcomes);
+  }
+}
+
+// An empty plan must create no injector at all: the injection-off build is
+// one null-pointer branch per message, byte-identical to pre-fault builds
+// (determinism_test and the fig workloads guard the byte-identity itself).
+TEST(ChaosOffTest, EmptyPlanInstallsNoInjector) {
+  RingCluster cluster(RingOptions{});
+  EXPECT_EQ(cluster.runtime().injector(), nullptr);
+}
+
+// Regression (satellite): a put whose *reply* is dropped must be retried by
+// the client and succeed — executed exactly once server-side, answered from
+// the at-most-once table.
+TEST(ChaosRegressionTest, DroppedReplyRetriesAndExecutesExactlyOnce) {
+  RingOptions o;
+  o.s = 3;
+  o.d = 2;
+  o.spares = 1;
+  o.clients = 1;
+  o.seed = 5;
+  const net::NodeId coord = 1;                       // owns shard 1
+  const net::NodeId client_node = o.s + o.d + o.spares;  // first client
+  // All coordinator->client traffic vanishes for 1 ms: the put executes and
+  // commits, but every reply (and resent reply) is lost until the link heals.
+  auto plan = fault::ParseFaultPlan("drop src=" + std::to_string(coord) +
+                                    " dst=" + std::to_string(client_node) +
+                                    " p=1 until=1ms");
+  ASSERT_TRUE(plan.ok());
+  o.fault_plan = *plan;
+  RingCluster cluster(o);
+  const MemgestId g = *cluster.CreateMemgest(MemgestDescriptor::Replicated(3));
+  const Key key = [] {
+    for (int i = 0;; ++i) {
+      Key k = "dr-" + std::to_string(i);
+      if (KeyShard(k, 3) == 1) {
+        return k;
+      }
+    }
+  }();
+  const uint64_t puts_before = cluster.server(coord).counters().puts;
+  cluster.client(0).ResetStats();  // drop the admin op from the counters
+  ASSERT_TRUE(cluster.Put(key, "exactly-once", g).ok());
+  // Executed once; the duplicate retries were answered from the table.
+  EXPECT_EQ(cluster.server(coord).counters().puts, puts_before + 1);
+  EXPECT_GE(cluster.server(coord).counters().resent_replies, 1u);
+  EXPECT_EQ(cluster.client(0).completed(), 1u);
+  auto got = cluster.Get(key);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(ToString(*got), "exactly-once");
+}
+
+// Satellite: Rep(1,s) keys degrade *gracefully* when their only copy dies —
+// a clean not-found/unavailable, never a hang, never stale bytes — while
+// reliable keys on the same node survive byte-exactly.
+TEST(ChaosRegressionTest, Rep1DegradesCleanlyWhileReliableKeysSurvive) {
+  RingOptions o;
+  o.s = 3;
+  o.d = 2;
+  o.spares = 1;
+  o.clients = 1;
+  o.seed = 6;
+  RingCluster cluster(o);
+  const MemgestId rep1 =
+      *cluster.CreateMemgest(MemgestDescriptor::Replicated(1));
+  const MemgestId rep3 =
+      *cluster.CreateMemgest(MemgestDescriptor::Replicated(3));
+  const net::NodeId victim = 2;
+  std::vector<Key> rep1_keys;
+  std::map<Key, Buffer> reliable;
+  for (int i = 0, r1 = 0, r3 = 0; r1 < 3 || r3 < 3; ++i) {
+    const Key k = "gd-" + std::to_string(i);
+    if (KeyShard(k, 3) != victim) {
+      continue;
+    }
+    Buffer value = MakePatternBuffer(600 + 17 * i, i);
+    if (r1 < 3) {
+      ASSERT_TRUE(cluster.Put(k, value, rep1).ok());
+      rep1_keys.push_back(k);
+      ++r1;
+    } else {
+      ASSERT_TRUE(cluster.Put(k, value, rep3).ok());
+      reliable[k] = std::move(value);
+      ++r3;
+    }
+  }
+  cluster.KillNode(victim, /*force_detect=*/true);
+  cluster.RunFor(30 * sim::kMillisecond);
+  for (const Key& k : rep1_keys) {
+    // The only copy died: clean error, no hang, no stale bytes.
+    auto got = cluster.Get(k);
+    EXPECT_FALSE(got.ok()) << k;
+    EXPECT_TRUE(got.status().code() == StatusCode::kNotFound ||
+                got.status().code() == StatusCode::kUnavailable)
+        << k << ": " << got.status();
+  }
+  for (const auto& [k, value] : reliable) {
+    auto got = cluster.Get(k);
+    ASSERT_TRUE(got.ok()) << k;
+    EXPECT_EQ(*got, value) << k;
+  }
+}
+
+// The ringctl fault-spec grammar round-trips through ToString().
+TEST(FaultPlanTest, ParseAndToStringRoundTrip) {
+  const std::string spec =
+      "drop src=1 dst=6 p=0.25 from=1ms until=5ms\n"
+      "dup src=* dst=2 p=0.1\n"
+      "delay src=0 dst=* ns=20us jitter=5us\n"
+      "reorder src=3 dst=4 p=0.5 window=100us\n"
+      "partition a=0,1,2 b=3,4 at=2ms heal=4ms\n"
+      "pause node=5 at=1ms resume=3ms\n"
+      "crash node=2 at=6ms recover=9ms\n";
+  auto plan = fault::ParseFaultPlan(spec);
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  EXPECT_EQ(plan->links.size(), 4u);
+  // partition+heal, pause+resume, crash+recover: two events per directive.
+  EXPECT_EQ(plan->events.size(), 6u);
+  auto reparsed = fault::ParseFaultPlan(plan->ToString());
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status();
+  EXPECT_EQ(plan->ToString(), reparsed->ToString());
+}
+
+TEST(FaultPlanTest, RejectsMalformedSpecs) {
+  EXPECT_FALSE(fault::ParseFaultPlan("drop src=1").ok());          // no p=
+  EXPECT_FALSE(fault::ParseFaultPlan("drop src=1 dst=2 p=2").ok());  // p>1
+  EXPECT_FALSE(fault::ParseFaultPlan("explode node=3 at=1ms").ok());
+  EXPECT_FALSE(fault::ParseFaultPlan("pause at=1ms").ok());  // no node
+}
+
+TEST(FaultPlanTest, RandomPlanIsDeterministicAndQuiesces) {
+  fault::ChaosShape shape;
+  shape.faultable = {0, 1, 2, 3, 4};
+  shape.num_nodes = 7;
+  shape.horizon_ns = 50 * sim::kMillisecond;
+  shape.quiet_after_ns = 30 * sim::kMillisecond;
+  const fault::FaultPlan a = fault::RandomFaultPlan(99, shape);
+  const fault::FaultPlan b = fault::RandomFaultPlan(99, shape);
+  EXPECT_EQ(a.ToString(), b.ToString());
+  EXPECT_FALSE(a.empty());
+  for (const auto& lf : a.links) {
+    EXPECT_LE(lf.until_ns, shape.quiet_after_ns);
+  }
+  for (const auto& ev : a.events) {
+    EXPECT_LE(ev.at_ns, shape.quiet_after_ns);
+  }
+  EXPECT_NE(a.ToString(), fault::RandomFaultPlan(100, shape).ToString());
+}
+
+}  // namespace
+}  // namespace ring

@@ -84,7 +84,7 @@ TEST(ClientTest, MulticastRepliesDeduplicated) {
   EXPECT_EQ(*got, MakePatternBuffer(8192, 1));
 }
 
-TEST(ClientTest, ExhaustedRetriesReportTimeout) {
+TEST(ClientTest, ExhaustedRetryBudgetReportsUnavailable) {
   RingOptions o = Opts(4, /*retry_us=*/100);
   o.spares = 0;
   RingCluster cluster(o);
@@ -101,7 +101,7 @@ TEST(ClientTest, ExhaustedRetriesReportTimeout) {
   cluster.KillNode(0, /*force_detect=*/false);  // leader + shard 0, no spare
   auto got = cluster.Get(key);
   EXPECT_FALSE(got.ok());
-  EXPECT_EQ(got.status().code(), StatusCode::kTimeout);
+  EXPECT_EQ(got.status().code(), StatusCode::kUnavailable);
   EXPECT_GT(cluster.client(0).timeouts(), 0u);
 }
 

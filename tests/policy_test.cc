@@ -7,6 +7,7 @@
 #include <string>
 
 #include "src/common/rng.h"
+#include "src/fault/fault.h"
 #include "src/policy/autotier.h"
 
 namespace ring {
@@ -218,6 +219,74 @@ TEST(MoverTest, TokenBucketHonorsRateUnderFailureInjection) {
     ASSERT_TRUE(got.ok()) << i;
     EXPECT_EQ(*got, MakePatternBuffer(512, i)) << i;
   }
+}
+
+TEST(MoverTest, AbortsCleanlyWhenPartitionedFromTheCluster) {
+  RingOptions options;
+  options.s = 3;
+  options.d = 2;
+  options.spares = 1;
+  options.clients = 2;
+  options.seed = 23;
+  // The mover's client (node 7) is cut off from every server until 200 ms;
+  // the foreground client (node 6) is unaffected, so setup traffic and the
+  // post-mortem reads below go through normally.
+  options.fault_plan =
+      *fault::ParseFaultPlan("partition a=7 b=0,1,2,3,4,5 at=0 heal=200ms");
+  options.fault_seed = 23;
+  RingCluster cluster(options);
+  const MemgestId rep3 =
+      *cluster.CreateMemgest(MemgestDescriptor::Replicated(3));
+  const MemgestId srs32 =
+      *cluster.CreateMemgest(MemgestDescriptor::ErasureCoded(3, 2));
+
+  const int kKeys = 4;
+  for (int i = 0; i < kKeys; ++i) {
+    ASSERT_TRUE(cluster
+                    .Put("pa-" + std::to_string(i),
+                         MakePatternBuffer(256, i), rep3)
+                    .ok());
+  }
+
+  MoverOptions mo;
+  mo.max_retries = 2;
+  mo.retry_backoff_ns = 1 * sim::kMillisecond;
+  mo.client_index = 1;
+  Mover mover(&cluster, mo);
+  for (int i = 0; i < kKeys; ++i) {
+    mover.Enqueue("pa-" + std::to_string(i), srs32);
+  }
+  // Each attempt burns the client retry budget (20 ms) before surfacing
+  // kUnavailable; two attempts per move finish well before the heal.
+  for (int tick = 0; tick < 1800 && !mover.idle(); ++tick) {
+    cluster.RunFor(100 * sim::kMicrosecond);
+    mover.Tick();
+  }
+  ASSERT_TRUE(mover.idle());
+  EXPECT_LT(cluster.simulator().now(), 180 * sim::kMillisecond);
+  EXPECT_EQ(mover.aborted(), static_cast<uint64_t>(kKeys));
+  EXPECT_EQ(mover.completed(), 0u);
+  EXPECT_EQ(mover.retried(), static_cast<uint64_t>(kKeys));
+
+  // Aborting is safe: the keys keep their scheme and bytes.
+  for (int i = 0; i < kKeys; ++i) {
+    auto got = cluster.Get("pa-" + std::to_string(i));
+    ASSERT_TRUE(got.ok()) << i;
+    EXPECT_EQ(*got, MakePatternBuffer(256, i)) << i;
+  }
+
+  // After the partition heals the same mover client works again.
+  cluster.RunFor(210 * sim::kMillisecond - cluster.simulator().now());
+  mover.Enqueue("pa-0", srs32);
+  for (int tick = 0; tick < 600 && !mover.idle(); ++tick) {
+    cluster.RunFor(100 * sim::kMicrosecond);
+    mover.Tick();
+  }
+  ASSERT_TRUE(mover.idle());
+  EXPECT_EQ(mover.completed(), 1u);
+  auto moved = cluster.Get("pa-0");
+  ASSERT_TRUE(moved.ok());
+  EXPECT_EQ(*moved, MakePatternBuffer(256, 0));
 }
 
 TEST(AutoTierManagerTest, ConvergesOnHotColdSplitAndReheats) {

@@ -226,12 +226,12 @@ TEST_F(RingKvsTest, ConcurrentPutsSerializeByVersion) {
   int done = 0;
   cluster_->client(0).Put(key, std::make_shared<Buffer>(ToBuffer("from-0")),
                           srs32_, [&](Status s, Version) {
-                            EXPECT_TRUE(s.ok());
+                            EXPECT_TRUE(s.ok()) << s;
                             ++done;
                           });
   cluster_->client(1).Put(key, std::make_shared<Buffer>(ToBuffer("from-1")),
                           rep1_, [&](Status s, Version) {
-                            EXPECT_TRUE(s.ok());
+                            EXPECT_TRUE(s.ok()) << s;
                             ++done;
                           });
   ASSERT_TRUE(cluster_->RunUntilDone([&] { return done == 2; }));

@@ -10,6 +10,8 @@
 #   tools/check.sh            # everything
 #   tools/check.sh --fast     # plain build + ctest + bench smoke only
 #   tools/check.sh --lint     # ring-lint + clang-tidy only
+#   tools/check.sh --chaos    # chaos harness: fuzz seeds plain + ASan,
+#                             # availability bench smoke
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -54,6 +56,24 @@ run_lint() {
 if [[ "${MODE}" == "--lint" ]]; then
   run_lint
   echo "check.sh: lint passed"
+  exit 0
+fi
+
+if [[ "${MODE}" == "--chaos" ]]; then
+  echo "== chaos: fuzz seeds (plain) =="
+  cmake -B build -S . "${LAUNCHER_ARGS[@]}" >/dev/null
+  cmake --build build -j "${JOBS}" --target chaos_fuzz_test chaos_availability
+  ./build/tests/chaos_fuzz_test
+  echo "== chaos: availability bench smoke =="
+  ./build/bench/chaos_availability
+  echo "== chaos: fuzz seeds (asan,ubsan) =="
+  cmake -B build-sanitize -S . -DRING_SANITIZE=address,undefined \
+    "${LAUNCHER_ARGS[@]}" >/dev/null
+  cmake --build build-sanitize -j "${JOBS}" --target chaos_fuzz_test
+  ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=1}" \
+  UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1}" \
+    ./build-sanitize/tests/chaos_fuzz_test
+  echo "check.sh: chaos suite passed"
   exit 0
 fi
 

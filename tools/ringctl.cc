@@ -11,6 +11,7 @@
 //   ringctl trace      --scheme=srs32 --trace_out=trace.json
 //   ringctl autotier   --scheme=rep3 --cold-scheme=srs32 --keys=240
 //   ringctl calibrate  --json
+//   ringctl chaos      --scheme=rep3 --seed=5 --plan="crash node=1 at=5ms"
 //
 // Commands can also be selected with --mode=<command>, and any
 // latency/trace run can emit a Chrome trace_event file via
@@ -24,6 +25,8 @@
 #include "src/common/flags.h"
 #include "src/common/hash.h"
 #include "src/common/logging.h"
+#include "src/common/rng.h"
+#include "src/fault/fault.h"
 #include "src/obs/hub.h"
 #include "src/policy/autotier.h"
 #include "src/reliability/models.h"
@@ -586,6 +589,156 @@ int RunAutotier(FlagSet& flags) {
   return 0;
 }
 
+// ringctl chaos: plays a fault schedule against mixed traffic on one scheme
+// and reports what the injector did, how the clients fared, and whether
+// every acknowledged write survived byte-exactly. The schedule comes from
+// --plan (the src/fault spec grammar, ';'-separated) or, when --plan is
+// empty, from a seeded random generator — either way the run is
+// deterministic and replayable from the command line that produced it.
+int RunChaos(FlagSet& flags) {
+  auto desc = SchemeFromName(flags.GetString("scheme"));
+  if (!desc.ok()) {
+    std::fprintf(stderr, "%s\n", desc.status().ToString().c_str());
+    return 1;
+  }
+  RingOptions o;
+  o.s = static_cast<uint32_t>(flags.GetInt("shards"));
+  o.d = static_cast<uint32_t>(flags.GetInt("redundant"));
+  o.spares = 2;
+  o.clients = std::max(1u, static_cast<uint32_t>(flags.GetInt("clients")));
+  o.seed = static_cast<uint64_t>(flags.GetInt("seed"));
+  const uint32_t servers = o.s + o.d + o.spares;
+  const uint64_t horizon =
+      static_cast<uint64_t>(flags.GetDouble("seconds") * 1e9);
+  const std::string spec = flags.GetString("plan");
+  if (spec.empty()) {
+    fault::ChaosShape shape;
+    for (uint32_t n = 0; n < servers; ++n) {
+      shape.faultable.push_back(n);
+    }
+    shape.num_nodes = servers + o.clients;
+    shape.horizon_ns = horizon;
+    shape.quiet_after_ns = horizon * 2 / 3;
+    o.fault_plan = fault::RandomFaultPlan(o.seed * 31 + 7, shape);
+  } else {
+    auto plan = fault::ParseFaultPlan(spec);
+    if (!plan.ok()) {
+      std::fprintf(stderr, "--plan: %s\n", plan.status().ToString().c_str());
+      return 1;
+    }
+    o.fault_plan = *plan;
+  }
+  o.fault_seed = o.seed;
+  std::printf("fault plan:\n%s\n", o.fault_plan.ToString().c_str());
+
+  RingCluster cluster(o);
+  cluster.simulator().hub().EnableMetrics(true);
+  auto g = cluster.CreateMemgest(*desc);
+  if (!g.ok()) {
+    std::fprintf(stderr, "createMemgest: %s\n", g.status().ToString().c_str());
+    return 1;
+  }
+
+  // Mixed open-loop traffic across the schedule's horizon; every ack is
+  // remembered for the post-quiesce sweep.
+  const int reps = static_cast<int>(flags.GetInt("reps"));
+  const int nkeys = std::max(1, static_cast<int>(flags.GetInt("keys")));
+  const size_t size = static_cast<size_t>(flags.GetInt("size"));
+  Rng rng(o.seed * 7919 + 3);
+  std::map<Key, std::map<Version, uint64_t>> acked;  // key -> version -> tag
+  uint64_t puts_ok = 0, puts_failed = 0, gets_ok = 0, gets_failed = 0;
+  int outstanding = 0;
+  const sim::SimTime gap = horizon / std::max(1, reps);
+  for (int op = 0; op < reps; ++op) {
+    const uint32_t c = static_cast<uint32_t>(rng.NextBelow(o.clients));
+    const Key key = "chaos-" + std::to_string(rng.NextBelow(nkeys));
+    if (rng.NextBernoulli(0.5)) {
+      const uint64_t tag = rng.NextU64();
+      auto value = std::make_shared<Buffer>(MakePatternBuffer(size, tag));
+      ++outstanding;
+      cluster.client(c).Put(key, value, *g,
+                            [&, key, tag](Status s, Version v) {
+                              --outstanding;
+                              if (s.ok()) {
+                                ++puts_ok;
+                                acked[key][v] = tag;
+                              } else {
+                                ++puts_failed;
+                              }
+                            });
+    } else {
+      ++outstanding;
+      cluster.client(c).Get(key, [&](GetResult r) {
+        --outstanding;
+        r.status.ok() ? ++gets_ok : ++gets_failed;
+      });
+    }
+    cluster.RunFor(gap);
+  }
+  for (int i = 0; i < 400 && outstanding > 0; ++i) {
+    cluster.RunFor(sim::kMillisecond);
+  }
+  const auto& p = cluster.simulator().params();
+  cluster.RunFor(2 * p.detection_window_ns() + 20 * sim::kMillisecond);
+
+  // Post-quiesce sweep: every key with at least one acknowledged write must
+  // read back bytes matching some acknowledged version.
+  uint64_t sweep_ok = 0, sweep_bad = 0;
+  for (const auto& [key, versions] : acked) {
+    bool done = false;
+    cluster.client(0).Get(key, [&, key](GetResult r) {
+      done = true;
+      if (!r.status.ok()) {
+        ++sweep_bad;
+        std::printf("  SWEEP VIOLATION: %s (%s)\n", key.c_str(),
+                    r.status.ToString().c_str());
+        return;
+      }
+      auto it = versions.find(r.version);
+      if (it == versions.end()) {
+        ++sweep_ok;  // version newer than any ack: an in-flight put landed
+      } else if (*r.data == MakePatternBuffer(size, it->second)) {
+        ++sweep_ok;
+      } else {
+        ++sweep_bad;
+        std::printf("  SWEEP VIOLATION: %s (bytes mismatch at v%llu)\n",
+                    key.c_str(), static_cast<unsigned long long>(r.version));
+      }
+    });
+    for (int i = 0; i < 200 && !done; ++i) {
+      cluster.RunFor(sim::kMillisecond);
+    }
+    if (!done) {
+      ++sweep_bad;
+      std::printf("  SWEEP VIOLATION: %s (get hung)\n", key.c_str());
+    }
+  }
+
+  std::printf("traffic: %llu/%llu puts acked, %llu/%llu gets ok\n",
+              static_cast<unsigned long long>(puts_ok),
+              static_cast<unsigned long long>(puts_ok + puts_failed),
+              static_cast<unsigned long long>(gets_ok),
+              static_cast<unsigned long long>(gets_ok + gets_failed));
+  std::printf("sweep:   %llu keys verified, %llu violations\n",
+              static_cast<unsigned long long>(sweep_ok),
+              static_cast<unsigned long long>(sweep_bad));
+  const auto& f = cluster.runtime().injector()->counters();
+  std::printf("injected: dropped %llu (+%llu partition), duplicated %llu, "
+              "delayed %llu, deferred %llu\n"
+              "          pauses %llu, crashes %llu, recoveries %llu, "
+              "partitions %llu\n",
+              static_cast<unsigned long long>(f.dropped),
+              static_cast<unsigned long long>(f.partition_dropped),
+              static_cast<unsigned long long>(f.duplicated),
+              static_cast<unsigned long long>(f.delayed),
+              static_cast<unsigned long long>(f.deferred),
+              static_cast<unsigned long long>(f.pauses),
+              static_cast<unsigned long long>(f.crashes),
+              static_cast<unsigned long long>(f.recoveries),
+              static_cast<unsigned long long>(f.partitions));
+  return sweep_bad == 0 ? 0 : 1;
+}
+
 int RunSchemes(FlagSet& flags) {
   const uint32_t s = static_cast<uint32_t>(flags.GetInt("shards"));
   const uint32_t d = static_cast<uint32_t>(flags.GetInt("redundant"));
@@ -611,11 +764,14 @@ int RunSchemes(FlagSet& flags) {
 int Main(int argc, char** argv) {
   FlagSet flags(
       "ringctl "
-      "<latency|throughput|recover|reliability|schemes|stats|trace|autotier>");
+      "<latency|throughput|recover|reliability|schemes|stats|trace|autotier|chaos>");
   flags.DefineString("scheme", "rep3", "storage scheme: repN or srsKM")
       .DefineString("cold-scheme", "srs32",
                     "cold-tier scheme for autotier: repN or srsKM")
       .DefineString("mode", "", "command (alias for the positional argument)")
+      .DefineString("plan", "",
+                    "chaos: fault schedule spec (';'-separated directives, "
+                    "see src/fault/fault.h; empty = seeded random plan)")
       .DefineString("trace_out", "",
                     "write a Chrome trace_event JSON file (latency/trace)")
       .DefineString("log", "",
@@ -718,6 +874,9 @@ int Main(int argc, char** argv) {
   }
   if (command == "calibrate") {
     return RunCalibrate(flags);
+  }
+  if (command == "chaos") {
+    return RunChaos(flags);
   }
   std::fprintf(stderr, "unknown command '%s'\n%s", command.c_str(),
                flags.Usage().c_str());
