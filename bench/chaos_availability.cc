@@ -5,19 +5,33 @@
 // A fixed-cadence open-loop prober issues gets against keys homed on the
 // victim shard while the schedule plays out: a crash-recovery of the
 // coordinator (the node restarts memory-less and rejoins), then a gray
-// pause of whichever node serves the shard after failover. Probes that fail
-// or stall mark the timeline "unavailable"; contiguous runs are reported as
-// windows. Replication rides out the crash with a replica promotion;
-// erasure coding pays decoding on first touch; Rep(1) keys on the victim
-// are lost for good — the rejoined node comes back memory-less.
+// pause of whichever node serves the shard after failover. The probe stream
+// feeds the telemetry pipeline (client.ops_ok / client.op_latency_ns into
+// 1 ms time-series windows); per-window goodput, error rate, and p50/p99
+// come from TimeSeries::Slis, and unavailability windows are the SLI dips
+// FindDips extracts — the same machinery `ringctl report` uses. Replication
+// rides out the crash with a replica promotion; erasure coding pays
+// decoding on first touch; Rep(1) keys on the victim are lost for good —
+// the rejoined node comes back memory-less.
+//
+// Emits BENCH_chaos.json (override the path with argv[1]) with the full
+// per-window SLI rows per scheme.
 #include "bench/bench_util.h"
+
+#include <string>
+#include <vector>
 
 #include "src/common/hash.h"
 #include "src/fault/fault.h"
+#include "src/obs/report.h"
 
 namespace {
 
 using namespace ring;
+
+constexpr char kPlanSpec[] =
+    "crash node=1 at=5ms recover=30ms\n"
+    "pause node=5 at=60ms resume=68ms";
 
 Key VictimKey(uint32_t shard, int i) {
   for (int salt = 0;; ++salt) {
@@ -28,14 +42,19 @@ Key VictimKey(uint32_t shard, int i) {
   }
 }
 
-struct Probe {
-  sim::SimTime issued;
-  sim::SimTime completed = 0;
-  bool done = false;
-  bool ok = false;
+struct SchemeResult {
+  const char* label = nullptr;
+  const char* scheme = nullptr;
+  uint64_t window_ns = 0;
+  size_t probes = 0;
+  uint64_t failed = 0;  // probe callbacks that returned a non-ok status
+  std::vector<obs::TimeSeries::SliWindow> rows;
+  std::vector<obs::Dip> dips;
+  fault::FaultInjector::Counters injected;
 };
 
-void Run(const char* label, MemgestDescriptor desc) {
+SchemeResult Run(const char* label, const char* scheme,
+                 MemgestDescriptor desc) {
   RingOptions o = bench::PaperCluster(/*clients=*/1, /*spares=*/1, 1307);
   // Fast failure handling so the crash window is dominated by the protocol,
   // not by a deliberately conservative detector; probes fail fast instead of
@@ -48,9 +67,7 @@ void Run(const char* label, MemgestDescriptor desc) {
   // memory-less at 30 ms (rejoining via the spare/recovery path); at 60 ms
   // the promoted spare (node 5) suffers an 8 ms gray pause — alive on the
   // wire, making no progress — healed before the detector gives up on it.
-  o.fault_plan = *fault::ParseFaultPlan(
-      "crash node=1 at=5ms recover=30ms\n"
-      "pause node=5 at=60ms resume=68ms");
+  o.fault_plan = *fault::ParseFaultPlan(kPlanSpec);
   o.fault_seed = 1307;
   RingCluster cluster(o);
   auto g = *cluster.CreateMemgest(desc);
@@ -62,86 +79,177 @@ void Run(const char* label, MemgestDescriptor desc) {
     (void)cluster.Put(keys[i], MakePatternBuffer(1024, i), g);
   }
 
+  // Telemetry on after the setup puts: the windows carry the probe stream
+  // only. 1 ms windows over a 100 ms horizon, capacity with drain slack.
+  obs::Hub& hub = cluster.simulator().hub();
+  obs::TimeSeries::Options tso;
+  tso.window_ns = sim::kMillisecond;
+  tso.capacity_windows = 256;
+  hub.timeseries().Configure(tso);
+  hub.timeseries().TrackSliDefaults();
+  hub.EnableMetrics(true);
+  hub.EnableTimeSeries(true);
+
   // Open-loop probe stream: one get every 100 us for 100 ms.
   const sim::SimTime kProbeGap = 100 * sim::kMicrosecond;
   const sim::SimTime kHorizon = 100 * sim::kMillisecond;
   const sim::SimTime t0 = cluster.simulator().now();
-  std::vector<Probe> probes;
-  probes.reserve(kHorizon / kProbeGap + 1);
+  SchemeResult result;
+  result.label = label;
+  result.scheme = scheme;
+  result.window_ns = hub.timeseries().window_ns();
   auto& client = cluster.client(0);
   for (int i = 0; cluster.simulator().now() - t0 < kHorizon; ++i) {
-    const size_t slot = probes.size();
-    probes.push_back(Probe{cluster.simulator().now() - t0});
-    client.Get(keys[i % kKeys],
-               [&probes, slot, &cluster, t0](GetResult r) {
-      probes[slot].done = true;
-      probes[slot].ok = r.status.ok();
-      probes[slot].completed = cluster.simulator().now() - t0;
+    ++result.probes;
+    client.Get(keys[i % kKeys], [&result](GetResult r) {
+      if (!r.status.ok()) {
+        ++result.failed;
+      }
     });
     cluster.RunFor(kProbeGap);
   }
   cluster.RunFor(50 * sim::kMillisecond);  // drain stragglers
 
-  // A probe marks its issue instant unavailable if it failed outright or
-  // stalled past the SLO (it had to ride out detection + failover before a
-  // retry landed). Merge contiguous bad probes into windows.
-  const sim::SimTime kSlo = 1 * sim::kMillisecond;
-  struct Window {
-    sim::SimTime start, end;
-  };
-  std::vector<Window> windows;
-  int failed = 0;
-  int stalled = 0;
-  for (const Probe& p : probes) {
-    const bool lost = !p.done || !p.ok;
-    const bool slow = !lost && p.completed - p.issued > kSlo;
-    if (!lost && !slow) {
-      continue;
-    }
-    failed += lost ? 1 : 0;
-    stalled += slow ? 1 : 0;
-    if (!windows.empty() && p.issued - windows.back().end <= 2 * kProbeGap) {
-      windows.back().end = p.issued;
-    } else {
-      windows.push_back(Window{p.issued, p.issued});
-    }
-  }
-  sim::SimTime total = 0;
-  sim::SimTime longest = 0;
-  for (const Window& w : windows) {
-    const sim::SimTime span = w.end - w.start + kProbeGap;
-    total += span;
-    longest = std::max(longest, span);
-  }
+  // Windowed SLIs over the probe horizon only, clamped to the last window
+  // the probe stream fully covered (the horizon ends mid-window because the
+  // setup puts shifted t0; a partial window would read as a spurious dip,
+  // and until_ns is window-inclusive). A window is unavailable when its
+  // acked-probe rate falls below half the median — probes that fail
+  // outright or stall past the window both starve ops_ok.
+  obs::TimeSeries::SliOptions so;
+  so.until_ns = (t0 + kHorizon) / result.window_ns * result.window_ns - 1;
+  result.rows = hub.timeseries().Slis(so);
+  result.dips = obs::FindDips(result.rows, result.window_ns);
+  result.injected = cluster.runtime().injector()->counters();
+  return result;
+}
 
-  std::printf("%s:\n", label);
-  std::printf("  probes %zu, failed %d, stalled(>1ms) %d, windows %zu\n",
-              probes.size(), failed, stalled, windows.size());
-  std::printf("  unavailable %7.2f ms total, longest window %7.2f ms\n",
-              static_cast<double>(total) / 1e6,
-              static_cast<double>(longest) / 1e6);
-  for (const Window& w : windows) {
-    std::printf("    [%7.2f, %7.2f] ms\n", static_cast<double>(w.start) / 1e6,
-                static_cast<double>(w.end + kProbeGap) / 1e6);
+void PrintScheme(const SchemeResult& r) {
+  uint64_t ok = 0;
+  uint64_t err = 0;
+  uint64_t unavailable = 0;
+  uint64_t longest_ns = 0;
+  for (const auto& row : r.rows) {
+    ok += row.ops_ok;
+    err += row.ops_err;
+    unavailable += row.available ? 0 : 1;
   }
-  const auto& f = cluster.runtime().injector()->counters();
+  for (const obs::Dip& d : r.dips) {
+    longest_ns = std::max(longest_ns, d.end_ns - d.start_ns);
+  }
+  std::printf("%s:\n", r.label);
+  std::printf("  probes %zu (%llu failed), %zu windows x %.1f ms: "
+              "%llu acked, %llu errors\n",
+              r.probes, static_cast<unsigned long long>(r.failed),
+              r.rows.size(), static_cast<double>(r.window_ns) / 1e6,
+              static_cast<unsigned long long>(ok),
+              static_cast<unsigned long long>(err));
+  std::printf("  unavailable %7.2f ms total, longest dip %7.2f ms\n",
+              static_cast<double>(unavailable * r.window_ns) / 1e6,
+              static_cast<double>(longest_ns) / 1e6);
+  for (const obs::Dip& d : r.dips) {
+    std::printf("    [%7.2f, %7.2f) ms  %s\n",
+                static_cast<double>(d.start_ns) / 1e6,
+                static_cast<double>(d.end_ns) / 1e6,
+                d.recovered ? "recovered" : "NOT recovered");
+  }
   std::printf("  injected: crashes %llu, recoveries %llu, pauses %llu, "
               "deferred deliveries %llu\n\n",
-              static_cast<unsigned long long>(f.crashes),
-              static_cast<unsigned long long>(f.recoveries),
-              static_cast<unsigned long long>(f.pauses),
-              static_cast<unsigned long long>(f.deferred));
+              static_cast<unsigned long long>(r.injected.crashes),
+              static_cast<unsigned long long>(r.injected.recoveries),
+              static_cast<unsigned long long>(r.injected.pauses),
+              static_cast<unsigned long long>(r.injected.deferred));
+}
+
+void WriteJson(const char* path, const std::vector<SchemeResult>& results) {
+  FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path);
+    return;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"chaos_availability\",\n");
+  std::fprintf(f, "  \"plan\": \"crash node=1 at=5ms recover=30ms; "
+                  "pause node=5 at=60ms resume=68ms\",\n");
+  std::fprintf(f, "  \"probe_gap_us\": 100,\n  \"horizon_ms\": 100,\n");
+  std::fprintf(f, "  \"schemes\": [");
+  for (size_t s = 0; s < results.size(); ++s) {
+    const SchemeResult& r = results[s];
+    uint64_t unavailable = 0;
+    uint64_t longest_ns = 0;
+    for (const auto& row : r.rows) {
+      unavailable += row.available ? 0 : 1;
+    }
+    for (const obs::Dip& d : r.dips) {
+      longest_ns = std::max(longest_ns, d.end_ns - d.start_ns);
+    }
+    std::fprintf(f, "%s\n    {\n      \"scheme\": \"%s\",\n",
+                 s == 0 ? "" : ",", r.scheme);
+    std::fprintf(f, "      \"window_ms\": %.3f,\n",
+                 static_cast<double>(r.window_ns) / 1e6);
+    std::fprintf(f, "      \"probes\": %zu,\n      \"failed\": %llu,\n",
+                 r.probes, static_cast<unsigned long long>(r.failed));
+    std::fprintf(f, "      \"unavailable_ms\": %.3f,\n",
+                 static_cast<double>(unavailable * r.window_ns) / 1e6);
+    std::fprintf(f, "      \"longest_dip_ms\": %.3f,\n",
+                 static_cast<double>(longest_ns) / 1e6);
+    std::fprintf(f, "      \"windows\": [");
+    for (size_t i = 0; i < r.rows.size(); ++i) {
+      const auto& row = r.rows[i];
+      std::fprintf(
+          f,
+          "%s\n        {\"t_ms\": %.3f, \"ops_ok\": %llu, \"ops_err\": %llu, "
+          "\"goodput_per_sec\": %.0f, \"error_rate\": %.4f, "
+          "\"p50_us\": %.1f, \"p99_us\": %.1f, \"available\": %s}",
+          i == 0 ? "" : ",", static_cast<double>(row.start_ns) / 1e6,
+          static_cast<unsigned long long>(row.ops_ok),
+          static_cast<unsigned long long>(row.ops_err), row.goodput_per_sec,
+          row.error_rate, static_cast<double>(row.p50_ns) / 1e3,
+          static_cast<double>(row.p99_ns) / 1e3,
+          row.available ? "true" : "false");
+    }
+    std::fprintf(f, "\n      ],\n      \"dips\": [");
+    for (size_t i = 0; i < r.dips.size(); ++i) {
+      const obs::Dip& d = r.dips[i];
+      std::fprintf(f,
+                   "%s\n        {\"start_ms\": %.3f, \"end_ms\": %.3f, "
+                   "\"duration_ms\": %.3f, \"recovered\": %s}",
+                   i == 0 ? "" : ",", static_cast<double>(d.start_ns) / 1e6,
+                   static_cast<double>(d.end_ns) / 1e6,
+                   static_cast<double>(d.end_ns - d.start_ns) / 1e6,
+                   d.recovered ? "true" : "false");
+    }
+    std::fprintf(f,
+                 "\n      ],\n      \"injected\": {\"crashes\": %llu, "
+                 "\"recoveries\": %llu, \"pauses\": %llu, \"deferred\": "
+                 "%llu}\n    }",
+                 static_cast<unsigned long long>(r.injected.crashes),
+                 static_cast<unsigned long long>(r.injected.recoveries),
+                 static_cast<unsigned long long>(r.injected.pauses),
+                 static_cast<unsigned long long>(r.injected.deferred));
+  }
+  std::fprintf(f, "\n  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", path);
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   std::printf(
       "# Chaos availability: crash-recovery at 5-30 ms + gray pause at "
-      "60-68 ms,\n# 1 KiB objects on the victim shard, probe every 100 us\n\n");
-  Run("Rep(3)   (replica promotion)", MemgestDescriptor::Replicated(3));
-  Run("SRS(3,2) (decode on demand)", MemgestDescriptor::ErasureCoded(3, 2));
-  Run("Rep(1)   (unreliable: lost for good, until rewritten)",
-      MemgestDescriptor::Replicated(1));
+      "60-68 ms,\n# 1 KiB objects on the victim shard, probe every 100 us, "
+      "1 ms SLI windows\n\n");
+  std::vector<SchemeResult> results;
+  results.push_back(Run("Rep(3)   (replica promotion)", "rep3",
+                        MemgestDescriptor::Replicated(3)));
+  results.push_back(Run("SRS(3,2) (decode on demand)", "srs32",
+                        MemgestDescriptor::ErasureCoded(3, 2)));
+  results.push_back(Run("Rep(1)   (unreliable: lost for good, until "
+                        "rewritten)",
+                        "rep1", MemgestDescriptor::Replicated(1)));
+  for (const SchemeResult& r : results) {
+    PrintScheme(r);
+  }
+  WriteJson(argc > 1 ? argv[1] : "BENCH_chaos.json", results);
   return 0;
 }

@@ -572,6 +572,11 @@ void FaultInjector::ApplyEvent(const NodeEvent& ev) {
                         ev.node == kAnyNode ? 0 : ev.node, hub.current_op(),
                         sim_->now(), sim_->now());
   }
+  // Injector actions land in the flight recorder too, so protocol anomalies
+  // in the ring are causally adjacent to the fault that triggered them.
+  hub.recorder().Record(obs::RecKind::kFault,
+                        NodeEventKindName(ev.kind).data(),
+                        ev.node == kAnyNode ? 0 : ev.node, hub.current_op());
   switch (ev.kind) {
     case NodeEvent::Kind::kPartition:
       ++counters_.partitions;
@@ -681,6 +686,9 @@ Verdict FaultInjector::Roll(uint32_t src, uint32_t dst, bool one_sided) {
 void FaultInjector::Defer(uint32_t node, std::function<void()> delivery) {
   ++counters_.deferred;
   Note("fault.deferred", node);
+  obs::Hub& hub = sim_->hub();
+  hub.recorder().Record(obs::RecKind::kFault, "rx_deferred", node,
+                        hub.current_op(), deferred_[node].size());
   deferred_[node].push_back(std::move(delivery));
 }
 

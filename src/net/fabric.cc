@@ -95,8 +95,21 @@ void Fabric::Send(NodeId src, NodeId dst, uint64_t payload_bytes,
       return;  // a wedged process posts no sends
     }
     const fault::Verdict v = injector_->OnTwoSided(src, dst);
+    // Injected verdicts go to the flight recorder with the op context of
+    // the sender, tying each lost/duped/slowed message to its operation.
     if (v.drop) {
+      sim_->hub().recorder().Record(obs::RecKind::kNet, "msg_dropped", src,
+                                    sim_->hub().current_op(), dst);
       return;
+    }
+    if (v.duplicate) {
+      sim_->hub().recorder().Record(obs::RecKind::kNet, "msg_duplicated", src,
+                                    sim_->hub().current_op(), dst);
+    }
+    if (v.extra_delay_ns != 0) {
+      sim_->hub().recorder().Record(obs::RecKind::kNet, "msg_delayed", src,
+                                    sim_->hub().current_op(), dst,
+                                    v.extra_delay_ns);
     }
     extra_delay = v.extra_delay_ns;
     duplicate = v.duplicate;
@@ -142,6 +155,8 @@ void Fabric::Write(NodeId src, NodeId dst, uint64_t payload_bytes,
     // models a torn QP: the issuer never sees a completion.
     const fault::Verdict v = injector_->OnOneSided(src, dst);
     if (v.drop) {
+      sim_->hub().recorder().Record(obs::RecKind::kNet, "rdma_write_dropped",
+                                    src, sim_->hub().current_op(), dst);
       return;
     }
     extra_delay = v.extra_delay_ns;
@@ -202,6 +217,8 @@ void Fabric::Read(NodeId src, NodeId dst, uint64_t response_bytes,
     }
     const fault::Verdict v = injector_->OnOneSided(src, dst);
     if (v.drop) {
+      sim_->hub().recorder().Record(obs::RecKind::kNet, "rdma_read_dropped",
+                                    src, sim_->hub().current_op(), dst);
       return;
     }
     extra_delay = v.extra_delay_ns;

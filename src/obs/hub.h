@@ -9,8 +9,12 @@
 #define RING_SRC_OBS_HUB_H_
 
 #include <cstdint>
+#include <functional>
+#include <utility>
 
+#include "src/obs/flight_recorder.h"
 #include "src/obs/metrics.h"
+#include "src/obs/timeseries.h"
 #include "src/obs/trace.h"
 
 namespace ring::obs {
@@ -23,15 +27,39 @@ inline uint64_t MakeOpId(uint32_t client_node, uint32_t req_id) {
 
 class Hub {
  public:
+  Hub() { metrics_.AttachTimeSeries(&timeseries_); }
+
   Metrics& metrics() { return metrics_; }
   const Metrics& metrics() const { return metrics_; }
   Tracer& tracer() { return tracer_; }
   const Tracer& tracer() const { return tracer_; }
+  TimeSeries& timeseries() { return timeseries_; }
+  const TimeSeries& timeseries() const { return timeseries_; }
+  FlightRecorder& recorder() { return recorder_; }
+  const FlightRecorder& recorder() const { return recorder_; }
 
   void EnableMetrics(bool on) { metrics_.Enable(on); }
   void EnableTracing(bool on) { tracer_.Enable(on); }
+  // The time-series layer is fed by Metrics, so enabling it also enables
+  // the registry (windowing without recording would see nothing).
+  void EnableTimeSeries(bool on) {
+    timeseries_.Enable(on);
+    if (on) {
+      metrics_.Enable(true);
+    }
+  }
+  void EnableRecorder(bool on) { recorder_.Enable(on); }
   bool metrics_enabled() const { return metrics_.enabled(); }
   bool tracing_enabled() const { return tracer_.enabled(); }
+  bool timeseries_enabled() const { return timeseries_.enabled(); }
+  bool recorder_enabled() const { return recorder_.enabled(); }
+
+  // Sim-time source for the windowing layer and the flight recorder;
+  // installed once by the simulator that owns this hub.
+  void SetClock(std::function<uint64_t()> clock) {
+    timeseries_.SetClock(clock);
+    recorder_.SetClock(std::move(clock));
+  }
 
   uint64_t current_op() const { return current_op_; }
   void set_current_op(uint64_t op_id) { current_op_ = op_id; }
@@ -39,6 +67,8 @@ class Hub {
  private:
   Metrics metrics_;
   Tracer tracer_;
+  TimeSeries timeseries_;
+  FlightRecorder recorder_;
   uint64_t current_op_ = 0;
 };
 

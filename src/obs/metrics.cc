@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <cinttypes>
+#include <cmath>
 #include <cstdio>
 #include <sstream>
+
+#include "src/obs/timeseries.h"
 
 namespace ring::obs {
 
@@ -42,6 +45,15 @@ uint64_t Histogram::BucketLowerBound(int b) {
   return 1ULL << (b - 1);
 }
 
+uint64_t Histogram::BucketMidpoint(int b) {
+  if (b <= 0) {
+    return 0;
+  }
+  const double lo = static_cast<double>(BucketLowerBound(b));
+  const double hi = 2.0 * lo - 1.0;  // inclusive upper bound
+  return static_cast<uint64_t>(std::sqrt(lo * hi));
+}
+
 void Histogram::Observe(uint64_t value) {
   ++buckets_[BucketOf(value)];
   sum_ += value;
@@ -65,8 +77,7 @@ uint64_t Histogram::ApproxPercentile(double p) const {
   for (int b = 0; b < kBuckets; ++b) {
     seen += buckets_[b];
     if (seen > rank) {
-      // Upper bound of bucket b (inclusive).
-      return b == 0 ? 0 : (BucketLowerBound(b + 1) - 1);
+      return BucketMidpoint(b);
     }
   }
   return max_;
@@ -191,8 +202,8 @@ std::string Metrics::Summary() const {
     os << "histograms:\n";
     for (const auto& [key, h] : histograms_) {
       std::snprintf(line, sizeof(line),
-                    "  %-48s count %-10" PRIu64 " mean %-12.1f p50<=%-12" PRIu64
-                    " p99<=%-12" PRIu64 " max %" PRIu64 "\n",
+                    "  %-48s count %-10" PRIu64 " mean %-12.1f p50~%-12" PRIu64
+                    " p99~%-12" PRIu64 " max %" PRIu64 "\n",
                     KeyLabel(key).c_str(), h.count(), h.Mean(),
                     h.ApproxPercentile(50), h.ApproxPercentile(99), h.max());
       os << line;
@@ -207,6 +218,14 @@ std::string Metrics::Summary() const {
     }
   }
   return os.str();
+}
+
+void Metrics::ForwardCounter(const MetricKey& key, uint64_t delta) {
+  timeseries_->OnCounter(key, delta);
+}
+
+void Metrics::ForwardSample(const MetricKey& key, uint64_t value) {
+  timeseries_->OnSample(key, value);
 }
 
 void Metrics::Clear() {

@@ -15,6 +15,8 @@
 
 namespace ring::obs {
 
+class TimeSeries;
+
 // Operation dimension of a metric key.
 enum class OpKind : uint8_t {
   kNone = 0,
@@ -67,6 +69,12 @@ class Histogram {
   static int BucketOf(uint64_t value);
   // Smallest value belonging to bucket `b` (0 for b == 0).
   static uint64_t BucketLowerBound(int b);
+  // Geometric mean of bucket `b`'s bounds (0 for b == 0), the midpoint used
+  // for percentile reporting: a value v in bucket b satisfies
+  // v in [2^(b-1), 2^b), so the estimate m = sqrt(lo * hi) ~ 2^(b-1)*sqrt(2)
+  // is within a factor sqrt(2) of v either way — relative error <= ~41.4%,
+  // half the worst case of reporting a bucket bound (factor 2).
+  static uint64_t BucketMidpoint(int b);
 
   void Observe(uint64_t value);
 
@@ -80,8 +88,9 @@ class Histogram {
                              static_cast<double>(count_);
   }
   uint64_t bucket(int b) const { return buckets_[b]; }
-  // Upper bound of the bucket containing the p-th percentile (p in [0,100]);
-  // a log2-resolution estimate, which is all the buckets can support.
+  // Geometric midpoint (see BucketMidpoint) of the bucket containing the
+  // p-th percentile (p in [0,100]); a log2-resolution estimate accurate to
+  // within a factor sqrt(2) of the true quantile's bucket value.
   uint64_t ApproxPercentile(double p) const;
 
   // Exact bucket/sum/count/min/max merge of another histogram.
@@ -102,13 +111,23 @@ class Metrics {
   bool enabled() const { return enabled_; }
   void Enable(bool on) { enabled_ = on; }
 
+  // Optional time-series sink: counter increments and histogram samples are
+  // forwarded (as deltas / raw samples) after the registry update, so
+  // windowed views stay correct across Clear(). The sink must outlive the
+  // registry or be detached with nullptr.
+  void AttachTimeSeries(TimeSeries* ts) { timeseries_ = ts; }
+
   // ---- recording (no-ops while disabled) ----
   void Inc(const char* name, uint64_t delta, uint32_t node = kNoNode,
            uint32_t memgest = kNoMemgest, OpKind op = OpKind::kNone) {
     if (!enabled_) {
       return;
     }
-    counters_[MetricKey{name, node, memgest, op}] += delta;
+    const MetricKey key{name, node, memgest, op};
+    counters_[key] += delta;
+    if (timeseries_ != nullptr) {
+      ForwardCounter(key, delta);
+    }
   }
   void SetGauge(const char* name, int64_t value, uint32_t node = kNoNode,
                 uint32_t memgest = kNoMemgest, OpKind op = OpKind::kNone) {
@@ -122,7 +141,11 @@ class Metrics {
     if (!enabled_) {
       return;
     }
-    histograms_[MetricKey{name, node, memgest, op}].Observe(value);
+    const MetricKey key{name, node, memgest, op};
+    histograms_[key].Observe(value);
+    if (timeseries_ != nullptr) {
+      ForwardSample(key, value);
+    }
   }
   // Bytes-on-wire accounting for one fabric link src -> dst.
   void CountLink(uint32_t src, uint32_t dst, uint64_t bytes) {
@@ -150,6 +173,10 @@ class Metrics {
   uint64_t LinkBytes(uint32_t src, uint32_t dst) const;
 
   const std::map<MetricKey, uint64_t>& counters() const { return counters_; }
+  const std::map<MetricKey, int64_t>& gauges() const { return gauges_; }
+  const std::map<MetricKey, Histogram>& histograms() const {
+    return histograms_;
+  }
   const std::map<std::pair<uint32_t, uint32_t>, uint64_t>& link_bytes()
       const {
     return link_bytes_;
@@ -161,7 +188,12 @@ class Metrics {
   void Clear();
 
  private:
+  // Out-of-line so this header does not need the TimeSeries definition.
+  void ForwardCounter(const MetricKey& key, uint64_t delta);
+  void ForwardSample(const MetricKey& key, uint64_t value);
+
   bool enabled_ = false;
+  TimeSeries* timeseries_ = nullptr;
   std::map<MetricKey, uint64_t> counters_;
   std::map<MetricKey, int64_t> gauges_;
   std::map<MetricKey, Histogram> histograms_;

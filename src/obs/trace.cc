@@ -188,22 +188,29 @@ std::string Tracer::ChromeTraceJson() const {
     breakdowns[b.op_id] = b;
   }
 
-  // One B and one E event per span. Ordering at equal timestamps: closing
-  // spans first (rank 0), then opening spans (rank 1), then the E of
-  // zero-duration spans (rank 2, so a marker's E follows its own B).
+  // One B and one E event per span, except zero-duration fault spans, which
+  // export as a single global instant event ("ph":"i") so injected faults
+  // render as markers across the whole timeline. Ordering at equal
+  // timestamps: closing spans first (rank 0), then opening spans and
+  // instants (rank 1), then the E of zero-duration spans (rank 2, so a
+  // marker's E follows its own B).
   struct Event {
     uint64_t t;
     int rank;
     uint64_t seq;
     const Span* span;
-    bool begin;
+    char ph;  // 'B', 'E' or 'i'
   };
   std::vector<Event> events;
   events.reserve(spans_.size() * 2);
   for (size_t i = 0; i < spans_.size(); ++i) {
     const Span& s = spans_[i];
-    events.push_back({s.start, 1, i, &s, true});
-    events.push_back({s.end, s.end == s.start ? 2 : 0, i, &s, false});
+    if (s.category == Category::kFault && s.end == s.start) {
+      events.push_back({s.start, 1, i, &s, 'i'});
+      continue;
+    }
+    events.push_back({s.start, 1, i, &s, 'B'});
+    events.push_back({s.end, s.end == s.start ? 2 : 0, i, &s, 'E'});
   }
   std::sort(events.begin(), events.end(), [](const Event& a, const Event& b) {
     if (a.t != b.t) {
@@ -226,7 +233,19 @@ std::string Tracer::ChromeTraceJson() const {
     }
     first = false;
     const double ts_us = static_cast<double>(e.t) / 1000.0;
-    if (e.begin) {
+    if (e.ph == 'i') {
+      std::snprintf(buf, sizeof(buf),
+                    "\n{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"i\","
+                    "\"s\":\"g\",\"ts\":%.3f,\"pid\":0,\"tid\":%u",
+                    s.name, CategoryName(s.category), ts_us, s.node);
+      os << buf;
+      if (s.op_id != 0) {
+        std::snprintf(buf, sizeof(buf), ",\"args\":{\"op_id\":%" PRIu64 "}",
+                      s.op_id);
+        os << buf;
+      }
+      os << "}";
+    } else if (e.ph == 'B') {
       std::snprintf(buf, sizeof(buf),
                     "\n{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"B\","
                     "\"ts\":%.3f,\"pid\":0,\"tid\":%u",

@@ -96,6 +96,9 @@ void AutoTierManager::Tick() {
   hub.tracer().Record("autotier_tick", obs::Category::kOther,
                       cluster_->client(options_.mover.client_index).node(),
                       /*op_id=*/0, start, cluster_->simulator().now());
+  hub.recorder().Record(obs::RecKind::kPolicy, "autotier_tick",
+                        cluster_->client(options_.mover.client_index).node(),
+                        0, mover_.scheduled(), mover_.completed());
 }
 
 MemgestId AutoTierManager::PlacementOf(const Key& key) const {

@@ -28,10 +28,12 @@ void Mover::Enqueue(const Key& key, MemgestId dst) {
   pending_[key] = dst;
   queue_.push_back(Job{key, dst, 0});
   ++scheduled_;
-  cluster_->simulator().hub().metrics().Inc(
-      "policy.moves_scheduled", 1, cluster_->client(options_.client_index)
-                                       .node(),
-      dst, obs::OpKind::kMove);
+  obs::Hub& hub = cluster_->simulator().hub();
+  const uint32_t node = cluster_->client(options_.client_index).node();
+  hub.metrics().Inc("policy.moves_scheduled", 1, node, dst,
+                    obs::OpKind::kMove);
+  hub.recorder().Record(obs::RecKind::kPolicy, "move_scheduled", node, 0,
+                        dst);
 }
 
 void Mover::RefillTokens() {
@@ -101,12 +103,15 @@ void Mover::OnDone(Job job, const Status& status) {
 }
 
 void Mover::Finish(Job job, const Status& status) {
-  obs::Metrics& metrics = cluster_->simulator().hub().metrics();
+  obs::Hub& hub = cluster_->simulator().hub();
+  obs::Metrics& metrics = hub.metrics();
   const uint32_t node = cluster_->client(options_.client_index).node();
   if (status.ok()) {
     ++completed_;
     metrics.Inc("policy.moves_completed", 1, node, job.dst,
                 obs::OpKind::kMove);
+    hub.recorder().Record(obs::RecKind::kPolicy, "move_completed", node, 0,
+                          job.dst);
     pending_.erase(job.key);
     if (done_hook_) {
       done_hook_(job.key, job.dst, status);
@@ -131,6 +136,8 @@ void Mover::Finish(Job job, const Status& status) {
   }
   ++aborted_;
   metrics.Inc("policy.moves_aborted", 1, node, job.dst, obs::OpKind::kMove);
+  hub.recorder().Record(obs::RecKind::kPolicy, "move_aborted", node, 0,
+                        job.dst, static_cast<uint64_t>(status.code()));
   pending_.erase(job.key);
   if (done_hook_) {
     done_hook_(job.key, job.dst, status);

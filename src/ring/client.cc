@@ -5,6 +5,19 @@
 namespace ring {
 namespace {
 constexpr uint64_t kHeaderBytes = 64;
+
+// Did this completion carry a success? Overloads cover every callback shape
+// routed through Complete (puts/moves, gets, deletes, admin ops).
+bool CompletionOk() { return false; }
+bool CompletionOk(const Status& status) { return status.ok(); }
+bool CompletionOk(const Status& status, Version /*version*/) {
+  return status.ok();
+}
+bool CompletionOk(const GetResult& result) { return result.status.ok(); }
+template <typename T>
+bool CompletionOk(const Result<T>& result) {
+  return result.ok();
+}
 }  // namespace
 
 RingClient::RingClient(RingRuntime* runtime, uint32_t index)
@@ -44,6 +57,14 @@ auto RingClient::Complete(uint64_t req_id, sim::SimTime start,
     hub.metrics().Inc("client.ops", 1, node_, memgest, kind);
     hub.metrics().Observe("client.op_latency_ns", end - start, node_, memgest,
                           kind);
+    // Ok/error split feeds the windowed SLIs (goodput and error rate).
+    const bool ok = CompletionOk(args...);
+    hub.metrics().Inc(ok ? obs::kSliOpsOk : obs::kSliOpErrors, 1, node_,
+                      memgest, kind);
+    if (!ok) {
+      hub.recorder().Record(obs::RecKind::kClient, "op_failed", node_,
+                            OpId(req_id), memgest);
+    }
     cb(std::forward<decltype(args)>(args)...);
   };
 }
@@ -72,6 +93,8 @@ void RingClient::Launch(uint64_t req_id, std::function<void(bool)> send,
       // duplicate is dropped by Complete.
       ++hedges_;
       rt_->simulator().hub().metrics().Inc("client.hedges", 1, node_);
+      rt_->simulator().hub().recorder().Record(obs::RecKind::kClient, "hedge",
+                                               node_, OpId(req_id));
       const auto& params = rt_->simulator().params();
       auto send_again = it->second.send;
       cpu().Execute(params.client_base_ns +
@@ -118,12 +141,19 @@ void RingClient::CheckTimeout(uint64_t req_id) {
     // Budget exhausted: surface unavailability instead of retrying forever.
     ++timeouts_;
     rt_->simulator().hub().metrics().Inc("client.unavailable", 1, node_);
+    rt_->simulator().hub().recorder().Record(obs::RecKind::kClient,
+                                             "retry_budget_exhausted", node_,
+                                             OpId(req_id),
+                                             it->second.retries);
     auto fail = it->second.fail;
     fail();  // marks done + erases via the Complete wrapper
     return;
   }
   // Re-learn the configuration and multicast: only the responsible node
   // will answer (§5.5).
+  rt_->simulator().hub().recorder().Record(obs::RecKind::kClient,
+                                           "client_retry", node_,
+                                           OpId(req_id), it->second.retries);
   RefreshConfig();
   auto send = it->second.send;
   cpu().Execute(p.client_base_ns +

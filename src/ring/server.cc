@@ -152,6 +152,8 @@ bool RingServer::ClaimClientOp(net::NodeId client, uint64_t req_id) {
       // Executed already but the reply was evidently lost: resend it.
       ++counters_.resent_replies;
       hub().metrics().Inc("server.resent_replies", 1, id_);
+      hub().recorder().Record(obs::RecKind::kDedup, "resent_reply", id_,
+                              hub().current_op(), client, req_id);
       it->second();
     }
     // Else still executing; the in-flight reply will cover this duplicate.
@@ -399,6 +401,8 @@ void RingServer::ScheduleWriteRetransmit(MemgestId gid, uint32_t shard,
       if ((entry->acks_pending & (1u << ordinal)) != 0) {
         ++counters_.retransmits;
         hub().metrics().Inc("server.retransmits", 1, id_, gid);
+        hub().recorder().Record(obs::RecKind::kRetransmit, "write_retransmit",
+                                id_, entry->trace_op, gid, ordinal);
         entry->backup_resend[ordinal]();
       }
     }
@@ -635,6 +639,16 @@ void RingServer::CommitEntry(const MemgestInfo& info, uint32_t shard,
                           entry->trace_op, now, now);
   }
   hub().metrics().Inc("server.commits", 1, id_, info.id);
+  if (hub().recorder_enabled()) {
+    const sim::SimTime now = rt_->simulator().now();
+    if (entry->trace_quorum_start != 0 && now > entry->trace_quorum_start) {
+      hub().recorder().Record(obs::RecKind::kQuorum, "quorum_wait", id_,
+                              entry->trace_op,
+                              now - entry->trace_quorum_start);
+    }
+    hub().recorder().Record(obs::RecKind::kPhase, "commit", id_,
+                            entry->trace_op, info.id);
+  }
   entry->backup_resend.clear();
   auto waiters = std::move(entry->waiters);
   entry->waiters.clear();
@@ -815,6 +829,8 @@ void RingServer::DeliverGet(const MemgestInfo& info, uint32_t shard,
     // Fig. 5, client D: the reply is postponed until the version commits.
     ++counters_.deferred_gets;
     hub().metrics().Inc("server.deferred_gets", 1, id_);
+    hub().recorder().Record(obs::RecKind::kQuorum, "get_deferred", id_,
+                            hub().current_op(), entry->version);
     const sim::SimTime defer_start = rt_->simulator().now();
     const Version version = entry->version;
     const MemgestInfo* info_ptr = &info;
@@ -875,6 +891,8 @@ void RingServer::DeliverGet(const MemgestInfo& info, uint32_t shard,
               !live->data_present || live->addr != addr) {
             ++counters_.op_restarts;
             hub().metrics().Inc("server.op_restarts", 1, id_);
+            hub().recorder().Record(obs::RecKind::kRestart, "get_restart",
+                                    id_, hub().current_op(), version);
             ResolveGet(std::move(req));
             return;
           }
@@ -1017,6 +1035,8 @@ void RingServer::HandleMove(MoveRequest req) {
                 live->addr != addr) {
               ++counters_.op_restarts;
               hub().metrics().Inc("server.op_restarts", 1, id_);
+              hub().recorder().Record(obs::RecKind::kRestart, "move_restart",
+                                      id_, hub().current_op(), src_version);
               req.resumed = true;
               HandleMove(std::move(req));
               return;

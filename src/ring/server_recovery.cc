@@ -159,6 +159,8 @@ void RingServer::BeginPromotion(uint32_t new_slot) {
                             start, rt_->simulator().now());
       hub().metrics().Observe("recovery.promotion_ns", last_recovery_ns_, id_,
                               obs::kNoMemgest, obs::OpKind::kRecovery);
+      hub().recorder().Record(obs::RecKind::kRecovery, "promotion", id_, 0,
+                              last_recovery_ns_);
       RING_LOG(kInfo) << "node " << id_ << " serving after "
                       << last_recovery_ns_ / 1000 << "us";
       RecoverAllData([this] { NotifyRedundancyRecovered(); });
@@ -421,6 +423,8 @@ void RingServer::EnsureDataPresent(const MemgestInfo& info, uint32_t shard,
     ++counters_.blocks_recovered;
     hub().metrics().Inc("recovery.blocks", 1, id_, info_ptr->id,
                         obs::OpKind::kRecovery);
+    hub().recorder().Record(obs::RecKind::kRecovery, "block_recovery", id_,
+                            op_id, info_ptr->id, version);
     then(OkStatus());
   };
 
@@ -856,6 +860,8 @@ void RingServer::RebuildParity(const MemgestInfo& info, uint32_t group,
                             0, rebuild_start, rt_->simulator().now());
       hub().metrics().Inc("recovery.parity_rebuilds", 1, id_, info_ptr->id,
                           obs::OpKind::kRecovery);
+      hub().recorder().Record(obs::RecKind::kRecovery, "parity_rebuild", id_,
+                              0, info_ptr->id);
       RING_LOG(kInfo) << "node " << id_ << " rebuilt parity for memgest "
                       << info_ptr->id;
       done();

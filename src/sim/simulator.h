@@ -17,7 +17,13 @@ class Simulator {
  public:
   explicit Simulator(uint64_t seed = 1, SimParams params = kDefaultParams)
       : rng_(seed), params_(params),
-        race_(analysis::RaceDetector::FromEnv()) {}
+        race_(analysis::RaceDetector::FromEnv()) {
+    // The hub's windowing layer and flight recorder timestamp off the event
+    // queue; the clock captures `this`, so the simulator must stay put.
+    hub_.SetClock([this] { return queue_.now(); });
+  }
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
 
   SimTime now() const { return queue_.now(); }
   const SimParams& params() const { return params_; }

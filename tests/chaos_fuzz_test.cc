@@ -12,6 +12,8 @@
 // produce byte-identical metrics, traffic outcomes, and fault counters.
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <cstdlib>
 #include <map>
 #include <set>
 #include <sstream>
@@ -24,6 +26,32 @@
 
 namespace ring {
 namespace {
+
+// On an oracle failure, the plan that provoked it and the flight-recorder
+// tail are the debugging state that matters: dump both to stderr and to a
+// $TEST_TMPDIR artifact (cwd when unset) so CI retains them.
+void DumpFailureArtifact(uint64_t seed, const fault::FaultPlan& plan,
+                         const obs::FlightRecorder& recorder) {
+  std::ostringstream os;
+  const std::vector<obs::RecEvent> tail = recorder.Tail(64);
+  os << "chaos_fuzz oracle failure, seed=" << seed << "\n"
+     << "replay: ctest -R ChaosFuzzTest --gtest_filter='*seed" << seed
+     << "*' (or RunChaos(" << seed << "))\n"
+     << "fault plan:\n"
+     << plan.ToString() << "flight recorder tail (last " << tail.size()
+     << " of " << recorder.total_recorded() << " events):\n"
+     << obs::FlightRecorder::Format(tail);
+  const std::string text = os.str();
+  std::fputs(text.c_str(), stderr);
+  const char* dir = std::getenv("TEST_TMPDIR");
+  const std::string path = std::string(dir != nullptr ? dir : ".") +
+                           "/chaos_fuzz_seed" + std::to_string(seed) + ".txt";
+  if (FILE* f = std::fopen(path.c_str(), "w"); f != nullptr) {
+    std::fputs(text.c_str(), f);
+    std::fclose(f);
+    std::fprintf(stderr, "artifact: %s\n", path.c_str());
+  }
+}
 
 Buffer EncodeValue(const Key& key, uint64_t nonce, size_t size) {
   Buffer out = MakePatternBuffer(size, HashKey(key) ^ nonce);
@@ -79,6 +107,9 @@ ChaosDigest RunChaos(uint64_t seed) {
   RingCluster cluster(options);
   obs::Hub& hub = cluster.simulator().hub();
   hub.EnableMetrics(true);
+  // Flight recorder on for every run: zero-perturbation (determinism_test
+  // proves it), and on an oracle failure its tail is the post-mortem.
+  hub.EnableRecorder(true);
   const auto& p = cluster.simulator().params();
 
   const MemgestId rep1 =
@@ -260,6 +291,9 @@ ChaosDigest RunChaos(uint64_t seed) {
     digest.crashes = inj->counters().crashes;
   }
   digest.oracle_violations = violations;
+  if (violations > 0) {
+    DumpFailureArtifact(seed, options.fault_plan, hub.recorder());
+  }
   return digest;
 }
 

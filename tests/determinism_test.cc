@@ -25,7 +25,7 @@ struct RunOutput {
 // Mixed put/get traffic over the paper's memgest spread (rep1/rep3/srs32)
 // across object sizes 2^4..2^11, with seeded random pacing — the shape of
 // the fig7 latency workload, shrunk to test size.
-RunOutput RunFig7StyleWorkload(bool analyze_races) {
+RunOutput RunFig7StyleWorkload(bool analyze_races, bool telemetry = false) {
   RingOptions options;
   options.seed = 42;
   options.clients = 2;
@@ -34,6 +34,13 @@ RunOutput RunFig7StyleWorkload(bool analyze_races) {
   obs::Hub& hub = cluster.simulator().hub();
   hub.EnableMetrics(true);
   hub.EnableTracing(true);
+  if (telemetry) {
+    // Full telemetry pipeline on: windowed SLIs + flight recorder. Both are
+    // pure observation and must not move a single event.
+    hub.timeseries().TrackSliDefaults();
+    hub.EnableTimeSeries(true);
+    hub.EnableRecorder(true);
+  }
 
   const std::vector<MemgestId> memgests = {
       *cluster.CreateMemgest(MemgestDescriptor::Replicated(1)),
@@ -96,6 +103,19 @@ TEST(DeterminismTest, RaceDetectorDoesNotPerturbTheSchedule) {
   EXPECT_EQ(plain.metrics, observed.metrics);
   EXPECT_EQ(plain.trace, observed.trace);
   EXPECT_EQ(plain.trace_summary, observed.trace_summary);
+}
+
+TEST(DeterminismTest, TelemetryPipelineDoesNotPerturbTheSchedule) {
+  // The zero-perturbation gate for the telemetry pipeline: the same seeded
+  // workload with the time-series layer + flight recorder enabled must
+  // produce byte-identical metrics/trace output to the telemetry-off run
+  // (windowing and recording never schedule events or consume sim RNG).
+  const RunOutput off = RunFig7StyleWorkload(/*analyze_races=*/false);
+  const RunOutput on =
+      RunFig7StyleWorkload(/*analyze_races=*/false, /*telemetry=*/true);
+  EXPECT_EQ(off.metrics, on.metrics);
+  EXPECT_EQ(off.trace, on.trace);
+  EXPECT_EQ(off.trace_summary, on.trace_summary);
 }
 
 }  // namespace

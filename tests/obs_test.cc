@@ -10,8 +10,12 @@
 #include <utility>
 #include <vector>
 
+#include "src/obs/export.h"
+#include "src/obs/flight_recorder.h"
 #include "src/obs/hub.h"
 #include "src/obs/metrics.h"
+#include "src/obs/report.h"
+#include "src/obs/timeseries.h"
 #include "src/obs/trace.h"
 #include "src/ring/cluster.h"
 
@@ -52,8 +56,11 @@ TEST(HistogramTest, ObserveAccumulatesAndMerges) {
   EXPECT_EQ(h.bucket(0), 1u);
   EXPECT_EQ(h.bucket(1), 1u);
   EXPECT_EQ(h.bucket(obs::Histogram::BucketOf(1000)), 1u);
-  // p100 reports the upper bound of the top occupied bucket (log2 estimate).
-  EXPECT_GE(h.ApproxPercentile(100), 1000u);
+  // Percentiles report the geometric midpoint of the selected bucket —
+  // within a factor sqrt(2) of the true quantile. 1000 lands in bucket 10
+  // ([512, 1023]), whose midpoint is floor(sqrt(512 * 1023)) = 723.
+  EXPECT_EQ(obs::Histogram::BucketMidpoint(10), 723u);
+  EXPECT_EQ(h.ApproxPercentile(100), 723u);
   EXPECT_EQ(h.ApproxPercentile(0), 0u);
 
   obs::Histogram other;
@@ -324,6 +331,325 @@ TEST(ChromeTraceTest, TwoNodePutExportsBalancedValidJson) {
               b.total_ns())
         << b.name;
   }
+}
+
+TEST(ChromeTraceTest, FaultSpansExportAsInstantEvents) {
+  obs::Tracer t;
+  t.Enable(true);
+  const uint64_t op = obs::MakeOpId(0, 1);
+  t.Record("put", obs::Category::kOp, 0, op, 0, 100);
+  // Zero-duration fault spans become global instant markers ("ph":"i").
+  t.Record("crash", obs::Category::kFault, 3, 0, 40, 40);
+  const std::string json = t.ChromeTraceJson();
+  EXPECT_TRUE(JsonChecker(json).Valid()) << json.substr(0, 400);
+  EXPECT_NE(json.find("\"name\":\"crash\",\"cat\":\"fault\",\"ph\":\"i\","
+                      "\"s\":\"g\""),
+            std::string::npos)
+      << json;
+  // The op span still exports as a balanced B/E pair; the fault marker
+  // contributes exactly one event.
+  size_t b = 0;
+  size_t e = 0;
+  size_t i = 0;
+  for (const auto& [ph, tid] : PhAndTid(json)) {
+    b += ph == 'B';
+    e += ph == 'E';
+    i += ph == 'i';
+  }
+  EXPECT_EQ(b, 1u);
+  EXPECT_EQ(e, 1u);
+  EXPECT_EQ(i, 1u);
+}
+
+// -------------------------------------------------------------- time series
+
+// Fixed-clock harness: tests drive sim time by hand.
+struct TsFixture {
+  uint64_t now = 0;
+  obs::TimeSeries ts;
+  TsFixture(uint64_t window_ns, size_t capacity, size_t max_series = 16) {
+    obs::TimeSeries::Options o;
+    o.window_ns = window_ns;
+    o.capacity_windows = capacity;
+    o.max_series = max_series;
+    ts.Configure(o);
+    ts.SetClock([this] { return now; });
+    ts.Enable(true);
+  }
+};
+
+TEST(TimeSeriesTest, WindowRolloverAtRingCapacity) {
+  TsFixture f(/*window_ns=*/100, /*capacity=*/4);
+  f.ts.TrackCounter(obs::kSliOpsOk);
+  const obs::MetricKey key{obs::kSliOpsOk, 7, obs::kNoMemgest,
+                           obs::OpKind::kPut};
+  for (uint64_t w = 0; w < 10; ++w) {
+    f.now = w * 100;
+    f.ts.OnCounter(key, w + 1);  // window w holds delta w+1
+  }
+  const auto& s = f.ts.series().at(key);
+  // Only the last 4 windows survive the ring.
+  EXPECT_EQ(s.first, 6u);
+  EXPECT_EQ(s.last, 9u);
+  EXPECT_EQ(s.CountAt(5), 0u);  // evicted
+  for (uint64_t w = 6; w <= 9; ++w) {
+    EXPECT_EQ(s.CountAt(w), w + 1) << "window " << w;
+  }
+  // A jump past the whole ring zeroes the skipped slots.
+  f.now = 2000;  // window 20
+  f.ts.OnCounter(key, 5);
+  const auto& s2 = f.ts.series().at(key);
+  EXPECT_EQ(s2.last, 20u);
+  EXPECT_EQ(s2.first, 17u);
+  EXPECT_EQ(s2.CountAt(20), 5u);
+  EXPECT_EQ(s2.CountAt(19), 0u);
+  EXPECT_EQ(s2.CountAt(9), 0u);
+}
+
+TEST(TimeSeriesTest, CounterDeltasSurviveRegistryClear) {
+  // The registry forwards deltas (not levels), so windowed counts stay
+  // correct across Metrics::Clear().
+  uint64_t now = 0;
+  obs::Metrics m;
+  obs::TimeSeries ts;
+  obs::TimeSeries::Options o;
+  o.window_ns = 100;
+  o.capacity_windows = 8;
+  ts.Configure(o);
+  ts.SetClock([&now] { return now; });
+  ts.TrackCounter(obs::kSliOpsOk);
+  ts.Enable(true);
+  m.AttachTimeSeries(&ts);
+  m.Enable(true);
+
+  m.Inc(obs::kSliOpsOk, 5, /*node=*/1);
+  m.Clear();  // registry wiped between phases of a run
+  EXPECT_EQ(m.CounterTotal(obs::kSliOpsOk), 0u);
+  now = 150;  // window 1
+  m.Inc(obs::kSliOpsOk, 3, /*node=*/1);
+  const obs::MetricKey key{obs::kSliOpsOk, 1, obs::kNoMemgest,
+                           obs::OpKind::kNone};
+  const auto& s = ts.series().at(key);
+  EXPECT_EQ(s.CountAt(0), 5u);
+  EXPECT_EQ(s.CountAt(1), 3u);
+}
+
+TEST(TimeSeriesTest, EmptyWindowPercentilesAreZero) {
+  TsFixture f(/*window_ns=*/100, /*capacity=*/8);
+  f.ts.TrackLatency(obs::kSliOpLatencyNs);
+  f.ts.TrackCounter(obs::kSliOpsOk);
+  const obs::MetricKey lat{obs::kSliOpLatencyNs, 1, obs::kNoMemgest,
+                           obs::OpKind::kGet};
+  const obs::MetricKey ok{obs::kSliOpsOk, 1, obs::kNoMemgest,
+                          obs::OpKind::kGet};
+  f.now = 0;
+  f.ts.OnSample(lat, 1000);
+  f.ts.OnCounter(ok, 1);
+  f.now = 250;  // window 2; window 1 stays empty
+  f.ts.OnSample(lat, 2000);
+  f.ts.OnCounter(ok, 1);
+
+  const auto& s = f.ts.series().at(lat);
+  ASSERT_NE(s.HistAt(1), nullptr);
+  EXPECT_EQ(s.HistAt(1)->count, 0u);
+  EXPECT_EQ(s.HistAt(1)->Percentile(50), 0u);
+  EXPECT_EQ(s.HistAt(1)->Percentile(99), 0u);
+
+  const auto rows = f.ts.Slis({});
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_EQ(rows[1].ops_ok, 0u);
+  EXPECT_EQ(rows[1].p50_ns, 0u);
+  EXPECT_EQ(rows[1].p99_ns, 0u);
+  EXPECT_DOUBLE_EQ(rows[1].error_rate, 0.0);
+}
+
+TEST(TimeSeriesTest, AvailabilityDipDetected) {
+  TsFixture f(/*window_ns=*/1000, /*capacity=*/64);
+  f.ts.TrackCounter(obs::kSliOpsOk);
+  f.ts.TrackCounter(obs::kSliOpErrors);
+  const obs::MetricKey ok{obs::kSliOpsOk, 1, obs::kNoMemgest,
+                          obs::OpKind::kPut};
+  const obs::MetricKey err{obs::kSliOpErrors, 1, obs::kNoMemgest,
+                           obs::OpKind::kPut};
+  // Steady 10 acked ops per window, except a two-window outage where only
+  // errors complete.
+  for (uint64_t w = 0; w < 10; ++w) {
+    f.now = w * 1000;
+    if (w == 4 || w == 5) {
+      f.ts.OnCounter(err, 10);
+    } else {
+      f.ts.OnCounter(ok, 10);
+    }
+  }
+  const auto rows = f.ts.Slis({});
+  ASSERT_EQ(rows.size(), 10u);
+  for (uint64_t w = 0; w < 10; ++w) {
+    EXPECT_EQ(rows[w].available, w != 4 && w != 5) << "window " << w;
+  }
+  EXPECT_DOUBLE_EQ(rows[4].error_rate, 1.0);
+  EXPECT_GT(rows[0].goodput_per_sec, 0.0);
+
+  const auto dips = obs::FindDips(rows, f.ts.window_ns());
+  ASSERT_EQ(dips.size(), 1u);
+  EXPECT_EQ(dips[0].first_window, 4u);
+  EXPECT_EQ(dips[0].last_window, 5u);
+  EXPECT_TRUE(dips[0].recovered);
+}
+
+TEST(TimeSeriesTest, MaxSeriesCapDropsNewSeries) {
+  TsFixture f(/*window_ns=*/100, /*capacity=*/4, /*max_series=*/2);
+  f.ts.TrackCounter(obs::kSliOpsOk);
+  for (uint32_t node = 0; node < 5; ++node) {
+    f.ts.OnCounter(
+        {obs::kSliOpsOk, node, obs::kNoMemgest, obs::OpKind::kPut}, 1);
+  }
+  EXPECT_EQ(f.ts.series().size(), 2u);
+  EXPECT_EQ(f.ts.dropped_series(), 3u);
+}
+
+// ---------------------------------------------------------- flight recorder
+
+TEST(FlightRecorderTest, DisabledRecordsNothing) {
+  obs::FlightRecorder rec;
+  rec.Record(obs::RecKind::kFault, "crash", 1, 0);
+  EXPECT_EQ(rec.size(), 0u);
+  EXPECT_EQ(rec.total_recorded(), 0u);
+  EXPECT_TRUE(rec.Tail(10).empty());
+}
+
+TEST(FlightRecorderTest, RingOverwritesOldest) {
+  obs::FlightRecorder rec;
+  rec.set_capacity(4);
+  uint64_t now = 0;
+  rec.SetClock([&now] { return now; });
+  rec.Enable(true);
+  for (uint64_t i = 0; i < 10; ++i) {
+    now = i * 10;
+    rec.Record(obs::RecKind::kClient, "op_failed", 1, i);
+  }
+  EXPECT_EQ(rec.size(), 4u);
+  EXPECT_EQ(rec.total_recorded(), 10u);
+  const auto tail = rec.Tail(10);
+  ASSERT_EQ(tail.size(), 4u);
+  EXPECT_EQ(tail.front().op_id, 6u);  // oldest surviving
+  EXPECT_EQ(tail.back().op_id, 9u);
+  const auto last2 = rec.Tail(2);
+  ASSERT_EQ(last2.size(), 2u);
+  EXPECT_EQ(last2[0].op_id, 8u);
+  EXPECT_EQ(last2[1].op_id, 9u);
+}
+
+TEST(FlightRecorderTest, BetweenFiltersByTime) {
+  obs::FlightRecorder rec;
+  rec.set_capacity(16);
+  uint64_t now = 0;
+  rec.SetClock([&now] { return now; });
+  rec.Enable(true);
+  for (uint64_t i = 0; i < 8; ++i) {
+    now = i * 100;
+    rec.Record(obs::RecKind::kNet, "msg_dropped", 0, i);
+  }
+  const auto mid = rec.Between(200, 400);
+  ASSERT_EQ(mid.size(), 3u);
+  EXPECT_EQ(mid.front().t_ns, 200u);
+  EXPECT_EQ(mid.back().t_ns, 400u);
+  EXPECT_FALSE(obs::FlightRecorder::Format(mid).empty());
+}
+
+// ------------------------------------------------------------------- export
+
+TEST(ExportTest, PrometheusTextAndStatsJson) {
+  obs::Metrics m;
+  m.Enable(true);
+  m.Inc("client.ops", 3, /*node=*/7, /*memgest=*/1, obs::OpKind::kPut);
+  m.SetGauge("policy.managed_keys", 12);
+  m.Observe("client.op_latency_ns", 1000, /*node=*/7, obs::kNoMemgest,
+            obs::OpKind::kPut);
+  m.CountLink(0, 1, 4096);
+
+  const std::string prom = obs::PrometheusText(m);
+  EXPECT_NE(prom.find("# TYPE ring_client_ops_total counter"),
+            std::string::npos)
+      << prom;
+  EXPECT_NE(prom.find("ring_client_ops_total{node=\"7\",memgest=\"1\","
+                      "op=\"put\"} 3"),
+            std::string::npos)
+      << prom;
+  EXPECT_NE(prom.find("ring_policy_managed_keys 12"), std::string::npos);
+  EXPECT_NE(prom.find("ring_client_op_latency_ns_bucket"), std::string::npos);
+  EXPECT_NE(prom.find("le=\"+Inf\"} 1"), std::string::npos);
+  EXPECT_NE(prom.find("ring_client_op_latency_ns_sum"), std::string::npos);
+  EXPECT_NE(prom.find("ring_link_bytes_total{src=\"0\",dst=\"1\"} 4096"),
+            std::string::npos);
+
+  const std::string json = obs::StatsJson(m);
+  EXPECT_TRUE(JsonChecker(json).Valid()) << json.substr(0, 400);
+  // Stable key schema: all four dimensions always present, null when n/a.
+  EXPECT_NE(json.find("{\"name\":\"client.ops\",\"node\":7,\"memgest\":1,"
+                      "\"op\":\"put\",\"value\":3}"),
+            std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"memgest\":null"), std::string::npos);
+  EXPECT_NE(json.find("\"p99\":"), std::string::npos);
+  EXPECT_NE(json.find("{\"src\":0,\"dst\":1,\"bytes\":4096}"),
+            std::string::npos);
+}
+
+TEST(ExportTest, TimeSeriesJsonIsValidAndCarriesSlis) {
+  TsFixture f(/*window_ns=*/1000, /*capacity=*/16);
+  f.ts.TrackCounter(obs::kSliOpsOk);
+  f.ts.TrackLatency(obs::kSliOpLatencyNs);
+  const obs::MetricKey ok{obs::kSliOpsOk, 1, obs::kNoMemgest,
+                          obs::OpKind::kPut};
+  const obs::MetricKey lat{obs::kSliOpLatencyNs, 1, obs::kNoMemgest,
+                           obs::OpKind::kPut};
+  for (uint64_t w = 0; w < 3; ++w) {
+    f.now = w * 1000;
+    f.ts.OnCounter(ok, 4);
+    f.ts.OnSample(lat, 500 * (w + 1));
+  }
+  const std::string json = obs::TimeSeriesJson(f.ts);
+  EXPECT_TRUE(JsonChecker(json).Valid()) << json.substr(0, 400);
+  EXPECT_NE(json.find("\"window_ns\":1000"), std::string::npos);
+  EXPECT_NE(json.find("\"type\":\"counter\""), std::string::npos);
+  EXPECT_NE(json.find("\"type\":\"latency\""), std::string::npos);
+  EXPECT_NE(json.find("\"values\":[4,4,4]"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"slis\":[{"), std::string::npos);
+  EXPECT_NE(json.find("\"available\":true"), std::string::npos);
+}
+
+// -------------------------------------------------------------- post-mortem
+
+TEST(ReportTest, PostMortemShowsFaultDipAndRecovery) {
+  TsFixture f(/*window_ns=*/1000, /*capacity=*/64);
+  f.ts.TrackCounter(obs::kSliOpsOk);
+  obs::FlightRecorder rec;
+  rec.SetClock([&f] { return f.now; });
+  rec.Enable(true);
+
+  const obs::MetricKey ok{obs::kSliOpsOk, 1, obs::kNoMemgest,
+                          obs::OpKind::kPut};
+  for (uint64_t w = 0; w < 10; ++w) {
+    f.now = w * 1000;
+    if (w == 4) {
+      rec.Record(obs::RecKind::kFault, "crash", 3, 0);
+      rec.Record(obs::RecKind::kNet, "msg_dropped", 3, 42, 1);
+    } else if (w == 6) {
+      rec.Record(obs::RecKind::kFault, "recover", 3, 0);
+      rec.Record(obs::RecKind::kRecovery, "promotion", 5, 0, 1234);
+      f.ts.OnCounter(ok, 10);
+    } else {
+      f.ts.OnCounter(ok, 10);
+    }
+  }
+  const std::string report = obs::PostMortemReport(f.ts, rec);
+  EXPECT_NE(report.find("fault timeline"), std::string::npos);
+  EXPECT_NE(report.find("crash"), std::string::npos);
+  EXPECT_NE(report.find("msg_dropped=1"), std::string::npos) << report;
+  EXPECT_NE(report.find("DIP"), std::string::npos) << report;
+  EXPECT_NE(report.find("dip 1:"), std::string::npos) << report;
+  EXPECT_NE(report.find("recovered"), std::string::npos);
+  EXPECT_NE(report.find("promotion"), std::string::npos);
 }
 
 TEST(ChromeTraceTest, MetricsCountTheTwoNodePut) {

@@ -12,6 +12,9 @@
 #   tools/check.sh --lint     # ring-lint + clang-tidy only
 #   tools/check.sh --chaos    # chaos harness: fuzz seeds plain + ASan,
 #                             # availability bench smoke
+#   tools/check.sh --obs      # telemetry pipeline: zero-perturbation gate
+#                             # (determinism with timeseries+recorder on),
+#                             # obs unit tests, ringctl report/stats smoke
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -74,6 +77,29 @@ if [[ "${MODE}" == "--chaos" ]]; then
   UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1}" \
     ./build-sanitize/tests/chaos_fuzz_test
   echo "check.sh: chaos suite passed"
+  exit 0
+fi
+
+if [[ "${MODE}" == "--obs" ]]; then
+  echo "== obs: build telemetry targets =="
+  cmake -B build -S . "${LAUNCHER_ARGS[@]}" >/dev/null
+  cmake --build build -j "${JOBS}" \
+    --target obs_test determinism_test ringctl chaos_availability
+  echo "== obs: unit tests (timeseries, recorder, export, report) =="
+  ./build/tests/obs_test
+  echo "== obs: zero-perturbation gate (telemetry on == telemetry off) =="
+  ./build/tests/determinism_test \
+    --gtest_filter='DeterminismTest.TelemetryPipelineDoesNotPerturbTheSchedule'
+  echo "== obs: ringctl stats --json/--prom smoke =="
+  ./build/tools/ringctl stats --reps=50 --json >/dev/null
+  ./build/tools/ringctl stats --reps=50 --prom >/dev/null
+  echo "== obs: ringctl report post-mortem smoke =="
+  ./build/tools/ringctl report --scheme=rep3 --seed=5 --seconds=0.08 \
+    --reps=400 --plan="crash node=1 at=5ms recover=30ms" \
+    | grep -q "== availability dips =="
+  echo "== obs: windowed chaos availability bench =="
+  ./build/bench/chaos_availability /tmp/BENCH_chaos.json >/dev/null
+  echo "check.sh: obs suite passed"
   exit 0
 fi
 

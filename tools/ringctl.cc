@@ -7,16 +7,24 @@
 //   ringctl recover    --scheme=srs32 --entries=5000 --victim=1
 //   ringctl reliability --k=3 --m=2 --stretch=6
 //   ringctl schemes    --shards=4 --redundant=3
-//   ringctl stats      --scheme=srs32 --reps=500
+//   ringctl stats      --scheme=srs32 --reps=500 [--json|--prom]
 //   ringctl trace      --scheme=srs32 --trace_out=trace.json
 //   ringctl autotier   --scheme=rep3 --cold-scheme=srs32 --keys=240
 //   ringctl calibrate  --json
 //   ringctl chaos      --scheme=rep3 --seed=5 --plan="crash node=1 at=5ms"
+//   ringctl watch      --scheme=rep3 --seed=5 --window-us=1000
+//   ringctl report     --scheme=rep3 --seed=5 --report-events=12
+//
+// `watch` and `report` run the chaos scenario with the telemetry pipeline
+// enabled: watch prints the windowed SLI table live as windows close;
+// report renders the post-mortem (fault timeline, SLI degradation, flight
+// recorder context around each availability dip) after the run.
 //
 // Commands can also be selected with --mode=<command>, and any
 // latency/trace run can emit a Chrome trace_event file via
 // --trace_out=<file> (open it in chrome://tracing or ui.perfetto.dev).
 #include <algorithm>
+#include <cinttypes>
 #include <cstdio>
 #include <memory>
 #include <string>
@@ -27,7 +35,9 @@
 #include "src/common/logging.h"
 #include "src/common/rng.h"
 #include "src/fault/fault.h"
+#include "src/obs/export.h"
 #include "src/obs/hub.h"
+#include "src/obs/report.h"
 #include "src/policy/autotier.h"
 #include "src/reliability/models.h"
 #include "src/gf/gf256.h"
@@ -246,7 +256,9 @@ int RunLatency(FlagSet& flags) {
 
 // `ringctl stats`: run a closed-loop put/get/move mix with the metrics
 // registry enabled and dump every counter, gauge, histogram and per-link
-// byte count it accumulated.
+// byte count it accumulated. --json emits the machine-readable dump (stable
+// {name,node,memgest,op} key schema); --prom emits Prometheus text
+// exposition instead of the human summary.
 int RunStats(FlagSet& flags) {
   auto desc = SchemeFromName(flags.GetString("scheme"));
   if (!desc.ok()) {
@@ -272,9 +284,18 @@ int RunStats(FlagSet& flags) {
   driver.MeasurePutLatency(*g, size, reps);
   driver.MeasureGetLatency(*g, size, reps);
   driver.MeasureMoveLatency(*g, *g, size, reps / 4 + 1);
+  const obs::Metrics& metrics = cluster.simulator().hub().metrics();
+  if (flags.GetBool("json")) {
+    std::printf("%s", obs::StatsJson(metrics).c_str());
+    return 0;
+  }
+  if (flags.GetBool("prom")) {
+    std::printf("%s", obs::PrometheusText(metrics).c_str());
+    return 0;
+  }
   std::printf("%s, %zu B objects, %d put + %d get + %d move:\n\n%s",
               desc->ToString().c_str(), size, reps, reps, reps / 4 + 1,
-              cluster.simulator().hub().metrics().Summary().c_str());
+              metrics.Summary().c_str());
   return 0;
 }
 
@@ -424,16 +445,20 @@ int RunRecover(FlagSet& flags) {
                       MakePatternBuffer(size, i), *g);
   }
   const uint64_t meta = cluster.server(victim).TotalMetadataBytes();
+  const sim::SimTime killed_at = cluster.simulator().now();
   cluster.KillNode(victim, /*force_detect=*/true);
   auto& spare = cluster.server(o.s + o.d);
   if (!cluster.RunUntilDone([&] { return spare.serving(); })) {
     std::fprintf(stderr, "spare never started serving\n");
     return 1;
   }
+  const double recovery_us =
+      static_cast<double>(cluster.simulator().now() - killed_at) / 1e3;
   std::printf(
       "%s: killed node %u holding %.1f KiB metadata (%d entries x %zu B "
       "objects)\n  metadata recovery: %.1f us; first get after failover: ",
-      desc->ToString().c_str(), victim, meta / 1024.0, entries, size);
+      desc->ToString().c_str(), victim, meta / 1024.0, entries, size,
+      recovery_us);
   cluster.client(0).RefreshConfigNow();
   auto& client = cluster.client(0);
   client.ResetStats();
@@ -589,13 +614,21 @@ int RunAutotier(FlagSet& flags) {
   return 0;
 }
 
-// ringctl chaos: plays a fault schedule against mixed traffic on one scheme
-// and reports what the injector did, how the clients fared, and whether
-// every acknowledged write survived byte-exactly. The schedule comes from
-// --plan (the src/fault spec grammar, ';'-separated) or, when --plan is
-// empty, from a seeded random generator — either way the run is
-// deterministic and replayable from the command line that produced it.
-int RunChaos(FlagSet& flags) {
+// ringctl chaos | watch | report: plays a fault schedule against mixed
+// traffic on one scheme and reports what the injector did, how the clients
+// fared, and whether every acknowledged write survived byte-exactly. The
+// schedule comes from --plan (the src/fault spec grammar, ';'-separated) or,
+// when --plan is empty, from a seeded random generator — either way the run
+// is deterministic and replayable from the command line that produced it.
+//
+// The three commands share one scenario and differ only in telemetry:
+//   chaos   plain run, aggregate counters at the end
+//   watch   time-series layer on; windowed SLI rows print as windows close
+//   report  time-series + flight recorder on; post-mortem rendered after
+//           the sweep (fault timeline, dips, recorder context)
+enum class ChaosMode { kChaos, kWatch, kReport };
+
+int RunChaos(FlagSet& flags, ChaosMode mode) {
   auto desc = SchemeFromName(flags.GetString("scheme"));
   if (!desc.ok()) {
     std::fprintf(stderr, "%s\n", desc.status().ToString().c_str());
@@ -632,12 +665,69 @@ int RunChaos(FlagSet& flags) {
   std::printf("fault plan:\n%s\n", o.fault_plan.ToString().c_str());
 
   RingCluster cluster(o);
-  cluster.simulator().hub().EnableMetrics(true);
+  obs::Hub& hub = cluster.simulator().hub();
+  hub.EnableMetrics(true);
+  uint64_t window_ns = 0;
+  if (mode != ChaosMode::kChaos) {
+    obs::TimeSeries::Options tso;
+    tso.window_ns = std::max<uint64_t>(
+        1, static_cast<uint64_t>(flags.GetDouble("window-us") * 1000.0));
+    // Retain the whole horizon (plus quiesce slack) so the report never
+    // loses early windows to ring eviction.
+    tso.capacity_windows =
+        std::max<size_t>(512, horizon / tso.window_ns + 64);
+    hub.timeseries().Configure(tso);
+    hub.timeseries().TrackSliDefaults();
+    hub.EnableTimeSeries(true);
+    window_ns = hub.timeseries().window_ns();
+    if (mode == ChaosMode::kReport) {
+      hub.EnableRecorder(true);
+    }
+  }
   auto g = cluster.CreateMemgest(*desc);
   if (!g.ok()) {
     std::fprintf(stderr, "createMemgest: %s\n", g.status().ToString().c_str());
     return 1;
   }
+
+  // Live SLI view: after each traffic step, print every window that has
+  // fully closed since the last print. Availability is judged against the
+  // median acked-op rate over the rows so far (same rule as the report).
+  uint64_t printed_until = 0;  // exclusive window index
+  bool sli_header = false;
+  auto watch_tick = [&] {
+    if (mode != ChaosMode::kWatch) {
+      return;
+    }
+    const uint64_t closed = cluster.simulator().now() / window_ns;
+    if (closed <= printed_until) {
+      return;
+    }
+    obs::TimeSeries::SliOptions so;
+    // Only fully-closed windows, and nothing past the traffic horizon — the
+    // post-quiesce sweep offers no load, so its windows say nothing about
+    // availability. until_ns is window-inclusive; back off 1 ns to keep the
+    // still-open (and first post-horizon) window out.
+    so.until_ns = std::min(closed * window_ns, horizon) - 1;
+    for (const auto& row : hub.timeseries().Slis(so)) {
+      if (row.window < printed_until) {
+        continue;
+      }
+      if (!sli_header) {
+        std::printf("      t_ms       ok      err    goodput/s    err%%     "
+                    "p50_us     p99_us  avail\n");
+        sli_header = true;
+      }
+      std::printf("  %8.1f %8" PRIu64 " %8" PRIu64
+                  " %12.0f %6.1f%% %10.1f %10.1f  %s\n",
+                  static_cast<double>(row.start_ns) / 1e6, row.ops_ok,
+                  row.ops_err, row.goodput_per_sec, row.error_rate * 100.0,
+                  static_cast<double>(row.p50_ns) / 1e3,
+                  static_cast<double>(row.p99_ns) / 1e3,
+                  row.available ? "ok" : "DIP");
+    }
+    printed_until = closed;
+  };
 
   // Mixed open-loop traffic across the schedule's horizon; every ack is
   // remembered for the post-quiesce sweep.
@@ -674,12 +764,15 @@ int RunChaos(FlagSet& flags) {
       });
     }
     cluster.RunFor(gap);
+    watch_tick();
   }
   for (int i = 0; i < 400 && outstanding > 0; ++i) {
     cluster.RunFor(sim::kMillisecond);
+    watch_tick();
   }
   const auto& p = cluster.simulator().params();
   cluster.RunFor(2 * p.detection_window_ns() + 20 * sim::kMillisecond);
+  watch_tick();
 
   // Post-quiesce sweep: every key with at least one acknowledged write must
   // read back bytes matching some acknowledged version.
@@ -736,6 +829,19 @@ int RunChaos(FlagSet& flags) {
               static_cast<unsigned long long>(f.crashes),
               static_cast<unsigned long long>(f.recoveries),
               static_cast<unsigned long long>(f.partitions));
+  if (mode == ChaosMode::kReport) {
+    obs::ReportOptions ro;
+    // The traffic stops at the horizon; windows after it would read as a
+    // spurious never-recovered dip (until_ns is window-inclusive, so back
+    // off 1 ns from the boundary).
+    ro.sli.until_ns = horizon - 1;
+    ro.dip_context_events =
+        static_cast<size_t>(std::max(0, static_cast<int>(
+            flags.GetInt("report-events"))));
+    std::printf("\n%s",
+                obs::PostMortemReport(hub.timeseries(), hub.recorder(), ro)
+                    .c_str());
+  }
   return sweep_bad == 0 ? 0 : 1;
 }
 
@@ -764,7 +870,8 @@ int RunSchemes(FlagSet& flags) {
 int Main(int argc, char** argv) {
   FlagSet flags(
       "ringctl "
-      "<latency|throughput|recover|reliability|schemes|stats|trace|autotier|chaos>");
+      "<latency|throughput|recover|reliability|schemes|stats|trace|autotier|"
+      "chaos|watch|report>");
   flags.DefineString("scheme", "rep3", "storage scheme: repN or srsKM")
       .DefineString("cold-scheme", "srs32",
                     "cold-tier scheme for autotier: repN or srsKM")
@@ -815,7 +922,15 @@ int Main(int argc, char** argv) {
                   "measure the host's GF kernel throughput and derive "
                   "gf_byte_ns/decode_byte_ns before simulating "
                   "(latency/throughput/recover)")
-      .DefineBool("json", false, "machine-readable output (calibrate)")
+      .DefineBool("json", false, "machine-readable output (calibrate, stats)")
+      .DefineBool("prom", false,
+                  "Prometheus text exposition instead of the summary (stats)")
+      .DefineDouble("window-us", 1000.0,
+                    "SLI window width in simulated microseconds "
+                    "(watch/report)")
+      .DefineInt("report-events", 12,
+                 "flight-recorder events shown around each availability dip "
+                 "(report)")
       .DefineInt("block", 65536,
                  "region size in bytes timed by calibrate (the paper's "
                  "64 KiB recovery block)")
@@ -876,7 +991,13 @@ int Main(int argc, char** argv) {
     return RunCalibrate(flags);
   }
   if (command == "chaos") {
-    return RunChaos(flags);
+    return RunChaos(flags, ChaosMode::kChaos);
+  }
+  if (command == "watch") {
+    return RunChaos(flags, ChaosMode::kWatch);
+  }
+  if (command == "report") {
+    return RunChaos(flags, ChaosMode::kReport);
   }
   std::fprintf(stderr, "unknown command '%s'\n%s", command.c_str(),
                flags.Usage().c_str());
