@@ -1,0 +1,226 @@
+// Rebalance cost (§13): what an online resize moves and what the foreground
+// pays while it drains.
+//
+// A 6-coordinator cluster (s=6, d=2, two spares) is loaded with a fixed key
+// population, then resized online through four back-to-back transitions —
+// scale-out 6→7→8, scale-in 8→7→6 — while an open-loop prober issues gets
+// against the same population. Per transition the harness reports the
+// driver's drain stats (keys moved over the network vs re-encoded in place,
+// bytes shipped, install count, scan rounds, drain wall-clock) and the
+// foreground read latency observed *during* the drain against the quiet
+// baseline measured before any resize — the "wall blip" of §13: migration
+// traffic rides the policy mover's token bucket, so the p99 should move, if
+// at all, by pacing, not by stalls.
+//
+// Run once per scheme: Rep(3) (payload bytes travel on every handover) and
+// SRS(3,2) (handover re-encodes under the new geometry; only stripe-unit
+// content moves). Emits BENCH_rebalance.json (override with argv[1]).
+#include "bench/bench_util.h"
+
+#include <string>
+#include <vector>
+
+#include "src/membership/rebalance.h"
+
+namespace {
+
+using namespace ring;
+
+constexpr int kKeys = 1200;
+constexpr size_t kValueBytes = 1024;
+constexpr sim::SimTime kProbeGap = 50 * sim::kMicrosecond;
+
+struct TransitionResult {
+  const char* kind = nullptr;  // "scale_out" / "scale_in"
+  uint32_t from_s = 0;
+  uint32_t to_s = 0;
+  membership::RebalanceStats stats;
+  Samples during_us;  // probe latency while the drain was active
+};
+
+struct SchemeResult {
+  const char* scheme = nullptr;
+  Samples baseline_us;  // quiet-cluster probe latency, before any resize
+  std::vector<TransitionResult> transitions;
+  uint64_t probe_errors = 0;
+};
+
+SchemeResult Run(const char* scheme, MemgestDescriptor desc) {
+  RingOptions o;
+  o.s = 6;
+  o.d = 2;
+  o.spares = 2;
+  o.clients = 2;
+  o.seed = 1709;
+  o.params.wire_jitter_ns = 400;
+  RingCluster cluster(o);
+  const MemgestId g = *cluster.CreateMemgest(desc);
+
+  SchemeResult result;
+  result.scheme = scheme;
+  for (int i = 0; i < kKeys; ++i) {
+    const Key key = "rb-" + std::to_string(i);
+    if (!cluster.Put(key, MakePatternBuffer(kValueBytes, i), g).ok()) {
+      std::fprintf(stderr, "%s: load put %d failed\n", scheme, i);
+      return result;
+    }
+  }
+
+  // Open-loop prober on the second client; the sample sink is swapped
+  // between the baseline and per-transition buckets. Settle-window probes
+  // land in a discard bucket so post-drain stragglers cannot pollute the
+  // quiet baseline.
+  Samples discard;
+  Samples* sink = &result.baseline_us;
+  int probe_seq = 0;
+  auto probe = [&] {
+    const Key key = "rb-" + std::to_string(probe_seq++ % kKeys);
+    const sim::SimTime start = cluster.simulator().now();
+    cluster.client(1).Get(key, [&result, &cluster, sink, start](GetResult r) {
+      if (!r.status.ok()) {
+        ++result.probe_errors;
+        return;
+      }
+      sink->Add(static_cast<double>(cluster.simulator().now() - start) / 1e3);
+    });
+  };
+  auto probe_for = [&](sim::SimTime duration) {
+    const sim::SimTime until = cluster.simulator().now() + duration;
+    while (cluster.simulator().now() < until) {
+      probe();
+      cluster.RunFor(kProbeGap);
+    }
+  };
+
+  probe_for(10 * sim::kMillisecond);  // quiet baseline
+
+  auto transition = [&](const char* kind, bool grow) {
+    TransitionResult tr;
+    tr.kind = kind;
+    membership::RebalanceCoordinator coord(&cluster);
+    const consensus::ClusterConfig& cfg =
+        cluster.runtime().membership().ConfigView(
+            cluster.runtime().leader_node());
+    tr.from_s = cfg.s;
+    tr.to_s = grow ? cfg.s + 1 : cfg.s - 1;
+    const bool accepted =
+        grow ? coord.AddServer(static_cast<net::NodeId>(cfg.FindSpare()))
+             : coord.RemoveServer(cfg.s - 1);
+    if (!accepted) {
+      std::fprintf(stderr, "%s: %s %u->%u rejected\n", scheme, kind,
+                   tr.from_s, tr.to_s);
+      return;
+    }
+    sink = &tr.during_us;
+    while (coord.active()) {
+      probe();
+      cluster.RunFor(kProbeGap);
+    }
+    sink = &discard;  // settle probes: keep the pump warm, record nothing
+    if (coord.failed()) {
+      std::fprintf(stderr, "%s: %s %u->%u FAILED to drain\n", scheme, kind,
+                   tr.from_s, tr.to_s);
+    }
+    tr.stats = coord.stats();
+    result.transitions.push_back(std::move(tr));
+    probe_for(2 * sim::kMillisecond);  // let stragglers clear between runs
+  };
+  transition("scale_out", true);
+  transition("scale_out", true);
+  transition("scale_in", false);
+  transition("scale_in", false);
+  cluster.RunFor(5 * sim::kMillisecond);
+  return result;
+}
+
+void PrintScheme(const SchemeResult& r) {
+  std::printf("%s: baseline get p50 %.1f us, p99 %.1f us (%zu probes, %llu "
+              "errors)\n",
+              r.scheme, r.baseline_us.Percentile(50),
+              r.baseline_us.Percentile(99), r.baseline_us.count(),
+              static_cast<unsigned long long>(r.probe_errors));
+  for (const TransitionResult& t : r.transitions) {
+    const double ms =
+        static_cast<double>(t.stats.end_ns - t.stats.start_ns) / 1e6;
+    std::printf(
+        "  %-9s s %u->%u: %5llu moved, %4llu re-encoded, %8llu bytes, "
+        "%3llu rounds, %6.2f ms drain, during p50 %.1f us p99 %.1f us\n",
+        t.kind, t.from_s, t.to_s,
+        static_cast<unsigned long long>(t.stats.keys_moved),
+        static_cast<unsigned long long>(t.stats.keys_reencoded),
+        static_cast<unsigned long long>(t.stats.bytes_moved),
+        static_cast<unsigned long long>(t.stats.scan_rounds), ms,
+        t.during_us.empty() ? 0.0 : t.during_us.Percentile(50),
+        t.during_us.empty() ? 0.0 : t.during_us.Percentile(99));
+  }
+}
+
+void WriteJson(const char* path, const std::vector<SchemeResult>& results) {
+  FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path);
+    return;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"rebalance_cost\",\n");
+  std::fprintf(f, "  \"keys\": %d,\n  \"value_bytes\": %zu,\n", kKeys,
+               kValueBytes);
+  std::fprintf(f, "  \"cluster\": {\"s\": 6, \"d\": 2, \"spares\": 2},\n");
+  std::fprintf(f, "  \"schemes\": [");
+  for (size_t s = 0; s < results.size(); ++s) {
+    const SchemeResult& r = results[s];
+    std::fprintf(f, "%s\n    {\n      \"scheme\": \"%s\",\n",
+                 s == 0 ? "" : ",", r.scheme);
+    std::fprintf(f, "      \"probe_errors\": %llu,\n",
+                 static_cast<unsigned long long>(r.probe_errors));
+    std::fprintf(f,
+                 "      \"baseline_get_p50_us\": %.2f,\n"
+                 "      \"baseline_get_p99_us\": %.2f,\n",
+                 r.baseline_us.Percentile(50), r.baseline_us.Percentile(99));
+    std::fprintf(f, "      \"transitions\": [");
+    for (size_t i = 0; i < r.transitions.size(); ++i) {
+      const TransitionResult& t = r.transitions[i];
+      std::fprintf(f, "%s\n        {\"kind\": \"%s\", \"from_s\": %u, "
+                   "\"to_s\": %u,\n",
+                   i == 0 ? "" : ",", t.kind, t.from_s, t.to_s);
+      std::fprintf(
+          f,
+          "         \"keys_moved\": %llu, \"keys_reencoded\": %llu, "
+          "\"bytes_moved\": %llu, \"installs\": %llu,\n",
+          static_cast<unsigned long long>(t.stats.keys_moved),
+          static_cast<unsigned long long>(t.stats.keys_reencoded),
+          static_cast<unsigned long long>(t.stats.bytes_moved),
+          static_cast<unsigned long long>(t.stats.installs));
+      std::fprintf(
+          f,
+          "         \"scan_rounds\": %llu, \"migrates\": %llu, "
+          "\"drain_ms\": %.3f,\n",
+          static_cast<unsigned long long>(t.stats.scan_rounds),
+          static_cast<unsigned long long>(t.stats.migrates_issued),
+          static_cast<double>(t.stats.end_ns - t.stats.start_ns) / 1e6);
+      std::fprintf(
+          f,
+          "         \"during_get_p50_us\": %.2f, "
+          "\"during_get_p99_us\": %.2f}",
+          t.during_us.empty() ? 0.0 : t.during_us.Percentile(50),
+          t.during_us.empty() ? 0.0 : t.during_us.Percentile(99));
+    }
+    std::fprintf(f, "\n      ]\n    }");
+  }
+  std::fprintf(f, "\n  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", path);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<SchemeResult> results;
+  results.push_back(Run("REP3", MemgestDescriptor::Replicated(3, "REP3")));
+  results.push_back(
+      Run("SRS32", MemgestDescriptor::ErasureCoded(3, 2, "SRS32")));
+  for (const SchemeResult& r : results) {
+    PrintScheme(r);
+  }
+  WriteJson(argc > 1 ? argv[1] : "BENCH_rebalance.json", results);
+  return 0;
+}

@@ -152,8 +152,7 @@ void MembershipGroup::HandleJoinRequest(net::NodeId member, net::NodeId node,
       return;  // already a live member: duplicate petition
     }
   }
-  agent.config.failed[node] = false;
-  ++agent.config.epoch;
+  agent.config.Readmit(node);
   agent.last_seen[node] = fabric_->simulator()->now();
   ++config_changes_;
   RING_LOG(kInfo) << "leader " << member << " readmits node " << node
@@ -232,15 +231,14 @@ void MembershipGroup::TakeOver(net::NodeId node) {
   Agent& agent = *agents_[node];
   auto* simulator = fabric_->simulator();
   const net::NodeId old_leader = agent.config.leader;
-  agent.config.failed[old_leader] = true;
-  // If the dead leader held a slot, promote a spare into it.
-  if (agent.config.slot_of_node[old_leader] != kSpareSlot) {
-    const int32_t spare = agent.config.FindSpare();
-    if (spare >= 0) {
-      agent.config.Promote(old_leader, static_cast<net::NodeId>(spare));
-    } else {
-      ++agent.config.epoch;
-    }
+  // If the dead leader held a slot (or still backs the previous shape of an
+  // in-flight resize), promote a spare into it.
+  const int32_t spare = agent.config.FindSpare();
+  if (!agent.config.failed[old_leader] &&
+      agent.config.slot_of_node[old_leader] != kSpareSlot && spare >= 0) {
+    agent.config.Promote(old_leader, static_cast<net::NodeId>(spare));
+  } else if (!agent.config.failed[old_leader]) {
+    agent.config.MarkFailed(old_leader);
   } else {
     ++agent.config.epoch;
   }
@@ -260,16 +258,23 @@ void MembershipGroup::HandleNodeFailure(net::NodeId leader,
   if (agent.config.failed[victim]) {
     return;
   }
-  if (agent.config.slot_of_node[victim] == kSpareSlot) {
+  // During a resize the victim may hold no current slot yet still back the
+  // previous shape (a shrink's leaving node); that also needs a promotion so
+  // unmigrated keys keep a live old-placement home.
+  bool in_prev = false;
+  if (agent.config.rebalancing()) {
+    for (const net::NodeId n : agent.config.prev_node_of_slot) {
+      in_prev |= n == victim;
+    }
+  }
+  if (agent.config.slot_of_node[victim] == kSpareSlot && !in_prev) {
     // A spare died: just record it.
-    agent.config.failed[victim] = true;
-    ++agent.config.epoch;
+    agent.config.MarkFailed(victim);
   } else {
     const int32_t spare = agent.config.FindSpare();
     if (spare < 0) {
       RING_LOG(kWarn) << "no spare available for failed node " << victim;
-      agent.config.failed[victim] = true;
-      ++agent.config.epoch;
+      agent.config.MarkFailed(victim);
     } else {
       agent.config.Promote(victim, static_cast<net::NodeId>(spare));
       RING_LOG(kInfo) << "leader " << leader << " promotes spare " << spare
@@ -330,6 +335,50 @@ void MembershipGroup::ForceDetect(net::NodeId victim) {
     return;
   }
   HandleNodeFailure(leader, victim);
+}
+
+bool MembershipGroup::BeginAddServer(net::NodeId node) {
+  const net::NodeId leader = CurrentLeader();
+  Agent& agent = *agents_[leader];
+  if (!fabric_->alive(leader) || !agent.is_leader ||
+      !agent.config.BeginAddServer(node)) {
+    return false;
+  }
+  RING_LOG(kInfo) << "leader " << leader << " grows the group: node " << node
+                  << " becomes coordinator slot " << (agent.config.s - 1)
+                  << " (epoch " << agent.config.epoch << ")";
+  ++config_changes_;
+  BroadcastConfig(leader);
+  return true;
+}
+
+bool MembershipGroup::BeginRemoveServer(uint32_t slot) {
+  const net::NodeId leader = CurrentLeader();
+  Agent& agent = *agents_[leader];
+  if (!fabric_->alive(leader) || !agent.is_leader ||
+      !agent.config.BeginRemoveServer(slot)) {
+    return false;
+  }
+  RING_LOG(kInfo) << "leader " << leader << " shrinks the group: slot "
+                  << slot << " leaves (epoch " << agent.config.epoch << ")";
+  ++config_changes_;
+  BroadcastConfig(leader);
+  return true;
+}
+
+bool MembershipGroup::CompleteRebalance() {
+  const net::NodeId leader = CurrentLeader();
+  Agent& agent = *agents_[leader];
+  if (!fabric_->alive(leader) || !agent.is_leader ||
+      !agent.config.rebalancing()) {
+    return false;
+  }
+  agent.config.CompleteRebalance();
+  RING_LOG(kInfo) << "leader " << leader << " completes the rebalance (epoch "
+                  << agent.config.epoch << ")";
+  ++config_changes_;
+  BroadcastConfig(leader);
+  return true;
 }
 
 net::NodeId MembershipGroup::CurrentLeader() const {

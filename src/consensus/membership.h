@@ -67,6 +67,15 @@ class MembershipGroup {
   // moment of detection).
   void ForceDetect(net::NodeId victim);
 
+  // Elastic membership (§13): applied on the current leader's agent as an
+  // epoch-bumped transition and replicated through the normal config
+  // broadcast; followers that miss it catch up via heartbeat anti-entropy.
+  // Return false when the precondition fails (a resize already in flight,
+  // node not a live spare, slot not a coordinator slot, no live leader).
+  bool BeginAddServer(net::NodeId node);
+  bool BeginRemoveServer(uint32_t slot);
+  bool CompleteRebalance();
+
   net::NodeId CurrentLeader() const;
 
   uint64_t config_changes() const { return config_changes_; }

@@ -473,8 +473,10 @@ FaultPlan RandomFaultPlan(uint64_t seed, const ChaosShape& shape) {
       kinds.push_back(NodeEvent::Kind::kPause);
     }
     // One crash-recovery episode per plan: the rejoined node needs the rest
-    // of the schedule to finish background data recovery.
-    if (shape.allow_crash && !crashed_once) {
+    // of the schedule to finish background data recovery. Crashes are only
+    // safe when a spare can absorb the promotion (spare_capacity gates the
+    // documented allow_crash precondition at generation time).
+    if (shape.allow_crash && shape.spare_capacity != 0 && !crashed_once) {
       kinds.push_back(NodeEvent::Kind::kCrash);
     }
     const NodeEvent::Kind kind = kinds[rng.NextBelow(kinds.size())];
@@ -522,6 +524,7 @@ FaultInjector::FaultInjector(sim::Simulator* simulator, uint32_t num_nodes,
       plan_(std::move(plan)),
       rng_(seed ^ 0xc4a5u),
       paused_(num_nodes, 0),
+      downgraded_(num_nodes, 0),
       cut_(static_cast<size_t>(num_nodes) * num_nodes, 0),
       deferred_(num_nodes) {}
 
@@ -611,6 +614,21 @@ void FaultInjector::ApplyEvent(const NodeEvent& ev) {
       break;
     case NodeEvent::Kind::kCrash:
       if (ev.node < num_nodes_) {
+        if (crash_guard_ && !crash_guard_(ev.node)) {
+          // No spare to absorb the promotion: a fail-stop here would wedge
+          // the cluster unrecoverably. Downgrade to a gray-failure pause;
+          // the paired recover becomes the resume.
+          ++counters_.downgraded_crashes;
+          Note("fault.crash_downgraded", ev.node);
+          hub.recorder().Record(obs::RecKind::kFault, "crash_downgraded",
+                                ev.node, hub.current_op());
+          if (paused_[ev.node] == 0) {
+            ++counters_.pauses;
+            paused_[ev.node] = 1;
+          }
+          downgraded_[ev.node] = 1;
+          break;
+        }
         ++counters_.crashes;
         Note("fault.crash", ev.node);
         paused_[ev.node] = 0;
@@ -622,6 +640,23 @@ void FaultInjector::ApplyEvent(const NodeEvent& ev) {
       break;
     case NodeEvent::Kind::kRecover:
       if (ev.node < num_nodes_) {
+        if (downgraded_[ev.node] != 0) {
+          // The crash never happened: resume the downgraded pause instead.
+          downgraded_[ev.node] = 0;
+          if (paused_[ev.node] != 0) {
+            Note("fault.resume", ev.node);
+            paused_[ev.node] = 0;
+            if (hooks_.resumed) {
+              hooks_.resumed(ev.node);
+            }
+            std::vector<std::function<void()>> pending;
+            pending.swap(deferred_[ev.node]);
+            for (auto& fn : pending) {
+              fn();
+            }
+          }
+          break;
+        }
         ++counters_.recoveries;
         Note("fault.recover", ev.node);
         if (hooks_.recover) {

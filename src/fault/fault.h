@@ -119,6 +119,11 @@ struct ChaosShape {
   double max_dup_prob = 0.3;
   bool allow_crash = true;  // needs a spare-capable cluster to be safe
   bool allow_pause = true;
+  // Live spares of the target cluster. allow_crash is only honored when at
+  // least one spare can absorb the promotion; 0 downgrades crash episodes
+  // to pauses at generation time. kAnyNode (the default) means "unknown —
+  // trust allow_crash", which keeps pre-existing plans byte-identical.
+  uint32_t spare_capacity = kAnyNode;
 };
 
 // Deterministic: same (seed, shape) -> same plan.
@@ -152,12 +157,23 @@ class FaultInjector {
     uint64_t crashes = 0;
     uint64_t recoveries = 0;
     uint64_t partitions = 0;
+    // Crash events the guard downgraded to pauses (no live spare to absorb
+    // the promotion); their paired recover became a resume.
+    uint64_t downgraded_crashes = 0;
   };
 
   FaultInjector(sim::Simulator* simulator, uint32_t num_nodes, FaultPlan plan,
                 uint64_t seed);
 
   void set_hooks(Hooks hooks) { hooks_ = std::move(hooks); }
+
+  // Crash-safety guard, consulted when a kCrash event fires: returns true
+  // when fail-stopping `node` is survivable (a spare can absorb the
+  // promotion). When it returns false the crash is downgraded to a pause
+  // and the paired recover to a resume, so a chaos schedule can never
+  // wedge the cluster in an unrecoverable state. Unset = always allowed.
+  using CrashGuard = std::function<bool(uint32_t)>;
+  void set_crash_guard(CrashGuard guard) { crash_guard_ = std::move(guard); }
 
   // Schedules every NodeEvent on the simulator. Call once, before running.
   void Arm();
@@ -199,8 +215,11 @@ class FaultInjector {
   FaultPlan plan_;
   Rng rng_;  // private stream: never perturbs the simulator's global rng
   Hooks hooks_;
+  CrashGuard crash_guard_;
   Counters counters_;
   std::vector<uint8_t> paused_;
+  // Nodes whose crash was downgraded to a pause; their recover resumes.
+  std::vector<uint8_t> downgraded_;
   // Directed cut counters (flattened num_nodes x num_nodes): overlapping
   // partitions stack, heals decrement.
   std::vector<uint32_t> cut_;

@@ -79,6 +79,10 @@ void TimeSeries::TrackSliDefaults() {
   TrackCounter("server.retransmits");
   TrackCounter("server.op_restarts");
   TrackCounter("server.resent_replies");
+  // Elastic rebalance (§13): per-window migration traffic, so an SLI table
+  // shows the background drain next to any foreground blip it causes.
+  TrackCounter("rebalance.bytes");
+  TrackCounter("rebalance.keys_moved");
   TrackLatency(kSliOpLatencyNs);
 }
 

@@ -8,7 +8,21 @@ AutoTierManager::AutoTierManager(RingCluster* cluster, std::vector<Tier> tiers,
       options_(options),
       tracker_(options.tracker),
       engine_(std::move(tiers), options.policy),
-      mover_(cluster, options.mover) {
+      mover_(cluster, [&options, cluster] {
+        // Rebalance-aware admission (§13): re-tiering traffic yields while
+        // an elastic resize drains, so the migration keeps the whole
+        // token-bucket budget. Callers may still install their own gate.
+        MoverOptions mo = options.mover;
+        if (!mo.admit) {
+          mo.admit = [cluster] {
+            RingRuntime& rt = cluster->runtime();
+            return !rt.membership()
+                        .ConfigView(rt.leader_node())
+                        .rebalancing();
+          };
+        }
+        return mo;
+      }()) {
   // Tap every client endpoint; moves issued by the mover itself flow through
   // the same tap, which is how placements_ learns their outcome targets.
   const uint32_t clients = cluster_->runtime().options().clients;

@@ -48,6 +48,23 @@ void Mover::RefillTokens() {
 }
 
 void Mover::Tick() {
+  if (options_.admit && !options_.admit()) {
+    // Held, not dropped: re-check once the backoff elapses so the queue
+    // drains as soon as the gate opens again.
+    if (!queue_.empty() && !refill_timer_armed_) {
+      refill_timer_armed_ = true;
+      cluster_->simulator().After(
+          options_.retry_backoff_ns,
+          [this, w = std::weak_ptr<char>(alive_)] {
+            if (w.expired()) {
+              return;
+            }
+            refill_timer_armed_ = false;
+            Tick();
+          });
+    }
+    return;
+  }
   RefillTokens();
   while (tokens_ >= 1.0 && in_flight_ < options_.max_concurrent &&
          !queue_.empty()) {
@@ -70,7 +87,10 @@ void Mover::Tick() {
         static_cast<sim::SimTime>((1.0 - tokens_) / options_.moves_per_sec *
                                   1e9) +
         1;
-    cluster_->simulator().After(wait, [this] {
+    cluster_->simulator().After(wait, [this, w = std::weak_ptr<char>(alive_)] {
+      if (w.expired()) {
+        return;
+      }
       refill_timer_armed_ = false;
       Tick();
     });
@@ -81,9 +101,17 @@ void Mover::Launch(Job job) {
   ++launched_;
   ++in_flight_;
   const sim::SimTime start = cluster_->simulator().now();
-  auto& client = cluster_->client(options_.client_index);
   const Key key = job.key;
   const MemgestId dst = job.dst;
+  if (options_.issuer) {
+    // Custom transport (rebalance migrations): the issuer owns tracing.
+    options_.issuer(key, dst,
+                    [this, job = std::move(job)](Status s, Version) mutable {
+                      OnDone(std::move(job), s);
+                    });
+    return;
+  }
+  auto& client = cluster_->client(options_.client_index);
   client.Move(key, dst,
               [this, job = std::move(job), start](Status s, Version) mutable {
                 obs::Hub& hub = cluster_->simulator().hub();
@@ -124,14 +152,15 @@ void Mover::Finish(Job job, const Status& status) {
     ++job.attempts;
     // Back off, then requeue; the next Tick (or this timer) relaunches it
     // under the same token/concurrency budget.
-    cluster_->simulator().After(options_.retry_backoff_ns,
-                                [this, job = std::move(job)]() mutable {
-                                  if (pending_.count(job.key) == 0) {
-                                    return;  // cancelled while backing off
-                                  }
-                                  queue_.push_back(std::move(job));
-                                  Tick();
-                                });
+    cluster_->simulator().After(
+        options_.retry_backoff_ns,
+        [this, w = std::weak_ptr<char>(alive_), job = std::move(job)]() mutable {
+          if (w.expired() || pending_.count(job.key) == 0) {
+            return;  // mover gone, or cancelled while backing off
+          }
+          queue_.push_back(std::move(job));
+          Tick();
+        });
     return;
   }
   ++aborted_;

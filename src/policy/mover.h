@@ -18,6 +18,7 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <memory>
 #include <unordered_map>
 
 #include "src/ring/cluster.h"
@@ -35,6 +36,17 @@ struct MoverOptions {
   // Which cluster client issues the moves (give the mover its own endpoint
   // so foreground latency stats stay clean).
   uint32_t client_index = 0;
+  // When set, jobs are issued through this hook instead of RingClient::Move.
+  // The elastic-rebalance driver (§13) reuses the mover's token bucket,
+  // in-flight bound and retry machinery for per-key migrations this way.
+  using Issuer = std::function<void(const Key&, MemgestId,
+                                    std::function<void(Status, Version)>)>;
+  Issuer issuer;
+  // Admission gate consulted before launching queued jobs. While it returns
+  // false the queue is held (not dropped) and re-checked after the retry
+  // backoff — e.g. autotier re-tiering yields to an in-flight rebalance.
+  // Unset = always admit.
+  std::function<bool()> admit;
 };
 
 class Mover {
@@ -70,6 +82,9 @@ class Mover {
   size_t queued() const { return queue_.size(); }
   size_t in_flight() const { return in_flight_; }
   bool idle() const { return queue_.empty() && in_flight_ == 0; }
+  // Keys with any outstanding work: queued, in flight, or backing off
+  // between retry attempts (idle() is briefly true during a backoff).
+  size_t pending_keys() const { return pending_.size(); }
 
  private:
   struct Job {
@@ -86,6 +101,10 @@ class Mover {
 
   RingCluster* cluster_;
   MoverOptions options_;
+  // Lifetime token: armed timers capture a weak reference and no-op once the
+  // mover is destroyed (a rebalance driver's mover dies with the transition,
+  // possibly with a backoff or refill timer still queued in the simulator).
+  std::shared_ptr<char> alive_ = std::make_shared<char>(0);
   std::deque<Job> queue_;
   // key -> queued destination (coalescing) or in-flight marker.
   std::unordered_map<Key, MemgestId> pending_;

@@ -33,6 +33,26 @@ struct MetaEntry {
   bool tombstone = false;
   // False on a recovered node until the object bytes are copied/decoded.
   bool data_present = true;
+  // Group size s of the geometry this entry was written under (§13). Always
+  // the cluster's current s on a never-resized cluster; entries written
+  // before an elastic resize keep their old shape until migrated, so shard
+  // ids, replica/parity placement and stripe maps must be interpreted at
+  // this s. 0 only on wire defaults, never on a stored entry.
+  uint32_t geom_s = 0;
+  // Durable moved-marker (§13): this version records that the key's contents
+  // were handed to its new-shape owner. Moved entries are never served and
+  // never trigger GC of the versions below them (the payload must survive
+  // until the install is acknowledged).
+  bool moved = false;
+  // Volatile: the new owner acknowledged the install, so the rebalance scan
+  // stops reporting the key. Lost on crash; the driver's verify pass simply
+  // re-migrates (idempotent).
+  bool moved_done = false;
+  // Volatile: this entry owns a VolatileIndex reference on this node (it was
+  // coordinator-written or indexed by a rebuild). Replica/parity mirrors of
+  // other coordinators' writes never set it — the geometry purge must not
+  // mistake a mirror for the entry an index ref belongs to.
+  bool indexed = false;
   // Coordinator-only transient state ---------------------------------------
   // Redundancy targets still owed an ack: bitmask over replica ordinals or
   // parity indices.

@@ -67,28 +67,105 @@ Status MemgestRegistry::SetDefault(MemgestId id) {
 
 std::vector<uint32_t> MemgestRegistry::ReplicaSlots(const MemgestInfo& info,
                                                     uint32_t shard) const {
-  std::vector<uint32_t> slots;
-  if (info.desc.kind != SchemeKind::kReplicated) {
-    return slots;
-  }
-  const uint32_t sigma = shard % s_;   // in-group coordinator index
-  const uint32_t group = shard / s_;   // rotation offset (§5.4)
-  for (uint32_t t = 0; t + 1 < info.desc.r; ++t) {
-    slots.push_back((sigma + 1 + t + group) % (s_ + d_));
-  }
-  return slots;
+  return ReplicaSlotsFor(info, shard, s_, d_);
 }
 
 std::vector<uint32_t> MemgestRegistry::ParitySlots(const MemgestInfo& info,
                                                    uint32_t group) const {
+  return ParitySlotsFor(info, group, s_, d_);
+}
+
+std::vector<uint32_t> MemgestRegistry::ReplicaSlotsFor(const MemgestInfo& info,
+                                                       uint32_t shard,
+                                                       uint32_t s, uint32_t d) {
+  std::vector<uint32_t> slots;
+  if (info.desc.kind != SchemeKind::kReplicated) {
+    return slots;
+  }
+  const uint32_t sigma = shard % s;   // in-group coordinator index
+  const uint32_t group = shard / s;   // rotation offset (§5.4)
+  for (uint32_t t = 0; t + 1 < info.desc.r; ++t) {
+    slots.push_back((sigma + 1 + t + group) % (s + d));
+  }
+  return slots;
+}
+
+std::vector<uint32_t> MemgestRegistry::ParitySlotsFor(const MemgestInfo& info,
+                                                      uint32_t group,
+                                                      uint32_t s, uint32_t d) {
   std::vector<uint32_t> slots;
   if (info.desc.kind != SchemeKind::kErasureCoded) {
     return slots;
   }
   for (uint32_t j = 0; j < info.desc.m; ++j) {
-    slots.push_back((s_ + j + group) % (s_ + d_));
+    slots.push_back((s + j + group) % (s + d));
   }
   return slots;
+}
+
+Status MemgestRegistry::Resize(uint32_t new_s) {
+  if (new_s == s_) {
+    return OkStatus();
+  }
+  for (const auto& m : memgests_) {
+    if (m->deleted) {
+      continue;
+    }
+    if (m->erasure_coded() && m->desc.k > new_s) {
+      return FailedPreconditionError("memgest " + m->desc.name +
+                                     " needs k <= s at the new shape");
+    }
+    if (!m->erasure_coded() && m->desc.r > new_s + d_) {
+      return FailedPreconditionError("memgest " + m->desc.name +
+                                     " needs r <= s+d at the new shape");
+    }
+  }
+  for (auto& m : memgests_) {
+    if (m->deleted || !m->erasure_coded()) {
+      continue;
+    }
+    // Park the outgoing geometry, then adopt (or build) the new one.
+    m->geoms[s_] = MemgestGeometry{std::move(m->code), std::move(m->map)};
+    if (auto it = m->geoms.find(new_s); it != m->geoms.end()) {
+      m->code = std::move(it->second.code);
+      m->map = std::move(it->second.map);
+      m->geoms.erase(it);
+    } else {
+      auto code = srs::SrsCode::Create(m->desc.k, m->desc.m, new_s);
+      if (!code.ok()) {
+        return code.status();
+      }
+      m->code = std::make_unique<srs::SrsCode>(std::move(code).value());
+      m->map =
+          std::make_unique<srs::SrsAddressMap>(m->code.get(), stripe_unit_);
+    }
+  }
+  s_ = new_s;
+  return OkStatus();
+}
+
+const srs::SrsCode* MemgestRegistry::CodeFor(const MemgestInfo& info,
+                                             uint32_t geom_s) const {
+  if (!info.erasure_coded()) {
+    return nullptr;
+  }
+  if (geom_s == 0 || geom_s == s_) {
+    return info.code.get();
+  }
+  const auto it = info.geoms.find(geom_s);
+  return it == info.geoms.end() ? nullptr : it->second.code.get();
+}
+
+const srs::SrsAddressMap* MemgestRegistry::MapFor(const MemgestInfo& info,
+                                                  uint32_t geom_s) const {
+  if (!info.erasure_coded()) {
+    return nullptr;
+  }
+  if (geom_s == 0 || geom_s == s_) {
+    return info.map.get();
+  }
+  const auto it = info.geoms.find(geom_s);
+  return it == info.geoms.end() ? nullptr : it->second.map.get();
 }
 
 size_t MemgestRegistry::count() const {

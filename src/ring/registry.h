@@ -14,6 +14,7 @@
 #define RING_SRC_RING_REGISTRY_H_
 
 #include <functional>
+#include <map>
 #include <memory>
 #include <vector>
 
@@ -24,13 +25,24 @@
 
 namespace ring {
 
+// One erasure-coding geometry: the code and stripe address map for a
+// specific group size s. Elastic resizes (§13) change s, so a memgest can
+// have several geometries alive at once while a rebalance drains.
+struct MemgestGeometry {
+  std::unique_ptr<srs::SrsCode> code;
+  std::unique_ptr<srs::SrsAddressMap> map;
+};
+
 struct MemgestInfo {
   MemgestId id = 0;
   MemgestDescriptor desc;
   bool deleted = false;
-  // Erasure-coded memgests only.
+  // Erasure-coded memgests only: the current-shape geometry...
   std::unique_ptr<srs::SrsCode> code;
   std::unique_ptr<srs::SrsAddressMap> map;
+  // ...and retained geometries of earlier shapes, keyed by their s
+  // (empty on a cluster that never resized).
+  std::map<uint32_t, MemgestGeometry> geoms;
 
   bool erasure_coded() const { return desc.kind == SchemeKind::kErasureCoded; }
 };
@@ -62,6 +74,29 @@ class MemgestRegistry {
   // base layout s .. s+m-1 rotated by the group index).
   std::vector<uint32_t> ParitySlots(const MemgestInfo& info,
                                     uint32_t group) const;
+  // Shape-explicit variants: the same placement rules evaluated under an
+  // arbitrary group size (shard/group ids must be of that same shape). Used
+  // on both sides of an elastic resize.
+  static std::vector<uint32_t> ReplicaSlotsFor(const MemgestInfo& info,
+                                               uint32_t shard, uint32_t s,
+                                               uint32_t d);
+  static std::vector<uint32_t> ParitySlotsFor(const MemgestInfo& info,
+                                              uint32_t group, uint32_t s,
+                                              uint32_t d);
+
+  // --- Elastic membership (§13) --------------------------------------------
+  // Re-target the catalogue at a new group size: every erasure-coded memgest
+  // gets a geometry for new_s (code + address map) and its previous geometry
+  // is retained in MemgestInfo::geoms for the rebalance to read. Fails when
+  // an existing memgest cannot exist at the new shape (k > new_s or
+  // r > new_s + d).
+  Status Resize(uint32_t new_s);
+  // The code/map for a given shape. geom_s == 0 means "current shape".
+  // Returns nullptr for replicated memgests and for shapes never built —
+  // callers treat that as a fenced (stale-geometry) operation.
+  const srs::SrsCode* CodeFor(const MemgestInfo& info, uint32_t geom_s) const;
+  const srs::SrsAddressMap* MapFor(const MemgestInfo& info,
+                                   uint32_t geom_s) const;
 
   size_t count() const;
   void ForEach(const std::function<void(const MemgestInfo&)>& fn) const;

@@ -44,6 +44,21 @@ RingRuntime::RingRuntime(const RingOptions& options)
     hooks.recover = [this](uint32_t node) { RestartNode(node); };
     hooks.resumed = [this](uint32_t node) { membership_.NoteResumed(node); };
     injector_->set_hooks(std::move(hooks));
+    injector_->set_crash_guard([this](uint32_t node) {
+      // Fail-stopping a node that holds a slot in either live shape is only
+      // survivable when a spare can absorb the promotion; otherwise the
+      // injector downgrades the crash to a pause.
+      const consensus::ClusterConfig& cfg =
+          membership_.ConfigView(membership_.CurrentLeader());
+      if (node >= cfg.num_nodes()) {
+        return true;  // clients and non-members may die freely
+      }
+      const bool holds_slot =
+          cfg.slot_of_node[node] >= 0 ||
+          (cfg.rebalancing() &&
+           cfg.Previous().SlotOfNode(node) != consensus::kSpareSlot);
+      return !holds_slot || cfg.FindSpare() >= 0;
+    });
     fabric_.set_injector(injector_.get());
     injector_->Arm();
   }

@@ -129,8 +129,127 @@ RingServer::MemgestState& RingServer::StateOf(const MemgestInfo& info) {
 }
 
 RingServer::ShardStore& RingServer::StoreOf(MemgestState& state,
-                                            uint32_t shard) {
-  return state.stores[shard];
+                                            uint32_t shard, uint32_t geom_s) {
+  return state.stores[GeomKey(geom_s == 0 ? config_.s : geom_s, shard)];
+}
+
+std::optional<consensus::Placement> RingServer::PlacementFor(
+    uint32_t geom_s) const {
+  if (geom_s == 0 || geom_s == config_.s) {
+    return config_.Current();
+  }
+  if (config_.rebalancing() && geom_s == config_.prev_s) {
+    return config_.Previous();
+  }
+  return std::nullopt;  // retired shape: the operation is epoch-fenced
+}
+
+MetaEntry* RingServer::FindEntry(const MemgestInfo& info, const Key& key,
+                                 Version version, uint32_t* shard_out,
+                                 uint32_t* geom_out) {
+  MemgestState& state = StateOf(info);
+  const uint32_t cur_shard = KeyShard(key, config_.num_shards());
+  if (auto sit = state.stores.find(GeomKey(config_.s, cur_shard));
+      sit != state.stores.end()) {
+    if (MetaEntry* e = sit->second.meta.Find(key, version); e != nullptr) {
+      if (shard_out != nullptr) {
+        *shard_out = cur_shard;
+      }
+      if (geom_out != nullptr) {
+        *geom_out = config_.s;
+      }
+      return e;
+    }
+  }
+  if (config_.rebalancing()) {
+    const uint32_t prev_shard =
+        KeyShard(key, config_.groups * config_.prev_s);
+    if (auto sit = state.stores.find(GeomKey(config_.prev_s, prev_shard));
+        sit != state.stores.end()) {
+      if (MetaEntry* e = sit->second.meta.Find(key, version); e != nullptr) {
+        if (shard_out != nullptr) {
+          *shard_out = prev_shard;
+        }
+        if (geom_out != nullptr) {
+          *geom_out = config_.prev_s;
+        }
+        return e;
+      }
+    }
+  }
+  return nullptr;
+}
+
+RingServer::RouteAction RingServer::RouteKey(const Key& key, bool forwarded) {
+  RouteAction act;  // defaults to kDrop
+  const uint32_t cur_shard = KeyShard(key, config_.num_shards());
+  if (!config_.rebalancing()) {
+    // Static cluster: the plain coordinator check, zero extra work.
+    if (Coordinates(cur_shard)) {
+      act.kind = RouteAction::Kind::kServe;
+      act.shard = cur_shard;
+      act.geom_s = config_.s;
+    }
+    return act;
+  }
+  const consensus::Placement prev = config_.Previous();
+  const uint32_t prev_shard = KeyShard(key, prev.num_shards());
+  const net::NodeId old_owner = prev.CoordinatorOfShard(prev_shard);
+  const net::NodeId new_owner = config_.CoordinatorOfShard(cur_shard);
+  if (old_owner == new_owner) {
+    // Ownership unchanged by the resize (the key may still need a local
+    // re-encode, which the rebalance driver performs in place).
+    if (serving_ && id_ == new_owner) {
+      act.kind = RouteAction::Kind::kServe;
+      act.shard = cur_shard;
+      act.geom_s = config_.s;
+    }
+    return act;
+  }
+  if (id_ == new_owner && serving_) {
+    // The new owner serves only keys already installed here; everything else
+    // still lives with the old owner. One forwarding hop bridges clients
+    // with a fresher config than the key's migration state.
+    if (volatile_index_.Highest(key).has_value()) {
+      act.kind = RouteAction::Kind::kServe;
+      act.shard = cur_shard;
+      act.geom_s = config_.s;
+      return act;
+    }
+    if (!forwarded && !config_.failed[old_owner]) {
+      act.kind = RouteAction::Kind::kForward;
+      act.target = old_owner;
+    }
+    return act;
+  }
+  if (id_ == old_owner && serving_) {
+    // The old owner serves until the key's moved-marker exists, then points
+    // at the new owner. The marker fences even before it commits: a write
+    // accepted above an in-flight marker would be lost at handoff, so the
+    // moment the marker is written every op re-routes (and retries until
+    // the new owner has the install).
+    bool handed_over = false;
+    if (const auto ref = volatile_index_.Highest(key); ref.has_value()) {
+      if (const MemgestInfo* info = rt_->registry().Get(ref->memgest);
+          info != nullptr) {
+        const MetaEntry* e =
+            FindEntry(*info, key, ref->version, nullptr, nullptr);
+        handed_over = e != nullptr && e->moved;
+      }
+    }
+    if (!handed_over) {
+      act.kind = RouteAction::Kind::kServe;
+      act.shard = prev_shard;
+      act.geom_s = config_.prev_s;
+      return act;
+    }
+    if (!forwarded && !config_.failed[new_owner]) {
+      act.kind = RouteAction::Kind::kForward;
+      act.target = new_owner;
+    }
+    return act;
+  }
+  return act;
 }
 
 void RingServer::ReplyToClient(net::NodeId client, uint64_t bytes,
@@ -142,6 +261,11 @@ void RingServer::SendToSlot(uint32_t slot_index, uint64_t bytes,
                             std::function<void()> fn) {
   rt_->fabric().Send(id_, config_.node_of_slot[slot_index], bytes,
                      std::move(fn));
+}
+
+void RingServer::SendToNode(net::NodeId node, uint64_t bytes,
+                            std::function<void()> fn) {
+  rt_->fabric().Send(id_, node, bytes, std::move(fn));
 }
 
 bool RingServer::ClaimClientOp(net::NodeId client, uint64_t req_id) {
@@ -209,9 +333,25 @@ void RingServer::HandlePut(PutRequest req) {
     if (!IsAlive() || !serving_) {
       return;
     }
-    const uint32_t shard = KeyShard(req.key, config_.num_shards());
-    if (!Coordinates(shard)) {
-      return;  // not responsible: client will retry / multicast
+    const RouteAction route = RouteKey(req.key, req.forwarded);
+    if (route.kind == RouteAction::Kind::kForward) {
+      ++counters_.forwards;
+      hub().metrics().Inc("server.forwards", 1, id_);
+      const uint64_t bytes =
+          ReqBytes(req.key.size(), req.value ? req.value->size() : 0);
+      auto* peer = rt_->server(route.target);
+      req.forwarded = true;
+      SendToNode(route.target, bytes, [peer, req = std::move(req)]() mutable {
+        peer->HandlePut(std::move(req));
+      });
+      return;
+    }
+    if (route.kind == RouteAction::Kind::kDrop) {
+      // Not responsible (or mid-handoff): client will retry / multicast.
+      if (config_.rebalancing()) {
+        ++counters_.fenced_drops;
+      }
+      return;
     }
     if (!ClaimClientOp(req.client, req.req_id)) {
       return;  // duplicate: executed (reply resent) or still in flight
@@ -226,13 +366,14 @@ void RingServer::HandlePut(PutRequest req) {
     ++counters_.puts;
     hub().metrics().Inc("server.puts", 1, id_, info->id, obs::OpKind::kPut);
     const Version version = volatile_index_.NextVersion(req.key);
-    StartWrite(*info, shard, req.key, version, req.value, false,
+    StartWrite(*info, route.shard, req.key, version, req.value, false,
                [this, client = req.client, req_id = req.req_id,
                 reply = req.reply, version, op_id = req.op_id](Status s) {
                  obs::ScopedOp reply_scope(hub(), op_id);
                  ReplyToClientOnce(client, req_id, kReplyBytes,
                                    [reply, s, version] { reply(s, version); });
-               });
+               },
+               route.geom_s);
   });
   // The GF delta work is the tail of the put's CPU charge: mark it so the
   // breakdown can split coding out of plain CPU time.
@@ -245,9 +386,13 @@ void RingServer::HandlePut(PutRequest req) {
 void RingServer::StartWrite(const MemgestInfo& info, uint32_t shard,
                             const Key& key, Version version,
                             std::shared_ptr<Buffer> value, bool tombstone,
-                            std::function<void(Status)> on_commit) {
+                            std::function<void(Status)> on_commit,
+                            uint32_t geom_s, bool moved) {
+  if (geom_s == 0) {
+    geom_s = config_.s;
+  }
   MemgestState& state = StateOf(info);
-  ShardStore& store = StoreOf(state, shard);
+  ShardStore& store = StoreOf(state, shard, geom_s);
   const uint32_t len = value ? static_cast<uint32_t>(value->size()) : 0;
   const auto [addr, region_len] = store.Allocate(len);
 
@@ -276,6 +421,8 @@ void RingServer::StartWrite(const MemgestInfo& info, uint32_t shard,
   entry.tombstone = tombstone;
   entry.committed = false;
   entry.data_present = true;
+  entry.geom_s = geom_s;
+  entry.moved = moved;
   NoteAccess(RegionKind::kMetadata, AccessKind::kWrite,
              ScopeOf(info.id, shard), HashKey(key), HashKey(key) + 1,
              "start_write/meta");
@@ -283,6 +430,7 @@ void RingServer::StartWrite(const MemgestInfo& info, uint32_t shard,
   NoteAccess(RegionKind::kVersionWord, AccessKind::kWrite, kVersionScope,
              HashKey(key), HashKey(key) + 1, "start_write/version");
   volatile_index_.Add(key, version, info.id);
+  e.indexed = true;
   e.waiters.push_back([on_commit] { on_commit(OkStatus()); });
   const uint64_t op_id = hub().current_op();
   e.trace_op = op_id;
@@ -292,10 +440,11 @@ void RingServer::StartWrite(const MemgestInfo& info, uint32_t shard,
   if (info.desc.kind == SchemeKind::kReplicated) {
     if (info.desc.unreliable()) {
       // Rep(1): committed immediately — no replication.
-      CommitEntry(info, shard, key, version);
+      CommitEntry(info, shard, key, version, geom_s);
       return;
     }
-    const auto slots = rt_->registry().ReplicaSlots(info, shard);
+    const auto slots =
+        MemgestRegistry::ReplicaSlotsFor(info, shard, geom_s, config_.d);
     e.acks_pending = (1u << slots.size()) - 1;
     // Quorum commit: majority of r counting the coordinator itself; the
     // fully-synchronous variant (§3.1) waits for every replica.
@@ -318,29 +467,38 @@ void RingServer::StartWrite(const MemgestInfo& info, uint32_t shard,
       msg.from = id_;
       msg.seq = store.write_seq;
       msg.op_id = op_id;
-      // Re-resolves the slot's node on every (re)send so a retransmission
-      // after a promotion reaches the new slot owner.
-      auto send = [this, slot = slots[ordinal],
+      msg.geom_s = geom_s;
+      msg.moved = moved;
+      // Re-resolves the slot's node under the write's shape on every
+      // (re)send, so a retransmission after a promotion reaches the new
+      // slot owner — and dies if the shape was retired (epoch fencing).
+      auto send = [this, geom = geom_s, slot = slots[ordinal],
                    bytes = ReqBytes(key.size(), len), msg = std::move(msg)] {
-        auto* peer = rt_->server(config_.node_of_slot[slot]);
-        SendToSlot(slot, bytes,
+        const auto placement = PlacementFor(geom);
+        if (!placement.has_value()) {
+          return;
+        }
+        const net::NodeId target = placement->NodeOfSlot(slot);
+        auto* peer = rt_->server(target);
+        SendToNode(target, bytes,
                    [peer, msg] { peer->HandleReplicaAppend(msg); });
       };
       send();
       e.backup_resend.push_back(std::move(send));
     }
-    ScheduleWriteRetransmit(info.id, shard, key, version);
+    ScheduleWriteRetransmit(info.id, shard, geom_s, key, version);
     return;
   }
 
   // Erasure-coded: every parity node must apply the delta before commit.
   const auto& p = rt_->simulator().params();
-  const uint32_t group = config_.GroupOfShard(shard);
-  const auto parity_slots = rt_->registry().ParitySlots(info, group);
+  const uint32_t group = shard / geom_s;
+  const auto parity_slots =
+      MemgestRegistry::ParitySlotsFor(info, group, geom_s, config_.d);
   e.acks_pending = (1u << parity_slots.size()) - 1;
   e.acks_needed = static_cast<uint32_t>(parity_slots.size());
   if (parity_slots.empty()) {
-    CommitEntry(info, shard, key, version);
+    CommitEntry(info, shard, key, version, geom_s);
     return;
   }
   e.trace_quorum_start = rt_->simulator().now();
@@ -359,18 +517,25 @@ void RingServer::StartWrite(const MemgestInfo& info, uint32_t shard,
     msg.from = id_;
     msg.seq = store.write_seq;
     msg.op_id = op_id;
+    msg.geom_s = geom_s;
+    msg.moved = moved;
     // Parity updates carry replicated metadata on top of the payload (§6.1).
-    auto send = [this, slot = parity_slots[j],
+    auto send = [this, geom = geom_s, slot = parity_slots[j],
                  bytes = ReqBytes(key.size(), len) +
                          p.parity_update_metadata_bytes,
                  msg = std::move(msg)] {
-      auto* peer = rt_->server(config_.node_of_slot[slot]);
-      SendToSlot(slot, bytes, [peer, msg] { peer->HandleParityUpdate(msg); });
+      const auto placement = PlacementFor(geom);
+      if (!placement.has_value()) {
+        return;
+      }
+      const net::NodeId target = placement->NodeOfSlot(slot);
+      auto* peer = rt_->server(target);
+      SendToNode(target, bytes, [peer, msg] { peer->HandleParityUpdate(msg); });
     };
     send();
     e.backup_resend.push_back(std::move(send));
   }
-  ScheduleWriteRetransmit(info.id, shard, key, version);
+  ScheduleWriteRetransmit(info.id, shard, geom_s, key, version);
 }
 
 // Periodic per-write repair: while the quorum round is un-acked, resend the
@@ -379,12 +544,13 @@ void RingServer::StartWrite(const MemgestInfo& info, uint32_t shard,
 // The chain dies as soon as the entry commits, is superseded, or loses its
 // pending bits to a configuration change.
 void RingServer::ScheduleWriteRetransmit(MemgestId gid, uint32_t shard,
-                                         const Key& key, Version version) {
+                                         uint32_t geom_s, const Key& key,
+                                         Version version) {
   const uint64_t period = rt_->simulator().params().write_retransmit_ns;
   if (period == 0) {
     return;
   }
-  rt_->simulator().After(period, [this, gid, shard, key, version] {
+  rt_->simulator().After(period, [this, gid, shard, geom_s, key, version] {
     if (!IsAlive() || is_spare_) {
       return;
     }
@@ -392,7 +558,11 @@ void RingServer::ScheduleWriteRetransmit(MemgestId gid, uint32_t shard,
     if (info == nullptr) {
       return;
     }
-    MetaEntry* entry = StoreOf(StateOf(*info), shard).meta.Find(key, version);
+    if (!PlacementFor(geom_s).has_value()) {
+      return;  // shape retired: the write's fate was decided by the purge
+    }
+    MetaEntry* entry =
+        StoreOf(StateOf(*info), shard, geom_s).meta.Find(key, version);
     if (entry == nullptr || entry->committed || entry->acks_pending == 0) {
       return;
     }
@@ -406,7 +576,7 @@ void RingServer::ScheduleWriteRetransmit(MemgestId gid, uint32_t shard,
         entry->backup_resend[ordinal]();
       }
     }
-    ScheduleWriteRetransmit(gid, shard, key, version);
+    ScheduleWriteRetransmit(gid, shard, geom_s, key, version);
   });
 }
 
@@ -431,13 +601,21 @@ void RingServer::HandleReplicaAppend(ReplicaAppend msg) {
     if (is_spare_) {
       return;  // restarted memory-less: stale appends must not resurrect
     }
+    const uint32_t geom = msg.geom_s == 0 ? config_.s : msg.geom_s;
+    if (!PlacementFor(geom).has_value()) {
+      // Epoch fencing: the append was issued under a shape this node no
+      // longer recognises (its rebalance completed). Drop without acking.
+      ++counters_.fenced_drops;
+      return;
+    }
     MemgestState& state = StateOf(*info);
-    ShardStore& store = StoreOf(state, msg.shard);
+    ShardStore& store = StoreOf(state, msg.shard, geom);
     if (!store.replica_seqs.MarkOnce(msg.seq)) {
       // Chaos duplicate: applied already. Re-ack — the first ack may have
       // been lost, and ApplyAck is idempotent on the coordinator.
       ++counters_.dup_backups;
-      Ack ack{msg.memgest, msg.shard, msg.key, msg.version, msg.ordinal};
+      Ack ack{msg.memgest, msg.shard, msg.key, msg.version, msg.ordinal,
+              geom};
       auto* peer = rt_->server(msg.from);
       rt_->fabric().Write(id_, msg.from, kAckBytes,
                           [peer, ack] { peer->ApplyAck(ack); }, nullptr);
@@ -460,12 +638,14 @@ void RingServer::HandleReplicaAppend(ReplicaAppend msg) {
     entry.tombstone = msg.tombstone;
     entry.committed = false;  // commit state tracked by the coordinator
     entry.data_present = true;
+    entry.geom_s = geom;
+    entry.moved = msg.moved;
     NoteAccess(RegionKind::kMetadata, AccessKind::kWrite,
                ScopeOf(msg.memgest, msg.shard), HashKey(msg.key),
                HashKey(msg.key) + 1, "replica_append/meta");
     store.meta.Insert(msg.key, std::move(entry));
 
-    Ack ack{msg.memgest, msg.shard, msg.key, msg.version, msg.ordinal};
+    Ack ack{msg.memgest, msg.shard, msg.key, msg.version, msg.ordinal, geom};
     auto* peer = rt_->server(msg.from);
     rt_->fabric().Write(id_, msg.from, kAckBytes,
                         [peer, ack] { peer->ApplyAck(ack); }, nullptr);
@@ -493,9 +673,17 @@ void RingServer::HandleParityUpdate(ParityUpdate msg) {
     if (is_spare_) {
       return;  // restarted memory-less: stale updates must not corrupt parity
     }
+    const uint32_t geom = msg.geom_s == 0 ? config_.s : msg.geom_s;
+    if (!PlacementFor(geom).has_value() ||
+        rt_->registry().MapFor(*info, geom) == nullptr) {
+      // Epoch fencing: shape unknown here (rebalance completed, or the
+      // catalogue never built this geometry). Drop without acking.
+      ++counters_.fenced_drops;
+      return;
+    }
     MemgestState& state = StateOf(*info);
-    const uint32_t group = config_.GroupOfShard(msg.shard);
-    auto [pit, inserted] = state.parity.try_emplace(group);
+    const uint32_t group = msg.shard / geom;
+    auto [pit, inserted] = state.parity.try_emplace(GeomKey(geom, group));
     ParityStore& parity = pit->second;
     if (inserted) {
       parity.parity_index = msg.parity_index;
@@ -505,7 +693,8 @@ void RingServer::HandleParityUpdate(ParityUpdate msg) {
       // update must not apply twice; still re-ack in case the first ack
       // was lost.
       ++counters_.dup_backups;
-      Ack ack{msg.memgest, msg.shard, msg.key, msg.version, msg.parity_index};
+      Ack ack{msg.memgest, msg.shard, msg.key, msg.version, msg.parity_index,
+              geom};
       auto* peer = rt_->server(msg.from);
       rt_->fabric().Write(id_, msg.from, kAckBytes,
                           [peer, ack] { peer->ApplyAck(ack); }, nullptr);
@@ -528,12 +717,15 @@ void RingServer::HandleParityUpdate(ParityUpdate msg) {
     entry.tombstone = msg.tombstone;
     entry.committed = false;
     entry.data_present = true;
+    entry.geom_s = geom;
+    entry.moved = msg.moved;
     NoteAccess(RegionKind::kMetadata, AccessKind::kWrite,
                ParityMetaScope(msg.memgest, msg.shard), HashKey(msg.key),
                HashKey(msg.key) + 1, "parity_update/meta");
     parity.shard_meta[msg.shard].Insert(msg.key, std::move(entry));
 
-    Ack ack{msg.memgest, msg.shard, msg.key, msg.version, msg.parity_index};
+    Ack ack{msg.memgest, msg.shard, msg.key, msg.version, msg.parity_index,
+            geom};
     auto* peer = rt_->server(msg.from);
     rt_->fabric().Write(id_, msg.from, kAckBytes,
                         [peer, ack] { peer->ApplyAck(ack); }, nullptr);
@@ -551,10 +743,15 @@ void RingServer::ApplyParityBytes(const MemgestInfo& info,
   if (msg.len == 0 || !msg.delta) {
     return;
   }
-  const uint32_t group = config_.GroupOfShard(msg.shard);
-  ParityStore& parity = StateOf(info).parity.at(group);
-  const auto segments =
-      info.map->MapDataRange(msg.shard % config_.s, msg.addr, msg.len);
+  const uint32_t geom = msg.geom_s == 0 ? config_.s : msg.geom_s;
+  const srs::SrsAddressMap* map = rt_->registry().MapFor(info, geom);
+  const srs::SrsCode* code = rt_->registry().CodeFor(info, geom);
+  if (map == nullptr || code == nullptr) {
+    return;  // shape unknown in the catalogue: fenced
+  }
+  const uint32_t group = msg.shard / geom;
+  ParityStore& parity = StateOf(info).parity.at(GeomKey(geom, group));
+  const auto segments = map->MapDataRange(msg.shard % geom, msg.addr, msg.len);
   uint64_t max_extent = 0;
   for (const auto& seg : segments) {
     max_extent = std::max(max_extent, seg.parity_offset + seg.length);
@@ -563,10 +760,10 @@ void RingServer::ApplyParityBytes(const MemgestInfo& info,
   uint64_t consumed = 0;
   for (const auto& seg : segments) {
     NoteAccess(RegionKind::kParityStrip, AccessKind::kWrite,
-               ScopeOf(info.id, group), seg.parity_offset,
+               ScopeOf(info.id, GeomKey(geom, group)), seg.parity_offset,
                seg.parity_offset + seg.length, "parity_update/strip");
     gf::MulAddRegion(
-        info.code->rs().Coefficient(parity.parity_index, seg.rs_block),
+        code->rs().Coefficient(parity.parity_index, seg.rs_block),
         ByteSpan(msg.delta->data() + consumed, seg.length),
         MutableByteSpan(parity.mem.data() + seg.parity_offset, seg.length));
     consumed += seg.length;
@@ -594,7 +791,7 @@ void RingServer::ApplyAck(const Ack& msg) {
       return;
     }
     MemgestState& state = StateOf(*info);
-    ShardStore& store = StoreOf(state, msg.shard);
+    ShardStore& store = StoreOf(state, msg.shard, msg.geom_s);
     NoteAccess(RegionKind::kMetadata, AccessKind::kRead,
                ScopeOf(msg.memgest, msg.shard), HashKey(msg.key),
                HashKey(msg.key) + 1, "ack/meta");
@@ -611,15 +808,16 @@ void RingServer::ApplyAck(const Ack& msg) {
       --entry->acks_needed;
     }
     if (entry->acks_needed == 0) {
-      CommitEntry(*info, msg.shard, msg.key, msg.version);
+      CommitEntry(*info, msg.shard, msg.key, msg.version, msg.geom_s);
     }
   }
 }
 
 void RingServer::CommitEntry(const MemgestInfo& info, uint32_t shard,
-                             const Key& key, Version version) {
+                             const Key& key, Version version,
+                             uint32_t geom_s) {
   MemgestState& state = StateOf(info);
-  ShardStore& store = StoreOf(state, shard);
+  ShardStore& store = StoreOf(state, shard, geom_s);
   MetaEntry* entry = store.meta.Find(key, version);
   if (entry == nullptr || entry->committed) {
     return;
@@ -650,12 +848,16 @@ void RingServer::CommitEntry(const MemgestInfo& info, uint32_t shard,
                             entry->trace_op, info.id);
   }
   entry->backup_resend.clear();
+  const bool moved_marker = entry->moved;
   auto waiters = std::move(entry->waiters);
   entry->waiters.clear();
   // Remove superseded versions: "one instance of the key of a certain
   // version exists across all memgests" (§5.2); old versions are GC'd after
-  // every committed put in the default configuration.
-  if (rt_->options().gc_old_versions) {
+  // every committed put in the default configuration. A moved-marker must
+  // NOT collect the versions below it: they are the payload the InstallKey
+  // still has to deliver, and losing them before the new owner acknowledges
+  // would lose the key everywhere if this node then crashed (§13).
+  if (rt_->options().gc_old_versions && !moved_marker) {
     GcOldVersions(key, version);
   }
   for (auto& waiter : waiters) {
@@ -664,7 +866,6 @@ void RingServer::CommitEntry(const MemgestInfo& info, uint32_t shard,
 }
 
 void RingServer::GcOldVersions(const Key& key, Version below) {
-  const uint32_t shard = KeyShard(key, config_.num_shards());
   for (const auto& ref : volatile_index_.Refs(key)) {
     if (ref.version >= below) {
       continue;
@@ -674,9 +875,12 @@ void RingServer::GcOldVersions(const Key& key, Version below) {
       volatile_index_.Remove(key, ref.version);
       continue;
     }
-    MemgestState& state = StateOf(*info);
-    ShardStore& store = StoreOf(state, shard);
-    MetaEntry* entry = store.meta.Find(key, ref.version);
+    // The superseded version may live under either live shape (§13): a key
+    // that auto-migrated via a put carries its old versions in the previous
+    // geometry's store until this GC collects them.
+    uint32_t shard = KeyShard(key, config_.num_shards());
+    uint32_t geom = config_.s;
+    MetaEntry* entry = FindEntry(*info, key, ref.version, &shard, &geom);
     if (entry != nullptr && !entry->committed) {
       // A concurrent write still in its quorum round: reclaiming it here
       // would orphan its waiters and the client would never get a reply.
@@ -684,6 +888,7 @@ void RingServer::GcOldVersions(const Key& key, Version below) {
       continue;
     }
     if (entry != nullptr) {
+      ShardStore& store = StoreOf(StateOf(*info), shard, geom);
       if (entry->region_len > 0) {
         store.free_list.emplace_back(entry->addr, entry->region_len);
       }
@@ -695,20 +900,29 @@ void RingServer::GcOldVersions(const Key& key, Version below) {
     NoteAccess(RegionKind::kVersionWord, AccessKind::kWrite, kVersionScope,
                HashKey(key), HashKey(key) + 1, "gc/version");
     volatile_index_.Remove(key, ref.version);
-    // Asynchronous metadata GC on redundancy nodes.
-    GcNotice notice{ref.memgest, shard, key, ref.version};
+    // Asynchronous metadata GC on redundancy nodes, under the placement of
+    // the shape the version was written at.
+    const auto placement = PlacementFor(geom);
+    if (!placement.has_value()) {
+      continue;
+    }
+    GcNotice notice{ref.memgest, shard, key, ref.version, geom};
     if (info->desc.kind == SchemeKind::kReplicated) {
-      for (const uint32_t slot : rt_->registry().ReplicaSlots(*info, shard)) {
-        auto* peer = rt_->server(config_.node_of_slot[slot]);
-        rt_->fabric().Write(id_, config_.node_of_slot[slot], kAckBytes,
+      for (const uint32_t slot : MemgestRegistry::ReplicaSlotsFor(
+               *info, shard, geom, config_.d)) {
+        const net::NodeId target = placement->NodeOfSlot(slot);
+        auto* peer = rt_->server(target);
+        rt_->fabric().Write(id_, target, kAckBytes,
                             [peer, notice] { peer->HandleGcNotice(notice); },
                             nullptr);
       }
     } else {
-      const uint32_t group = config_.GroupOfShard(shard);
-      for (const uint32_t slot : rt_->registry().ParitySlots(*info, group)) {
-        auto* peer = rt_->server(config_.node_of_slot[slot]);
-        rt_->fabric().Write(id_, config_.node_of_slot[slot], kAckBytes,
+      const uint32_t group = shard / geom;
+      for (const uint32_t slot : MemgestRegistry::ParitySlotsFor(
+               *info, group, geom, config_.d)) {
+        const net::NodeId target = placement->NodeOfSlot(slot);
+        auto* peer = rt_->server(target);
+        rt_->fabric().Write(id_, target, kAckBytes,
                             [peer, notice] { peer->HandleGcNotice(notice); },
                             nullptr);
       }
@@ -731,14 +945,17 @@ void RingServer::HandleGcNotice(GcNotice msg) {
       return;
     }
     MemgestState& state = it->second;
-    if (auto sit = state.stores.find(msg.shard); sit != state.stores.end()) {
+    const uint32_t geom = msg.geom_s == 0 ? config_.s : msg.geom_s;
+    if (auto sit = state.stores.find(GeomKey(geom, msg.shard));
+        sit != state.stores.end()) {
       NoteAccess(RegionKind::kMetadata, AccessKind::kWrite,
                  ScopeOf(msg.memgest, msg.shard), HashKey(msg.key),
                  HashKey(msg.key) + 1, "gc_notice/meta");
       sit->second.meta.Erase(msg.key, msg.version);
     }
-    const uint32_t group = config_.GroupOfShard(msg.shard);
-    if (auto git = state.parity.find(group); git != state.parity.end()) {
+    const uint32_t group = msg.shard / geom;
+    if (auto git = state.parity.find(GeomKey(geom, group));
+        git != state.parity.end()) {
       auto pit = git->second.shard_meta.find(msg.shard);
       if (pit != git->second.shard_meta.end()) {
         NoteAccess(RegionKind::kMetadata, AccessKind::kWrite,
@@ -764,22 +981,37 @@ void RingServer::HandleGet(GetRequest req) {
     if (!IsAlive() || !serving_) {
       return;
     }
-    const uint32_t shard = KeyShard(req.key, config_.num_shards());
-    if (!Coordinates(shard)) {
-      return;
-    }
     // Gets are not deduplicated: re-execution is side-effect free and the
     // client's completion table drops whichever reply arrives second (a
     // retry or a hedge may race the original under fault injection).
-    ++counters_.gets;
-    hub().metrics().Inc("server.gets", 1, id_, obs::kNoMemgest,
-                        obs::OpKind::kGet);
+    // Routing (incl. the coordinator check) happens in ResolveGet so that
+    // re-entries after deferred commits re-route too.
     ResolveGet(std::move(req));
   });
 }
 
 void RingServer::ResolveGet(GetRequest req) {
-  const uint32_t shard = KeyShard(req.key, config_.num_shards());
+  const RouteAction route = RouteKey(req.key, req.forwarded);
+  if (route.kind == RouteAction::Kind::kForward) {
+    ++counters_.forwards;
+    hub().metrics().Inc("server.forwards", 1, id_);
+    auto* peer = rt_->server(route.target);
+    req.forwarded = true;
+    SendToNode(route.target, ReqBytes(req.key.size(), 0),
+               [peer, req = std::move(req)]() mutable {
+                 peer->HandleGet(std::move(req));
+               });
+    return;
+  }
+  if (route.kind == RouteAction::Kind::kDrop) {
+    if (config_.rebalancing()) {
+      ++counters_.fenced_drops;
+    }
+    return;  // not responsible: client retry / multicast takes over
+  }
+  ++counters_.gets;
+  hub().metrics().Inc("server.gets", 1, id_, obs::kNoMemgest,
+                      obs::OpKind::kGet);
   NoteAccess(RegionKind::kVersionWord, AccessKind::kRead, kVersionScope,
              HashKey(req.key), HashKey(req.key) + 1, "get/version");
   const auto ref = volatile_index_.Highest(req.key);
@@ -796,24 +1028,33 @@ void RingServer::ResolveGet(GetRequest req) {
     });
     return;
   }
+  // The highest version may live under either live shape (§13): serve it
+  // from wherever it is, independent of the route's (current) shard id.
+  uint32_t shard = route.shard;
+  uint32_t geom = route.geom_s;
+  MetaEntry* entry = FindEntry(*info, req.key, ref->version, &shard, &geom);
   NoteAccess(RegionKind::kMetadata, AccessKind::kRead,
              ScopeOf(ref->memgest, shard), HashKey(req.key),
              HashKey(req.key) + 1, "get/meta");
-  MetaEntry* entry =
-      StoreOf(StateOf(*info), shard).meta.Find(req.key, ref->version);
   // Copy the key before handing `req` off: DeliverGet moves the request
   // into closures, which would gut a reference into req.key.
   const Key key = req.key;
-  DeliverGet(*info, shard, key, entry, std::move(req));
+  DeliverGet(*info, shard, geom, key, entry, std::move(req));
 }
 
 void RingServer::DeliverGet(const MemgestInfo& info, uint32_t shard,
-                            const Key& key, MetaEntry* entry,
+                            uint32_t geom_s, const Key& key, MetaEntry* entry,
                             GetRequest req) {
   if (entry == nullptr) {
     ReplyToClient(req.client, kReplyBytes, [reply = req.reply] {
       reply(GetResult{InternalError("metadata missing"), 0, nullptr});
     });
+    return;
+  }
+  if (entry->moved) {
+    // Handed over to the new-shape owner (§13); re-route — the forward path
+    // in ResolveGet sends the reader there.
+    ResolveGet(std::move(req));
     return;
   }
   if (entry->tombstone) {
@@ -834,7 +1075,7 @@ void RingServer::DeliverGet(const MemgestInfo& info, uint32_t shard,
     const sim::SimTime defer_start = rt_->simulator().now();
     const Version version = entry->version;
     const MemgestInfo* info_ptr = &info;
-    entry->waiters.push_back([this, info_ptr, shard, key, version,
+    entry->waiters.push_back([this, info_ptr, shard, geom_s, key, version,
                               defer_start, req = std::move(req)]() mutable {
       // The waiter fires from CommitEntry under the *writer's* op context;
       // restore the reader's and account the blocked interval to its wait.
@@ -842,16 +1083,16 @@ void RingServer::DeliverGet(const MemgestInfo& info, uint32_t shard,
       hub().tracer().Record("get_deferred", obs::Category::kQuorum, id_,
                             req.op_id, defer_start, rt_->simulator().now());
       MetaEntry* e =
-          StoreOf(StateOf(*info_ptr), shard).meta.Find(key, version);
-      DeliverGet(*info_ptr, shard, key, e, std::move(req));
+          StoreOf(StateOf(*info_ptr), shard, geom_s).meta.Find(key, version);
+      DeliverGet(*info_ptr, shard, geom_s, key, e, std::move(req));
     });
     return;
   }
   const Version version = entry->version;
   const Key key_copy = key;  // `key` may alias req.key, moved below
   EnsureDataPresent(
-      info, shard, key_copy, version,
-      [this, info_ptr = &info, shard, key = key_copy, version,
+      info, shard, geom_s, key_copy, version,
+      [this, info_ptr = &info, shard, geom_s, key = key_copy, version,
        req = std::move(req)](Status s) mutable {
         obs::ScopedOp present_scope(hub(), req.op_id);
         if (!s.ok()) {
@@ -862,7 +1103,7 @@ void RingServer::DeliverGet(const MemgestInfo& info, uint32_t shard,
           return;
         }
         MetaEntry* e =
-            StoreOf(StateOf(*info_ptr), shard).meta.Find(key, version);
+            StoreOf(StateOf(*info_ptr), shard, geom_s).meta.Find(key, version);
         if (e == nullptr) {
           ReplyToClient(req.client, kReplyBytes, [reply = req.reply] {
             reply(GetResult{NotFoundError("gone"), 0, nullptr});
@@ -874,13 +1115,13 @@ void RingServer::DeliverGet(const MemgestInfo& info, uint32_t shard,
             static_cast<uint64_t>(p.mem_byte_ns * e->len) + p.post_send_ns;
         const uint64_t addr = e->addr;
         const uint32_t len = e->len;
-        cpu().Execute(cost, [this, info_ptr, shard, key, addr, len, version,
-                             req = std::move(req)]() mutable {
+        cpu().Execute(cost, [this, info_ptr, shard, geom_s, key, addr, len,
+                             version, req = std::move(req)]() mutable {
           obs::ScopedOp read_scope(hub(), req.op_id);
           if (!IsAlive()) {
             return;
           }
-          ShardStore& store = StoreOf(StateOf(*info_ptr), shard);
+          ShardStore& store = StoreOf(StateOf(*info_ptr), shard, geom_s);
           // Validate-and-retry (the check backing the paper's optimistic
           // one-sided reads): the version may have been garbage-collected —
           // and its heap region reused by a newer write — while this copy
@@ -924,10 +1165,25 @@ void RingServer::HandleMove(MoveRequest req) {
     if (!IsAlive() || !serving_) {
       return;
     }
-    const uint32_t shard = KeyShard(req.key, config_.num_shards());
-    if (!Coordinates(shard)) {
+    const RouteAction route = RouteKey(req.key, req.forwarded);
+    if (route.kind == RouteAction::Kind::kForward) {
+      ++counters_.forwards;
+      hub().metrics().Inc("server.forwards", 1, id_);
+      auto* peer = rt_->server(route.target);
+      req.forwarded = true;
+      SendToNode(route.target, ReqBytes(req.key.size(), 0),
+                 [peer, req = std::move(req)]() mutable {
+                   peer->HandleMove(std::move(req));
+                 });
       return;
     }
+    if (route.kind == RouteAction::Kind::kDrop) {
+      if (config_.rebalancing()) {
+        ++counters_.fenced_drops;
+      }
+      return;
+    }
+    const uint32_t shard = route.shard;
     if (!req.resumed && !ClaimClientOp(req.client, req.req_id)) {
       return;  // duplicate: executed (reply resent) or still in flight
     }
@@ -959,8 +1215,10 @@ void RingServer::HandleMove(MoveRequest req) {
                         });
       return;
     }
+    uint32_t src_shard = shard;
+    uint32_t src_geom = route.geom_s;
     MetaEntry* entry =
-        StoreOf(StateOf(*src), shard).meta.Find(req.key, ref->version);
+        FindEntry(*src, req.key, ref->version, &src_shard, &src_geom);
     if (entry == nullptr || entry->tombstone) {
       ReplyToClientOnce(req.client, req.req_id, kReplyBytes,
                         [reply = req.reply] {
@@ -984,8 +1242,8 @@ void RingServer::HandleMove(MoveRequest req) {
     const Version src_version = entry->version;
     const Key key_copy = req.key;  // req is moved into the continuation
     EnsureDataPresent(
-        *src, shard, key_copy, src_version,
-        [this, src, dst, shard, src_version,
+        *src, src_shard, src_geom, key_copy, src_version,
+        [this, src, dst, shard = src_shard, geom = src_geom, src_version,
          req = std::move(req)](Status s) mutable {
           obs::ScopedOp present_scope(hub(), req.op_id);
           if (!s.ok()) {
@@ -993,8 +1251,8 @@ void RingServer::HandleMove(MoveRequest req) {
                               [reply = req.reply, s] { reply(s, 0); });
             return;
           }
-          MetaEntry* e =
-              StoreOf(StateOf(*src), shard).meta.Find(req.key, src_version);
+          MetaEntry* e = StoreOf(StateOf(*src), shard, geom)
+                             .meta.Find(req.key, src_version);
           if (e == nullptr) {
             ReplyToClientOnce(req.client, req.req_id, kReplyBytes,
                               [reply = req.reply] {
@@ -1020,13 +1278,13 @@ void RingServer::HandleMove(MoveRequest req) {
               dst->erasure_coded()
                   ? static_cast<uint64_t>(p.gf_byte_ns * e->len)
                   : 0;
-          cpu().Execute(cost, [this, src, dst, shard, addr, len, src_version,
-                               req = std::move(req)]() mutable {
+          cpu().Execute(cost, [this, src, dst, shard, geom, addr, len,
+                               src_version, req = std::move(req)]() mutable {
             obs::ScopedOp write_scope(hub(), req.op_id);
             if (!IsAlive() || !serving_) {
               return;
             }
-            ShardStore& store = StoreOf(StateOf(*src), shard);
+            ShardStore& store = StoreOf(StateOf(*src), shard, geom);
             // Validate-and-retry, as in the get path: the source version may
             // have been garbage-collected (region reused) while the copy was
             // queued. Restart the move against the current highest version.
@@ -1048,6 +1306,9 @@ void RingServer::HandleMove(MoveRequest req) {
             const ByteSpan bytes = store.Read(addr, len);
             value->assign(bytes.begin(), bytes.end());
             const Version version = volatile_index_.NextVersion(req.key);
+            // The re-encoded copy stays under the geometry the key is
+            // currently served at: migration to the new shape is the
+            // rebalance driver's job, not the move path's.
             StartWrite(*dst, shard, req.key, version, value, false,
                        [this, client = req.client, req_id = req.req_id,
                         reply = req.reply, version,
@@ -1057,7 +1318,8 @@ void RingServer::HandleMove(MoveRequest req) {
                                            [reply, st, version] {
                                              reply(st, version);
                                            });
-                       });
+                       },
+                       geom);
           });
           if (coding_cost > 0) {
             hub().tracer().Record("encode", obs::Category::kCoding, id_,
@@ -1080,10 +1342,25 @@ void RingServer::HandleDelete(DeleteRequest req) {
     if (!IsAlive() || !serving_) {
       return;
     }
-    const uint32_t shard = KeyShard(req.key, config_.num_shards());
-    if (!Coordinates(shard)) {
+    const RouteAction route = RouteKey(req.key, req.forwarded);
+    if (route.kind == RouteAction::Kind::kForward) {
+      ++counters_.forwards;
+      hub().metrics().Inc("server.forwards", 1, id_);
+      auto* peer = rt_->server(route.target);
+      req.forwarded = true;
+      SendToNode(route.target, ReqBytes(req.key.size(), 0),
+                 [peer, req = std::move(req)]() mutable {
+                   peer->HandleDelete(std::move(req));
+                 });
       return;
     }
+    if (route.kind == RouteAction::Kind::kDrop) {
+      if (config_.rebalancing()) {
+        ++counters_.fenced_drops;
+      }
+      return;
+    }
+    const uint32_t shard = route.shard;
     if (!ClaimClientOp(req.client, req.req_id)) {
       return;  // duplicate: executed (reply resent) or still in flight
     }
@@ -1115,7 +1392,8 @@ void RingServer::HandleDelete(DeleteRequest req) {
                  obs::ScopedOp reply_scope(hub(), op_id);
                  ReplyToClientOnce(client, req_id, kReplyBytes,
                                    [reply, s] { reply(s); });
-               });
+               },
+               route.geom_s);
   });
 }
 
@@ -1211,13 +1489,14 @@ void RingServer::ApplyMemgestDelete(MemgestId memgest) {
   if (it == memgests_.end()) {
     return;
   }
-  // Remove volatile references to keys whose versions lived there.
-  for (auto& [shard, store] : it->second.stores) {
-    if (Coordinates(shard)) {
-      store.meta.ForEach([this](const Key& key, const MetaEntry& entry) {
-        volatile_index_.Remove(key, entry.version);
-      });
-    }
+  // Remove volatile references to keys whose versions lived there. Removal
+  // is keyed by (key, version) and versions are node-unique, so dropping a
+  // replica-mirror entry that never had a volatile reference is a no-op —
+  // no need to re-derive coordinator-ship per stored shape.
+  for (auto& [store_key, store] : it->second.stores) {
+    store.meta.ForEach([this](const Key& key, const MetaEntry& entry) {
+      volatile_index_.Remove(key, entry.version);
+    });
   }
   memgests_.erase(it);
 }
@@ -1275,26 +1554,31 @@ uint64_t RingServer::LiveBytes() const {
   return total;
 }
 
-uint64_t RingServer::HeapExtent(MemgestId memgest, uint32_t shard) const {
+uint64_t RingServer::HeapExtent(MemgestId memgest, uint32_t shard,
+                                uint32_t geom_s) const {
   auto it = memgests_.find(memgest);
   if (it == memgests_.end()) {
     return 0;
   }
-  auto sit = it->second.stores.find(shard);
+  auto sit =
+      it->second.stores.find(GeomKey(geom_s == 0 ? config_.s : geom_s, shard));
   return sit == it->second.stores.end() ? 0 : sit->second.next_addr;
 }
 
-uint64_t RingServer::WriteSeq(MemgestId memgest, uint32_t shard) const {
+uint64_t RingServer::WriteSeq(MemgestId memgest, uint32_t shard,
+                              uint32_t geom_s) const {
   auto it = memgests_.find(memgest);
   if (it == memgests_.end()) {
     return 0;
   }
-  auto sit = it->second.stores.find(shard);
+  auto sit =
+      it->second.stores.find(GeomKey(geom_s == 0 ? config_.s : geom_s, shard));
   return sit == it->second.stores.end() ? 0 : sit->second.write_seq;
 }
 
 Buffer RingServer::ReadRawForRecovery(MemgestId memgest, uint32_t shard,
-                                      uint64_t addr, uint32_t len) {
+                                      uint64_t addr, uint32_t len,
+                                      uint32_t geom_s) {
   // One-sided read target: when fetched over Fabric::Read this runs under
   // the *issuer's* clock, so conflicts with this node's own writes to the
   // range surface as races unless the protocol fenced them.
@@ -1306,7 +1590,8 @@ Buffer RingServer::ReadRawForRecovery(MemgestId memgest, uint32_t shard,
   if (it == memgests_.end()) {
     return out;
   }
-  auto sit = it->second.stores.find(shard);
+  auto sit =
+      it->second.stores.find(GeomKey(geom_s == 0 ? config_.s : geom_s, shard));
   if (sit == it->second.stores.end()) {
     return out;
   }
@@ -1318,7 +1603,8 @@ Buffer RingServer::ReadRawForRecovery(MemgestId memgest, uint32_t shard,
 }
 
 Buffer RingServer::ReadRawParity(MemgestId memgest, uint32_t group,
-                                 uint64_t addr, uint32_t len) {
+                                 uint64_t addr, uint32_t len,
+                                 uint32_t geom_s) {
   NoteAccess(RegionKind::kParityStrip, AccessKind::kRead,
              (static_cast<uint64_t>(memgest) << 32) | group, addr, addr + len,
              "recovery/raw_parity_read");
@@ -1327,7 +1613,8 @@ Buffer RingServer::ReadRawParity(MemgestId memgest, uint32_t group,
   if (it == memgests_.end()) {
     return out;
   }
-  auto git = it->second.parity.find(group);
+  auto git =
+      it->second.parity.find(GeomKey(geom_s == 0 ? config_.s : geom_s, group));
   if (git == it->second.parity.end()) {
     return out;
   }
@@ -1338,12 +1625,14 @@ Buffer RingServer::ReadRawParity(MemgestId memgest, uint32_t group,
   return out;
 }
 
-bool RingServer::ParityUsable(MemgestId memgest, uint32_t group) const {
+bool RingServer::ParityUsable(MemgestId memgest, uint32_t group,
+                              uint32_t geom_s) const {
   auto it = memgests_.find(memgest);
   if (it == memgests_.end()) {
     return false;
   }
-  auto git = it->second.parity.find(group);
+  auto git =
+      it->second.parity.find(GeomKey(geom_s == 0 ? config_.s : geom_s, group));
   return git != it->second.parity.end() && git->second.rebuilt;
 }
 

@@ -51,6 +51,10 @@ struct PutRequest {
   uint64_t req_id = 0;
   uint64_t op_id = 0;  // trace id stitching client/server/redundancy spans
   bool retry = false;
+  // Set when a peer relayed this request during a rebalance (§13). Forwarded
+  // requests are never forwarded again — a stale second hop drops them and
+  // the client's retry machinery takes over.
+  bool forwarded = false;
   std::function<void(Status, Version)> reply;
 };
 
@@ -60,6 +64,7 @@ struct GetRequest {
   uint64_t req_id = 0;
   uint64_t op_id = 0;
   bool retry = false;
+  bool forwarded = false;
   std::function<void(GetResult)> reply;
 };
 
@@ -73,6 +78,7 @@ struct MoveRequest {
   // Internal re-entry of a move that was postponed on an uncommitted entry:
   // it already claimed its at-most-once slot, so the dedup check is skipped.
   bool resumed = false;
+  bool forwarded = false;
   std::function<void(Status, Version)> reply;
 };
 
@@ -82,6 +88,7 @@ struct DeleteRequest {
   uint64_t req_id = 0;
   uint64_t op_id = 0;
   bool retry = false;
+  bool forwarded = false;
   std::function<void(Status)> reply;
 };
 
@@ -133,6 +140,12 @@ class RingServer {
     // duplicates (each append applies exactly once per replica).
     uint64_t seq = 0;
     uint64_t op_id = 0;
+    // Geometry of the write (§13): group size s the shard id belongs to.
+    // 0 means "receiver's current shape" (static-cluster wire default).
+    uint32_t geom_s = 0;
+    // The entry is a moved-marker (§13): replicated like any write so the
+    // marker survives coordinator failover.
+    bool moved = false;
   };
   void HandleReplicaAppend(ReplicaAppend msg);
 
@@ -152,6 +165,10 @@ class RingServer {
     // against in-flight updates (apply only seq > snapshot seq).
     uint64_t seq = 0;
     uint64_t op_id = 0;
+    // Geometry of the write (§13); 0 = receiver's current shape. Parity
+    // buffers are per-geometry, so updates of different shapes never mix.
+    uint32_t geom_s = 0;
+    bool moved = false;
   };
   void HandleParityUpdate(ParityUpdate msg);
 
@@ -161,6 +178,7 @@ class RingServer {
     uint32_t shard;
     Key key;
     Version version;
+    uint32_t geom_s = 0;  // shape of `shard`; 0 = receiver's current shape
   };
   void HandleGcNotice(GcNotice msg);
 
@@ -170,6 +188,7 @@ class RingServer {
     MemgestId memgest;
     uint32_t shard;
     uint32_t ordinal;
+    uint32_t geom_s = 0;  // shape of `shard`; 0 = receiver's current shape
   };
   void HandleRedundancyRecovered(RedundancyRecovered msg);
 
@@ -178,7 +197,8 @@ class RingServer {
     uint32_t shard;
     Key key;
     Version version;
-    uint32_t ordinal;  // replica ordinal or parity index
+    uint32_t ordinal;     // replica ordinal or parity index
+    uint32_t geom_s = 0;  // shape of `shard`; 0 = receiver's current shape
   };
   // Acknowledgments arrive as one-sided RDMA writes into a completion region
   // the coordinator polls — no coordinator CPU is charged (DARE-style
@@ -191,6 +211,7 @@ class RingServer {
     MemgestId memgest;
     uint32_t shard;
     net::NodeId requester;
+    uint32_t geom_s = 0;  // shape of `shard`; 0 = receiver's current shape
     std::function<void(std::shared_ptr<MetadataTable>, uint64_t wire_bytes)>
         reply;
   };
@@ -205,9 +226,46 @@ class RingServer {
     uint32_t len;
     net::NodeId requester;
     uint64_t op_id = 0;
+    uint32_t geom_s = 0;  // shape of `shard`; 0 = receiver's current shape
     std::function<void(std::shared_ptr<Buffer>)> reply;
   };
   void HandleRecoverBlock(RecoverBlock msg);
+
+  // ---- elastic rebalance protocol (§13) ----
+  // Driver -> node: report keys this node still serves at the previous
+  // shape (old-placement coordinator duty not yet handed over).
+  struct RebalanceScan {
+    uint32_t max_keys = 0;  // 0 = unbounded
+    net::NodeId requester = 0;
+    std::function<void(std::vector<Key>)> reply;
+  };
+  void HandleRebalanceScan(RebalanceScan msg);
+
+  // Driver -> old-shape owner: migrate one key to its new-shape owner.
+  // Idempotent; replies kOk once the new owner has durably installed the
+  // key (or it was already handed over / re-encoded).
+  struct MigrateKey {
+    Key key;
+    uint64_t op_id = 0;
+    net::NodeId requester = 0;
+    std::function<void(Status)> reply;
+  };
+  void HandleMigrateKey(MigrateKey msg);
+
+  // Old owner -> new owner: install the key's latest contents under the new
+  // shape at a version >= floor (the moved-marker version, which fences all
+  // old-shape writes below it).
+  struct InstallKey {
+    MemgestId memgest;
+    Key key;
+    Version floor = 0;
+    std::shared_ptr<Buffer> value;  // nullptr together with tombstone=true
+    bool tombstone = false;
+    net::NodeId from;
+    uint64_t op_id = 0;
+    std::function<void(Status)> ack;  // runs back at the old owner
+  };
+  void HandleInstallKey(InstallKey msg);
 
   // Membership callback: reconfiguration / spare promotion (paper §5.5).
   void OnConfig(const consensus::ClusterConfig& config);
@@ -240,6 +298,20 @@ class RingServer {
     // reused) after the data-copy CPU charge and restarted resolution —
     // the validate-and-retry of the paper's optimistic one-sided reads.
     uint64_t op_restarts = 0;
+    // ---- elastic rebalance (§13) ----
+    // Client requests relayed to the key's authoritative owner during a
+    // shape transition.
+    uint64_t forwards = 0;
+    // Requests dropped by epoch fencing (stale shape, mid-handoff).
+    uint64_t fenced_drops = 0;
+    // Keys handed to a new-shape owner (marker + install completed).
+    uint64_t keys_migrated = 0;
+    // Payload bytes shipped in acknowledged installs (old-owner side).
+    uint64_t bytes_moved = 0;
+    // Keys re-encoded locally (owner unchanged, shape changed).
+    uint64_t keys_reencoded = 0;
+    // InstallKey messages applied (new-owner side).
+    uint64_t installs = 0;
   };
   const Counters& counters() const { return counters_; }
 
@@ -260,18 +332,23 @@ class RingServer {
 
   // Raw heap bytes for peer-driven recovery (RDMA read target: runs at this
   // node without CPU involvement). Returns zeros beyond the heap extent.
+  // geom_s == 0 means the current shape.
   Buffer ReadRawForRecovery(MemgestId memgest, uint32_t shard, uint64_t addr,
-                            uint32_t len);
-  // Raw parity bytes (RDMA read target), zeros beyond extent.
+                            uint32_t len, uint32_t geom_s = 0);
+  // Raw parity bytes (RDMA read target), zeros beyond extent. geom_s == 0
+  // means the current shape.
   Buffer ReadRawParity(MemgestId memgest, uint32_t group, uint64_t addr,
-                       uint32_t len);
-  // True when this node's parity buffer for `memgest`/`group` is usable for
-  // decode.
-  bool ParityUsable(MemgestId memgest, uint32_t group) const;
+                       uint32_t len, uint32_t geom_s = 0);
+  // True when this node's parity buffer for `memgest`/`group` under the
+  // given shape (0 = current) is usable for decode.
+  bool ParityUsable(MemgestId memgest, uint32_t group,
+                    uint32_t geom_s = 0) const;
   // Current heap extent and write fence of a shard store (RDMA-read targets
-  // during parity rebuild).
-  uint64_t HeapExtent(MemgestId memgest, uint32_t shard) const;
-  uint64_t WriteSeq(MemgestId memgest, uint32_t shard) const;
+  // during parity rebuild). geom_s == 0 means the current shape.
+  uint64_t HeapExtent(MemgestId memgest, uint32_t shard,
+                      uint32_t geom_s = 0) const;
+  uint64_t WriteSeq(MemgestId memgest, uint32_t shard,
+                    uint32_t geom_s = 0) const;
   // Drops all local state of a deleted memgest (leader broadcast target).
   void ApplyMemgestDelete(MemgestId memgest);
 
@@ -345,9 +422,12 @@ class RingServer {
 
   struct MemgestState {
     const MemgestInfo* info = nullptr;
-    std::map<uint32_t, ShardStore> stores;  // own shards + replica mirrors
-    // Parity stores, one per memgest group whose rotation put a parity role
-    // on this node (§5.4 balancing: with groups > 1 parity spreads out).
+    // Own shards + replica mirrors, keyed by GeomKey(geom_s, shard) so each
+    // shape keeps a private address space (§13).
+    std::map<uint32_t, ShardStore> stores;
+    // Parity stores, one per (shape, group) whose rotation put a parity role
+    // on this node (§5.4 balancing: with groups > 1 parity spreads out),
+    // keyed by GeomKey(geom_s, group).
     std::map<uint32_t, ParityStore> parity;
     uint64_t log_len = 0;
   };
@@ -365,19 +445,64 @@ class RingServer {
   bool Coordinates(uint32_t shard) const;
   int32_t slot() const { return config_.slot_of_node[id_]; }
 
-  MemgestState& StateOf(const MemgestInfo& info);
-  ShardStore& StoreOf(MemgestState& state, uint32_t shard);
+  // ---- elastic rebalance helpers (§13) ----
+  // Placement view for a shape. 0 or the current s -> current placement;
+  // the previous shape only while rebalancing(); nullopt otherwise — the
+  // caller treats that as an epoch-fenced (stale) operation and drops.
+  std::optional<consensus::Placement> PlacementFor(uint32_t geom_s) const;
+  // Routing decision for a client op on `key`. On a static cluster this is
+  // the plain Coordinates check; during a rebalance the key is served by
+  // its old-shape owner until its moved-marker lands, then by the new-shape
+  // owner, with one forwarding hop bridging stale client configs.
+  struct RouteAction {
+    enum class Kind { kServe, kForward, kDrop };
+    Kind kind = Kind::kDrop;
+    uint32_t shard = 0;      // kServe: shard id under `geom_s`
+    uint32_t geom_s = 0;     // kServe: shape the shard id belongs to
+    net::NodeId target = 0;  // kForward
+  };
+  RouteAction RouteKey(const Key& key, bool forwarded);
+  // Entry lookup across the live shapes: tries the current-shape shard,
+  // then (while rebalancing) the previous-shape shard. Fills *shard_out
+  // with the shard id (and *geom_out with the shape) the entry was found
+  // under.
+  MetaEntry* FindEntry(const MemgestInfo& info, const Key& key,
+                       Version version, uint32_t* shard_out,
+                       uint32_t* geom_out);
+  // Shard stores and parity stores are keyed per (shape, shard-or-group):
+  // each geometry gets its own heap address space and stripe buffers, so
+  // parity accumulated under one stripe layout never mixes with bytes laid
+  // out under another.
+  static constexpr uint32_t GeomKey(uint32_t geom_s, uint32_t idx) {
+    return (geom_s << 16) | idx;
+  }
+  // Drops every entry, store and parity buffer of shapes other than the
+  // current one; runs on the rebalancing -> static config edge.
+  void PurgeStaleGeometries();
+  // §13 handoff step 2: after the moved-marker at `floor` committed, ship
+  // the key's latest durable contents to its new-shape owner and reply to
+  // the driver once the install is acknowledged.
+  void SendInstall(const MemgestInfo& info, const Key& key, uint32_t shard,
+                   uint32_t geom_s, Version floor,
+                   std::function<void(Status)> reply);
 
-  // Write path pieces.
+  MemgestState& StateOf(const MemgestInfo& info);
+  // The store for `shard` under shape `geom_s` (0 = current).
+  ShardStore& StoreOf(MemgestState& state, uint32_t shard,
+                      uint32_t geom_s = 0);
+
+  // Write path pieces. `shard` is a shard id under `geom_s` (0 = current
+  // shape); `moved` writes a §13 moved-marker entry.
   void StartWrite(const MemgestInfo& info, uint32_t shard, const Key& key,
                   Version version, std::shared_ptr<Buffer> value,
-                  bool tombstone, std::function<void(Status)> on_commit);
+                  bool tombstone, std::function<void(Status)> on_commit,
+                  uint32_t geom_s = 0, bool moved = false);
   void CommitEntry(const MemgestInfo& info, uint32_t shard, const Key& key,
-                   Version version);
+                   Version version, uint32_t geom_s = 0);
   // Resends un-acked backup messages for a pending write every
   // write_retransmit_ns until it commits (no-op when the period is 0).
-  void ScheduleWriteRetransmit(MemgestId gid, uint32_t shard, const Key& key,
-                               Version version);
+  void ScheduleWriteRetransmit(MemgestId gid, uint32_t shard, uint32_t geom_s,
+                               const Key& key, Version version);
   void GcOldVersions(const Key& key, Version below);
 
   // Read path pieces.
@@ -385,27 +510,37 @@ class RingServer {
   // Called once per get and again whenever validate-and-retry detects that
   // the resolved version was garbage-collected mid-read.
   void ResolveGet(GetRequest req);
-  void DeliverGet(const MemgestInfo& info, uint32_t shard, const Key& key,
-                  MetaEntry* entry, GetRequest req);
+  void DeliverGet(const MemgestInfo& info, uint32_t shard, uint32_t geom_s,
+                  const Key& key, MetaEntry* entry, GetRequest req);
   void EnsureDataPresent(const MemgestInfo& info, uint32_t shard,
-                         const Key& key, Version version,
+                         uint32_t geom_s, const Key& key, Version version,
                          std::function<void(Status)> then);
 
-  // Recovery pieces.
+  // Recovery pieces. `geom_s` selects the shape a shard id belongs to
+  // (0 = current); during a rebalance a promoted node recovers both shapes.
   void BeginPromotion(uint32_t new_slot);
   void FetchShardMetadata(const MemgestInfo& info, uint32_t shard,
-                          bool as_parity, std::function<void()> done);
+                          bool as_parity, uint32_t geom_s,
+                          std::function<void()> done);
+  // One source's fetch, re-sent on a timer until its reply lands (the flag
+  // also swallows chaos-duplicated replies). A lost MetaFetch must not wedge
+  // the promotion: the node would stay non-serving forever.
+  void SendMetaFetchAttempt(
+      const MemgestInfo& info, uint32_t shard, uint32_t geom,
+      int32_t src_slot, std::shared_ptr<bool> responded,
+      std::function<void(std::shared_ptr<MetadataTable>, uint64_t)> reply);
   // Alive holders of a shard's metadata, preference-ordered. All of them
   // for replicated schemes (quorum commit: survivors must be unioned), one
   // for erasure coding (every parity node has the full table).
   std::vector<int32_t> AliveMetaSources(const MemgestInfo& info,
-                                        uint32_t shard) const;
+                                        uint32_t shard, uint32_t geom_s) const;
   void RebuildVolatileIndex();
   void NotifyRedundancyRecovered();
-  void RebuildParity(const MemgestInfo& info, uint32_t group,
+  void RebuildParity(const MemgestInfo& info, uint32_t pkey,
                      std::function<void()> done);
   void ApplyParityBytes(const MemgestInfo& info, const ParityUpdate& msg);
   void RecoverStoreEntries(const MemgestInfo& info, uint32_t shard,
+                           uint32_t geom_s,
                            std::vector<std::pair<Key, Version>> todo,
                            size_t next, std::function<void()> done);
 
@@ -413,6 +548,7 @@ class RingServer {
                      std::function<void()> fn);
   void SendToSlot(uint32_t slot_index, uint64_t bytes,
                   std::function<void()> fn);
+  void SendToNode(net::NodeId node, uint64_t bytes, std::function<void()> fn);
 
   // At-most-once execution of client mutations. ClaimClientOp returns true
   // exactly once per (client, req_id): the caller may execute the operation.

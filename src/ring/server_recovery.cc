@@ -15,6 +15,9 @@ namespace {
 constexpr uint64_t kSmallMsgBytes = 64;
 constexpr uint64_t kAckBytes = 48;
 constexpr uint64_t kLogRecordBytes = 32;
+// Re-send cadence for unanswered metadata fetches during a promotion (lossy
+// links and partitions drop them; the promotion must not wedge).
+constexpr sim::SimTime kMetaFetchRetryNs = 3 * sim::kMillisecond;
 
 using analysis::AccessKind;
 using analysis::RegionKind;
@@ -31,6 +34,7 @@ uint64_t ParityMetaScope(MemgestId memgest, uint32_t shard) {
 
 void RingServer::OnConfig(const consensus::ClusterConfig& config) {
   const int32_t old_slot = config_.slot_of_node[id_];
+  const bool was_rebalancing = config_.rebalancing();
   config_ = config;
   if (config.failed[id_]) {
     // The cluster considers this node dead (it may in fact be alive and
@@ -44,10 +48,18 @@ void RingServer::OnConfig(const consensus::ClusterConfig& config) {
   excluded_ = false;
   const int32_t new_slot = config.slot_of_node[id_];
   if (new_slot == consensus::kSpareSlot) {
-    if (old_slot != consensus::kSpareSlot || readmitted) {
-      // Demoted (our old slot was re-assigned while we were out) or
-      // readmitted into the spare pool after a crash: whatever state we
-      // hold is stale. Start over as a clean, non-serving spare.
+    if (!readmitted && config_.rebalancing() &&
+        config_.Previous().SlotOfNode(id_) != consensus::kSpareSlot) {
+      // Scale-in: our slot exists only in the previous shape. Keep serving
+      // old-placement reads and sourcing migrations until the drain ends;
+      // the CompleteRebalance config parks us in the spare pool below.
+      return;
+    }
+    if (old_slot != consensus::kSpareSlot || readmitted || serving_) {
+      // Demoted (our old slot was re-assigned while we were out),
+      // readmitted into the spare pool after a crash, or a drained
+      // scale-in just completed: whatever state we hold is stale. Start
+      // over as a clean, non-serving spare.
       memgests_.clear();
       volatile_index_ = VolatileIndex();
       serving_ = false;
@@ -65,6 +77,12 @@ void RingServer::OnConfig(const consensus::ClusterConfig& config) {
       volatile_index_ = VolatileIndex();
     }
     BeginPromotion(static_cast<uint32_t>(new_slot));
+    return;
+  }
+  if (was_rebalancing && !config_.rebalancing()) {
+    // Rebalance completed: every key has been handed to its new-shape owner,
+    // so the previous shape's stores, parity strips and markers are garbage.
+    PurgeStaleGeometries();
   }
 }
 
@@ -93,48 +111,71 @@ void RingServer::BeginPromotion(uint32_t new_slot) {
   const sim::SimTime start = rt_->simulator().now();
   RING_LOG(kInfo) << "node " << id_ << " promoting into slot " << new_slot;
 
-  // Enumerate the metadata-fetch tasks implied by the slot's roles.
+  // Enumerate the metadata-fetch tasks implied by the slot's roles. During
+  // a rebalance (§13) both shapes are live: the node recovers its roles
+  // under the current geometry *and* under the previous one (old-placement
+  // keys are still served there until migrated).
   struct Task {
     const MemgestInfo* info;
     uint32_t shard;
     bool as_parity;
+    uint32_t geom;
   };
   auto tasks = std::make_shared<std::vector<Task>>();
-  const uint32_t s = config_.s;
-  const auto my_shards = config_.ShardsOfSlot(new_slot);
-  rt_->registry().ForEach([&](const MemgestInfo& info) {
-    if (!info.desc.unreliable()) {
-      // Coordinator of every shard whose rotation lands on this slot.
-      for (uint32_t shard : my_shards) {
-        tasks->push_back({&info, shard, false});
-      }
+  auto enumerate_shape = [&](uint32_t geom, int32_t my_slot) {
+    if (my_slot == consensus::kSpareSlot) {
+      return;  // this node has no role under that shape
     }
-    if (info.desc.kind == SchemeKind::kReplicated) {
-      for (uint32_t shard = 0; shard < config_.num_shards(); ++shard) {
-        const auto slots = rt_->registry().ReplicaSlots(info, shard);
-        if (std::find(slots.begin(), slots.end(), new_slot) != slots.end()) {
-          tasks->push_back({&info, shard, false});
-        }
-      }
-    } else {
-      for (uint32_t group = 0; group < config_.groups; ++group) {
-        const auto parity_slots = rt_->registry().ParitySlots(info, group);
-        const auto it =
-            std::find(parity_slots.begin(), parity_slots.end(), new_slot);
-        if (it == parity_slots.end()) {
-          continue;
-        }
-        MemgestState& state = StateOf(info);
-        ParityStore& parity = state.parity[group];
-        parity.parity_index =
-            static_cast<uint32_t>(it - parity_slots.begin());
-        parity.rebuilt = false;
-        for (uint32_t sigma = 0; sigma < s; ++sigma) {
-          tasks->push_back({&info, group * s + sigma, true});
-        }
-      }
+    const auto placement = PlacementFor(geom);
+    if (!placement.has_value()) {
+      return;
     }
-  });
+    const uint32_t slot = static_cast<uint32_t>(my_slot);
+    rt_->registry().ForEach([&](const MemgestInfo& info) {
+      if (!info.desc.unreliable()) {
+        // Coordinator of every shard whose rotation lands on this slot.
+        for (uint32_t shard = 0; shard < placement->num_shards(); ++shard) {
+          if (placement->SlotOfShard(shard) == slot) {
+            tasks->push_back({&info, shard, false, geom});
+          }
+        }
+      }
+      if (info.desc.kind == SchemeKind::kReplicated) {
+        for (uint32_t shard = 0; shard < placement->num_shards(); ++shard) {
+          const auto slots = MemgestRegistry::ReplicaSlotsFor(
+              info, shard, geom, config_.d);
+          if (std::find(slots.begin(), slots.end(), slot) != slots.end()) {
+            tasks->push_back({&info, shard, false, geom});
+          }
+        }
+      } else {
+        for (uint32_t group = 0; group < config_.groups; ++group) {
+          const auto parity_slots = MemgestRegistry::ParitySlotsFor(
+              info, group, geom, config_.d);
+          const auto it =
+              std::find(parity_slots.begin(), parity_slots.end(), slot);
+          if (it == parity_slots.end()) {
+            continue;
+          }
+          MemgestState& state = StateOf(info);
+          ParityStore& parity = state.parity[GeomKey(geom, group)];
+          parity.parity_index =
+              static_cast<uint32_t>(it - parity_slots.begin());
+          parity.rebuilt = false;
+          for (uint32_t sigma = 0; sigma < geom; ++sigma) {
+            tasks->push_back({&info, group * geom + sigma, true, geom});
+          }
+        }
+      }
+    });
+  };
+  enumerate_shape(config_.s, static_cast<int32_t>(new_slot));
+  if (config_.rebalancing()) {
+    const auto prev = PlacementFor(config_.prev_s);
+    if (prev.has_value()) {
+      enumerate_shape(config_.prev_s, prev->SlotOfNode(id_));
+    }
+  }
 
   auto remaining = std::make_shared<size_t>(tasks->size());
   auto finish = [this, start] {
@@ -171,7 +212,7 @@ void RingServer::BeginPromotion(uint32_t new_slot) {
     return;
   }
   for (const auto& task : *tasks) {
-    FetchShardMetadata(*task.info, task.shard, task.as_parity,
+    FetchShardMetadata(*task.info, task.shard, task.as_parity, task.geom,
                        [remaining, finish] {
                          if (--*remaining == 0) {
                            finish();
@@ -181,28 +222,36 @@ void RingServer::BeginPromotion(uint32_t new_slot) {
 }
 
 std::vector<int32_t> RingServer::AliveMetaSources(const MemgestInfo& info,
-                                                  uint32_t shard) const {
+                                                  uint32_t shard,
+                                                  uint32_t geom_s) const {
+  const uint32_t geom = geom_s == 0 ? config_.s : geom_s;
+  const auto placement = PlacementFor(geom);
+  if (!placement.has_value()) {
+    return {};
+  }
   // Candidate holders of the shard's metadata, in preference order:
   // the coordinator itself, then replicas (Rep) or parity nodes (SRS).
+  // All slot ids live in `geom`'s slot space.
   std::vector<uint32_t> candidates;
-  candidates.push_back(config_.SlotOfShard(shard));
+  candidates.push_back(placement->SlotOfShard(shard));
   if (info.desc.kind == SchemeKind::kReplicated) {
-    for (uint32_t slot : rt_->registry().ReplicaSlots(info, shard)) {
+    for (uint32_t slot :
+         MemgestRegistry::ReplicaSlotsFor(info, shard, geom, config_.d)) {
       candidates.push_back(slot);
     }
   } else {
-    for (uint32_t slot :
-         rt_->registry().ParitySlots(info, config_.GroupOfShard(shard))) {
+    for (uint32_t slot : MemgestRegistry::ParitySlotsFor(
+             info, placement->GroupOfShard(shard), geom, config_.d)) {
       candidates.push_back(slot);
     }
   }
-  const int32_t my_slot = config_.slot_of_node[id_];
+  const int32_t my_slot = placement->SlotOfNode(id_);
   std::vector<int32_t> alive;
   for (uint32_t slot : candidates) {
     if (static_cast<int32_t>(slot) == my_slot) {
       continue;
     }
-    const net::NodeId node = config_.node_of_slot[slot];
+    const net::NodeId node = placement->NodeOfSlot(slot);
     if (!config_.failed[node] && rt_->fabric().alive(node)) {
       alive.push_back(static_cast<int32_t>(slot));
     }
@@ -218,28 +267,34 @@ std::vector<int32_t> RingServer::AliveMetaSources(const MemgestInfo& info,
 }
 
 void RingServer::FetchShardMetadata(const MemgestInfo& info, uint32_t shard,
-                                    bool as_parity,
+                                    bool as_parity, uint32_t geom_s,
                                     std::function<void()> done) {
-  const std::vector<int32_t> sources = AliveMetaSources(info, shard);
-  if (sources.empty()) {
+  const uint32_t geom = geom_s == 0 ? config_.s : geom_s;
+  const std::vector<int32_t> sources = AliveMetaSources(info, shard, geom);
+  const auto placement = PlacementFor(geom);
+  if (sources.empty() || !placement.has_value()) {
     done();  // nothing recoverable (e.g. unreliable memgest)
     return;
   }
   auto remaining = std::make_shared<size_t>(sources.size());
   auto shared_done = std::make_shared<std::function<void()>>(std::move(done));
   for (const int32_t src_slot : sources) {
-    MetaFetch msg;
-    msg.memgest = info.id;
-    msg.shard = shard;
-    msg.requester = id_;
     const MemgestInfo* info_ptr = &info;
-    msg.reply = [this, info_ptr, shard, as_parity, src_slot, remaining,
-                 shared_done](std::shared_ptr<MetadataTable> table,
-                              uint64_t wire_bytes) {
+    // First response wins: the flag stops the retry timer and swallows both
+    // chaos-duplicated replies and late originals after a re-send.
+    auto responded = std::make_shared<bool>(false);
+    auto reply = [this, info_ptr, shard, geom, as_parity, src_slot, remaining,
+                  shared_done,
+                  responded](std::shared_ptr<MetadataTable> table,
+                             uint64_t wire_bytes) {
       (void)wire_bytes;
+      if (*responded) {
+        return;
+      }
+      *responded = true;
       const auto& p = rt_->simulator().params();
       cpu().Execute(table->entry_count() * p.recovery_entry_ns,
-                    [this, info_ptr, shard, as_parity, src_slot, table,
+                    [this, info_ptr, shard, geom, as_parity, src_slot, table,
                      remaining, shared_done] {
         if (!IsAlive()) {
           return;
@@ -247,9 +302,9 @@ void RingServer::FetchShardMetadata(const MemgestInfo& info, uint32_t shard,
         MemgestState& state = StateOf(*info_ptr);
         MetadataTable& target =
             as_parity
-                ? state.parity.at(config_.GroupOfShard(shard))
+                ? state.parity.at(GeomKey(geom, shard / geom))
                       .shard_meta[shard]
-                : StoreOf(state, shard).meta;
+                : StoreOf(state, shard, geom).meta;
         // Bulk re-population of the whole shard table on the promoted node.
         // Tables from multiple sources are unioned: quorum commit means a
         // write may survive on any single holder, so every survivor's view
@@ -261,6 +316,9 @@ void RingServer::FetchShardMetadata(const MemgestInfo& info, uint32_t shard,
         uint64_t high_water = 0;
         uint64_t installed = 0;
         table->ForEach([&](const Key& key, const MetaEntry& src) {
+          if (src.geom_s != 0 && src.geom_s != geom) {
+            return;  // skewed source mixed in a foreign shape: not ours
+          }
           if (target.Find(key, src.version) != nullptr) {
             return;  // another source already supplied this version
           }
@@ -274,6 +332,8 @@ void RingServer::FetchShardMetadata(const MemgestInfo& info, uint32_t shard,
           entry.waiters.clear();
           entry.backup_resend.clear();
           entry.data_present = entry.tombstone || entry.len == 0;
+          entry.geom_s = geom;
+          entry.moved_done = false;  // volatile: re-verified by the driver
           entry.recovery_src = src_slot;
           high_water = std::max(high_water, entry.addr + entry.region_len);
           target.Insert(key, std::move(entry));
@@ -284,7 +344,7 @@ void RingServer::FetchShardMetadata(const MemgestInfo& info, uint32_t shard,
           // regions: new puts racing with background data recovery would
           // overwrite the surviving replica/parity copies they are
           // recovered from.
-          ShardStore& store = StoreOf(state, shard);
+          ShardStore& store = StoreOf(state, shard, geom);
           store.next_addr = std::max(store.next_addr, high_water);
           store.EnsureSize(store.next_addr);
           store.write_seq += table->entry_count();  // fencing stays monotonic
@@ -295,12 +355,49 @@ void RingServer::FetchShardMetadata(const MemgestInfo& info, uint32_t shard,
         }
       });
     };
-    auto* peer = rt_->server(config_.node_of_slot[src_slot]);
-    SendToSlot(static_cast<uint32_t>(src_slot), kSmallMsgBytes,
-               [peer, msg = std::move(msg)]() mutable {
-                 peer->HandleMetaFetch(std::move(msg));
-               });
+    SendMetaFetchAttempt(info, shard, geom, src_slot, responded,
+                         std::move(reply));
   }
+}
+
+void RingServer::SendMetaFetchAttempt(
+    const MemgestInfo& info, uint32_t shard, uint32_t geom, int32_t src_slot,
+    std::shared_ptr<bool> responded,
+    std::function<void(std::shared_ptr<MetadataTable>, uint64_t)> reply) {
+  if (*responded || !IsAlive()) {
+    return;
+  }
+  // Resolve the slot's holder fresh on every attempt: a promotion may have
+  // re-pointed it to a different node since the last send.
+  const auto placement = PlacementFor(geom);
+  if (!placement.has_value()) {
+    // The shape was retired mid-promotion (a rebalance completed): treat the
+    // fetch as answered with nothing so the promotion can finish.
+    *responded = true;
+    reply(std::make_shared<MetadataTable>(), 0);
+    return;
+  }
+  MetaFetch msg;
+  msg.memgest = info.id;
+  msg.shard = shard;
+  msg.requester = id_;
+  msg.geom_s = geom;
+  msg.reply = reply;
+  const net::NodeId src_node =
+      placement->NodeOfSlot(static_cast<uint32_t>(src_slot));
+  auto* peer = rt_->server(src_node);
+  SendToNode(src_node, kSmallMsgBytes,
+             [peer, msg = std::move(msg)]() mutable {
+               peer->HandleMetaFetch(std::move(msg));
+             });
+  const MemgestInfo* info_ptr = &info;
+  rt_->simulator().After(
+      kMetaFetchRetryNs,
+      [this, info_ptr, shard, geom, src_slot, responded,
+       reply = std::move(reply)]() mutable {
+        SendMetaFetchAttempt(*info_ptr, shard, geom, src_slot,
+                             std::move(responded), std::move(reply));
+      });
 }
 
 void RingServer::HandleMetaFetch(MetaFetch msg) {
@@ -312,6 +409,7 @@ void RingServer::HandleMetaFetch(MetaFetch msg) {
     if (!IsAlive()) {
       return;
     }
+    const uint32_t geom = msg.geom_s == 0 ? config_.s : msg.geom_s;
     auto it = memgests_.find(msg.memgest);
     auto table = std::make_shared<MetadataTable>();
     uint64_t log_bytes = 0;
@@ -319,12 +417,11 @@ void RingServer::HandleMetaFetch(MetaFetch msg) {
       const MemgestState& state = it->second;
       const MetadataTable* source = nullptr;
       uint64_t source_scope = 0;
-      if (auto sit = state.stores.find(msg.shard);
+      if (auto sit = state.stores.find(GeomKey(geom, msg.shard));
           sit != state.stores.end()) {
         source = &sit->second.meta;
         source_scope = ScopeOf(msg.memgest, msg.shard);
-      } else if (auto git = state.parity.find(
-                     config_.GroupOfShard(msg.shard));
+      } else if (auto git = state.parity.find(GeomKey(geom, msg.shard / geom));
                  git != state.parity.end()) {
         auto pit = git->second.shard_meta.find(msg.shard);
         if (pit != git->second.shard_meta.end()) {
@@ -355,19 +452,27 @@ void RingServer::HandleMetaFetch(MetaFetch msg) {
 
 void RingServer::RebuildVolatileIndex() {
   volatile_index_.Clear();
-  const int32_t slot = config_.slot_of_node[id_];
-  if (slot < 0 || config_.failed[id_]) {
+  if (config_.failed[id_]) {
     return;
   }
-  for (const uint32_t shard :
-       config_.ShardsOfSlot(static_cast<uint32_t>(slot))) {
-    for (auto& [id, state] : memgests_) {
-      auto sit = state.stores.find(shard);
-      if (sit == state.stores.end()) {
-        continue;
-      }
-      sit->second.meta.ForEach([&](const Key& key, const MetaEntry& entry) {
-        volatile_index_.Add(key, entry.version, id);
+  // Walk every store (both shapes during a rebalance) and index the entries
+  // of shards this node coordinates *under the store's own shape*: old-shape
+  // keys are routed to their old-placement coordinator until migrated (§13).
+  for (auto& [id, state] : memgests_) {
+    for (auto& [store_key, store] : state.stores) {
+      const uint32_t geom = store_key >> 16;
+      const uint32_t shard = store_key & 0xffffu;
+      const auto placement = PlacementFor(geom);
+      const bool mine = placement.has_value() &&
+                        placement->CoordinatorOfShard(shard) == id_;
+      store.meta.ForEachMutable([&](const Key& key, MetaEntry& entry) {
+        // The flag rides along in metadata-fetch snapshots, so entries of
+        // shards this node does *not* coordinate must be re-marked as plain
+        // mirrors — a stale true would fool the geometry purge later.
+        entry.indexed = mine;
+        if (mine) {
+          volatile_index_.Add(key, entry.version, id);
+        }
       });
     }
   }
@@ -377,10 +482,17 @@ void RingServer::RebuildVolatileIndex() {
 // Data recovery
 
 void RingServer::EnsureDataPresent(const MemgestInfo& info, uint32_t shard,
-                                   const Key& key, Version version,
+                                   uint32_t geom_s, const Key& key,
+                                   Version version,
                                    std::function<void(Status)> then) {
+  const uint32_t geom = geom_s == 0 ? config_.s : geom_s;
+  const auto placement = PlacementFor(geom);
+  if (!placement.has_value()) {
+    then(FailedPreconditionError("shape no longer live"));
+    return;
+  }
   MemgestState& state = StateOf(info);
-  ShardStore& store = StoreOf(state, shard);
+  ShardStore& store = StoreOf(state, shard, geom);
   MetaEntry* entry = store.meta.Find(key, version);
   if (entry == nullptr) {
     then(NotFoundError("entry gone"));
@@ -396,7 +508,8 @@ void RingServer::EnsureDataPresent(const MemgestInfo& info, uint32_t shard,
   const uint64_t op_id = hub().current_op();
   const sim::SimTime recover_start = rt_->simulator().now();
 
-  auto complete = [this, info_ptr, shard, key, version, op_id, recover_start,
+  auto complete = [this, info_ptr, shard, geom, key, version, op_id,
+                   recover_start,
                    then = std::move(then)](std::shared_ptr<Buffer> bytes) {
     obs::ScopedOp scope(hub(), op_id);
     hub().tracer().Record("block_recovery", obs::Category::kRecovery, id_,
@@ -409,7 +522,7 @@ void RingServer::EnsureDataPresent(const MemgestInfo& info, uint32_t shard,
       return;
     }
     MemgestState& st = StateOf(*info_ptr);
-    ShardStore& sh = StoreOf(st, shard);
+    ShardStore& sh = StoreOf(st, shard, geom);
     MetaEntry* e = sh.meta.Find(key, version);
     if (e == nullptr) {
       then(NotFoundError("entry gone during recovery"));
@@ -437,16 +550,17 @@ void RingServer::EnsureDataPresent(const MemgestInfo& info, uint32_t shard,
     if (entry->recovery_src >= 0) {
       candidates.push_back(static_cast<uint32_t>(entry->recovery_src));
     }
-    candidates.push_back(config_.SlotOfShard(shard));  // the coordinator
-    for (uint32_t slot : rt_->registry().ReplicaSlots(info, shard)) {
+    candidates.push_back(placement->SlotOfShard(shard));  // the coordinator
+    for (uint32_t slot :
+         MemgestRegistry::ReplicaSlotsFor(info, shard, geom, config_.d)) {
       candidates.push_back(slot);
     }
-    const int32_t my_slot = config_.slot_of_node[id_];
+    const int32_t my_slot = placement->SlotOfNode(id_);
     for (uint32_t slot : candidates) {
       if (static_cast<int32_t>(slot) == my_slot) {
         continue;
       }
-      const net::NodeId node = config_.node_of_slot[slot];
+      const net::NodeId node = placement->NodeOfSlot(slot);
       if (config_.failed[node] || !rt_->fabric().alive(node)) {
         continue;
       }
@@ -455,8 +569,8 @@ void RingServer::EnsureDataPresent(const MemgestInfo& info, uint32_t shard,
       const MemgestId gid = info.id;
       rt_->fabric().Read(
           id_, node, len,
-          [peer, bytes, gid, shard, addr, len] {
-            *bytes = peer->ReadRawForRecovery(gid, shard, addr, len);
+          [peer, bytes, gid, shard, geom, addr, len] {
+            *bytes = peer->ReadRawForRecovery(gid, shard, addr, len, geom);
           },
           [complete, bytes]() mutable { complete(bytes); });
       return;
@@ -467,14 +581,15 @@ void RingServer::EnsureDataPresent(const MemgestInfo& info, uint32_t shard,
 
   // Erasure coded: ask a usable parity node to decode (§5.5). "The data node
   // sends a recovery request to the parity node responsible for the block."
-  const uint32_t group = config_.GroupOfShard(shard);
-  for (uint32_t slot : rt_->registry().ParitySlots(info, group)) {
-    const net::NodeId node = config_.node_of_slot[slot];
+  const uint32_t group = shard / geom;
+  for (uint32_t slot :
+       MemgestRegistry::ParitySlotsFor(info, group, geom, config_.d)) {
+    const net::NodeId node = placement->NodeOfSlot(slot);
     if (config_.failed[node] || !rt_->fabric().alive(node)) {
       continue;
     }
     auto* peer = rt_->server(node);
-    if (!peer->ParityUsable(info.id, group)) {
+    if (!peer->ParityUsable(info.id, group, geom)) {
       continue;
     }
     RecoverBlock msg;
@@ -484,6 +599,7 @@ void RingServer::EnsureDataPresent(const MemgestInfo& info, uint32_t shard,
     msg.len = len;
     msg.requester = id_;
     msg.op_id = op_id;
+    msg.geom_s = geom;
     msg.reply = complete;
     rt_->fabric().Send(id_, node, kSmallMsgBytes,
                        [peer, msg = std::move(msg)]() mutable {
@@ -506,16 +622,22 @@ void RingServer::HandleRecoverBlock(RecoverBlock msg) {
       return;
     }
     const MemgestInfo* info = rt_->registry().Get(msg.memgest);
-    const uint32_t group = config_.GroupOfShard(msg.shard);
-    if (info == nullptr || !ParityUsable(msg.memgest, group)) {
+    const uint32_t geom = msg.geom_s == 0 ? config_.s : msg.geom_s;
+    const uint32_t group = msg.shard / geom;
+    const auto placement = PlacementFor(geom);
+    const srs::SrsCode* code =
+        info == nullptr ? nullptr : rt_->registry().CodeFor(*info, geom);
+    const srs::SrsAddressMap* map =
+        info == nullptr ? nullptr : rt_->registry().MapFor(*info, geom);
+    if (info == nullptr || !placement.has_value() || code == nullptr ||
+        map == nullptr || !ParityUsable(msg.memgest, group, geom)) {
       rt_->fabric().Send(id_, msg.requester, kSmallMsgBytes,
                          [reply = msg.reply] { reply(nullptr); });
       return;
     }
     MemgestState& state = StateOf(*info);
-    ParityStore& parity = state.parity.at(group);
-    const auto segments =
-        info->map->MapDataRange(msg.shard % config_.s, msg.addr, msg.len);
+    ParityStore& parity = state.parity.at(GeomKey(geom, group));
+    const auto segments = map->MapDataRange(msg.shard % geom, msg.addr, msg.len);
     auto result = std::make_shared<Buffer>(msg.len, 0);
     auto remaining = std::make_shared<size_t>(segments.size());
     auto failed = std::make_shared<bool>(false);
@@ -527,14 +649,14 @@ void RingServer::HandleRecoverBlock(RecoverBlock msg) {
     for (const auto& seg : segments) {
       const uint64_t out_off = result_offset;
       result_offset += seg.length;
-      auto sources = info->map->DecodeSources(seg);
+      auto sources = map->DecodeSources(seg);
       auto collected = std::make_shared<
           std::vector<std::pair<uint32_t, Buffer>>>();
       auto outstanding = std::make_shared<size_t>(0);
       auto finished = std::make_shared<bool>(false);
 
-      const uint32_t k = info->code->k();
-      auto finish_segment = [this, info, seg, out_off, result, remaining,
+      const uint32_t k = code->k();
+      auto finish_segment = [this, code, seg, out_off, result, remaining,
                              failed, collected, finished, msg, k]() {
         if (*finished) {
           return;
@@ -548,7 +670,7 @@ void RingServer::HandleRecoverBlock(RecoverBlock msg) {
             static_cast<uint64_t>(pr.decode_byte_ns * k * seg.length);
         cpu().Execute(
             decode_cost,
-            [this, info, seg, out_off, result, remaining, failed, collected,
+            [this, code, seg, out_off, result, remaining, failed, collected,
              msg] {
           obs::ScopedOp decode_scope(hub(), msg.op_id);
           if (!IsAlive()) {
@@ -558,7 +680,7 @@ void RingServer::HandleRecoverBlock(RecoverBlock msg) {
           for (const auto& [h_row, buf] : *collected) {
             avail.emplace_back(h_row, ByteSpan(buf));
           }
-          auto data = info->code->rs().RecoverData(avail);
+          auto data = code->rs().RecoverData(avail);
           if (!data.ok()) {
             *failed = true;
           } else {
@@ -586,11 +708,11 @@ void RingServer::HandleRecoverBlock(RecoverBlock msg) {
           break;
         }
         if (!src.is_parity) {
-          const uint32_t src_shard = group * config_.s + src.node;
+          const uint32_t src_shard = group * geom + src.node;
           if (src_shard == msg.shard) {
             continue;  // the block being recovered
           }
-          const net::NodeId node = config_.CoordinatorOfShard(src_shard);
+          const net::NodeId node = placement->CoordinatorOfShard(src_shard);
           if (config_.failed[node] || !rt_->fabric().alive(node)) {
             continue;
           }
@@ -605,8 +727,9 @@ void RingServer::HandleRecoverBlock(RecoverBlock msg) {
           ++*outstanding;
           rt_->fabric().Read(
               id_, node, piece,
-              [peer, buf, gid, shard_src, off, piece] {
-                *buf = peer->ReadRawForRecovery(gid, shard_src, off, piece);
+              [peer, buf, gid, shard_src, geom, off, piece] {
+                *buf = peer->ReadRawForRecovery(gid, shard_src, off, piece,
+                                                geom);
               },
               [collected, h_row, buf, outstanding, finish_segment] {
                 collected->emplace_back(h_row, std::move(*buf));
@@ -617,17 +740,18 @@ void RingServer::HandleRecoverBlock(RecoverBlock msg) {
           if (src.node == parity.parity_index) {
             // Local parity bytes: no network involved.
             Buffer local = ReadRawParity(info->id, group, src.offset,
-                                         static_cast<uint32_t>(seg.length));
+                                         static_cast<uint32_t>(seg.length),
+                                         geom);
             collected->emplace_back(src.h_row, std::move(local));
             ++launched;
           } else {
-            const net::NodeId node =
-                config_.node_of_slot[config_.RedundantSlot(group, src.node)];
+            const net::NodeId node = placement->NodeOfSlot(
+                placement->RedundantSlot(group, src.node));
             if (config_.failed[node] || !rt_->fabric().alive(node)) {
               continue;
             }
             auto* peer = rt_->server(node);
-            if (!peer->ParityUsable(info->id, group)) {
+            if (!peer->ParityUsable(info->id, group, geom)) {
               continue;
             }
             auto buf = std::make_shared<Buffer>();
@@ -639,8 +763,8 @@ void RingServer::HandleRecoverBlock(RecoverBlock msg) {
             ++*outstanding;
             rt_->fabric().Read(
                 id_, node, piece,
-                [peer, buf, gid, group, off, piece] {
-                  *buf = peer->ReadRawParity(gid, group, off, piece);
+                [peer, buf, gid, group, geom, off, piece] {
+                  *buf = peer->ReadRawParity(gid, group, off, piece, geom);
                 },
                 [collected, h_row, buf, outstanding, finish_segment] {
                   collected->emplace_back(h_row, std::move(*buf));
@@ -670,6 +794,7 @@ void RingServer::RecoverAllData(std::function<void()> done) {
   struct StoreTask {
     const MemgestInfo* info;
     uint32_t shard;
+    uint32_t geom;
     std::vector<std::pair<Key, Version>> entries;
   };
   auto tasks = std::make_shared<std::vector<StoreTask>>();
@@ -677,8 +802,8 @@ void RingServer::RecoverAllData(std::function<void()> done) {
       std::vector<std::pair<const MemgestInfo*, uint32_t>>>();
   for (auto& [id, state] : memgests_) {
     if (rt_->options().background_data_recovery) {
-      for (auto& [shard, store] : state.stores) {
-        StoreTask task{state.info, shard, {}};
+      for (auto& [store_key, store] : state.stores) {
+        StoreTask task{state.info, store_key & 0xffffu, store_key >> 16, {}};
         store.meta.ForEach([&](const Key& key, const MetaEntry& entry) {
           if (!entry.data_present) {
             task.entries.emplace_back(key, entry.version);
@@ -689,9 +814,9 @@ void RingServer::RecoverAllData(std::function<void()> done) {
         }
       }
     }
-    for (auto& [group, parity] : state.parity) {
+    for (auto& [pkey, parity] : state.parity) {
       if (!parity.rebuilt) {
-        parity_rebuilds->push_back({state.info, group});
+        parity_rebuilds->push_back({state.info, pkey});
       }
     }
   }
@@ -707,16 +832,16 @@ void RingServer::RecoverAllData(std::function<void()> done) {
     }
   };
   for (auto& task : *tasks) {
-    RecoverStoreEntries(*task.info, task.shard, std::move(task.entries), 0,
-                        step);
+    RecoverStoreEntries(*task.info, task.shard, task.geom,
+                        std::move(task.entries), 0, step);
   }
-  for (const auto& [info, group] : *parity_rebuilds) {
-    RebuildParity(*info, group, step);
+  for (const auto& [info, pkey] : *parity_rebuilds) {
+    RebuildParity(*info, pkey, step);
   }
 }
 
 void RingServer::RecoverStoreEntries(
-    const MemgestInfo& info, uint32_t shard,
+    const MemgestInfo& info, uint32_t shard, uint32_t geom_s,
     std::vector<std::pair<Key, Version>> todo, size_t next,
     std::function<void()> done) {
   if (!IsAlive()) {
@@ -728,19 +853,25 @@ void RingServer::RecoverStoreEntries(
   }
   const auto [key, version] = todo[next];
   const MemgestInfo* info_ptr = &info;
-  EnsureDataPresent(info, shard, key, version,
-                    [this, info_ptr, shard, todo = std::move(todo), next,
-                     done = std::move(done)](Status) mutable {
-                      RecoverStoreEntries(*info_ptr, shard, std::move(todo),
-                                          next + 1, std::move(done));
+  EnsureDataPresent(info, shard, geom_s, key, version,
+                    [this, info_ptr, shard, geom_s, todo = std::move(todo),
+                     next, done = std::move(done)](Status) mutable {
+                      RecoverStoreEntries(*info_ptr, shard, geom_s,
+                                          std::move(todo), next + 1,
+                                          std::move(done));
                     });
 }
 
-void RingServer::RebuildParity(const MemgestInfo& info, uint32_t group,
+void RingServer::RebuildParity(const MemgestInfo& info, uint32_t pkey,
                                std::function<void()> done) {
-  MemgestState& state = StateOf(info);
-  assert(state.parity.count(group) > 0);
-  const uint32_t s = config_.s;
+  assert(StateOf(info).parity.count(pkey) > 0);
+  const uint32_t geom = pkey >> 16;
+  const uint32_t group = pkey & 0xffffu;
+  const auto placement_now = PlacementFor(geom);
+  if (!placement_now.has_value()) {
+    done();  // shape retired mid-recovery; the store will be purged
+    return;
+  }
   const sim::SimTime rebuild_start = rt_->simulator().now();
 
   struct ShardSnapshot {
@@ -748,11 +879,11 @@ void RingServer::RebuildParity(const MemgestInfo& info, uint32_t group,
     uint64_t seq = 0;
     uint64_t extent = 0;
   };
-  auto snaps = std::make_shared<std::vector<ShardSnapshot>>(s);
-  auto remaining = std::make_shared<size_t>(s);
+  auto snaps = std::make_shared<std::vector<ShardSnapshot>>(geom);
+  auto remaining = std::make_shared<size_t>(geom);
   const MemgestInfo* info_ptr = &info;
 
-  std::function<void()> assemble = [this, info_ptr, group, snaps,
+  std::function<void()> assemble = [this, info_ptr, geom, group, pkey, snaps,
                                     rebuild_start, done = std::move(done)] {
     if (!IsAlive()) {
       return;
@@ -766,12 +897,19 @@ void RingServer::RebuildParity(const MemgestInfo& info, uint32_t group,
         static_cast<uint64_t>(p.gf_byte_ns * total_bytes);
     cpu().Execute(
         p.server_base_ns + gf_cost,
-        [this, info_ptr, group, snaps, rebuild_start, done] {
+        [this, info_ptr, geom, group, pkey, snaps, rebuild_start, done] {
       if (!IsAlive()) {
         return;
       }
+      const srs::SrsCode* code = rt_->registry().CodeFor(*info_ptr, geom);
+      const srs::SrsAddressMap* map = rt_->registry().MapFor(*info_ptr, geom);
+      const auto placement = PlacementFor(geom);
+      if (code == nullptr || map == nullptr || !placement.has_value()) {
+        done();  // shape retired mid-rebuild
+        return;
+      }
       MemgestState& st = StateOf(*info_ptr);
-      ParityStore& par = st.parity.at(group);
+      ParityStore& par = st.parity.at(pkey);
       // The rebuild rewrites the entire strip in place.
       NoteAccess(RegionKind::kParityStrip, AccessKind::kWrite,
                  ScopeOf(info_ptr->id, group), 0, UINT64_MAX,
@@ -796,11 +934,10 @@ void RingServer::RebuildParity(const MemgestInfo& info, uint32_t group,
           continue;
         }
         for (const auto& seg :
-             info_ptr->map->MapDataRange(sigma, 0, snap.bytes->size())) {
+             map->MapDataRange(sigma, 0, snap.bytes->size())) {
           contribs.push_back(
               {seg.parity_offset, seg.length,
-               info_ptr->code->rs().Coefficient(par.parity_index,
-                                                seg.rs_block),
+               code->rs().Coefficient(par.parity_index, seg.rs_block),
                snap.bytes->data() + seg.node_offset});
           max_extent = std::max(max_extent, seg.parity_offset + seg.length);
         }
@@ -838,7 +975,7 @@ void RingServer::RebuildParity(const MemgestInfo& info, uint32_t group,
       auto queued = std::move(par.queued);
       par.queued.clear();
       for (auto& upd : queued) {
-        if (upd.seq > (*snaps)[upd.shard % config_.s].seq) {
+        if (upd.seq > (*snaps)[upd.shard % geom].seq) {
           ApplyParityBytes(*info_ptr, upd);
         }
         MetaEntry entry;
@@ -848,10 +985,12 @@ void RingServer::RebuildParity(const MemgestInfo& info, uint32_t group,
         entry.region_len = upd.region_len;
         entry.tombstone = upd.tombstone;
         entry.data_present = true;
+        entry.geom_s = geom;
+        entry.moved = upd.moved;
         par.shard_meta[upd.shard].Insert(upd.key, std::move(entry));
         Ack ack{upd.memgest, upd.shard, upd.key, upd.version,
-                upd.parity_index};
-        const net::NodeId coord = config_.CoordinatorOfShard(upd.shard);
+                upd.parity_index, geom};
+        const net::NodeId coord = placement->CoordinatorOfShard(upd.shard);
         auto* peer = rt_->server(coord);
         rt_->fabric().Write(id_, coord, kAckBytes,
                             [peer, ack] { peer->ApplyAck(ack); }, nullptr);
@@ -872,9 +1011,9 @@ void RingServer::RebuildParity(const MemgestInfo& info, uint32_t group,
     }
   };
 
-  for (uint32_t sigma = 0; sigma < s; ++sigma) {
-    const uint32_t shard = group * s + sigma;
-    const net::NodeId node = config_.CoordinatorOfShard(shard);
+  for (uint32_t sigma = 0; sigma < geom; ++sigma) {
+    const uint32_t shard = group * geom + sigma;
+    const net::NodeId node = placement_now->CoordinatorOfShard(shard);
     if (config_.failed[node] || !rt_->fabric().alive(node)) {
       (*snaps)[sigma] = ShardSnapshot{};
       if (--*remaining == 0) {
@@ -883,18 +1022,18 @@ void RingServer::RebuildParity(const MemgestInfo& info, uint32_t group,
       continue;
     }
     auto* peer = rt_->server(node);
-    const uint64_t extent = peer->HeapExtent(info.id, shard);
+    const uint64_t extent = peer->HeapExtent(info.id, shard, geom);
     auto snap = std::make_shared<ShardSnapshot>();
     snap->extent = extent;
     snap->bytes = std::make_shared<Buffer>();
     const MemgestId gid = info.id;
     rt_->fabric().Read(
         id_, node, extent,
-        [peer, snap, gid, shard, extent] {
+        [peer, snap, gid, shard, geom, extent] {
           // Bytes and fence captured atomically at the source.
           *snap->bytes = peer->ReadRawForRecovery(
-              gid, shard, 0, static_cast<uint32_t>(extent));
-          snap->seq = peer->WriteSeq(gid, shard);
+              gid, shard, 0, static_cast<uint32_t>(extent), geom);
+          snap->seq = peer->WriteSeq(gid, shard, geom);
         },
         [snaps, snap, sigma, remaining, assemble] {
           (*snaps)[sigma] = *snap;
@@ -906,37 +1045,56 @@ void RingServer::RebuildParity(const MemgestInfo& info, uint32_t group,
 }
 
 void RingServer::NotifyRedundancyRecovered() {
-  const int32_t my_slot = config_.slot_of_node[id_];
-  if (my_slot < 0) {
-    return;
-  }
   for (auto& [gid, state] : memgests_) {
     const MemgestInfo* info = state.info;
     if (info == nullptr) {
       continue;
     }
     if (info->desc.kind == SchemeKind::kReplicated) {
-      for (uint32_t shard = 0; shard < config_.num_shards(); ++shard) {
-        const auto slots = rt_->registry().ReplicaSlots(*info, shard);
-        const auto it = std::find(slots.begin(), slots.end(),
-                                  static_cast<uint32_t>(my_slot));
-        if (it == slots.end()) {
+      // Announce under every shape this node has a replica role in.
+      std::vector<uint32_t> shapes{config_.s};
+      if (config_.rebalancing()) {
+        shapes.push_back(config_.prev_s);
+      }
+      for (const uint32_t geom : shapes) {
+        const auto placement = PlacementFor(geom);
+        if (!placement.has_value()) {
           continue;
         }
-        RedundancyRecovered msg{gid, shard,
-                                static_cast<uint32_t>(it - slots.begin())};
-        const net::NodeId coord = config_.CoordinatorOfShard(shard);
-        auto* peer = rt_->server(coord);
-        rt_->fabric().Send(id_, coord, kSmallMsgBytes, [peer, msg] {
-          peer->HandleRedundancyRecovered(msg);
-        });
+        const int32_t my_slot = placement->SlotOfNode(id_);
+        if (my_slot < 0) {
+          continue;
+        }
+        for (uint32_t shard = 0; shard < placement->num_shards(); ++shard) {
+          const auto slots = MemgestRegistry::ReplicaSlotsFor(
+              *info, shard, geom, config_.d);
+          const auto it = std::find(slots.begin(), slots.end(),
+                                    static_cast<uint32_t>(my_slot));
+          if (it == slots.end()) {
+            continue;
+          }
+          RedundancyRecovered msg{gid, shard,
+                                  static_cast<uint32_t>(it - slots.begin()),
+                                  geom};
+          const net::NodeId coord = placement->CoordinatorOfShard(shard);
+          auto* peer = rt_->server(coord);
+          rt_->fabric().Send(id_, coord, kSmallMsgBytes, [peer, msg] {
+            peer->HandleRedundancyRecovered(msg);
+          });
+        }
       }
     } else {
-      for (const auto& [group, parity] : state.parity) {
-        for (uint32_t sigma = 0; sigma < config_.s; ++sigma) {
-          const uint32_t shard = group * config_.s + sigma;
-          RedundancyRecovered msg{gid, shard, parity.parity_index};
-          const net::NodeId coord = config_.CoordinatorOfShard(shard);
+      for (const auto& [pkey, parity] : state.parity) {
+        const uint32_t geom = pkey >> 16;
+        const uint32_t group = pkey & 0xffffu;
+        const auto placement = PlacementFor(geom);
+        if (!placement.has_value()) {
+          continue;
+        }
+        for (uint32_t sigma = 0; sigma < geom; ++sigma) {
+          const uint32_t shard = group * geom + sigma;
+          RedundancyRecovered msg{gid, shard, parity.parity_index, geom};
+          const net::NodeId coord = placement->CoordinatorOfShard(shard);
           auto* peer = rt_->server(coord);
           rt_->fabric().Send(id_, coord, kSmallMsgBytes, [peer, msg] {
             peer->HandleRedundancyRecovered(msg);
@@ -952,7 +1110,13 @@ void RingServer::HandleRedundancyRecovered(RedundancyRecovered msg) {
     return;
   }
   cpu().Execute(rt_->simulator().params().server_base_ns, [this, msg] {
-    if (!IsAlive() || !Coordinates(msg.shard)) {
+    if (!IsAlive()) {
+      return;
+    }
+    const uint32_t geom = msg.geom_s == 0 ? config_.s : msg.geom_s;
+    const auto placement = PlacementFor(geom);
+    if (!placement.has_value() ||
+        placement->CoordinatorOfShard(msg.shard) != id_) {
       return;
     }
     const MemgestInfo* info = rt_->registry().Get(msg.memgest);
@@ -960,7 +1124,7 @@ void RingServer::HandleRedundancyRecovered(RedundancyRecovered msg) {
       return;
     }
     MemgestState& state = StateOf(*info);
-    ShardStore& store = StoreOf(state, msg.shard);
+    ShardStore& store = StoreOf(state, msg.shard, geom);
     // The recovered node now covers all durable bytes of this shard: count
     // it as an acknowledgment for every entry still waiting on it.
     std::vector<std::pair<Key, Version>> to_commit;
@@ -975,7 +1139,7 @@ void RingServer::HandleRedundancyRecovered(RedundancyRecovered msg) {
       }
     });
     for (const auto& [key, version] : to_commit) {
-      CommitEntry(*info, msg.shard, key, version);
+      CommitEntry(*info, msg.shard, key, version, geom);
     }
   });
 }

@@ -22,6 +22,7 @@
 
 #include "src/common/hash.h"
 #include "src/fault/fault.h"
+#include "src/membership/rebalance.h"
 #include "src/ring/cluster.h"
 
 namespace ring {
@@ -425,6 +426,376 @@ TEST(ChaosRegressionTest, Rep1DegradesCleanlyWhileReliableKeysSurvive) {
     ASSERT_TRUE(got.ok()) << k;
     EXPECT_EQ(*got, value) << k;
   }
+}
+
+// ---------------------------------------------------------------------------
+// Membership chaos (§13): elastic resizes raced against random fault plans.
+// The oracle family is unchanged — every acked write to a reliable memgest
+// must read back byte-exactly with version >= the acked one — but now it has
+// to hold *across shape transitions*: while a scale-out or scale-in drains,
+// after it completes, and even when chaos makes the transition give up
+// mid-drain and leaves both placements live.
+
+struct MembershipChaosDigest {
+  std::string outcomes;
+  uint64_t oracle_violations = 0;
+  uint64_t epoch = 0;
+  uint32_t final_s = 0;
+  uint64_t keys_moved = 0;
+
+  bool operator==(const MembershipChaosDigest& o) const {
+    return outcomes == o.outcomes &&
+           oracle_violations == o.oracle_violations && epoch == o.epoch &&
+           final_s == o.final_s && keys_moved == o.keys_moved;
+  }
+};
+
+MembershipChaosDigest RunMembershipChaos(uint64_t seed) {
+  RingOptions options;
+  options.s = 3;
+  options.d = 2;
+  options.spares = 2;
+  options.clients = 2;
+  options.seed = seed;
+  const uint32_t servers = options.s + options.d + options.spares;
+
+  fault::ChaosShape shape;
+  for (uint32_t n = 0; n < servers; ++n) {
+    shape.faultable.push_back(n);
+  }
+  shape.num_nodes = servers + options.clients;
+  shape.horizon_ns = 50 * sim::kMillisecond;
+  shape.quiet_after_ns = 35 * sim::kMillisecond;
+  shape.link_faults = 3;
+  shape.node_events = 2;
+  // One spare is earmarked for the join below; generate crash episodes only
+  // against the capacity that remains (the runtime crash guard re-checks).
+  shape.spare_capacity = options.spares - 1;
+  options.fault_plan = fault::RandomFaultPlan(seed * 131 + 17, shape);
+  options.fault_seed = seed;
+
+  RingCluster cluster(options);
+  obs::Hub& hub = cluster.simulator().hub();
+  hub.EnableMetrics(true);
+  hub.EnableRecorder(true);
+  const auto& p = cluster.simulator().params();
+
+  const std::vector<MemgestId> reliable = {
+      *cluster.CreateMemgest(MemgestDescriptor::Replicated(3)),
+      *cluster.CreateMemgest(MemgestDescriptor::ErasureCoded(3, 2)),
+  };
+
+  Rng rng(seed * 104729 + 9);
+  std::ostringstream outcomes;
+  uint64_t violations = 0;
+  struct KeyState {
+    std::map<Version, Buffer> acked;  // version -> bytes
+    Version highest_read = 0;
+  };
+  std::map<Key, KeyState> truth;
+  int outstanding = 0;
+  const int kKeys = 12;
+  uint64_t next_nonce = 1;
+
+  auto put_random = [&] {
+    const Key key = "mk-" + std::to_string(rng.NextBelow(kKeys));
+    const uint64_t nonce = next_nonce++;
+    Buffer value = EncodeValue(key, nonce, 16 + rng.NextBelow(1200));
+    const MemgestId g = reliable[rng.NextBelow(reliable.size())];
+    ++outstanding;
+    cluster.client(rng.NextBelow(2)).Put(
+        key, std::make_shared<Buffer>(value), g,
+        [&, key, value](Status s, Version v) {
+          --outstanding;
+          outcomes << "put " << key << " " << StatusCodeName(s.code())
+                   << " v" << v << "\n";
+          if (s.ok()) {
+            truth[key].acked.emplace(v, value);
+          }
+        });
+  };
+  auto get_random = [&] {
+    const Key key = "mk-" + std::to_string(rng.NextBelow(kKeys));
+    const Version floor = truth[key].highest_read;
+    ++outstanding;
+    cluster.client(rng.NextBelow(2)).Get(key, [&, key, floor](GetResult r) {
+      --outstanding;
+      outcomes << "get " << key << " " << StatusCodeName(r.status.code())
+               << "\n";
+      if (!r.status.ok()) {
+        return;  // clean failure mid-chaos/mid-resize is legal
+      }
+      KeyState& st = truth[key];
+      auto it = st.acked.find(r.version);
+      if (it != st.acked.end() && *r.data != it->second) {
+        ++violations;
+        ADD_FAILURE() << "corrupt read of " << key << " v" << r.version
+                      << " seed=" << seed;
+      }
+      if (r.version < floor) {
+        ++violations;
+        ADD_FAILURE() << "time travel on " << key << ": v" << r.version
+                      << " after v" << floor << " seed=" << seed;
+      }
+      st.highest_read = std::max(st.highest_read, r.version);
+    });
+  };
+
+  // Working set up front, then a scale-out (and, on odd seeds, a scale-in
+  // back) interleaved with random traffic while the plan's faults fire.
+  for (int i = 0; i < 30; ++i) {
+    put_random();
+  }
+  membership::RebalanceOptions ro;
+  ro.max_rounds = 400;  // chaos quiesces by quiet_after; bound the driver
+  membership::RebalanceCoordinator grow(&cluster, ro);
+  membership::RebalanceCoordinator shrink(&cluster, ro);
+  bool grow_accepted = false;
+  const int kOps = 160;
+  const int grow_at = 10 + static_cast<int>(rng.NextBelow(40));
+  const int shrink_at = grow_at + 40 + static_cast<int>(rng.NextBelow(40));
+  for (int op = 0; op < kOps; ++op) {
+    if (op == grow_at) {
+      const consensus::ClusterConfig& cfg =
+          cluster.runtime().membership().ConfigView(
+              cluster.runtime().leader_node());
+      const int32_t spare = cfg.FindSpare();
+      grow_accepted =
+          spare >= 0 && grow.AddServer(static_cast<net::NodeId>(spare));
+      // Rejection is legal mid-chaos (no live leader, spare just consumed
+      // by a promotion); the oracles below hold either way.
+      outcomes << "grow " << (grow_accepted ? "accepted" : "rejected")
+               << "\n";
+    }
+    if (op == shrink_at && seed % 2 == 1 && grow_accepted &&
+        !grow.active()) {
+      const consensus::ClusterConfig& cfg =
+          cluster.runtime().membership().ConfigView(
+              cluster.runtime().leader_node());
+      if (!cfg.rebalancing() && cfg.s > 3) {
+        const bool ok = shrink.RemoveServer(cfg.s - 1);
+        outcomes << "shrink " << (ok ? "accepted" : "rejected") << "\n";
+      }
+    }
+    if (rng.NextBernoulli(0.55)) {
+      put_random();
+    } else {
+      get_random();
+    }
+    if (rng.NextBernoulli(0.7)) {
+      cluster.RunFor((100 + rng.NextBelow(400)) * sim::kMicrosecond);
+    }
+  }
+  EXPECT_TRUE(cluster.RunUntilDone([&] {
+    return outstanding == 0 && !grow.active() && !shrink.active();
+  })) << "seed=" << seed << ": traffic or rebalance hung";
+  const sim::SimTime settle = shape.quiet_after_ns +
+                              2 * p.detection_window_ns() +
+                              30 * sim::kMillisecond;
+  if (cluster.simulator().now() < settle) {
+    cluster.RunFor(settle - cluster.simulator().now());
+  }
+
+  // Committed-data sweep across whatever shape the cluster ended up in.
+  for (const auto& [key, st] : truth) {
+    if (st.acked.empty()) {
+      continue;
+    }
+    bool done = false;
+    GetResult r;
+    cluster.client(0).Get(key, [&](GetResult got) {
+      r = std::move(got);
+      done = true;
+    });
+    EXPECT_TRUE(cluster.RunUntilDone([&] { return done; })) << key;
+    outcomes << "swp " << key << " " << StatusCodeName(r.status.code())
+             << "\n";
+    if (!r.status.ok()) {
+      ++violations;
+      ADD_FAILURE() << "committed key " << key
+                    << " unreadable after resize + heal: " << r.status
+                    << " seed=" << seed;
+      continue;
+    }
+    auto it = st.acked.find(r.version);
+    if (it != st.acked.end() && *r.data != it->second) {
+      ++violations;
+      ADD_FAILURE() << "corrupt sweep read of " << key << " seed=" << seed;
+    }
+    if (r.version < st.acked.rbegin()->first) {
+      ++violations;
+      ADD_FAILURE() << "read-your-writes violated on " << key << ": v"
+                    << r.version << " < acked v" << st.acked.rbegin()->first
+                    << " seed=" << seed;
+    }
+  }
+
+  const consensus::ClusterConfig& final_cfg =
+      cluster.runtime().membership().ConfigView(
+          cluster.runtime().leader_node());
+  std::string why;
+  if (!final_cfg.CheckInvariants(&why)) {
+    ++violations;
+    ADD_FAILURE() << "config invariants broken after chaos resize: " << why
+                  << " seed=" << seed;
+  }
+
+  MembershipChaosDigest digest;
+  digest.outcomes = outcomes.str();
+  digest.oracle_violations = violations;
+  digest.epoch = final_cfg.epoch;
+  digest.final_s = final_cfg.s;
+  digest.keys_moved = grow.stats().keys_moved + shrink.stats().keys_moved;
+  if (violations > 0) {
+    DumpFailureArtifact(seed, options.fault_plan, hub.recorder());
+  }
+  return digest;
+}
+
+class MembershipChaosTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(MembershipChaosTest, CommittedDataSurvivesElasticResizeUnderChaos) {
+  const MembershipChaosDigest d = RunMembershipChaos(GetParam());
+  EXPECT_EQ(d.oracle_violations, 0u);
+  EXPECT_FALSE(d.outcomes.empty());
+}
+
+// 20+ seeded plans, each a distinct fault schedule raced against a resize.
+INSTANTIATE_TEST_SUITE_P(
+    Seeds, MembershipChaosTest,
+    ::testing::Values(1ULL, 2ULL, 3ULL, 4ULL, 5ULL, 6ULL, 7ULL, 8ULL, 9ULL,
+                      10ULL, 11ULL, 12ULL, 13ULL, 14ULL, 15ULL, 16ULL, 17ULL,
+                      18ULL, 19ULL, 20ULL, 41ULL, 85ULL),
+    [](const ::testing::TestParamInfo<uint64_t>& info) {
+      return "seed" + std::to_string(info.param);
+    });
+
+// Same seed, same resize, byte-identical replay.
+TEST(MembershipChaosReplayTest, SameSeedReplaysByteIdentically) {
+  for (uint64_t seed : {3ULL, 12ULL}) {
+    const MembershipChaosDigest first = RunMembershipChaos(seed);
+    const MembershipChaosDigest again = RunMembershipChaos(seed);
+    EXPECT_TRUE(first == again) << "seed " << seed << " diverged on replay";
+    EXPECT_EQ(first.outcomes, again.outcomes);
+  }
+}
+
+// Scripted §13 scenarios the random plans may or may not hit, pinned
+// deterministically: a source-node kill mid-drain, a join issued while the
+// joining spare is partitioned away, and a leader crash mid-transition.
+
+struct ScriptedElastic {
+  explicit ScriptedElastic(uint64_t seed, uint32_t spares,
+                           fault::FaultPlan plan = {}) {
+    RingOptions o;
+    o.s = 3;
+    o.d = 2;
+    o.spares = spares;
+    o.clients = 1;
+    o.seed = seed;
+    o.fault_plan = std::move(plan);
+    cluster = std::make_unique<RingCluster>(o);
+    rep3 = *cluster->CreateMemgest(MemgestDescriptor::Replicated(3));
+    srs32 = *cluster->CreateMemgest(MemgestDescriptor::ErasureCoded(3, 2));
+  }
+  Buffer ValueOf(int i) {
+    return EncodeValue("sk-" + std::to_string(i), static_cast<uint64_t>(i),
+                       200 + 13 * (i % 7));
+  }
+  void WriteKeys(int n) {
+    for (int i = 0; i < n; ++i) {
+      ASSERT_TRUE(cluster
+                      ->Put("sk-" + std::to_string(i), ValueOf(i),
+                            i % 2 == 0 ? rep3 : srs32)
+                      .ok())
+          << i;
+    }
+    written = n;
+  }
+  void VerifyAllKeys() {
+    for (int i = 0; i < written; ++i) {
+      auto got = cluster->Get("sk-" + std::to_string(i));
+      ASSERT_TRUE(got.ok()) << "sk-" << i << ": " << got.status();
+      EXPECT_EQ(*got, ValueOf(i)) << "sk-" << i;
+    }
+  }
+  const consensus::ClusterConfig& LeaderConfig() {
+    return cluster->runtime().membership().ConfigView(
+        cluster->runtime().leader_node());
+  }
+  std::unique_ptr<RingCluster> cluster;
+  MemgestId rep3 = 0;
+  MemgestId srs32 = 0;
+  int written = 0;
+};
+
+TEST(MembershipChaosScriptTest, SourceCrashMidDrainResumesAndCompletes) {
+  ScriptedElastic e(31, /*spares=*/2);
+  e.WriteKeys(90);
+  membership::RebalanceOptions ro;
+  ro.keys_per_sec = 4000.0;  // stretch the drain so the kill lands inside it
+  membership::RebalanceCoordinator coord(e.cluster.get(), ro);
+  ASSERT_TRUE(coord.AddServer(
+      static_cast<net::NodeId>(e.LeaderConfig().FindSpare())));
+  e.cluster->RunFor(3 * sim::kMillisecond);
+  ASSERT_TRUE(coord.active());
+  // A source node dies mid-drain; the remaining spare absorbs its slot and
+  // the idempotent scan/migrate protocol re-drains what the crash dropped.
+  e.cluster->KillNode(1, /*force_detect=*/true);
+  ASSERT_TRUE(e.cluster->RunUntilDone([&] { return !coord.active(); }));
+  EXPECT_FALSE(coord.failed());
+  EXPECT_EQ(e.LeaderConfig().s, 4u);
+  EXPECT_FALSE(e.LeaderConfig().rebalancing());
+  e.VerifyAllKeys();
+}
+
+TEST(MembershipChaosScriptTest, JoinDuringPartitionCompletesAfterHeal) {
+  // Node 5 is the only spare; it is partitioned away from every other node
+  // (servers 0-4 and the client, node 6) when the join is issued.
+  auto plan =
+      fault::ParseFaultPlan("partition a=0,1,2,3,4,6 b=5 at=0ms heal=12ms");
+  ASSERT_TRUE(plan.ok());
+  ScriptedElastic e(32, /*spares=*/1, *plan);
+  e.WriteKeys(60);
+  ASSERT_LT(e.cluster->simulator().now(), 10 * sim::kMillisecond)
+      << "writes outran the partition window";
+  membership::RebalanceCoordinator coord(e.cluster.get());
+  ASSERT_TRUE(coord.AddServer(5));
+  e.cluster->RunFor(2 * sim::kMillisecond);
+  // The joining node cannot hear the config while partitioned: the drain
+  // holds (promotions and installs would be dropped on the floor).
+  EXPECT_TRUE(coord.active());
+  // After the heal, heartbeat anti-entropy delivers the missed config and
+  // the transition completes.
+  ASSERT_TRUE(e.cluster->RunUntilDone([&] { return !coord.active(); }));
+  EXPECT_FALSE(coord.failed());
+  EXPECT_EQ(e.LeaderConfig().s, 4u);
+  EXPECT_FALSE(e.LeaderConfig().rebalancing());
+  EXPECT_NE(e.LeaderConfig().slot_of_node[5], consensus::kSpareSlot);
+  e.VerifyAllKeys();
+}
+
+TEST(MembershipChaosScriptTest, LeaderCrashMidTransitionReanchorsAndDrains) {
+  ScriptedElastic e(33, /*spares=*/2);
+  e.WriteKeys(90);
+  membership::RebalanceOptions ro;
+  ro.keys_per_sec = 4000.0;
+  membership::RebalanceCoordinator coord(e.cluster.get(), ro);
+  ASSERT_TRUE(coord.AddServer(
+      static_cast<net::NodeId>(e.LeaderConfig().FindSpare())));
+  e.cluster->RunFor(3 * sim::kMillisecond);
+  ASSERT_TRUE(coord.active());
+  // The coordinator's anchor dies mid-transition. The next scan round
+  // re-anchors at the elected successor and the drain resumes.
+  const net::NodeId old_leader = e.cluster->runtime().leader_node();
+  e.cluster->KillNode(old_leader, /*force_detect=*/true);
+  ASSERT_TRUE(e.cluster->RunUntilDone([&] { return !coord.active(); }));
+  EXPECT_FALSE(coord.failed());
+  EXPECT_GE(coord.stats().leader_moves, 1u);
+  EXPECT_NE(e.cluster->runtime().leader_node(), old_leader);
+  EXPECT_EQ(e.LeaderConfig().s, 4u);
+  EXPECT_FALSE(e.LeaderConfig().rebalancing());
+  e.VerifyAllKeys();
 }
 
 // The ringctl fault-spec grammar round-trips through ToString().

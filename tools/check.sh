@@ -15,6 +15,9 @@
 #   tools/check.sh --obs      # telemetry pipeline: zero-perturbation gate
 #                             # (determinism with timeseries+recorder on),
 #                             # obs unit tests, ringctl report/stats smoke
+#   tools/check.sh --membership  # elastic membership: unit + chaos seeds
+#                             # plain and ASan, rebalance bench, ringctl
+#                             # cluster smoke
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -77,6 +80,36 @@ if [[ "${MODE}" == "--chaos" ]]; then
   UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1}" \
     ./build-sanitize/tests/chaos_fuzz_test
   echo "check.sh: chaos suite passed"
+  exit 0
+fi
+
+if [[ "${MODE}" == "--membership" ]]; then
+  echo "== membership: build elastic targets =="
+  cmake -B build -S . "${LAUNCHER_ARGS[@]}" >/dev/null
+  cmake --build build -j "${JOBS}" \
+    --target membership_test chaos_fuzz_test rebalance_cost ringctl
+  echo "== membership: unit + property tests =="
+  ./build/tests/membership_test
+  echo "== membership: chaos seeds (plain) =="
+  ./build/tests/chaos_fuzz_test --gtest_filter='*MembershipChaos*'
+  echo "== membership: ringctl cluster add/remove smoke =="
+  ./build/tools/ringctl cluster add --scheme=srs32 --keys=200 >/dev/null
+  ./build/tools/ringctl cluster remove --scheme=rep3 --keys=200 >/dev/null
+  echo "== membership: rebalance cost bench =="
+  ./build/bench/rebalance_cost /tmp/BENCH_rebalance.json >/dev/null
+  echo "== membership: unit + chaos seeds (asan,ubsan) =="
+  cmake -B build-sanitize -S . -DRING_SANITIZE=address,undefined \
+    "${LAUNCHER_ARGS[@]}" >/dev/null
+  cmake --build build-sanitize -j "${JOBS}" \
+    --target membership_test chaos_fuzz_test
+  ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=1}" \
+  UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1}" \
+    ./build-sanitize/tests/membership_test
+  ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=1}" \
+  UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1}" \
+    ./build-sanitize/tests/chaos_fuzz_test \
+    --gtest_filter='*MembershipChaos*'
+  echo "check.sh: membership suite passed"
   exit 0
 fi
 

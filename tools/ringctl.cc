@@ -14,6 +14,15 @@
 //   ringctl chaos      --scheme=rep3 --seed=5 --plan="crash node=1 at=5ms"
 //   ringctl watch      --scheme=rep3 --seed=5 --window-us=1000
 //   ringctl report     --scheme=rep3 --seed=5 --report-events=12
+//   ringctl cluster status --shards=6 --spares=2
+//   ringctl cluster add    --scheme=srs32 --count=2 --keys=500
+//   ringctl cluster remove --scheme=rep3 --keys=500
+//
+// `cluster` exercises the elastic membership path (§13): it loads a key
+// population, performs online scale-out (`add`) or scale-in (`remove`)
+// through the consensus-driven rebalance driver while probing reads, then
+// prints the drain stats, the resulting cluster table, and a full read-back
+// verification of the population.
 //
 // `watch` and `report` run the chaos scenario with the telemetry pipeline
 // enabled: watch prints the windowed SLI table live as windows close;
@@ -34,7 +43,9 @@
 #include "src/common/hash.h"
 #include "src/common/logging.h"
 #include "src/common/rng.h"
+#include "src/common/stats.h"
 #include "src/fault/fault.h"
+#include "src/membership/rebalance.h"
 #include "src/obs/export.h"
 #include "src/obs/hub.h"
 #include "src/obs/report.h"
@@ -637,7 +648,7 @@ int RunChaos(FlagSet& flags, ChaosMode mode) {
   RingOptions o;
   o.s = static_cast<uint32_t>(flags.GetInt("shards"));
   o.d = static_cast<uint32_t>(flags.GetInt("redundant"));
-  o.spares = 2;
+  o.spares = static_cast<uint32_t>(flags.GetInt("spares"));
   o.clients = std::max(1u, static_cast<uint32_t>(flags.GetInt("clients")));
   o.seed = static_cast<uint64_t>(flags.GetInt("seed"));
   const uint32_t servers = o.s + o.d + o.spares;
@@ -845,6 +856,151 @@ int RunChaos(FlagSet& flags, ChaosMode mode) {
   return sweep_bad == 0 ? 0 : 1;
 }
 
+// `ringctl cluster <status|add|remove>`: online elastic resize (§13).
+void PrintClusterTable(RingCluster& cluster, uint32_t num_servers) {
+  const net::NodeId leader = cluster.runtime().leader_node();
+  const consensus::ClusterConfig& cfg =
+      cluster.runtime().membership().ConfigView(leader);
+  std::printf("cluster: epoch %llu, shape s=%u d=%u groups=%u%s\n",
+              static_cast<unsigned long long>(cfg.epoch), cfg.s, cfg.d,
+              cfg.groups,
+              cfg.rebalancing() ? " (rebalancing from previous shape)" : "");
+  std::printf("  %-5s %-6s %-8s %s\n", "node", "slot", "role", "state");
+  for (net::NodeId n = 0; n < num_servers; ++n) {
+    const int32_t slot = n < cfg.slot_of_node.size()
+                             ? cfg.slot_of_node[n]
+                             : consensus::kSpareSlot;
+    const bool failed = n < cfg.failed.size() && cfg.failed[n];
+    const char* role =
+        failed ? "failed"
+               : (slot == consensus::kSpareSlot
+                      ? "spare"
+                      : (static_cast<uint32_t>(slot) < cfg.s ? "coord"
+                                                             : "redund"));
+    char slot_buf[16];
+    if (slot == consensus::kSpareSlot) {
+      std::snprintf(slot_buf, sizeof(slot_buf), "-");
+    } else {
+      std::snprintf(slot_buf, sizeof(slot_buf), "%d", slot);
+    }
+    std::printf("  %-5u %-6s %-8s %s%s\n", n, slot_buf, role,
+                cluster.server(n).serving() ? "serving" : "idle",
+                n == leader ? " (config leader)" : "");
+  }
+}
+
+int RunCluster(FlagSet& flags, const std::string& action) {
+  auto desc = SchemeFromName(flags.GetString("scheme"));
+  if (!desc.ok()) {
+    std::fprintf(stderr, "%s\n", desc.status().ToString().c_str());
+    return 1;
+  }
+  RingOptions o;
+  o.s = static_cast<uint32_t>(flags.GetInt("shards"));
+  o.d = static_cast<uint32_t>(flags.GetInt("redundant"));
+  o.spares = static_cast<uint32_t>(flags.GetInt("spares"));
+  o.clients = 2;
+  o.seed = static_cast<uint64_t>(flags.GetInt("seed"));
+  o.params.wire_jitter_ns = 400;
+  const uint32_t num_servers = o.s + o.d + o.spares;
+  RingCluster cluster(o);
+  auto g = cluster.CreateMemgest(*desc);
+  if (!g.ok()) {
+    std::fprintf(stderr, "createMemgest: %s\n", g.status().ToString().c_str());
+    return 1;
+  }
+  const int keys = std::max(1, static_cast<int>(flags.GetInt("keys")));
+  const size_t size = static_cast<size_t>(flags.GetInt("size"));
+  for (int i = 0; i < keys; ++i) {
+    if (!cluster.Put("el-" + std::to_string(i), MakePatternBuffer(size, i), *g)
+             .ok()) {
+      std::fprintf(stderr, "load put %d failed\n", i);
+      return 1;
+    }
+  }
+  if (action == "status") {
+    PrintClusterTable(cluster, num_servers);
+    return 0;
+  }
+
+  const bool grow = action == "add";
+  const int count = std::max(1, static_cast<int>(flags.GetInt("count")));
+  for (int i = 0; i < count; ++i) {
+    membership::RebalanceCoordinator coord(&cluster);
+    const net::NodeId leader = cluster.runtime().leader_node();
+    const consensus::ClusterConfig& cfg =
+        cluster.runtime().membership().ConfigView(leader);
+    const uint32_t from_s = cfg.s;
+    bool accepted = false;
+    if (grow) {
+      const int32_t spare = cfg.FindSpare();
+      if (spare < 0) {
+        std::fprintf(stderr, "no live spare to add (shape s=%u)\n", cfg.s);
+        return 1;
+      }
+      accepted = coord.AddServer(static_cast<net::NodeId>(spare));
+    } else {
+      if (cfg.s <= 1) {
+        std::fprintf(stderr, "cannot shrink below one coordinator\n");
+        return 1;
+      }
+      accepted = coord.RemoveServer(cfg.s - 1);
+    }
+    if (!accepted) {
+      std::fprintf(stderr, "%s rejected (another transition in flight?)\n",
+                   action.c_str());
+      return 1;
+    }
+    // Probe reads against the population while the drain runs: the resize
+    // must stay online.
+    Samples during_us;
+    int probe_seq = 0;
+    while (coord.active()) {
+      const Key key = "el-" + std::to_string(probe_seq++ % keys);
+      const sim::SimTime start = cluster.simulator().now();
+      cluster.client(1).Get(key, [&](GetResult r) {
+        if (r.status.ok()) {
+          during_us.Add(
+              static_cast<double>(cluster.simulator().now() - start) / 1e3);
+        }
+      });
+      cluster.RunFor(100 * sim::kMicrosecond);
+    }
+    if (coord.failed()) {
+      std::fprintf(stderr, "%s %u -> %u FAILED to drain\n", action.c_str(),
+                   from_s, grow ? from_s + 1 : from_s - 1);
+      return 1;
+    }
+    const auto& st = coord.stats();
+    std::printf(
+        "%s: s %u -> %u drained in %.2f ms (%llu keys moved, %llu "
+        "re-encoded, %.1f KiB shipped, %llu scan rounds); reads during "
+        "drain p50 %.1f us p99 %.1f us\n",
+        action.c_str(), from_s, grow ? from_s + 1 : from_s - 1,
+        static_cast<double>(st.end_ns - st.start_ns) / 1e6,
+        static_cast<unsigned long long>(st.keys_moved),
+        static_cast<unsigned long long>(st.keys_reencoded),
+        st.bytes_moved / 1024.0,
+        static_cast<unsigned long long>(st.scan_rounds),
+        during_us.empty() ? 0.0 : during_us.Percentile(50),
+        during_us.empty() ? 0.0 : during_us.Percentile(99));
+    cluster.RunFor(2 * sim::kMillisecond);  // let stragglers clear
+  }
+
+  // Read back every key: an online resize must not lose or corrupt data.
+  uint64_t bad = 0;
+  for (int i = 0; i < keys; ++i) {
+    auto got = cluster.Get("el-" + std::to_string(i));
+    if (!got.ok() || *got != MakePatternBuffer(size, i)) {
+      ++bad;
+    }
+  }
+  std::printf("verify: %d keys read back, %llu mismatches\n", keys,
+              static_cast<unsigned long long>(bad));
+  PrintClusterTable(cluster, num_servers);
+  return bad == 0 ? 0 : 1;
+}
+
 int RunSchemes(FlagSet& flags) {
   const uint32_t s = static_cast<uint32_t>(flags.GetInt("shards"));
   const uint32_t d = static_cast<uint32_t>(flags.GetInt("redundant"));
@@ -871,7 +1027,7 @@ int Main(int argc, char** argv) {
   FlagSet flags(
       "ringctl "
       "<latency|throughput|recover|reliability|schemes|stats|trace|autotier|"
-      "chaos|watch|report>");
+      "chaos|watch|report|cluster <status|add|remove>>");
   flags.DefineString("scheme", "rep3", "storage scheme: repN or srsKM")
       .DefineString("cold-scheme", "srs32",
                     "cold-tier scheme for autotier: repN or srsKM")
@@ -893,6 +1049,8 @@ int Main(int argc, char** argv) {
       .DefineInt("keys", 2000, "distinct keys in the workload")
       .DefineInt("entries", 2000, "objects on the victim shard (recover)")
       .DefineInt("victim", 1, "node to kill (recover)")
+      .DefineInt("spares", 2, "idle spare nodes provisioned (cluster, chaos)")
+      .DefineInt("count", 1, "transitions to perform (cluster add/remove)")
       .DefineInt("seed", 7, "deterministic simulation seed")
       .DefineInt("k", 3, "SRS data blocks (reliability)")
       .DefineInt("m", 2, "SRS parity blocks (reliability)")
@@ -955,14 +1113,31 @@ int Main(int argc, char** argv) {
     std::fprintf(stderr, "unknown --log level '%s'\n", log.c_str());
     return 2;
   }
-  if (flags.positional().size() > 1 ||
-      (flags.positional().empty() && flags.GetString("mode").empty())) {
+  if (flags.positional().empty() && flags.GetString("mode").empty()) {
     std::fprintf(stderr, "%s", flags.Usage().c_str());
     return 2;
   }
   const std::string command = flags.positional().empty()
                                   ? flags.GetString("mode")
                                   : flags.positional()[0];
+  // `cluster` takes a sub-action as a second positional; every other
+  // command takes exactly one.
+  if (flags.positional().size() > (command == "cluster" ? 2u : 1u)) {
+    std::fprintf(stderr, "%s", flags.Usage().c_str());
+    return 2;
+  }
+  if (command == "cluster") {
+    const std::string action = flags.positional().size() > 1
+                                   ? flags.positional()[1]
+                                   : std::string("status");
+    if (action != "status" && action != "add" && action != "remove") {
+      std::fprintf(stderr,
+                   "cluster action must be status, add or remove (got '%s')\n",
+                   action.c_str());
+      return 2;
+    }
+    return RunCluster(flags, action);
+  }
   if (command == "latency") {
     return RunLatency(flags);
   }
