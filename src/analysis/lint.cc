@@ -136,6 +136,16 @@ const TextRule& RawScheduleRule() {
   return *rule;
 }
 
+const TextRule& BoxedCallbackRule() {
+  static const TextRule* rule = new TextRule{
+      "boxed-callback",
+      "std::function in scheduler-adjacent code boxes every capture on the "
+      "general heap, bypassing the pooled sim::Task allocator; take a "
+      "sim::Task (or a deduced callable template parameter) instead",
+      std::regex(R"(\bstd\s*::\s*function\s*<)")};
+  return *rule;
+}
+
 // Member/local names declared as std::unordered_{map,set}. Single-line
 // declarations only — an AST-lite compromise that covers this codebase.
 std::set<std::string> UnorderedNames(const std::string& content) {
@@ -366,6 +376,23 @@ std::vector<LintFinding> LintSource(const SourceInput& in,
                             in.relpath.rfind("src/sim/", 0) == 0;
   if (!sim_internal) {
     const TextRule& rule = RawScheduleRule();
+    for (size_t i = 0; i < lines.size(); ++i) {
+      if (std::regex_search(CodeOnly(lines[i]), rule.pattern) &&
+          !Allowlisted(lines, i, rule.name)) {
+        findings.push_back(
+            {in.relpath, static_cast<int>(i + 1), rule.name, rule.message});
+      }
+    }
+  }
+  // Only the scheduler-adjacent trees must stay pool-pure: protocol layers
+  // may still hand std::function across public APIs, but src/sim and src/net
+  // sit on the event hot path where a boxed callable costs an allocation per
+  // scheduled event.
+  const bool pool_scoped = force_all_rules ||
+                           in.relpath.rfind("src/sim/", 0) == 0 ||
+                           in.relpath.rfind("src/net/", 0) == 0;
+  if (pool_scoped) {
+    const TextRule& rule = BoxedCallbackRule();
     for (size_t i = 0; i < lines.size(); ++i) {
       if (std::regex_search(CodeOnly(lines[i]), rule.pattern) &&
           !Allowlisted(lines, i, rule.name)) {

@@ -19,6 +19,10 @@
 //                   outside src/sim — protocol code must go through
 //                   net::Fabric (or the Simulator At/After wrappers for
 //                   local timers) so every event is attributable.
+//   boxed-callback  std::function in src/sim or src/net — the scheduler hot
+//                   path carries callables as pooled sim::Task values; a
+//                   std::function there boxes every out-of-line capture on
+//                   the general heap and silently bypasses the pool.
 //   orphan-cc       a .cc under src/ whose target is not reachable from any
 //                   test executable's link graph — untested code.
 //

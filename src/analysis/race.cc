@@ -71,8 +71,9 @@ VectorClock RaceDetector::CaptureEdge() {
   return stack_.back().clock;
 }
 
-void RaceDetector::BeginCpuTask(uint32_t node, const VectorClock* inherited) {
-  const uint32_t actor = CpuActor(node);
+void RaceDetector::BeginCpuTask(uint32_t node, const VectorClock* inherited,
+                                uint32_t shard) {
+  const uint32_t actor = CpuActorId(node, shard);
   VectorClock& clock = ActorClock(actor);
   if (inherited != nullptr) {
     clock.MergeFrom(*inherited);
@@ -92,11 +93,11 @@ void RaceDetector::BeginOneSidedTask(const VectorClock* inherited) {
   stack_.push_back(std::move(frame));
 }
 
-void RaceDetector::BeginCpuAcquire(uint32_t node) {
+void RaceDetector::BeginCpuAcquire(uint32_t node, uint32_t shard) {
   // Copy first: CurrentClock() may reference an actor clock that
   // BeginCpuTask below would otherwise merge into itself mid-mutation.
   const VectorClock acquired = CurrentClock();
-  BeginCpuTask(node, &acquired);
+  BeginCpuTask(node, &acquired, shard);
 }
 
 void RaceDetector::EndTask() {

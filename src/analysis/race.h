@@ -92,9 +92,18 @@ struct RaceReport {
 
 class RaceDetector {
  public:
-  // Actor 0 is the external driver; node n's CPU is actor n + 1.
+  // Actor 0 is the external driver; node n's CPU shard k is actor
+  // 1 + n * cores_per_node + k. With the default single core per node that
+  // collapses to the historical "node n is actor n + 1" mapping.
   static constexpr uint32_t kExternalActor = 0;
-  static uint32_t CpuActor(uint32_t node) { return node + 1; }
+  uint32_t CpuActorId(uint32_t node, uint32_t shard = 0) const {
+    return 1 + node * cores_per_node_ + shard;
+  }
+  // Must match SimParams::cores_per_node; set once before any task begins
+  // (Simulator and Fabric both wire it through).
+  void SetCoresPerNode(uint32_t cores) {
+    cores_per_node_ = cores == 0 ? 1 : cores;
+  }
 
   // Non-null iff the RING_ANALYZE env var contains "race".
   static std::unique_ptr<RaceDetector> FromEnv();
@@ -108,15 +117,17 @@ class RaceDetector {
   // returns a copy. From a one-sided context, returns that task's clock.
   VectorClock CaptureEdge();
 
-  // Runs on `node`'s CPU: joins `inherited` (may be null — no edges) into
-  // the CPU clock and makes it current.
-  void BeginCpuTask(uint32_t node, const VectorClock* inherited);
+  // Runs on `node`'s CPU shard: joins `inherited` (may be null — no edges)
+  // into that shard's clock and makes it current.
+  void BeginCpuTask(uint32_t node, const VectorClock* inherited,
+                    uint32_t shard = 0);
   // One-sided NIC access: `inherited` (issuer's clock; may be null) becomes
   // the task clock. Never joins a destination actor.
   void BeginOneSidedTask(const VectorClock* inherited);
   // Completion-region acquire: joins the *current* task clock (typically a
-  // one-sided apply) into `node`'s CPU clock and continues as that CPU.
-  void BeginCpuAcquire(uint32_t node);
+  // one-sided apply) into the clock of `node`'s CPU shard and continues as
+  // that shard.
+  void BeginCpuAcquire(uint32_t node, uint32_t shard = 0);
   void EndTask();
 
   // ---- access logging -----------------------------------------------------
@@ -166,6 +177,7 @@ class RaceDetector {
   static constexpr size_t kMaxRaces = 64;
   static constexpr size_t kMaxStoredPerList = 128;
 
+  uint32_t cores_per_node_ = 1;
   std::vector<VectorClock> actor_clocks_;
   std::vector<Frame> stack_;
   std::map<RegionKey, RegionState> regions_;
@@ -178,10 +190,11 @@ class RaceDetector {
 
 class ScopedCpuTask {
  public:
-  ScopedCpuTask(RaceDetector* d, uint32_t node, const VectorClock* inherited)
+  ScopedCpuTask(RaceDetector* d, uint32_t node, const VectorClock* inherited,
+                uint32_t shard = 0)
       : d_(d) {
     if (d_ != nullptr) {
-      d_->BeginCpuTask(node, inherited);
+      d_->BeginCpuTask(node, inherited, shard);
     }
   }
   ~ScopedCpuTask() {
@@ -217,9 +230,10 @@ class ScopedOneSidedTask {
 
 class ScopedCpuAcquire {
  public:
-  ScopedCpuAcquire(RaceDetector* d, uint32_t node) : d_(d) {
+  ScopedCpuAcquire(RaceDetector* d, uint32_t node, uint32_t shard = 0)
+      : d_(d) {
     if (d_ != nullptr) {
-      d_->BeginCpuAcquire(node);
+      d_->BeginCpuAcquire(node, shard);
     }
   }
   ~ScopedCpuAcquire() {

@@ -1,6 +1,5 @@
 #include "src/net/fabric.h"
 
-#include <optional>
 #include <utility>
 
 #include "src/analysis/race.h"
@@ -12,10 +11,15 @@ namespace ring::net {
 Fabric::Fabric(sim::Simulator* simulator, uint32_t num_nodes)
     : sim_(simulator),
       alive_(num_nodes, true),
-      egress_busy_(num_nodes, 0) {
+      egress_busy_(num_nodes, 0),
+      nics_(num_nodes) {
+  const uint32_t cores = simulator->params().cores_per_node;
   cpus_.reserve(num_nodes);
   for (uint32_t i = 0; i < num_nodes; ++i) {
-    cpus_.push_back(std::make_unique<sim::CpuWorker>(simulator, i));
+    cpus_.push_back(std::make_unique<sim::CpuWorker>(simulator, i, cores));
+  }
+  if (analysis::RaceDetector* race = simulator->race(); race != nullptr) {
+    race->SetCoresPerNode(cores);
   }
 }
 
@@ -54,9 +58,93 @@ bool Fabric::paused(NodeId node) const {
   return injector_ != nullptr && injector_->paused(node);
 }
 
-void Fabric::DeliverSend(NodeId dst, uint64_t op,
-                         std::optional<analysis::VectorClock> edge,
-                         std::function<void()> handler) {
+std::unique_ptr<analysis::VectorClock> Fabric::CaptureEdge() {
+  analysis::RaceDetector* race = sim_->race();
+  if (race == nullptr) {
+    return nullptr;
+  }
+  return std::make_unique<analysis::VectorClock>(race->CaptureEdge());
+}
+
+uint32_t Fabric::IssuerShard(NodeId src) const {
+  const sim::Simulator::ExecContext& exec = sim_->exec();
+  return exec.node == static_cast<int32_t>(src) ? exec.shard : 0;
+}
+
+void Fabric::Enqueue(NodeId dst, sim::SimTime arrival, Pending p) {
+  const uint64_t window = sim_->params().nic_coalesce_ns;
+  const sim::SimTime tick =
+      window == 0 ? arrival : (arrival + window - 1) / window * window;
+  NicQueue& nic = nics_[dst];
+  auto it = nic.batches.find(tick);
+  const bool fresh = it == nic.batches.end();
+  if (fresh) {
+    Batch batch;
+    if (!nic.spare.empty()) {
+      batch = std::move(nic.spare.back());
+      nic.spare.pop_back();
+    }
+    it = nic.batches.emplace(tick, std::move(batch)).first;
+  }
+  it->second.items.push_back(std::move(p));
+  if (window == 0) {
+    // Exact mode: one doorbell per delivery, in issue order, so the event
+    // schedule matches the classic per-event fabric byte for byte. The
+    // doorbells fire in (tick, seq) order and each pops its batch's front.
+    sim_->At(tick, [this, dst, tick] { DrainOne(dst, tick); });
+  } else if (fresh) {
+    sim_->At(tick, [this, dst, tick] { DrainAll(dst, tick); });
+  } else {
+    ++coalesced_deliveries_;
+  }
+}
+
+void Fabric::FinishBatch(NicQueue& nic, sim::SimTime tick) {
+  auto it = nic.batches.find(tick);
+  Batch batch = std::move(it->second);
+  nic.batches.erase(it);
+  batch.items.clear();
+  batch.cursor = 0;
+  if (nic.spare.size() < 8) {
+    nic.spare.push_back(std::move(batch));
+  }
+}
+
+void Fabric::DrainOne(NodeId dst, sim::SimTime tick) {
+  NicQueue& nic = nics_[dst];
+  const auto it = nic.batches.find(tick);
+  if (it == nic.batches.end()) {
+    return;
+  }
+  Pending p = std::move(it->second.items[it->second.cursor]);
+  ++it->second.cursor;
+  // `it` dies here: processing may enqueue into this NIC and rehash the map.
+  Process(dst, p);
+  const auto again = nic.batches.find(tick);
+  if (again != nic.batches.end() &&
+      again->second.cursor == again->second.items.size()) {
+    FinishBatch(nic, tick);
+  }
+}
+
+void Fabric::DrainAll(NodeId dst, sim::SimTime tick) {
+  NicQueue& nic = nics_[dst];
+  for (;;) {
+    const auto it = nic.batches.find(tick);
+    if (it == nic.batches.end()) {
+      return;
+    }
+    if (it->second.cursor == it->second.items.size()) {
+      FinishBatch(nic, tick);
+      return;
+    }
+    Pending p = std::move(it->second.items[it->second.cursor]);
+    ++it->second.cursor;
+    Process(dst, p);
+  }
+}
+
+void Fabric::DeliverTwoSided(NodeId dst, Pending& p) {
   if (!alive_[dst]) {
     return;  // fail-stop: dead nodes neither receive nor respond
   }
@@ -64,26 +152,94 @@ void Fabric::DeliverSend(NodeId dst, uint64_t op,
     // Gray failure: the NIC accepted the message but the wedged process
     // makes no progress. Buffer the delivery; the injector replays it (in
     // arrival order) at resume, or discards it if the node crashes instead.
-    injector_->Defer(dst, [this, dst, op, edge = std::move(edge),
-                           handler = std::move(handler)]() mutable {
-      DeliverSend(dst, op, std::move(edge), std::move(handler));
+    auto parked = std::make_shared<Pending>(std::move(p));
+    injector_->Defer(dst, [this, dst, parked] {
+      DeliverTwoSided(dst, *parked);
     });
     return;
   }
   // Re-establish the sender's op context around the receive-cost charge so
   // the queue/busy spans it records stitch into the same distributed trace.
-  obs::ScopedOp scope(sim_->hub(), op);
+  obs::ScopedOp scope(sim_->hub(), p.op);
   // Carrier frame: CpuWorker::Execute captures the deferred handler's edge
   // from the current context, which must be the sender's clock here, not
   // the event loop's.
-  analysis::RaceDetector* race = sim_->race();
-  analysis::ScopedOneSidedTask carry(race,
-                                     edge.has_value() ? &*edge : nullptr);
-  cpus_[dst]->Execute(sim_->params().server_recv_ns, std::move(handler));
+  analysis::ScopedOneSidedTask carry(sim_->race(), p.edge.get());
+  // RSS-style flow steering: a given sender's traffic always lands on the
+  // same receive shard (shard 0 with a single core).
+  sim::CpuWorker& cpu = *cpus_[dst];
+  cpu.ExecuteOnShard(cpu.ShardForHash(p.peer), sim_->params().server_recv_ns,
+                     std::move(p.primary));
+}
+
+void Fabric::Process(NodeId dst, Pending& p) {
+  switch (p.kind) {
+    case Pending::Kind::kTwoSided:
+      DeliverTwoSided(dst, p);
+      return;
+    case Pending::Kind::kWriteApply: {
+      if (!alive_[dst]) {
+        return;  // no ack: the sender's completion never fires
+      }
+      obs::ScopedOp scope(sim_->hub(), p.op);
+      if (p.primary) {
+        // NIC DMA: remote memory changes without CPU involvement, so the
+        // accesses it performs carry the issuer's clock only — they are
+        // never joined into the destination CPU.
+        analysis::ScopedOneSidedTask dma(sim_->race(), p.edge.get());
+        p.primary();
+      }
+      // Hardware ack back to the source.
+      const uint64_t latency = sim_->params().wire_latency_ns;
+      sim_->hub().tracer().Record("rdma_ack", obs::Category::kNetwork, dst,
+                                  p.op, sim_->now(), sim_->now() + latency);
+      Pending done;
+      done.kind = Pending::Kind::kCompletion;
+      done.peer = p.peer;
+      done.peer_shard = p.peer_shard;
+      done.op = p.op;
+      done.primary = std::move(p.secondary);
+      done.edge = std::move(p.edge);
+      Enqueue(p.peer, sim_->now() + latency, std::move(done));
+      return;
+    }
+    case Pending::Kind::kReadServe: {
+      if (!alive_[dst]) {
+        return;
+      }
+      obs::ScopedOp scope(sim_->hub(), p.op);
+      if (p.primary) {
+        // One-sided fetch: reads remote memory under the issuer's clock only.
+        analysis::ScopedOneSidedTask dma(sim_->race(), p.edge.get());
+        p.primary();
+      }
+      const Departure resp = Depart(dst, p.peer, p.response_bytes);
+      sim_->hub().tracer().Record("rdma_read_resp", obs::Category::kNetwork,
+                                  dst, p.op, resp.ser_start, resp.arrival);
+      Pending done;
+      done.kind = Pending::Kind::kCompletion;
+      done.peer = p.peer;
+      done.peer_shard = p.peer_shard;
+      done.op = p.op;
+      done.primary = std::move(p.secondary);
+      done.edge = std::move(p.edge);
+      Enqueue(p.peer, resp.arrival, std::move(done));
+      return;
+    }
+    case Pending::Kind::kCompletion:
+      if (alive_[dst] && p.primary) {
+        obs::ScopedOp scope(sim_->hub(), p.op);
+        // Completion is observed by the issuing CPU shard polling its queue.
+        analysis::ScopedCpuTask done(sim_->race(), dst, p.edge.get(),
+                                     p.peer_shard);
+        p.primary();
+      }
+      return;
+  }
 }
 
 void Fabric::Send(NodeId src, NodeId dst, uint64_t payload_bytes,
-                  std::function<void()> handler) {
+                  sim::Task handler) {
   if (!alive_[src]) {
     return;
   }
@@ -122,26 +278,33 @@ void Fabric::Send(NodeId src, NodeId dst, uint64_t payload_bytes,
                       d.arrival);
   // Message edge: the receive handler is ordered after everything the sender
   // did before issuing.
-  analysis::RaceDetector* race = sim_->race();
-  std::optional<analysis::VectorClock> edge;
-  if (race != nullptr) {
-    edge = race->CaptureEdge();
-  }
+  std::unique_ptr<analysis::VectorClock> edge = CaptureEdge();
   if (duplicate) {
-    sim_->At(d.arrival + dup_delay, [this, dst, op, edge, handler]() mutable {
-      DeliverSend(dst, op, std::move(edge), std::move(handler));
-    });
+    // Chaos-only: the duplicate is an independent wire copy, so it runs an
+    // independent copy of the handler (handlers may consume their captures
+    // when invoked; sharing one closure across both deliveries would hand
+    // the second one moved-from state).
+    Pending dup;
+    dup.kind = Pending::Kind::kTwoSided;
+    dup.peer = src;
+    dup.op = op;
+    dup.primary = handler.Clone();
+    if (edge != nullptr) {
+      dup.edge = std::make_unique<analysis::VectorClock>(*edge);
+    }
+    Enqueue(dst, d.arrival + dup_delay, std::move(dup));
   }
-  sim_->At(d.arrival + extra_delay,
-           [this, dst, op, edge = std::move(edge),
-            handler = std::move(handler)]() mutable {
-             DeliverSend(dst, op, std::move(edge), std::move(handler));
-           });
+  Pending p;
+  p.kind = Pending::Kind::kTwoSided;
+  p.peer = src;
+  p.op = op;
+  p.primary = std::move(handler);
+  p.edge = std::move(edge);
+  Enqueue(dst, d.arrival + extra_delay, std::move(p));
 }
 
 void Fabric::Write(NodeId src, NodeId dst, uint64_t payload_bytes,
-                   std::function<void()> apply,
-                   std::function<void()> on_complete) {
+                   sim::Task apply, sim::Task on_complete) {
   if (!alive_[src]) {
     return;
   }
@@ -167,46 +330,19 @@ void Fabric::Write(NodeId src, NodeId dst, uint64_t payload_bytes,
   d.arrival += extra_delay;
   hub.tracer().Record("rdma_write", obs::Category::kNetwork, src, op,
                       d.ser_start, d.arrival);
-  analysis::RaceDetector* race = sim_->race();
-  std::optional<analysis::VectorClock> edge;
-  if (race != nullptr) {
-    edge = race->CaptureEdge();
-  }
-  sim_->At(d.arrival, [this, src, dst, op, race, edge = std::move(edge),
-                       apply = std::move(apply),
-                       on_complete = std::move(on_complete)]() mutable {
-    if (!alive_[dst]) {
-      return;  // no ack: the sender's completion never fires
-    }
-    obs::ScopedOp scope(sim_->hub(), op);
-    if (apply) {
-      // NIC DMA: remote memory changes without CPU involvement, so the
-      // accesses it performs carry the issuer's clock only — they are never
-      // joined into the destination CPU.
-      analysis::ScopedOneSidedTask dma(race,
-                                       edge.has_value() ? &*edge : nullptr);
-      apply();
-    }
-    // Hardware ack back to the source.
-    const uint64_t latency = sim_->params().wire_latency_ns;
-    sim_->hub().tracer().Record("rdma_ack", obs::Category::kNetwork, dst, op,
-                                sim_->now(), sim_->now() + latency);
-    sim_->After(latency, [this, src, op, race, edge = std::move(edge),
-                          on_complete = std::move(on_complete)]() mutable {
-      if (alive_[src] && on_complete) {
-        obs::ScopedOp ack_scope(sim_->hub(), op);
-        // Completion is observed by the issuing CPU polling its queue.
-        analysis::ScopedCpuTask done(race, src,
-                                     edge.has_value() ? &*edge : nullptr);
-        on_complete();
-      }
-    });
-  });
+  Pending p;
+  p.kind = Pending::Kind::kWriteApply;
+  p.peer = src;
+  p.peer_shard = IssuerShard(src);
+  p.op = op;
+  p.primary = std::move(apply);
+  p.secondary = std::move(on_complete);
+  p.edge = CaptureEdge();
+  Enqueue(dst, d.arrival, std::move(p));
 }
 
 void Fabric::Read(NodeId src, NodeId dst, uint64_t response_bytes,
-                  std::function<void()> fetch,
-                  std::function<void()> on_complete) {
+                  sim::Task fetch, sim::Task on_complete) {
   if (!alive_[src]) {
     return;
   }
@@ -230,37 +366,16 @@ void Fabric::Read(NodeId src, NodeId dst, uint64_t response_bytes,
   req.arrival += extra_delay;
   hub.tracer().Record("rdma_read_req", obs::Category::kNetwork, src, op,
                       req.ser_start, req.arrival);
-  analysis::RaceDetector* race = sim_->race();
-  std::optional<analysis::VectorClock> edge;
-  if (race != nullptr) {
-    edge = race->CaptureEdge();
-  }
-  sim_->At(req.arrival, [this, src, dst, response_bytes, op, race,
-                         edge = std::move(edge), fetch = std::move(fetch),
-                         on_complete = std::move(on_complete)]() mutable {
-    if (!alive_[dst]) {
-      return;
-    }
-    obs::ScopedOp scope(sim_->hub(), op);
-    if (fetch) {
-      // One-sided fetch: reads remote memory under the issuer's clock only.
-      analysis::ScopedOneSidedTask dma(race,
-                                       edge.has_value() ? &*edge : nullptr);
-      fetch();
-    }
-    const Departure resp = Depart(dst, src, response_bytes);
-    sim_->hub().tracer().Record("rdma_read_resp", obs::Category::kNetwork,
-                                dst, op, resp.ser_start, resp.arrival);
-    sim_->At(resp.arrival, [this, src, op, race, edge = std::move(edge),
-                            on_complete = std::move(on_complete)]() mutable {
-      if (alive_[src] && on_complete) {
-        obs::ScopedOp resp_scope(sim_->hub(), op);
-        analysis::ScopedCpuTask done(race, src,
-                                     edge.has_value() ? &*edge : nullptr);
-        on_complete();
-      }
-    });
-  });
+  Pending p;
+  p.kind = Pending::Kind::kReadServe;
+  p.peer = src;
+  p.peer_shard = IssuerShard(src);
+  p.op = op;
+  p.response_bytes = response_bytes;
+  p.primary = std::move(fetch);
+  p.secondary = std::move(on_complete);
+  p.edge = CaptureEdge();
+  Enqueue(dst, req.arrival, std::move(p));
 }
 
 }  // namespace ring::net

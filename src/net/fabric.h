@@ -1,7 +1,7 @@
 // Simulated RDMA fabric.
 //
 // Substitutes for the paper's InfiniBand cluster + libibverbs. Endpoints are
-// nodes with single-threaded CPUs (sim::CpuWorker); the fabric models
+// nodes with N-shard CPUs (sim::CpuWorker); the fabric models
 //   - per-message one-way wire latency,
 //   - per-byte link bandwidth with egress serialization (a NIC pushes one
 //     message at a time),
@@ -12,17 +12,25 @@
 //   - Write/Read (one-sided): "performed entirely by the hardware"; no
 //     remote CPU is charged. Ring uses this to offload replication traffic
 //     from redundant nodes (§6).
+//
+// Delivery is structured as per-destination NIC completion queues: each
+// in-flight message parks its payload (handler closure, op context, race
+// edge) in the destination's CQ keyed by arrival tick, and the event queue
+// carries only thin doorbell events. With nic_coalesce_ns == 0 (default)
+// every message still gets its own doorbell — schedules stay byte-identical
+// to the classic per-event fabric — while a nonzero window batches all of a
+// node's arrivals per window behind one doorbell (completion coalescing).
 #ifndef RING_SRC_NET_FABRIC_H_
 #define RING_SRC_NET_FABRIC_H_
 
 #include <cstdint>
-#include <functional>
 #include <memory>
-#include <optional>
+#include <unordered_map>
 #include <vector>
 
 #include "src/analysis/race.h"
 #include "src/sim/simulator.h"
+#include "src/sim/task.h"
 
 namespace ring::fault {
 class FaultInjector;
@@ -58,28 +66,58 @@ class Fabric {
   // Two-sided send: after egress serialization + wire latency, charges
   // `server_recv_ns` on the destination CPU and runs `handler`.
   // Dropped silently when either endpoint is dead at the relevant moment.
-  void Send(NodeId src, NodeId dst, uint64_t payload_bytes,
-            std::function<void()> handler);
+  void Send(NodeId src, NodeId dst, uint64_t payload_bytes, sim::Task handler);
 
   // One-sided RDMA write: the payload lands at the destination without
   // involving its CPU; `apply` runs at arrival (NIC DMA), `on_complete`
   // runs at the source once the hardware ack returns.
-  void Write(NodeId src, NodeId dst, uint64_t payload_bytes,
-             std::function<void()> apply, std::function<void()> on_complete);
+  void Write(NodeId src, NodeId dst, uint64_t payload_bytes, sim::Task apply,
+             sim::Task on_complete);
 
   // One-sided RDMA read: `fetch` runs at the destination at request arrival
   // (no remote CPU), `on_complete` runs at the source after `response_bytes`
   // travel back.
-  void Read(NodeId src, NodeId dst, uint64_t response_bytes,
-            std::function<void()> fetch, std::function<void()> on_complete);
+  void Read(NodeId src, NodeId dst, uint64_t response_bytes, sim::Task fetch,
+            sim::Task on_complete);
 
   // Transfer time of one message on the wire (serialization only).
   uint64_t SerializationNs(uint64_t payload_bytes) const;
 
   uint64_t messages_sent() const { return messages_sent_; }
   uint64_t bytes_sent() const { return bytes_sent_; }
+  // Deliveries that shared a doorbell with an earlier same-window arrival
+  // (always 0 with nic_coalesce_ns == 0).
+  uint64_t coalesced_deliveries() const { return coalesced_deliveries_; }
 
  private:
+  // One parked delivery in a destination's completion queue.
+  struct Pending {
+    enum class Kind : uint8_t {
+      kTwoSided,    // charge server_recv_ns on dst, run handler
+      kWriteApply,  // run apply as NIC DMA, then schedule the ack
+      kReadServe,   // run fetch as NIC DMA, then send the response
+      kCompletion,  // run on_complete on the issuing node/shard
+    };
+    Kind kind = Kind::kTwoSided;
+    NodeId peer = 0;        // issuer (kWriteApply/kReadServe) / poller (kCompletion)
+    uint32_t peer_shard = 0;  // issuing CPU shard for the completion
+    uint64_t op = 0;
+    uint64_t response_bytes = 0;
+    sim::Task primary;    // handler / apply / fetch / on_complete
+    sim::Task secondary;  // on_complete riding behind apply/fetch
+    std::unique_ptr<analysis::VectorClock> edge;
+  };
+  struct Batch {
+    std::vector<Pending> items;
+    size_t cursor = 0;
+  };
+  struct NicQueue {
+    // Keyed lookups only (never iterated): deterministic despite the
+    // unordered container.
+    std::unordered_map<sim::SimTime, Batch> batches;
+    std::vector<Batch> spare;
+  };
+
   // Egress serialization on src's NIC: when the message started serializing
   // and when it arrives at dst (serialization + jitter + wire latency).
   // Records the egress-queue span and per-link byte counters.
@@ -89,20 +127,31 @@ class Fabric {
   };
   Departure Depart(NodeId src, NodeId dst, uint64_t payload_bytes);
 
-  // Terminal leg of a two-sided Send: re-checks liveness/pause at delivery
-  // time and charges the receive cost. Re-defers itself while the receiver
-  // is paused (the injector flushes its buffer at resume).
-  void DeliverSend(NodeId dst, uint64_t op,
-                   std::optional<analysis::VectorClock> edge,
-                   std::function<void()> handler);
+  std::unique_ptr<analysis::VectorClock> CaptureEdge();
+  uint32_t IssuerShard(NodeId src) const;
+
+  // Parks `p` in dst's CQ at `arrival` and rings a doorbell: its own with
+  // coalescing off, the batch's shared one with coalescing on.
+  void Enqueue(NodeId dst, sim::SimTime arrival, Pending p);
+  void DrainOne(NodeId dst, sim::SimTime tick);
+  void DrainAll(NodeId dst, sim::SimTime tick);
+  void FinishBatch(NicQueue& nic, sim::SimTime tick);
+  void Process(NodeId dst, Pending& p);
+
+  // Terminal leg of a two-sided delivery: re-checks liveness/pause and
+  // charges the receive cost on the destination's RSS shard. Re-defers
+  // itself while the receiver is paused (the injector flushes at resume).
+  void DeliverTwoSided(NodeId dst, Pending& p);
 
   sim::Simulator* sim_;
   fault::FaultInjector* injector_ = nullptr;
   std::vector<std::unique_ptr<sim::CpuWorker>> cpus_;
   std::vector<bool> alive_;
   std::vector<sim::SimTime> egress_busy_;
+  std::vector<NicQueue> nics_;
   uint64_t messages_sent_ = 0;
   uint64_t bytes_sent_ = 0;
+  uint64_t coalesced_deliveries_ = 0;
 };
 
 }  // namespace ring::net

@@ -10,6 +10,7 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <unordered_map>
 
 #include "src/common/rng.h"
 #include "src/common/stats.h"
@@ -122,7 +123,9 @@ class RingClient {
   AccessObserver access_observer_;
   consensus::ClusterConfig config_;
   uint64_t next_req_ = 1;
-  std::map<uint64_t, Outstanding> outstanding_;
+  // Keyed find/emplace/erase only (never iterated): deterministic despite
+  // the unordered layout, and O(1) on the per-request hot path.
+  std::unordered_map<uint64_t, Outstanding> outstanding_;
   uint64_t completed_ = 0;
   uint64_t timeouts_ = 0;
   uint64_t hedges_ = 0;

@@ -252,19 +252,22 @@ RingServer::RouteAction RingServer::RouteKey(const Key& key, bool forwarded) {
   return act;
 }
 
+uint32_t RingServer::HomeShardForKey(const Key& key) {
+  return cpu().ShardForHash(KeyShard(key, config_.num_shards()));
+}
+
 void RingServer::ReplyToClient(net::NodeId client, uint64_t bytes,
-                               std::function<void()> fn) {
+                               sim::Task fn) {
   rt_->fabric().Send(id_, client, bytes, std::move(fn));
 }
 
 void RingServer::SendToSlot(uint32_t slot_index, uint64_t bytes,
-                            std::function<void()> fn) {
+                            sim::Task fn) {
   rt_->fabric().Send(id_, config_.node_of_slot[slot_index], bytes,
                      std::move(fn));
 }
 
-void RingServer::SendToNode(net::NodeId node, uint64_t bytes,
-                            std::function<void()> fn) {
+void RingServer::SendToNode(net::NodeId node, uint64_t bytes, sim::Task fn) {
   rt_->fabric().Send(id_, node, bytes, std::move(fn));
 }
 
@@ -328,7 +331,9 @@ void RingServer::HandlePut(PutRequest req) {
     cost += (info->desc.r - 1) * p.post_send_ns;
   }
   const uint64_t op_id = req.op_id;
-  cpu().Execute(cost, [this, req = std::move(req), info]() mutable {
+  const uint32_t home = HomeShardForKey(req.key);
+  const sim::SimTime done = cpu().ExecuteOnShard(
+      home, cost, [this, req = std::move(req), info]() mutable {
     obs::ScopedOp op_scope(hub(), req.op_id);
     if (!IsAlive() || !serving_) {
       return;
@@ -379,7 +384,7 @@ void RingServer::HandlePut(PutRequest req) {
   // breakdown can split coding out of plain CPU time.
   if (coding_cost > 0) {
     hub().tracer().Record("encode", obs::Category::kCoding, id_, op_id,
-                          cpu().busy_until() - coding_cost, cpu().busy_until());
+                          done - coding_cost, done);
   }
 }
 
@@ -589,7 +594,10 @@ void RingServer::HandleReplicaAppend(ReplicaAppend msg) {
   const uint64_t cost = p.replica_base_ns +
                         static_cast<uint64_t>(p.mem_byte_ns * msg.len) +
                         p.post_send_ns;
-  cpu().Execute(cost, [this, msg = std::move(msg)]() mutable {
+  // Home by the shard id the mirror store is keyed under: every append for
+  // a given replica store lands on the same CPU shard.
+  cpu().ExecuteOnShard(cpu().ShardForHash(msg.shard), cost,
+                       [this, msg = std::move(msg)]() mutable {
     obs::ScopedOp op_scope(hub(), msg.op_id);
     if (!IsAlive()) {
       return;
@@ -661,7 +669,13 @@ void RingServer::HandleParityUpdate(ParityUpdate msg) {
   const uint64_t coding_cost = static_cast<uint64_t>(p.gf_byte_ns * msg.len);
   const uint64_t cost = p.parity_base_ns + coding_cost + p.post_send_ns;
   const uint64_t op_id = msg.op_id;
-  cpu().Execute(cost, [this, msg = std::move(msg)]() mutable {
+  // Home by parity group: GF accumulation into one parity strip buffer is
+  // serialized on a single CPU shard (updates for different groups of the
+  // stripe may run on different shards).
+  const uint32_t geom_pre = msg.geom_s == 0 ? config_.s : msg.geom_s;
+  const sim::SimTime done = cpu().ExecuteOnShard(
+      cpu().ShardForHash(msg.shard / geom_pre), cost,
+      [this, msg = std::move(msg)]() mutable {
     obs::ScopedOp op_scope(hub(), msg.op_id);
     if (!IsAlive()) {
       return;
@@ -734,7 +748,7 @@ void RingServer::HandleParityUpdate(ParityUpdate msg) {
   // parity node's CPU charge.
   if (coding_cost > 0) {
     hub().tracer().Record("parity_mad", obs::Category::kCoding, id_, op_id,
-                          cpu().busy_until() - coding_cost, cpu().busy_until());
+                          done - coding_cost, done);
   }
 }
 
@@ -783,8 +797,10 @@ void RingServer::ApplyAck(const Ack& msg) {
              EntryWord(msg.key, msg.version) + msg.ordinal + 1,
              "ack/deposit");
   // The coordinator only touches the payload after polling the completion
-  // word: an acquire edge into this CPU's clock.
-  analysis::ScopedCpuAcquire acquire(rt_->simulator().race(), id_);
+  // word: an acquire edge into this CPU's clock — the shard that homes the
+  // key's writes (it polls its own completion ring).
+  analysis::ScopedCpuAcquire acquire(rt_->simulator().race(), id_,
+                                     cpu().ShardForHash(msg.shard));
   {
     const MemgestInfo* info = rt_->registry().Get(msg.memgest);
     if (info == nullptr) {
@@ -938,31 +954,35 @@ void RingServer::HandleGcNotice(GcNotice msg) {
   if (!IsAlive()) {
     return;
   }
-  analysis::ScopedCpuAcquire acquire(rt_->simulator().race(), id_);
-  {
-    auto it = memgests_.find(msg.memgest);
-    if (it == memgests_.end()) {
-      return;
-    }
-    MemgestState& state = it->second;
-    const uint32_t geom = msg.geom_s == 0 ? config_.s : msg.geom_s;
-    if (auto sit = state.stores.find(GeomKey(geom, msg.shard));
-        sit != state.stores.end()) {
+  auto it = memgests_.find(msg.memgest);
+  if (it == memgests_.end()) {
+    return;
+  }
+  MemgestState& state = it->second;
+  const uint32_t geom = msg.geom_s == 0 ? config_.s : msg.geom_s;
+  // Each erase acquires on the CPU shard that owns the touched table
+  // (mirror stores home by shard id, parity metadata by group), matching
+  // the homing of the writers that populate them.
+  if (auto sit = state.stores.find(GeomKey(geom, msg.shard));
+      sit != state.stores.end()) {
+    analysis::ScopedCpuAcquire acquire(rt_->simulator().race(), id_,
+                                       cpu().ShardForHash(msg.shard));
+    NoteAccess(RegionKind::kMetadata, AccessKind::kWrite,
+               ScopeOf(msg.memgest, msg.shard), HashKey(msg.key),
+               HashKey(msg.key) + 1, "gc_notice/meta");
+    sit->second.meta.Erase(msg.key, msg.version);
+  }
+  const uint32_t group = msg.shard / geom;
+  if (auto git = state.parity.find(GeomKey(geom, group));
+      git != state.parity.end()) {
+    auto pit = git->second.shard_meta.find(msg.shard);
+    if (pit != git->second.shard_meta.end()) {
+      analysis::ScopedCpuAcquire acquire(rt_->simulator().race(), id_,
+                                         cpu().ShardForHash(group));
       NoteAccess(RegionKind::kMetadata, AccessKind::kWrite,
-                 ScopeOf(msg.memgest, msg.shard), HashKey(msg.key),
-                 HashKey(msg.key) + 1, "gc_notice/meta");
-      sit->second.meta.Erase(msg.key, msg.version);
-    }
-    const uint32_t group = msg.shard / geom;
-    if (auto git = state.parity.find(GeomKey(geom, group));
-        git != state.parity.end()) {
-      auto pit = git->second.shard_meta.find(msg.shard);
-      if (pit != git->second.shard_meta.end()) {
-        NoteAccess(RegionKind::kMetadata, AccessKind::kWrite,
-                   ParityMetaScope(msg.memgest, msg.shard), HashKey(msg.key),
-                   HashKey(msg.key) + 1, "gc_notice/parity_meta");
-        pit->second.Erase(msg.key, msg.version);
-      }
+                 ParityMetaScope(msg.memgest, msg.shard), HashKey(msg.key),
+                 HashKey(msg.key) + 1, "gc_notice/parity_meta");
+      pit->second.Erase(msg.key, msg.version);
     }
   }
 }
@@ -975,8 +995,11 @@ void RingServer::HandleGet(GetRequest req) {
     return;
   }
   obs::ScopedOp scope(hub(), req.op_id);
-  cpu().Execute(rt_->simulator().params().server_base_ns,
-                [this, req = std::move(req)]() mutable {
+  // Hoisted: the capture below moves `req`, and argument evaluation order
+  // would otherwise let the move gut req.key before it is hashed.
+  const uint32_t home = HomeShardForKey(req.key);
+  cpu().ExecuteOnShard(home, rt_->simulator().params().server_base_ns,
+                       [this, req = std::move(req)]() mutable {
     obs::ScopedOp op_scope(hub(), req.op_id);
     if (!IsAlive() || !serving_) {
       return;
@@ -1115,8 +1138,10 @@ void RingServer::DeliverGet(const MemgestInfo& info, uint32_t shard,
             static_cast<uint64_t>(p.mem_byte_ns * e->len) + p.post_send_ns;
         const uint64_t addr = e->addr;
         const uint32_t len = e->len;
-        cpu().Execute(cost, [this, info_ptr, shard, geom_s, key, addr, len,
-                             version, req = std::move(req)]() mutable {
+        cpu().ExecuteOnShard(
+            HomeShardForKey(key), cost,
+            [this, info_ptr, shard, geom_s, key, addr, len, version,
+             req = std::move(req)]() mutable {
           obs::ScopedOp read_scope(hub(), req.op_id);
           if (!IsAlive()) {
             return;
@@ -1159,8 +1184,11 @@ void RingServer::HandleMove(MoveRequest req) {
     return;
   }
   obs::ScopedOp scope(hub(), req.op_id);
-  cpu().Execute(rt_->simulator().params().server_base_ns,
-                [this, req = std::move(req)]() mutable {
+  // Hoisted: the capture below moves `req`, and argument evaluation order
+  // would otherwise let the move gut req.key before it is hashed.
+  const uint32_t home = HomeShardForKey(req.key);
+  cpu().ExecuteOnShard(home, rt_->simulator().params().server_base_ns,
+                       [this, req = std::move(req)]() mutable {
     obs::ScopedOp op_scope(hub(), req.op_id);
     if (!IsAlive() || !serving_) {
       return;
@@ -1278,8 +1306,10 @@ void RingServer::HandleMove(MoveRequest req) {
               dst->erasure_coded()
                   ? static_cast<uint64_t>(p.gf_byte_ns * e->len)
                   : 0;
-          cpu().Execute(cost, [this, src, dst, shard, geom, addr, len,
-                               src_version, req = std::move(req)]() mutable {
+          const uint32_t home = HomeShardForKey(req.key);
+          const sim::SimTime move_done = cpu().ExecuteOnShard(
+              home, cost, [this, src, dst, shard, geom, addr, len, src_version,
+                           req = std::move(req)]() mutable {
             obs::ScopedOp write_scope(hub(), req.op_id);
             if (!IsAlive() || !serving_) {
               return;
@@ -1323,9 +1353,8 @@ void RingServer::HandleMove(MoveRequest req) {
           });
           if (coding_cost > 0) {
             hub().tracer().Record("encode", obs::Category::kCoding, id_,
-                                  hub().current_op(),
-                                  cpu().busy_until() - coding_cost,
-                                  cpu().busy_until());
+                                  hub().current_op(), move_done - coding_cost,
+                                  move_done);
           }
         });
   });
@@ -1336,8 +1365,11 @@ void RingServer::HandleDelete(DeleteRequest req) {
     return;
   }
   obs::ScopedOp scope(hub(), req.op_id);
-  cpu().Execute(rt_->simulator().params().server_base_ns,
-                [this, req = std::move(req)]() mutable {
+  // Hoisted: the capture below moves `req`, and argument evaluation order
+  // would otherwise let the move gut req.key before it is hashed.
+  const uint32_t home = HomeShardForKey(req.key);
+  cpu().ExecuteOnShard(home, rt_->simulator().params().server_base_ns,
+                       [this, req = std::move(req)]() mutable {
     obs::ScopedOp op_scope(hub(), req.op_id);
     if (!IsAlive() || !serving_) {
       return;

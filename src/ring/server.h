@@ -18,6 +18,8 @@
 #include <memory>
 #include <optional>
 #include <set>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "src/analysis/race.h"
@@ -544,11 +546,17 @@ class RingServer {
                            std::vector<std::pair<Key, Version>> todo,
                            size_t next, std::function<void()> done);
 
-  void ReplyToClient(net::NodeId client, uint64_t bytes,
-                     std::function<void()> fn);
-  void SendToSlot(uint32_t slot_index, uint64_t bytes,
-                  std::function<void()> fn);
-  void SendToNode(net::NodeId node, uint64_t bytes, std::function<void()> fn);
+  void ReplyToClient(net::NodeId client, uint64_t bytes, sim::Task fn);
+  void SendToSlot(uint32_t slot_index, uint64_t bytes, sim::Task fn);
+  void SendToNode(net::NodeId node, uint64_t bytes, sim::Task fn);
+
+  // CPU-shard homing (cores_per_node > 1). Client operations on a key run
+  // on the shard derived from the key's current-shape shard id, so each
+  // coordinator-owned ShardStore is touched by exactly one CPU shard.
+  // Backup-side work homes on the ids carried by the message instead
+  // (replica appends by shard, parity updates by group) — see the handlers.
+  // With one core everything maps to shard 0.
+  uint32_t HomeShardForKey(const Key& key);
 
   // At-most-once execution of client mutations. ClaimClientOp returns true
   // exactly once per (client, req_id): the caller may execute the operation.
@@ -576,8 +584,22 @@ class RingServer {
   // At-most-once table for client mutations: (client, req_id) -> recorded
   // reply resend closure (null while the op is still executing). Bounded by
   // FIFO eviction; clients never have more than one op in flight, so the
-  // window is generous.
-  std::map<std::pair<net::NodeId, uint64_t>, std::function<void()>>
+  // window is generous. Hashed, not ordered — the table only ever does
+  // keyed find/emplace/erase (never iterates), so the unordered layout is
+  // deterministic and drops the rb-tree overhead the put/get hot path was
+  // paying per request.
+  struct ClientOpHash {
+    size_t operator()(const std::pair<net::NodeId, uint64_t>& id) const {
+      uint64_t x = (static_cast<uint64_t>(id.first) << 48) ^ id.second;
+      x ^= x >> 30;
+      x *= 0xBF58476D1CE4E5B9ull;
+      x ^= x >> 27;
+      x *= 0x94D049BB133111EBull;
+      return static_cast<size_t>(x ^ (x >> 31));
+    }
+  };
+  std::unordered_map<std::pair<net::NodeId, uint64_t>, std::function<void()>,
+                     ClientOpHash>
       client_ops_;
   std::deque<std::pair<net::NodeId, uint64_t>> client_ops_order_;
   static constexpr size_t kClientOpWindow = 8192;

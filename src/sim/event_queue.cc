@@ -1,22 +1,156 @@
 #include "src/sim/event_queue.h"
 
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
 #include <utility>
 
 #include "src/common/logging.h"
 
 namespace ring::sim {
 
-void EventQueue::Schedule(SimTime t, std::function<void()> fn) {
-  heap_.push(Event{t < now_ ? now_ : t, next_seq_++, std::move(fn)});
+namespace {
+
+EventQueue::Mode ModeFromEnv() {
+  const char* v = std::getenv("RING_SIM_CORE");
+  if (v != nullptr && std::strcmp(v, "heap") == 0) {
+    return EventQueue::Mode::kHeap;
+  }
+  return EventQueue::Mode::kCalendar;
+}
+
+}  // namespace
+
+EventQueue::EventQueue() : EventQueue(ModeFromEnv()) {}
+
+EventQueue::EventQueue(Mode mode) : mode_(mode) {
+  if (mode_ == Mode::kCalendar) {
+    buckets_.resize(kNumBuckets);
+    coarse_.resize(kNumCoarse);
+  }
+}
+
+void EventQueue::Schedule(SimTime t, Task fn) {
+  Insert(t < now_ ? now_ : t, std::move(fn));
+  const size_t depth = pending();
+  if (depth > depth_high_water_) {
+    depth_high_water_ = depth;
+  }
+}
+
+void EventQueue::Insert(SimTime t, Task fn) {
+  if (mode_ == Mode::kCalendar) {
+    if (t < window_start_ + kWindowSpan) {
+      // In-window: bucket mini-heap. Callers only schedule at t >= now_ >=
+      // window_start_, so the bucket index is unambiguous.
+      std::vector<Event>& bucket =
+          buckets_[(t >> kBucketShift) & (kNumBuckets - 1)];
+      bucket.push_back(Event{t, next_seq_++, std::move(fn)});
+      std::push_heap(bucket.begin(), bucket.end(), Later{});
+      ++wheel_count_;
+      return;
+    }
+    if (t < window_start_ + kCoarseSpan) {
+      // Within the coarse horizon: O(1) unsorted append; the slot is
+      // re-sorted through fine-bucket heaps when the window reaches it.
+      coarse_[(t >> (kBucketShift + kBucketBits)) & (kNumCoarse - 1)]
+          .push_back(Event{t, next_seq_++, std::move(fn)});
+      ++coarse_count_;
+      return;
+    }
+  }
+  overflow_.push_back(Event{t, next_seq_++, std::move(fn)});
+  std::push_heap(overflow_.begin(), overflow_.end(), Later{});
+}
+
+void EventQueue::AdvanceWindow() {
+  // Earliest pending slot: the first non-empty coarse slot after the
+  // current window, capped by the overflow minimum (overflow may hold
+  // earlier events than coarse only while coarse is empty — but after the
+  // horizon moves, re-homed overflow events land in coarse, so both must
+  // be consulted).
+  constexpr uint32_t kSlotShift = kBucketShift + kBucketBits;
+  uint64_t next_slot;
+  if (coarse_count_ > 0) {
+    uint64_t c = (window_start_ >> kSlotShift) + 1;
+    while (coarse_[c & (kNumCoarse - 1)].empty()) {
+      ++c;
+    }
+    next_slot = c;
+    if (!overflow_.empty()) {
+      const uint64_t o = overflow_.front().time >> kSlotShift;
+      next_slot = o < c ? o : c;
+    }
+  } else {
+    next_slot = overflow_.front().time >> kSlotShift;
+  }
+  window_start_ = next_slot << kSlotShift;
+
+  // Re-home overflow events the new horizon now covers: into this window's
+  // fine buckets, or a coarse slot ahead of it.
+  const SimTime window_end = window_start_ + kWindowSpan;
+  while (!overflow_.empty() && overflow_.front().time <
+                                   window_start_ + kCoarseSpan) {
+    std::pop_heap(overflow_.begin(), overflow_.end(), Later{});
+    Event ev = std::move(overflow_.back());
+    overflow_.pop_back();
+    if (ev.time < window_end) {
+      std::vector<Event>& bucket =
+          buckets_[(ev.time >> kBucketShift) & (kNumBuckets - 1)];
+      bucket.push_back(std::move(ev));
+      std::push_heap(bucket.begin(), bucket.end(), Later{});
+      ++wheel_count_;
+    } else {
+      coarse_[(ev.time >> kSlotShift) & (kNumCoarse - 1)].push_back(
+          std::move(ev));
+      ++coarse_count_;
+    }
+  }
+
+  // Splice the window's own coarse slot into fine buckets.
+  std::vector<Event>& slot = coarse_[next_slot & (kNumCoarse - 1)];
+  for (Event& ev : slot) {
+    std::vector<Event>& bucket =
+        buckets_[(ev.time >> kBucketShift) & (kNumBuckets - 1)];
+    bucket.push_back(std::move(ev));
+    std::push_heap(bucket.begin(), bucket.end(), Later{});
+    ++wheel_count_;
+  }
+  coarse_count_ -= slot.size();
+  slot.clear();
+}
+
+EventQueue::Event EventQueue::PopEarliest() {
+  if (mode_ == Mode::kHeap) {
+    std::pop_heap(overflow_.begin(), overflow_.end(), Later{});
+    Event ev = std::move(overflow_.back());
+    overflow_.pop_back();
+    return ev;
+  }
+  if (wheel_count_ == 0) {
+    AdvanceWindow();
+  }
+  // Every wheel event precedes every overflow event (overflow holds only
+  // times at or beyond the window end), so the first non-empty bucket at or
+  // after now_ holds the global minimum.
+  uint64_t b = now_ > window_start_ ? now_ >> kBucketShift
+                                    : window_start_ >> kBucketShift;
+  while (buckets_[b & (kNumBuckets - 1)].empty()) {
+    ++b;
+  }
+  std::vector<Event>& bucket = buckets_[b & (kNumBuckets - 1)];
+  std::pop_heap(bucket.begin(), bucket.end(), Later{});
+  Event ev = std::move(bucket.back());
+  bucket.pop_back();
+  --wheel_count_;
+  return ev;
 }
 
 bool EventQueue::RunNext() {
-  if (heap_.empty()) {
+  if (empty()) {
     return false;
   }
-  // Move the callback out before popping so it may schedule new events.
-  Event ev = std::move(const_cast<Event&>(heap_.top()));
-  heap_.pop();
+  Event ev = PopEarliest();
   now_ = ev.time;
   ++executed_;
   SetLogSimTime(now_);

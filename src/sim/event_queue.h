@@ -4,13 +4,30 @@
 // nanoseconds instead of an InfiniBand cluster's wall clock. Determinism is
 // load-bearing — ties are broken by insertion sequence, so a given seed
 // always produces the same execution.
+//
+// Two schedulers implement the same (time, seq) total order:
+//   - kCalendar (default): a two-level timing wheel. The fine wheel covers a
+//     ~2 ms near-future window in 256 ns buckets, each bucket a small
+//     (time, seq)-ordered heap; a coarse wheel of 4096 window-sized slots
+//     extends the horizon to ~8.6 s, each slot an unsorted vector that is
+//     spliced into fine buckets when the window reaches it. Steady-state
+//     events (wire deliveries, CPU completions, microsecond timers) hit the
+//     fine wheel in O(1) amortized; parked long timers (retry/heartbeat/
+//     failure windows) cost one coarse append plus one migration instead of
+//     an O(log n) sift on every push/pop. Only events beyond the coarse
+//     horizon fall back to a binary heap.
+//   - kHeap: the original single binary heap, kept as the baseline for the
+//     cross-scheduler equivalence tests and BENCH_sim.json (RING_SIM_CORE=heap).
+// Both run events in exactly the same order, so fixed-seed schedules are
+// byte-identical across schedulers.
 #ifndef RING_SRC_SIM_EVENT_QUEUE_H_
 #define RING_SRC_SIM_EVENT_QUEUE_H_
 
+#include <cstddef>
 #include <cstdint>
-#include <functional>
-#include <queue>
 #include <vector>
+
+#include "src/sim/task.h"
 
 namespace ring::sim {
 
@@ -24,24 +41,55 @@ inline constexpr SimTime kSecond = 1000ULL * 1000 * 1000;
 
 class EventQueue {
  public:
+  enum class Mode : uint8_t { kCalendar, kHeap };
+
+  // Default mode comes from RING_SIM_CORE ("heap" selects the legacy binary
+  // heap; anything else, or unset, selects the calendar queue).
+  EventQueue();
+  explicit EventQueue(Mode mode);
+
   // Enqueues `fn` to run at absolute time `t` (>= now; earlier times are
   // clamped to now).
-  void Schedule(SimTime t, std::function<void()> fn);
+  void Schedule(SimTime t, Task fn);
 
   // Runs the earliest event, advancing the clock. Returns false when empty.
   bool RunNext();
 
   SimTime now() const { return now_; }
-  bool empty() const { return heap_.empty(); }
-  size_t pending() const { return heap_.size(); }
+  bool empty() const {
+    return wheel_count_ == 0 && coarse_count_ == 0 && overflow_.empty();
+  }
+  size_t pending() const {
+    return wheel_count_ + coarse_count_ + overflow_.size();
+  }
   uint64_t executed() const { return executed_; }
+  // Deepest the queue has ever been (events pending at once).
+  size_t depth_high_water() const { return depth_high_water_; }
+  Mode mode() const { return mode_; }
 
  private:
+  // 256 ns buckets x 8192 buckets = a ~2.1 ms near-future window: wide
+  // enough that wire hops (µs) and saturated CPU backlogs stay in the wheel,
+  // narrow enough that retry timeouts (100 µs – 200 ms) and heartbeats
+  // (10 ms) overflow instead of bloating bucket heaps.
+  static constexpr uint32_t kBucketShift = 8;
+  static constexpr uint32_t kBucketBits = 13;
+  static constexpr uint32_t kNumBuckets = 1u << kBucketBits;
+  static constexpr SimTime kWindowSpan = SimTime{1} << (kBucketShift +
+                                                        kBucketBits);
+  // Coarse wheel: 4096 slots of one window span each (~8.6 s horizon). A
+  // slot is only addressable while its absolute index is within 4095 of the
+  // current window's, which Insert's horizon check guarantees.
+  static constexpr uint32_t kCoarseBits = 12;
+  static constexpr uint32_t kNumCoarse = 1u << kCoarseBits;
+  static constexpr SimTime kCoarseSpan = kWindowSpan << kCoarseBits;
+
   struct Event {
     SimTime time;
     uint64_t seq;
-    std::function<void()> fn;
+    Task fn;
   };
+  // Min-heap order on (time, seq) via std::push_heap's max-heap convention.
   struct Later {
     bool operator()(const Event& a, const Event& b) const {
       if (a.time != b.time) {
@@ -51,10 +99,34 @@ class EventQueue {
     }
   };
 
+  void Insert(SimTime t, Task fn);
+  // Repositions the window over the earliest pending slot (coarse or
+  // overflow), re-homes overflow events that the new horizon now covers,
+  // and splices the window's coarse slot into fine buckets. Only legal when
+  // the fine wheel is empty (all wheel events precede all coarse events,
+  // which precede all overflow events, so the wheel must drain first).
+  void AdvanceWindow();
+  Event PopEarliest();
+
+  Mode mode_ = Mode::kCalendar;
   SimTime now_ = 0;
   uint64_t next_seq_ = 0;
   uint64_t executed_ = 0;
-  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  size_t depth_high_water_ = 0;
+
+  // Wheel invariant: every bucketed event has window_start_ <= time <
+  // window_start_ + kWindowSpan, so bucket (time >> kBucketShift) & mask is
+  // unique per event and a forward scan from now_ finds the minimum.
+  std::vector<std::vector<Event>> buckets_;
+  size_t wheel_count_ = 0;
+  SimTime window_start_ = 0;  // always a multiple of kWindowSpan
+
+  // Coarse tier: slot (t / kWindowSpan) & (kNumCoarse - 1), unsorted.
+  std::vector<std::vector<Event>> coarse_;
+  size_t coarse_count_ = 0;
+
+  // Beyond-horizon tier (and the entire queue in kHeap mode): binary heap.
+  std::vector<Event> overflow_;
 };
 
 }  // namespace ring::sim

@@ -35,6 +35,24 @@ struct SimParams {
   uint64_t wire_message_overhead_bytes = 64;
 
   // --- Server CPU (single-threaded event loop) ---
+  // CPU shards per node. 1 (the default) reproduces the paper's
+  // single-threaded servers and keeps every figure byte-identical; larger
+  // values model multi-core servers: request handling is homed onto a
+  // deterministic shard per key/store (RingServer::HomeShard), two-sided
+  // receives land on an RSS-style flow shard, and posting work across
+  // shards is an explicit handoff costing cross_shard_handoff_ns.
+  // Must be fixed before constructing the Fabric.
+  uint32_t cores_per_node = 1;
+  // Cost a shard pays to accept work posted by a different shard of the
+  // same node (wakeup + queue transfer). Never charged with one core.
+  uint64_t cross_shard_handoff_ns = 80;
+  // NIC completion coalescing window: 0 (default) delivers every message in
+  // its own completion event — required for byte-identical schedules —
+  // while a nonzero window rounds each arrival up to the next multiple and
+  // drains all of a node's arrivals in that window with one scheduled event
+  // (doorbell batching), trading per-message timing granularity for event
+  // throughput at fig-scale node counts.
+  uint64_t nic_coalesce_ns = 0;
   // Fixed cost to handle any incoming request (dispatch, parsing).
   uint64_t server_recv_ns = 300;
   // Fixed cost of request bookkeeping (hashtable ops, version logic).

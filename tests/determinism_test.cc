@@ -5,6 +5,7 @@
 // observation: no events, no randomness, no schedule changes).
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <memory>
 #include <string>
 #include <utility>
@@ -12,6 +13,7 @@
 
 #include "src/common/rng.h"
 #include "src/ring/cluster.h"
+#include "src/sim/task.h"
 
 namespace ring {
 namespace {
@@ -25,11 +27,13 @@ struct RunOutput {
 // Mixed put/get traffic over the paper's memgest spread (rep1/rep3/srs32)
 // across object sizes 2^4..2^11, with seeded random pacing — the shape of
 // the fig7 latency workload, shrunk to test size.
-RunOutput RunFig7StyleWorkload(bool analyze_races, bool telemetry = false) {
+RunOutput RunFig7StyleWorkload(bool analyze_races, bool telemetry = false,
+                               uint32_t cores_per_node = 1) {
   RingOptions options;
   options.seed = 42;
   options.clients = 2;
   options.analyze_races = analyze_races;
+  options.params.cores_per_node = cores_per_node;
   RingCluster cluster(options);
   obs::Hub& hub = cluster.simulator().hub();
   hub.EnableMetrics(true);
@@ -116,6 +120,52 @@ TEST(DeterminismTest, TelemetryPipelineDoesNotPerturbTheSchedule) {
   EXPECT_EQ(off.metrics, on.metrics);
   EXPECT_EQ(off.trace, on.trace);
   EXPECT_EQ(off.trace_summary, on.trace_summary);
+}
+
+TEST(DeterminismTest, HeapSchedulerProducesIdenticalBytes) {
+  // The legacy binary-heap scheduler and the default calendar queue must
+  // replay the same seeded workload to the byte (RING_SIM_CORE=heap is the
+  // baseline leg of BENCH_sim.json; equivalence is what makes the bench's
+  // speedup a like-for-like number).
+  const RunOutput calendar = RunFig7StyleWorkload(/*analyze_races=*/false);
+  setenv("RING_SIM_CORE", "heap", 1);
+  const RunOutput heap = RunFig7StyleWorkload(/*analyze_races=*/false);
+  unsetenv("RING_SIM_CORE");
+  EXPECT_EQ(calendar.metrics, heap.metrics);
+  EXPECT_EQ(calendar.trace, heap.trace);
+  EXPECT_EQ(calendar.trace_summary, heap.trace_summary);
+}
+
+TEST(DeterminismTest, BoxedTaskPoolProducesIdenticalBytes) {
+  // Allocator compatibility mode: routing every out-of-line capture through
+  // plain new/delete (the pre-pool behaviour) must not move a single event.
+  const RunOutput pooled = RunFig7StyleWorkload(/*analyze_races=*/false);
+  sim::TaskPool::set_boxed(true);
+  const RunOutput boxed = RunFig7StyleWorkload(/*analyze_races=*/false);
+  sim::TaskPool::set_boxed(false);
+  EXPECT_EQ(pooled.metrics, boxed.metrics);
+  EXPECT_EQ(pooled.trace, boxed.trace);
+  EXPECT_EQ(pooled.trace_summary, boxed.trace_summary);
+}
+
+TEST(DeterminismTest, MultiCoreCpuModelIsDeterministicAndRaceFree) {
+  // cores_per_node=2 routes server work through per-key shard homing. Two
+  // runs must agree byte-for-byte, and a third run under the race detector
+  // must stay quiet (shard homing keeps per-store state single-shard) while
+  // perturbing nothing.
+  const RunOutput first =
+      RunFig7StyleWorkload(/*analyze_races=*/false, /*telemetry=*/false,
+                           /*cores_per_node=*/2);
+  const RunOutput second =
+      RunFig7StyleWorkload(/*analyze_races=*/false, /*telemetry=*/false,
+                           /*cores_per_node=*/2);
+  EXPECT_EQ(first.metrics, second.metrics);
+  EXPECT_EQ(first.trace, second.trace);
+  const RunOutput observed =
+      RunFig7StyleWorkload(/*analyze_races=*/true, /*telemetry=*/false,
+                           /*cores_per_node=*/2);
+  EXPECT_EQ(first.metrics, observed.metrics);
+  EXPECT_EQ(first.trace, observed.trace);
 }
 
 }  // namespace

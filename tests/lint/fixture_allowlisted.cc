@@ -4,6 +4,7 @@
 #include <chrono>
 #include <cstdlib>
 #include <ctime>
+#include <functional>
 #include <random>
 #include <unordered_map>
 
@@ -38,6 +39,11 @@ inline int OkUnorderedIter() {
 
 inline void OkRawSchedule(Sim* sim) {
   sim->Schedule(7);  // ring-lint: ok(raw-schedule)
+}
+
+// ring-lint: ok(boxed-callback)
+inline void OkBoxedCallback(std::function<void()> fn) {
+  fn();
 }
 
 }  // namespace fixture

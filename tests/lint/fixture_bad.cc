@@ -3,6 +3,7 @@
 #include <chrono>
 #include <cstdlib>
 #include <ctime>
+#include <functional>
 #include <random>
 #include <unordered_map>
 
@@ -35,6 +36,10 @@ inline int BadUnorderedIter() {
 
 inline void BadRawSchedule(Sim* sim) {
   sim->Schedule(7);  // raw-schedule
+}
+
+inline void BadBoxedCallback(std::function<void()> fn) {  // boxed-callback
+  fn();
 }
 
 }  // namespace fixture

@@ -109,6 +109,28 @@ TEST(LintRulesTest, RawScheduleFiresOutsideSimOnly) {
   EXPECT_FALSE(HasRule(LintSource(sim_file), "raw-schedule"));
 }
 
+TEST(LintRulesTest, BoxedCallbackFiresInSchedulerDirsOnly) {
+  const std::string code = "void Post(std::function<void()> fn);\n";
+  SourceInput sim_file;
+  sim_file.relpath = "src/sim/x.cc";
+  sim_file.content = code;
+  EXPECT_TRUE(HasRule(LintSource(sim_file), "boxed-callback"));
+  SourceInput net_file;
+  net_file.relpath = "src/net/x.cc";
+  net_file.content = code;
+  EXPECT_TRUE(HasRule(LintSource(net_file), "boxed-callback"));
+  // Protocol layers may still take std::function across public APIs.
+  SourceInput ring_file;
+  ring_file.relpath = "src/ring/x.cc";
+  ring_file.content = code;
+  EXPECT_FALSE(HasRule(LintSource(ring_file), "boxed-callback"));
+  // Mentions in comments don't count.
+  SourceInput comment_only;
+  comment_only.relpath = "src/sim/y.cc";
+  comment_only.content = "// carried a std::function<void()> per event\n";
+  EXPECT_FALSE(HasRule(LintSource(comment_only), "boxed-callback"));
+}
+
 TEST(LintRulesTest, AllowlistSilencesNamedRuleOnly) {
   const auto same_line =
       LintSnippet("int a = rand();  // ring-lint: ok(rand)\n");
@@ -144,7 +166,8 @@ TEST(LintFixtureTest, SeededViolationsAllFire) {
   EXPECT_TRUE(HasRule(f, "rand"));
   EXPECT_TRUE(HasRule(f, "unordered-iter"));
   EXPECT_TRUE(HasRule(f, "raw-schedule"));
-  EXPECT_GE(f.size(), 6u) << FormatFindings(f);
+  EXPECT_TRUE(HasRule(f, "boxed-callback"));
+  EXPECT_GE(f.size(), 7u) << FormatFindings(f);
 }
 
 TEST(LintFixtureTest, AllowlistedFixtureIsClean) {

@@ -1,10 +1,15 @@
 #include <gtest/gtest.h>
 
+#include <array>
+#include <functional>
+#include <memory>
+#include <utility>
 #include <vector>
 
 #include "src/net/fabric.h"
 #include "src/sim/event_queue.h"
 #include "src/sim/simulator.h"
+#include "src/sim/task.h"
 
 namespace ring::sim {
 namespace {
@@ -59,6 +64,153 @@ TEST(EventQueueTest, EventsCanScheduleEvents) {
   }
   EXPECT_EQ(depth, 10);
   EXPECT_EQ(q.now(), 45u);
+}
+
+// The calendar queue and the legacy binary heap must execute any schedule
+// in exactly the same order. This mix spans all three calendar tiers (fine
+// wheel < ~2 ms, coarse wheel < ~8.6 s, overflow beyond) plus same-time
+// ties, and includes events scheduled from within far-future events — the
+// AdvanceWindow re-homing paths.
+TEST(EventQueueTest, SchedulersProduceIdenticalOrder) {
+  auto run = [](EventQueue::Mode mode) {
+    EventQueue q(mode);
+    std::vector<uint64_t> order;
+    uint64_t x = 0x9e3779b97f4a7c15ull;  // xorshift: same stream both runs
+    auto next = [&x] {
+      x ^= x << 13;
+      x ^= x >> 7;
+      x ^= x << 17;
+      return x;
+    };
+    for (uint64_t i = 0; i < 200; ++i) {
+      SimTime t = 0;
+      switch (i % 4) {
+        case 0: t = next() % (2 * kMillisecond); break;
+        case 1: t = next() % (500 * kMillisecond); break;
+        case 2: t = 9 * kSecond + next() % (30 * kSecond); break;
+        default: t = 100 * kMicrosecond; break;  // ties, seq-ordered
+      }
+      q.Schedule(t, [&order, i] { order.push_back(i); });
+    }
+    q.Schedule(15 * kSecond, [&q, &order] {
+      order.push_back(1000);
+      q.Schedule(q.now() + 100, [&order] { order.push_back(1001); });
+      q.Schedule(q.now() + 40 * kSecond, [&order] { order.push_back(1002); });
+    });
+    while (q.RunNext()) {
+    }
+    return order;
+  };
+  const std::vector<uint64_t> calendar = run(EventQueue::Mode::kCalendar);
+  const std::vector<uint64_t> heap = run(EventQueue::Mode::kHeap);
+  EXPECT_EQ(calendar.size(), 203u);
+  EXPECT_EQ(calendar, heap);
+}
+
+TEST(EventQueueTest, CoarseAndOverflowTiersRunInOrder) {
+  EventQueue q(EventQueue::Mode::kCalendar);
+  std::vector<int> order;
+  q.Schedule(20 * kSecond, [&] { order.push_back(4); });   // overflow tier
+  q.Schedule(100 * kMillisecond, [&] { order.push_back(2); });  // coarse
+  q.Schedule(kMicrosecond, [&] { order.push_back(1); });        // fine wheel
+  q.Schedule(5 * kSecond, [&] { order.push_back(3); });         // coarse
+  while (q.RunNext()) {
+  }
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3, 4}));
+  EXPECT_EQ(q.now(), 20 * kSecond);
+  EXPECT_EQ(q.depth_high_water(), 4u);
+}
+
+TEST(EventQueueTest, FarFutureEventCanScheduleNearFuture) {
+  // After the window jumps to an overflow event, newly scheduled
+  // microsecond-scale work must still run before parked coarse timers.
+  EventQueue q(EventQueue::Mode::kCalendar);
+  std::vector<int> order;
+  q.Schedule(10 * kSecond, [&] {
+    order.push_back(1);
+    q.Schedule(q.now() + 500, [&] { order.push_back(2); });
+  });
+  q.Schedule(10 * kSecond + 50 * kMillisecond, [&] { order.push_back(3); });
+  while (q.RunNext()) {
+  }
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(TaskTest, SmallCapturesStayInline) {
+  TaskPool::ResetStats();
+  int x = 0;
+  Task t([&x] { ++x; });
+  t();
+  EXPECT_EQ(x, 1);
+  const TaskPool::Stats s = TaskPool::stats();
+  EXPECT_EQ(s.inline_ctors, 1u);
+  EXPECT_EQ(s.pool_hits + s.pool_misses, 0u);
+  EXPECT_EQ(s.hit_rate_pct(), 100u);
+}
+
+TEST(TaskTest, LargeCapturesUseThePoolAndRecycle) {
+  TaskPool::ResetStats();
+  std::array<unsigned char, 64> payload{};
+  payload[0] = 41;
+  int out = 0;
+  {
+    Task t([payload, &out] { out = payload[0] + 1; });
+    t();
+  }
+  EXPECT_EQ(out, 42);
+  {
+    // The first block was returned to its free list; this one reuses it.
+    Task t([payload, &out] { out = payload[0] + 2; });
+    t();
+  }
+  EXPECT_EQ(out, 43);
+  const TaskPool::Stats s = TaskPool::stats();
+  EXPECT_EQ(s.inline_ctors, 0u);
+  EXPECT_EQ(s.pool_hits + s.pool_misses, 2u);
+  EXPECT_GE(s.pool_hits, 1u);  // the recycled block is always a hit
+}
+
+TEST(TaskTest, MoveTransfersTheCallable) {
+  std::array<unsigned char, 64> payload{};
+  int out = 0;
+  Task a([payload, &out] { ++out; });
+  Task b = std::move(a);
+  EXPECT_FALSE(a);  // NOLINT(bugprone-use-after-move): post-move state is API
+  EXPECT_TRUE(b);
+  b();
+  EXPECT_EQ(out, 1);
+}
+
+TEST(TaskTest, CloneProducesIndependentCopy) {
+  int sum = 0;
+  Task original([v = std::vector<int>{1, 2, 3}, &sum]() mutable {
+    v.push_back(0);
+    sum += static_cast<int>(v.size());
+  });
+  Task copy = original.Clone();
+  ASSERT_TRUE(copy);
+  original();  // v grows to 4 in the original only
+  original();  // ... then 5
+  copy();      // the clone's v still starts at 3
+  EXPECT_EQ(sum, 4 + 5 + 4);
+}
+
+TEST(TaskTest, NonCopyableCallableClonesToEmpty) {
+  auto p = std::make_unique<int>(7);
+  Task t([p = std::move(p)] { (void)*p; });
+  EXPECT_TRUE(t);
+  EXPECT_FALSE(t.Clone());
+}
+
+TEST(TaskTest, NullCallablesBecomeEmptyTasks) {
+  std::function<void()> null_fn;
+  Task from_function(null_fn);
+  EXPECT_FALSE(from_function);
+  void (*null_ptr)() = nullptr;
+  Task from_pointer(null_ptr);
+  EXPECT_FALSE(from_pointer);
+  Task from_nullptr(nullptr);
+  EXPECT_FALSE(from_nullptr);
 }
 
 TEST(SimulatorTest, RunUntilStopsAtTime) {
@@ -118,6 +270,65 @@ TEST(CpuWorkerTest, BacklogReportsQueuedWork) {
   EXPECT_EQ(cpu.backlog_ns(), 1000u);
   simulator.Run();
   EXPECT_EQ(cpu.backlog_ns(), 0u);
+}
+
+TEST(CpuWorkerTest, ResetCancelsScheduledCompletions) {
+  Simulator simulator;
+  CpuWorker cpu(&simulator);
+  int ran = 0;
+  cpu.Execute(100, [&] { ran += 1; });  // would complete at 100
+  simulator.At(50, [&] {
+    // Reset mid-flight: the completion above is already in the event queue
+    // but must no-op (its generation is stale), and its captured state must
+    // not fire. Fresh work after the reset runs normally.
+    cpu.Reset();
+    cpu.Execute(100, [&] { ran += 10; });  // completes at 150
+  });
+  simulator.Run();
+  EXPECT_EQ(ran, 10);
+  EXPECT_EQ(cpu.consumed_ns(), 100u);  // only the post-reset item counts
+}
+
+TEST(CpuWorkerTest, ShardsRunInParallel) {
+  Simulator simulator;
+  CpuWorker cpu(&simulator, /*node=*/0, /*shards=*/2);
+  std::vector<SimTime> done;
+  cpu.ExecuteOnShard(0, 100, [&] { done.push_back(simulator.now()); });
+  cpu.ExecuteOnShard(1, 100, [&] { done.push_back(simulator.now()); });
+  simulator.Run();
+  // Independent cores: both items finish at 100, not serialized to 200.
+  EXPECT_EQ(done, (std::vector<SimTime>{100, 100}));
+  EXPECT_EQ(cpu.consumed_ns(), 200u);
+  EXPECT_EQ(cpu.consumed_ns(0), 100u);
+  EXPECT_EQ(cpu.consumed_ns(1), 100u);
+  EXPECT_EQ(cpu.shard_count(), 2u);
+  EXPECT_EQ(cpu.handoffs(), 0u);
+}
+
+TEST(CpuWorkerTest, CrossShardHandoffIsCountedAndCosted) {
+  Simulator simulator;
+  CpuWorker cpu(&simulator, /*node=*/0, /*shards=*/2);
+  SimTime handed_off_done = 0;
+  cpu.ExecuteOnShard(0, 100, [&] {
+    // Running on shard 0, posting to shard 1: an explicit handoff that
+    // pays the wakeup cost on top of the item itself.
+    cpu.ExecuteOnShard(1, 100, [&] { handed_off_done = simulator.now(); });
+  });
+  simulator.Run();
+  EXPECT_EQ(cpu.handoffs(), 1u);
+  EXPECT_EQ(handed_off_done,
+            200 + simulator.params().cross_shard_handoff_ns);
+}
+
+TEST(CpuWorkerTest, ShardForHashIsStableAndInRange) {
+  Simulator simulator;
+  CpuWorker single(&simulator);
+  CpuWorker multi(&simulator, /*node=*/1, /*shards=*/4);
+  for (uint64_t h : {0ull, 1ull, 12345ull, ~0ull}) {
+    EXPECT_EQ(single.ShardForHash(h), 0u);
+    EXPECT_LT(multi.ShardForHash(h), 4u);
+    EXPECT_EQ(multi.ShardForHash(h), multi.ShardForHash(h));
+  }
 }
 
 }  // namespace

@@ -18,6 +18,10 @@
 #   tools/check.sh --membership  # elastic membership: unit + chaos seeds
 #                             # plain and ASan, rebalance bench, ringctl
 #                             # cluster smoke
+#   tools/check.sh --perf     # simulator fast path: scheduler/pool/shard
+#                             # equivalence tests, sim_core quick bench
+#                             # (calendar+pool vs legacy heap), simstats
+#                             # smoke
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -110,6 +114,23 @@ if [[ "${MODE}" == "--membership" ]]; then
     ./build-sanitize/tests/chaos_fuzz_test \
     --gtest_filter='*MembershipChaos*'
   echo "check.sh: membership suite passed"
+  exit 0
+fi
+
+if [[ "${MODE}" == "--perf" ]]; then
+  echo "== perf: build simulator fast-path targets =="
+  cmake -B build -S . "${LAUNCHER_ARGS[@]}" >/dev/null
+  cmake --build build -j "${JOBS}" \
+    --target sim_test determinism_test sim_core ringctl
+  echo "== perf: scheduler/pool/shard unit tests =="
+  ./build/tests/sim_test
+  echo "== perf: cross-scheduler byte-identity gate =="
+  ./build/tests/determinism_test
+  echo "== perf: sim_core quick bench (calendar+pool vs legacy heap) =="
+  ./build/bench/sim_core --quick | tee /tmp/BENCH_sim.json
+  echo "== perf: ringctl simstats smoke =="
+  ./build/tools/ringctl simstats --reps=200 --cores-per-node=2 >/dev/null
+  echo "check.sh: perf suite passed"
   exit 0
 fi
 

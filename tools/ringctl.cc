@@ -8,6 +8,7 @@
 //   ringctl reliability --k=3 --m=2 --stretch=6
 //   ringctl schemes    --shards=4 --redundant=3
 //   ringctl stats      --scheme=srs32 --reps=500 [--json|--prom]
+//   ringctl simstats   --scheme=rep3 --reps=2000 --cores-per-node=2
 //   ringctl trace      --scheme=srs32 --trace_out=trace.json
 //   ringctl autotier   --scheme=rep3 --cold-scheme=srs32 --keys=240
 //   ringctl calibrate  --json
@@ -33,6 +34,7 @@
 // latency/trace run can emit a Chrome trace_event file via
 // --trace_out=<file> (open it in chrome://tracing or ui.perfetto.dev).
 #include <algorithm>
+#include <chrono>
 #include <cinttypes>
 #include <cstdio>
 #include <memory>
@@ -307,6 +309,94 @@ int RunStats(FlagSet& flags) {
   std::printf("%s, %zu B objects, %d put + %d get + %d move:\n\n%s",
               desc->ToString().c_str(), size, reps, reps, reps / 4 + 1,
               metrics.Summary().c_str());
+  return 0;
+}
+
+// `ringctl simstats`: scheduler-core telemetry for a seeded closed-loop
+// put/get mix — wall-clock event throughput, queue depth high-water, task
+// pool hit rate, and per-shard CPU utilization. `--cores-per-node > 1`
+// routes server work through per-key shard homing, which the utilization
+// table then shows spreading across shards.
+int RunSimstats(FlagSet& flags) {
+  auto desc = SchemeFromName(flags.GetString("scheme"));
+  if (!desc.ok()) {
+    std::fprintf(stderr, "%s\n", desc.status().ToString().c_str());
+    return 1;
+  }
+  RingOptions o;
+  o.s = static_cast<uint32_t>(flags.GetInt("shards"));
+  o.d = static_cast<uint32_t>(flags.GetInt("redundant"));
+  o.groups = static_cast<uint32_t>(flags.GetInt("groups"));
+  o.seed = static_cast<uint64_t>(flags.GetInt("seed"));
+  o.params.cores_per_node =
+      static_cast<uint32_t>(flags.GetInt("cores-per-node"));
+  RingCluster cluster(o);
+  sim::Simulator& simulator = cluster.simulator();
+  simulator.hub().EnableMetrics(true);
+  auto g = cluster.CreateMemgest(*desc);
+  if (!g.ok()) {
+    std::fprintf(stderr, "createMemgest: %s\n", g.status().ToString().c_str());
+    return 1;
+  }
+  workload::ClosedLoopDriver driver(&cluster);
+  const size_t size = static_cast<size_t>(flags.GetInt("size"));
+  const int reps = static_cast<int>(flags.GetInt("reps"));
+  const uint64_t events_before = simulator.events_executed();
+  const sim::SimTime sim_before = simulator.now();
+  sim::TaskPool::ResetStats();
+  const auto wall_start = std::chrono::steady_clock::now();
+  driver.MeasurePutLatency(*g, size, reps);
+  driver.MeasureGetLatency(*g, size, reps);
+  const double wall_s = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - wall_start)
+                            .count();
+  const uint64_t events = simulator.events_executed() - events_before;
+  const uint64_t sim_ns = simulator.now() - sim_before;
+  const sim::TaskPool::Stats pool = sim::TaskPool::stats();
+  const sim::EventQueue& queue = simulator.queue();
+
+  std::printf("simstats: %s, %zu B objects, %d puts + %d gets, seed %llu, "
+              "%u core(s)/node\n",
+              desc->ToString().c_str(), size, reps, reps,
+              static_cast<unsigned long long>(o.seed),
+              o.params.cores_per_node);
+  std::printf("  scheduler core      %s\n",
+              queue.mode() == sim::EventQueue::Mode::kCalendar
+                  ? "calendar (default; RING_SIM_CORE=heap for the "
+                    "legacy binary heap)"
+                  : "heap (legacy; unset RING_SIM_CORE for the "
+                    "calendar queue)");
+  std::printf("  events executed     %" PRIu64 " over %.3f simulated ms\n",
+              events, sim_ns / 1e6);
+  std::printf("  events/sec (wall)   %.0f  (%.3f s wall)\n",
+              wall_s > 0 ? static_cast<double>(events) / wall_s : 0.0,
+              wall_s);
+  std::printf("  queue depth peak    %zu\n", queue.depth_high_water());
+  std::printf("  task pool           %" PRIu64 " inline + %" PRIu64
+              " pooled + %" PRIu64 " fresh  (hit rate %" PRIu64 "%%)\n",
+              pool.inline_ctors, pool.pool_hits, pool.pool_misses,
+              pool.hit_rate_pct());
+  const uint32_t cores =
+      o.params.cores_per_node == 0 ? 1 : o.params.cores_per_node;
+  const obs::Metrics& metrics = simulator.hub().metrics();
+  std::printf("  cpu utilization (busy / simulated elapsed):\n");
+  for (uint32_t node = 0; node < cluster.runtime().num_server_nodes();
+       ++node) {
+    std::printf("    node %-3u", node);
+    for (uint32_t shard = 0; shard < cores; ++shard) {
+      // cpu.shard_busy_ns is keyed by node * cores + shard and only emitted
+      // with real sharding; the single-core view is cpu.busy_ns per node.
+      const uint64_t busy =
+          cores == 1
+              ? metrics.CounterValue("cpu.busy_ns", node)
+              : metrics.CounterValue("cpu.shard_busy_ns",
+                                     node * cores + shard);
+      std::printf("  shard%u %5.1f%%", shard,
+                  sim_ns == 0 ? 0.0 : 100.0 * static_cast<double>(busy) /
+                                          static_cast<double>(sim_ns));
+    }
+    std::printf("\n");
+  }
   return 0;
 }
 
@@ -1026,8 +1116,8 @@ int RunSchemes(FlagSet& flags) {
 int Main(int argc, char** argv) {
   FlagSet flags(
       "ringctl "
-      "<latency|throughput|recover|reliability|schemes|stats|trace|autotier|"
-      "chaos|watch|report|cluster <status|add|remove>>");
+      "<latency|throughput|recover|reliability|schemes|stats|simstats|trace|"
+      "autotier|chaos|watch|report|cluster <status|add|remove>>");
   flags.DefineString("scheme", "rep3", "storage scheme: repN or srsKM")
       .DefineString("cold-scheme", "srs32",
                     "cold-tier scheme for autotier: repN or srsKM")
@@ -1052,6 +1142,9 @@ int Main(int argc, char** argv) {
       .DefineInt("spares", 2, "idle spare nodes provisioned (cluster, chaos)")
       .DefineInt("count", 1, "transitions to perform (cluster add/remove)")
       .DefineInt("seed", 7, "deterministic simulation seed")
+      .DefineInt("cores-per-node", 1,
+                 "CPU shards per server node (simstats; >1 shows the "
+                 "per-key shard-homing spread)")
       .DefineInt("k", 3, "SRS data blocks (reliability)")
       .DefineInt("m", 2, "SRS parity blocks (reliability)")
       .DefineInt("stretch", 0, "SRS stretch s (0 = k, i.e. plain RS)")
@@ -1155,6 +1248,9 @@ int Main(int argc, char** argv) {
   }
   if (command == "stats") {
     return RunStats(flags);
+  }
+  if (command == "simstats") {
+    return RunSimstats(flags);
   }
   if (command == "trace") {
     return RunTrace(flags);
