@@ -199,6 +199,372 @@ void LintUnorderedIter(const SourceInput& in,
   }
 }
 
+// ---- statement-scoped rules (use-after-move, unchecked-status) -------------
+//
+// Both rules reason about one *statement* at a time, so they join physical
+// lines until a balanced-paren terminator. Brace-enclosed regions inside a
+// statement (lambda bodies, init-lists) are blanked before analysis: a lambda
+// body is sequenced after the enclosing call, so reads inside it are not
+// racing the capture's move. Statements *inside* a multi-line function body
+// still arrive individually because block openers flush the accumulator.
+
+struct LintLine {
+  std::string code;  // CodeOnly'd
+  size_t line;       // source line index
+};
+
+struct Statement {
+  std::string text;  // code lines joined with '\n'
+  // (offset-in-text, source-line-index) per joined line, offsets ascending.
+  std::vector<std::pair<size_t, size_t>> offsets;
+};
+
+size_t LineAt(const Statement& stmt, size_t offset) {
+  size_t line = stmt.offsets.empty() ? 0 : stmt.offsets.front().second;
+  for (const auto& [off, idx] : stmt.offsets) {
+    if (off > offset) {
+      break;
+    }
+    line = idx;
+  }
+  return line;
+}
+
+std::string Trim(const std::string& s) {
+  const size_t b = s.find_first_not_of(" \t\r");
+  if (b == std::string::npos) {
+    return "";
+  }
+  const size_t e = s.find_last_not_of(" \t\r");
+  return s.substr(b, e - b + 1);
+}
+
+std::vector<LintLine> CodeLines(const std::vector<std::string>& lines) {
+  std::vector<LintLine> out;
+  out.reserve(lines.size());
+  for (size_t i = 0; i < lines.size(); ++i) {
+    out.push_back({CodeOnly(lines[i]), i});
+  }
+  return out;
+}
+
+std::vector<Statement> JoinStatements(const std::vector<LintLine>& lines) {
+  std::vector<Statement> stmts;
+  Statement cur;
+  int paren = 0;
+  auto flush = [&stmts, &cur, &paren]() {
+    if (!cur.text.empty()) {
+      stmts.push_back(std::move(cur));
+    }
+    cur = Statement{};
+    paren = 0;
+  };
+  for (const LintLine& ll : lines) {
+    const std::string trimmed = Trim(ll.code);
+    if (trimmed.empty()) {
+      continue;
+    }
+    if (trimmed[0] == '#') {
+      continue;  // preprocessor lines never join a statement
+    }
+    cur.offsets.emplace_back(cur.text.size(), ll.line);
+    cur.text += ll.code;
+    cur.text += '\n';
+    for (const char c : ll.code) {
+      paren += c == '(' ? 1 : c == ')' ? -1 : 0;
+    }
+    const char last = trimmed.back();
+    if (paren <= 0 &&
+        (last == ';' || last == '{' || last == '}' || last == ':')) {
+      flush();
+    }
+  }
+  flush();
+  return stmts;
+}
+
+// Top-level brace regions inside one statement — lambda bodies and inline
+// member bodies — returned as line-sets so their interior statements can be
+// analyzed in their own right (they are sequenced code, just nested).
+std::vector<std::vector<LintLine>> BraceRegions(const Statement& stmt) {
+  std::vector<std::vector<LintLine>> regions;
+  std::vector<LintLine> region;
+  std::string partial;
+  int depth = 0;
+  size_t frag = 0;  // index into stmt.offsets
+  for (size_t j = 0; j < stmt.text.size(); ++j) {
+    const char c = stmt.text[j];
+    while (frag + 1 < stmt.offsets.size() &&
+           j >= stmt.offsets[frag + 1].first) {
+      ++frag;
+    }
+    if (c == '\n') {
+      if (depth > 0 && !Trim(partial).empty()) {
+        region.push_back({partial, stmt.offsets[frag].second});
+      }
+      partial.clear();
+      continue;
+    }
+    if (c == '{') {
+      if (depth == 0) {
+        region.clear();
+        partial.clear();
+      } else {
+        partial += c;
+      }
+      ++depth;
+      continue;
+    }
+    if (c == '}') {
+      if (depth > 1) {
+        partial += c;
+        --depth;
+      } else if (depth == 1) {
+        if (!Trim(partial).empty()) {
+          region.push_back({partial, stmt.offsets[frag].second});
+        }
+        partial.clear();
+        regions.push_back(std::move(region));
+        region.clear();
+        depth = 0;
+      }
+      continue;
+    }
+    if (depth > 0) {
+      partial += c;
+    }
+  }
+  return regions;
+}
+
+// Every statement in the line-set, recursing into nested brace regions.
+std::vector<Statement> AllStatements(const std::vector<LintLine>& lines) {
+  std::vector<Statement> out;
+  for (Statement& stmt : JoinStatements(lines)) {
+    for (const std::vector<LintLine>& region : BraceRegions(stmt)) {
+      std::vector<Statement> sub = AllStatements(region);
+      out.insert(out.end(), std::make_move_iterator(sub.begin()),
+                 std::make_move_iterator(sub.end()));
+    }
+    out.push_back(std::move(stmt));
+  }
+  return out;
+}
+
+// Blanks every brace-enclosed region (preserving length and newlines) so
+// offsets computed on the result still map back to source lines.
+std::string StripBraceRegions(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  int depth = 0;
+  for (const char c : text) {
+    if (c == '{') {
+      ++depth;
+      out += ' ';
+    } else if (c == '}') {
+      depth -= depth > 0 ? 1 : 0;
+      out += ' ';
+    } else if (depth == 0 || c == '\n') {
+      out += c;
+    } else {
+      out += ' ';
+    }
+  }
+  return out;
+}
+
+void LintUseAfterMove(const SourceInput& in,
+                      const std::vector<std::string>& lines,
+                      std::vector<LintFinding>* findings) {
+  static const std::regex kMove(R"(\bstd\s*::\s*move\s*\()");
+  // The whole move argument must be a plain object path (`x`, `*x`,
+  // `x.y->z`); complex arguments are skipped rather than guessed at.
+  static const std::regex kPath(
+      R"(^\s*\*?\s*([A-Za-z_]\w*(?:\s*(?:\.|->)\s*[A-Za-z_]\w*)*)\s*$)");
+  static const std::regex kBindsFromMove(R"(^\s*=\s*std\s*::\s*move\b)");
+  for (const Statement& stmt : AllStatements(CodeLines(lines))) {
+    const std::string text = StripBraceRegions(stmt.text);
+    struct MoveSite {
+      size_t begin, end;  // span of the whole std::move(...) expression
+      std::string path;
+    };
+    std::vector<MoveSite> moves;
+    for (std::sregex_iterator it(text.begin(), text.end(), kMove), end;
+         it != end; ++it) {
+      const size_t open = it->position() + it->length() - 1;
+      int depth = 0;
+      size_t close = std::string::npos;
+      for (size_t j = open; j < text.size(); ++j) {
+        depth += text[j] == '(' ? 1 : text[j] == ')' ? -1 : 0;
+        if (text[j] == ')' && depth == 0) {
+          close = j;
+          break;
+        }
+      }
+      if (close == std::string::npos) {
+        continue;
+      }
+      const std::string arg = text.substr(open + 1, close - open - 1);
+      std::smatch m;
+      if (std::regex_match(arg, m, kPath)) {
+        moves.push_back(
+            {static_cast<size_t>(it->position()), close + 1, m[1].str()});
+      }
+    }
+    if (moves.empty()) {
+      continue;
+    }
+    // Innermost-enclosing paren group per offset: only *sibling* reads in the
+    // same argument list race the move. C++17 sequences the object/callee
+    // expression (`queue_[ev.slot].push_back(std::move(ev))`) and a
+    // constructor's earlier member-inits before the arguments, so reads
+    // outside the move's own group are ordered and must not fire.
+    std::vector<std::pair<size_t, size_t>> groups;  // (open, close) spans
+    {
+      std::vector<size_t> stack;
+      for (size_t j = 0; j < text.size(); ++j) {
+        if (text[j] == '(') {
+          stack.push_back(j);
+        } else if (text[j] == ')' && !stack.empty()) {
+          groups.emplace_back(stack.back(), j);
+          stack.pop_back();
+        }
+      }
+    }
+    auto enclosing = [&groups, &text](size_t offset) {
+      std::pair<size_t, size_t> best{0, text.size()};
+      for (const auto& [open, close] : groups) {
+        if (open < offset && offset <= close &&
+            close - open < best.second - best.first) {
+          best = {open + 1, close};
+        }
+      }
+      return best;
+    };
+    std::set<std::string> flagged;
+    for (const MoveSite& mv : moves) {
+      if (!flagged.insert(mv.path).second) {
+        continue;
+      }
+      const auto [scope_begin, scope_end] = enclosing(mv.begin);
+      bool used_elsewhere = false;
+      for (size_t p = text.find(mv.path, scope_begin);
+           p != std::string::npos && p < scope_end;
+           p = text.find(mv.path, p + 1)) {
+        if (p >= mv.begin && p < mv.end) {
+          continue;  // the move's own argument
+        }
+        const char before = p == 0 ? '\0' : text[p - 1];
+        if (std::isalnum(static_cast<unsigned char>(before)) ||
+            before == '_' || before == '.' || before == '>' || before == ':') {
+          continue;  // member of something else, or a qualified name
+        }
+        const size_t after = p + mv.path.size();
+        if (after < text.size() &&
+            (std::isalnum(static_cast<unsigned char>(text[after])) ||
+             text[after] == '_')) {
+          continue;  // longer identifier
+        }
+        // `x = std::move(x)` (capture-init / self-assign): the left side is
+        // a fresh binding, not a read of the moved object.
+        std::smatch bind;
+        if (std::regex_search(text.cbegin() + static_cast<long>(after),
+                              text.cend(), bind, kBindsFromMove,
+                              std::regex_constants::match_continuous)) {
+          continue;
+        }
+        used_elsewhere = true;
+        break;
+      }
+      if (!used_elsewhere) {
+        continue;
+      }
+      const size_t line = LineAt(stmt, mv.begin);
+      if (Allowlisted(lines, line, "use-after-move")) {
+        continue;
+      }
+      findings->push_back(
+          {in.relpath, static_cast<int>(line + 1), "use-after-move",
+           "'" + mv.path + "' is read elsewhere in the statement that moves "
+           "it; sibling arguments evaluate in unspecified order — hoist the "
+           "read before the move"});
+    }
+  }
+}
+
+// Function names declared (in this file or its paired header) as returning
+// Status or Result<...>; calls to anything else are invisible to the rule.
+std::set<std::string> StatusReturningNames(const std::string& content) {
+  static const std::regex kDecl(
+      R"(\b(?:Status|Result\s*<[^<>]*(?:<[^<>]*>[^<>]*)*>)\s+)"
+      R"((?:[A-Za-z_]\w*\s*::\s*)?([A-Za-z_]\w*)\s*\()");
+  std::set<std::string> names;
+  for (const std::string& raw : SplitLines(content)) {
+    const std::string line = CodeOnly(raw);
+    for (std::sregex_iterator it(line.begin(), line.end(), kDecl), end;
+         it != end; ++it) {
+      names.insert((*it)[1].str());
+    }
+  }
+  return names;
+}
+
+void LintUncheckedStatus(const SourceInput& in,
+                         const std::vector<std::string>& lines,
+                         std::vector<LintFinding>* findings) {
+  std::set<std::string> names = StatusReturningNames(in.content);
+  if (!in.paired_header.empty()) {
+    std::set<std::string> from_header = StatusReturningNames(in.paired_header);
+    names.insert(from_header.begin(), from_header.end());
+  }
+  if (names.empty()) {
+    return;
+  }
+  // A statement that *begins* with a call to a Status-returning function
+  // discards the result unless the call's value feeds something after the
+  // closing paren. `(void)Foo(...)` fails the leading-identifier match, so an
+  // explicit discard is always accepted.
+  static const std::regex kLeadingCall(
+      R"(^\s*((?:[A-Za-z_]\w*\s*(?:\.|->|::)\s*)*)([A-Za-z_]\w*)\s*\()");
+  for (const Statement& stmt : AllStatements(CodeLines(lines))) {
+    const std::string text = StripBraceRegions(stmt.text);
+    std::smatch m;
+    if (!std::regex_search(text, m, kLeadingCall,
+                           std::regex_constants::match_continuous)) {
+      continue;
+    }
+    if (names.find(m[2].str()) == names.end()) {
+      continue;
+    }
+    const size_t open = m.position() + m.length() - 1;
+    int depth = 0;
+    size_t close = std::string::npos;
+    for (size_t j = open; j < text.size(); ++j) {
+      depth += text[j] == '(' ? 1 : text[j] == ')' ? -1 : 0;
+      if (text[j] == ')' && depth == 0) {
+        close = j;
+        break;
+      }
+    }
+    if (close == std::string::npos) {
+      continue;
+    }
+    const size_t next = text.find_first_not_of(" \t\n", close + 1);
+    if (next == std::string::npos || text[next] != ';') {
+      continue;  // chained / consumed (e.g. `Foo(x).ok()`)
+    }
+    const size_t line = LineAt(stmt, static_cast<size_t>(m.position(2)));
+    if (Allowlisted(lines, line, "unchecked-status")) {
+      continue;
+    }
+    findings->push_back(
+        {in.relpath, static_cast<int>(line + 1), "unchecked-status",
+         "result of Status/Result-returning '" + m[2].str() +
+             "' is silently discarded; handle it or cast to (void) after "
+             "review"});
+  }
+}
+
 // ---- build-graph rule ------------------------------------------------------
 
 struct CmakeCommand {
@@ -402,6 +768,8 @@ std::vector<LintFinding> LintSource(const SourceInput& in,
     }
   }
   LintUnorderedIter(in, lines, &findings);
+  LintUseAfterMove(in, lines, &findings);
+  LintUncheckedStatus(in, lines, &findings);
   std::sort(findings.begin(), findings.end());
   return findings;
 }

@@ -23,6 +23,16 @@
 //                   path carries callables as pooled sim::Task values; a
 //                   std::function there boxes every out-of-line capture on
 //                   the general heap and silently bypasses the pool.
+//   use-after-move  `std::move(x)` where `x` is also read elsewhere in the
+//                   same statement — sibling call arguments evaluate in
+//                   unspecified order, so `Send(ReqBytes(req.key.size()),
+//                   [req = std::move(req)]...)` may gut the key before its
+//                   size is read. Brace-enclosed lambda bodies are sequenced
+//                   after the call and don't count as concurrent reads.
+//   unchecked-status a statement consisting solely of a call to a function
+//                   this file (or its paired header) declares as returning
+//                   Status/Result<...> — the result must be handled or
+//                   explicitly discarded with a `(void)` cast.
 //   orphan-cc       a .cc under src/ whose target is not reachable from any
 //                   test executable's link graph — untested code.
 //

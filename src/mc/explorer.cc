@@ -1,0 +1,383 @@
+#include "src/mc/explorer.h"
+
+#include <algorithm>
+#include <string>
+#include <utility>
+
+namespace ring::mc {
+
+namespace {
+
+constexpr size_t kNone = static_cast<size_t>(-1);
+
+std::string PlanKey(const std::vector<McDecision>& plan) {
+  std::string key;
+  for (const McDecision& d : plan) {
+    key += std::to_string(static_cast<int>(d.kind)) + ":" +
+           std::to_string(d.step) + ":" + std::to_string(d.tag) + ":" +
+           std::to_string(d.node) + ";";
+  }
+  return key;
+}
+
+}  // namespace
+
+Explorer::Explorer(McConfig config, ExplorerOptions options)
+    : config_(std::move(config)), options_(options) {
+  if (!options_.dpor) {
+    options_.sleep_sets = false;  // sleep sets presume DPOR's backtrack sets
+  }
+}
+
+TraceResult Explorer::RunPlan(const std::vector<McDecision>& plan,
+                              const std::map<uint64_t, uint32_t>& sleep,
+                              uint32_t fingerprint_at_step) {
+  TraceRunner::Options opts;
+  opts.plan = plan;
+  opts.sleep = sleep;
+  opts.record = true;
+  opts.fingerprint_at_step = fingerprint_at_step;
+  TraceResult res = TraceRunner(config_, opts).Run();
+  ++result_.traces;
+  for (const auto& [tag, meta] : res.tags) {
+    tag_dst_.emplace(tag, meta.dst);
+  }
+  return res;
+}
+
+bool Explorer::Observe(const TraceResult& res) {
+  if (res.diverged) {
+    ++result_.diverged_runs;
+  }
+  if (res.completed) {
+    result_.fingerprints.insert(res.final_digest);
+  }
+  if (!res.violation.empty() && res.violation != "config-error" &&
+      !result_.found) {
+    result_.found = true;
+    result_.violation = res.violation;
+    result_.violation_detail = res.violation_detail;
+    std::vector<McDecision> dense;
+    dense.reserve(res.trail.size());
+    for (const McStepRecord& r : res.trail) {
+      dense.push_back(r.decision);
+    }
+    result_.counterexample = MinimizeSpec(config_, dense, res.violation);
+    if (options_.stop_on_violation) {
+      return true;
+    }
+  }
+  return !BudgetLeft();
+}
+
+void Explorer::SyncStack(std::vector<Node>* stack, const TraceResult& res,
+                         size_t keep, const std::vector<McDecision>& skeleton) {
+  std::set<uint32_t> fixed_steps;
+  for (const McDecision& d : skeleton) {
+    fixed_steps.insert(d.step);
+  }
+  if (stack->size() > keep + 1) {
+    stack->resize(keep + 1);  // discard the abandoned subtree
+  }
+  const size_t limit = res.trail.size();
+  if (stack->size() > limit) {
+    stack->resize(limit);
+  }
+  for (size_t i = keep; i < limit; ++i) {
+    const McStepRecord& r = res.trail[i];
+    if (i < stack->size()) {
+      // The branch point itself: refresh what this run observed, keep the
+      // accumulated backtrack/done sets and the entry sleep set.
+      Node& n = (*stack)[i];
+      n.candidates = r.candidates;
+      n.decision = r.decision;
+      n.dst = r.dst;
+      n.msg_clock = r.msg_clock;
+      n.delivered = r.delivered;
+    } else {
+      Node n;
+      n.candidates = r.candidates;
+      n.decision = r.decision;
+      n.dst = r.dst;
+      n.msg_clock = r.msg_clock;
+      n.delivered = r.delivered;
+      for (uint64_t t : r.sleep) {
+        const auto it = tag_dst_.find(t);
+        n.sleep.emplace(t, it == tag_dst_.end() ? 0 : it->second);
+      }
+      stack->push_back(std::move(n));
+    }
+    Node& n = (*stack)[i];
+    n.fixed = fixed_steps.count(r.decision.step) != 0;
+    if (n.decision.kind == McDecision::Kind::kDeliver) {
+      n.done.insert(n.decision.tag);
+    }
+  }
+}
+
+void Explorer::UpdateBacktracks(std::vector<Node>* stack, size_t from) {
+  std::vector<Node>& s = *stack;
+  if (!options_.dpor) {
+    // Naive ground truth: branch into every candidate everywhere.
+    for (size_t i = 0; i < s.size(); ++i) {
+      if (s[i].fixed || s[i].decision.kind != McDecision::Kind::kDeliver) {
+        continue;
+      }
+      s[i].backtrack.insert(s[i].candidates.begin(), s[i].candidates.end());
+    }
+    return;
+  }
+  const size_t first_j = from > 1 ? from : 1;
+  for (size_t j = first_j; j < s.size(); ++j) {
+    if (s[j].decision.kind != McDecision::Kind::kDeliver) {
+      continue;
+    }
+    const uint64_t tag_j = s[j].decision.tag;
+    // Latest i racing with j: same destination, causally concurrent (j's
+    // message was not sent because of i's delivery), and j's delivery was
+    // already a schedulable alternative at i.
+    for (size_t i = j; i-- > 0;) {
+      if (s[i].fixed || s[i].decision.kind != McDecision::Kind::kDeliver) {
+        continue;
+      }
+      if (s[i].dst != s[j].dst) {
+        continue;
+      }
+      if (analysis::VectorClock::Leq(s[i].delivered, s[j].msg_clock)) {
+        continue;  // i's delivery happens-before j's send: ordered, no race
+      }
+      if (tag_j == s[i].decision.tag) {
+        continue;
+      }
+      if (std::find(s[i].candidates.begin(), s[i].candidates.end(), tag_j) ==
+          s[i].candidates.end()) {
+        continue;  // j's delivery was outside the window at i
+      }
+      s[i].backtrack.insert(tag_j);
+      break;
+    }
+  }
+}
+
+bool Explorer::ExploreSkeleton(const std::vector<McDecision>& skeleton) {
+  uint32_t drops = 0;
+  uint32_t crashes = 0;
+  for (const McDecision& d : skeleton) {
+    drops += d.kind == McDecision::Kind::kDrop ? 1 : 0;
+    crashes += d.kind == McDecision::Kind::kCrash ? 1 : 0;
+  }
+  const bool fingerprint = options_.state_dedup && !skeleton.empty();
+  TraceResult first =
+      RunPlan(skeleton, {},
+              fingerprint ? skeleton.back().step + 1 : 0xFFFFFFFFu);
+  if (Observe(first)) {
+    return true;
+  }
+  if (fingerprint) {
+    const std::string key = std::to_string(drops) + ":" +
+                            std::to_string(crashes) + ":" +
+                            std::to_string(first.state_fingerprint);
+    if (!seen_states_.insert(key).second) {
+      ++result_.dedup_hits;  // an equivalent fault prefix was explored
+      return false;
+    }
+  }
+  ++result_.skeletons;
+  ProposeMutations(first, skeleton);
+  if (first.diverged || first.trail.empty()) {
+    return false;  // stale skeleton tags; the trail is not analyzable
+  }
+
+  std::vector<Node> stack;
+  SyncStack(&stack, first, 0, skeleton);
+  UpdateBacktracks(&stack, 0);
+  while (BudgetLeft()) {
+    // Deepest step with an unexplored backtrack alternative.
+    size_t k = kNone;
+    uint64_t b = 0;
+    for (size_t i = stack.size(); i-- > 0;) {
+      const Node& n = stack[i];
+      if (n.fixed || n.decision.kind != McDecision::Kind::kDeliver) {
+        continue;
+      }
+      for (uint64_t t : n.backtrack) {
+        if (n.done.count(t) != 0) {
+          continue;
+        }
+        if (options_.sleep_sets && n.sleep.count(t) != 0) {
+          continue;
+        }
+        k = i;
+        b = t;
+        break;
+      }
+      if (k != kNone) {
+        break;
+      }
+    }
+    if (k == kNone) {
+      return false;  // subtree exhausted
+    }
+    stack[k].done.insert(b);
+    // The branch starts with explored siblings asleep: their subtrees only
+    // reopen if a dependent delivery wakes them.
+    std::map<uint64_t, uint32_t> sl;
+    if (options_.sleep_sets) {
+      sl = stack[k].sleep;
+      for (uint64_t t : stack[k].done) {
+        if (t != b) {
+          const auto it = tag_dst_.find(t);
+          sl.emplace(t, it == tag_dst_.end() ? 0 : it->second);
+        }
+      }
+    }
+    std::vector<McDecision> plan;
+    plan.reserve(k + 1 + skeleton.size());
+    for (size_t i = 0; i < k; ++i) {
+      plan.push_back(stack[i].decision);
+    }
+    McDecision dd;
+    dd.kind = McDecision::Kind::kDeliver;
+    dd.step = static_cast<uint32_t>(k);
+    dd.tag = b;
+    plan.push_back(dd);
+    for (const McDecision& d : skeleton) {
+      if (d.step > k) {
+        plan.push_back(d);
+      }
+    }
+    TraceResult res = RunPlan(plan, sl, 0xFFFFFFFFu);
+    if (Observe(res)) {
+      return true;
+    }
+    if (res.diverged || res.trail.size() <= k) {
+      continue;  // prefix did not reproduce; nothing to analyze
+    }
+    SyncStack(&stack, res, k, skeleton);
+    UpdateBacktracks(&stack, k);
+  }
+  return false;
+}
+
+void Explorer::ProposeMutations(const TraceResult& res,
+                                const std::vector<McDecision>& skeleton) {
+  uint32_t drops = 0;
+  uint32_t crashes = 0;
+  for (const McDecision& d : skeleton) {
+    drops += d.kind == McDecision::Kind::kDrop ? 1 : 0;
+    crashes += d.kind == McDecision::Kind::kCrash ? 1 : 0;
+  }
+  const uint32_t servers = config_.num_server_nodes();
+  std::vector<McDecision> prefix;
+  for (size_t s = 0; s < res.trail.size(); ++s) {
+    const McStepRecord& r = res.trail[s];
+    if (drops < config_.max_drops) {
+      for (uint64_t c : r.candidates) {
+        const auto it = res.tags.find(c);
+        if (it == res.tags.end() || it->second.issuer >= servers ||
+            it->second.dst >= servers) {
+          continue;  // only server<->server traffic is droppable
+        }
+        std::vector<McDecision> next = prefix;
+        McDecision d;
+        d.kind = McDecision::Kind::kDrop;
+        d.step = static_cast<uint32_t>(s);
+        d.tag = c;
+        next.push_back(d);
+        Enqueue(std::move(next));
+      }
+    }
+    if (crashes < config_.max_crashes) {
+      for (uint32_t node : config_.crash_nodes) {
+        std::vector<McDecision> next = prefix;
+        McDecision d;
+        d.kind = McDecision::Kind::kCrash;
+        d.step = static_cast<uint32_t>(s);
+        d.node = node;
+        next.push_back(d);
+        Enqueue(std::move(next));
+      }
+    }
+    prefix.push_back(r.decision);
+  }
+}
+
+void Explorer::Enqueue(std::vector<McDecision> skeleton) {
+  if (seen_skeletons_.insert(PlanKey(skeleton)).second) {
+    queue_.push_back(std::move(skeleton));
+  }
+}
+
+ExploreResult Explorer::Explore() {
+  Enqueue({});
+  while (!queue_.empty() && BudgetLeft()) {
+    std::vector<McDecision> skel = std::move(queue_.front());
+    queue_.pop_front();
+    if (ExploreSkeleton(skel)) {
+      break;
+    }
+  }
+  return std::move(result_);
+}
+
+ScheduleSpec MinimizeSpec(const McConfig& config,
+                          const std::vector<McDecision>& dense,
+                          const std::string& violation) {
+  const auto run = [&config](const std::vector<McDecision>& decisions) {
+    TraceRunner::Options opts;
+    opts.plan = decisions;
+    opts.record = true;
+    return TraceRunner(config, opts).Run();
+  };
+
+  // Seed the shrink with the deviations only: a forced decision that merely
+  // repeats the default schedule is dead weight.
+  TraceResult ref = run(dense);
+  std::vector<McDecision> devs;
+  if (ref.violation == violation) {
+    for (const McDecision& d : dense) {
+      if (d.kind == McDecision::Kind::kDeliver && d.step < ref.trail.size()) {
+        const McStepRecord& r = ref.trail[d.step];
+        if (!r.candidates.empty() && r.candidates[0] == d.tag) {
+          continue;
+        }
+      }
+      devs.push_back(d);
+    }
+  } else {
+    devs = dense;  // determinism slipped; keep the full schedule
+  }
+
+  // Greedy leftmost removal to a fixpoint. Deterministic: the scan order
+  // and the replays it consults are both fixed functions of the input.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (size_t i = 0; i < devs.size(); ++i) {
+      std::vector<McDecision> cand = devs;
+      cand.erase(cand.begin() + static_cast<ptrdiff_t>(i));
+      if (run(cand).violation == violation) {
+        devs = std::move(cand);
+        changed = true;
+        break;
+      }
+    }
+  }
+
+  const TraceResult fin = run(devs);
+  ScheduleSpec spec;
+  spec.config = config;
+  spec.decisions = std::move(devs);
+  spec.expect_violation = violation;
+  spec.expect_digest = fin.final_digest;
+  return spec;
+}
+
+TraceResult Replay(const ScheduleSpec& spec) {
+  TraceRunner::Options opts;
+  opts.plan = spec.decisions;
+  opts.record = true;
+  return TraceRunner(spec.config, opts).Run();
+}
+
+}  // namespace ring::mc

@@ -1,0 +1,125 @@
+// Explorer: schedule-space search over TraceRunner executions.
+//
+// Two nested enumerations:
+//   - Outer: fault skeletons. Starting from the fault-free schedule, each
+//     explored trace proposes mutations — drop one deliverable message, or
+//     crash one crashable node, at one observed choice point — within the
+//     config's max_drops/max_crashes budgets. Skeletons are processed
+//     breadth-first by fault count and deduplicated two ways: exact plan
+//     identity, and the state fingerprint reached right after the skeleton's
+//     last fault (committed stores + alive bits + in-flight multiset) — two
+//     fault prefixes that land in the same state explore the same subtree.
+//   - Inner: delivery interleavings under one skeleton, via stateless DFS
+//     with dynamic partial-order reduction. After each run, every pair of
+//     delivery steps (i, j) with i < j is checked for a race: same
+//     destination and not causally ordered (the message clock of j does not
+//     happen-after the destination clock at i, per src/analysis vector
+//     clocks). A race adds j's delivery to the backtrack set at i; sleep
+//     sets prune re-exploration of commuted prefixes. Naive mode (dpor off)
+//     instead backtracks into every candidate — full enumeration of the
+//     same bounded schedule space, kept as the ground truth the DPOR
+//     equivalence test compares against.
+//
+// A violating trace is minimized (MinimizeSpec) to its deviating decisions
+// — the steps where it departs from the default schedule — by greedy
+// re-replayed removal, then packaged as a replayable ScheduleSpec.
+#ifndef RING_SRC_MC_EXPLORER_H_
+#define RING_SRC_MC_EXPLORER_H_
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/mc/harness.h"
+#include "src/mc/spec.h"
+
+namespace ring::mc {
+
+struct ExplorerOptions {
+  bool dpor = true;        // false: naive full enumeration (ground truth)
+  bool sleep_sets = true;  // only meaningful with dpor
+  bool state_dedup = true; // skeleton-level state-fingerprint dedup
+  uint64_t max_traces = 20'000;  // global run budget
+  bool stop_on_violation = true;
+};
+
+struct ExploreResult {
+  bool found = false;
+  std::string violation;         // oracle name, when found
+  std::string violation_detail;
+  ScheduleSpec counterexample;   // minimized, replayable; valid when found
+  uint64_t traces = 0;           // runs executed
+  uint64_t skeletons = 0;        // fault skeletons whose subtree was explored
+  uint64_t dedup_hits = 0;       // skeletons skipped by state fingerprint
+  uint64_t diverged_runs = 0;    // plans whose tags did not apply
+  // Final-state digests of every completed run. DPOR's guarantee (and the
+  // mc_test equivalence check): identical to naive enumeration's set.
+  std::set<uint64_t> fingerprints;
+};
+
+class Explorer {
+ public:
+  Explorer(McConfig config, ExplorerOptions options);
+
+  ExploreResult Explore();
+
+ private:
+  // One choice point on the current DFS trail.
+  struct Node {
+    std::vector<uint64_t> candidates;
+    McDecision decision;  // what the most recent run did here
+    bool fixed = false;   // skeleton-dictated: never branched
+    uint32_t dst = 0;
+    analysis::VectorClock msg_clock;
+    analysis::VectorClock delivered;
+    std::map<uint64_t, uint32_t> sleep;  // at entry (tag -> dst)
+    std::set<uint64_t> backtrack;
+    std::set<uint64_t> done;
+  };
+
+  TraceResult RunPlan(const std::vector<McDecision>& plan,
+                      const std::map<uint64_t, uint32_t>& sleep,
+                      uint32_t fingerprint_at_step);
+  // Folds a finished run into the result (fingerprints, violation); returns
+  // true when exploration should stop.
+  bool Observe(const TraceResult& res);
+  // Rebuilds trail state from `res`, keeping nodes [0, keep) untouched.
+  void SyncStack(std::vector<Node>* stack, const TraceResult& res,
+                 size_t keep, const std::vector<McDecision>& skeleton);
+  void UpdateBacktracks(std::vector<Node>* stack, size_t from);
+  // DFS over delivery interleavings under one fault skeleton. Returns true
+  // when exploration should stop.
+  bool ExploreSkeleton(const std::vector<McDecision>& skeleton);
+  // Enqueues fault mutations of `res` (observed under `skeleton`).
+  void ProposeMutations(const TraceResult& res,
+                        const std::vector<McDecision>& skeleton);
+  void Enqueue(std::vector<McDecision> skeleton);
+  bool BudgetLeft() const { return result_.traces < options_.max_traces; }
+
+  McConfig config_;
+  ExplorerOptions options_;
+  ExploreResult result_;
+  std::deque<std::vector<McDecision>> queue_;
+  std::set<std::string> seen_skeletons_;  // exact plan dedup
+  // (drops used, crashes used, state fingerprint) -> explored.
+  std::set<std::string> seen_states_;
+  std::map<uint64_t, uint32_t> tag_dst_;  // every tag ever observed -> dst
+};
+
+// Greedy shrink of a violating run's dense decision list down to the sparse
+// deviations that still reproduce `violation`. Deterministic: same input,
+// same minimized spec.
+ScheduleSpec MinimizeSpec(const McConfig& config,
+                          const std::vector<McDecision>& dense,
+                          const std::string& violation);
+
+// Replays a spec (decisions forced, no sleep steering). The caller checks
+// TraceResult::violation / final_digest against the spec's expectations.
+TraceResult Replay(const ScheduleSpec& spec);
+
+}  // namespace ring::mc
+
+#endif  // RING_SRC_MC_EXPLORER_H_

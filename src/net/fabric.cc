@@ -86,6 +86,18 @@ void Fabric::Enqueue(NodeId dst, sim::SimTime arrival, Pending p) {
     }
     it = nic.batches.emplace(tick, std::move(batch)).first;
   }
+  if (mc_ != nullptr && window == 0) {
+    // Model-checked mode: each doorbell addresses its item by index so the
+    // controller may run them in any order (or never), and carries a tag the
+    // explorer uses to identify the delivery across replays.
+    const size_t idx = it->second.items.size();
+    const uint64_t tag =
+        mc_->OnDelivery(p.issuer, dst, static_cast<uint8_t>(p.kind));
+    it->second.items.push_back(std::move(p));
+    sim_->AtTagged(
+        tick, [this, dst, tick, idx] { DrainIndexed(dst, tick, idx); }, tag);
+    return;
+  }
   it->second.items.push_back(std::move(p));
   if (window == 0) {
     // Exact mode: one doorbell per delivery, in issue order, so the event
@@ -117,6 +129,25 @@ void Fabric::DrainOne(NodeId dst, sim::SimTime tick) {
     return;
   }
   Pending p = std::move(it->second.items[it->second.cursor]);
+  ++it->second.cursor;
+  // `it` dies here: processing may enqueue into this NIC and rehash the map.
+  Process(dst, p);
+  const auto again = nic.batches.find(tick);
+  if (again != nic.batches.end() &&
+      again->second.cursor == again->second.items.size()) {
+    FinishBatch(nic, tick);
+  }
+}
+
+void Fabric::DrainIndexed(NodeId dst, sim::SimTime tick, size_t idx) {
+  NicQueue& nic = nics_[dst];
+  const auto it = nic.batches.find(tick);
+  if (it == nic.batches.end()) {
+    return;
+  }
+  Pending p = std::move(it->second.items[idx]);
+  // In MC mode the cursor counts consumed items rather than tracking FIFO
+  // position: doorbells arrive in controller order, each naming its index.
   ++it->second.cursor;
   // `it` dies here: processing may enqueue into this NIC and rehash the map.
   Process(dst, p);
@@ -197,6 +228,7 @@ void Fabric::Process(NodeId dst, Pending& p) {
       done.kind = Pending::Kind::kCompletion;
       done.peer = p.peer;
       done.peer_shard = p.peer_shard;
+      done.issuer = dst;
       done.op = p.op;
       done.primary = std::move(p.secondary);
       done.edge = std::move(p.edge);
@@ -220,6 +252,7 @@ void Fabric::Process(NodeId dst, Pending& p) {
       done.kind = Pending::Kind::kCompletion;
       done.peer = p.peer;
       done.peer_shard = p.peer_shard;
+      done.issuer = dst;
       done.op = p.op;
       done.primary = std::move(p.secondary);
       done.edge = std::move(p.edge);
@@ -287,6 +320,7 @@ void Fabric::Send(NodeId src, NodeId dst, uint64_t payload_bytes,
     Pending dup;
     dup.kind = Pending::Kind::kTwoSided;
     dup.peer = src;
+    dup.issuer = src;
     dup.op = op;
     dup.primary = handler.Clone();
     if (edge != nullptr) {
@@ -297,6 +331,7 @@ void Fabric::Send(NodeId src, NodeId dst, uint64_t payload_bytes,
   Pending p;
   p.kind = Pending::Kind::kTwoSided;
   p.peer = src;
+  p.issuer = src;
   p.op = op;
   p.primary = std::move(handler);
   p.edge = std::move(edge);
@@ -333,6 +368,7 @@ void Fabric::Write(NodeId src, NodeId dst, uint64_t payload_bytes,
   Pending p;
   p.kind = Pending::Kind::kWriteApply;
   p.peer = src;
+  p.issuer = src;
   p.peer_shard = IssuerShard(src);
   p.op = op;
   p.primary = std::move(apply);
@@ -369,6 +405,7 @@ void Fabric::Read(NodeId src, NodeId dst, uint64_t response_bytes,
   Pending p;
   p.kind = Pending::Kind::kReadServe;
   p.peer = src;
+  p.issuer = src;
   p.peer_shard = IssuerShard(src);
   p.op = op;
   p.response_bytes = response_bytes;

@@ -23,6 +23,7 @@
 #ifndef RING_SRC_NET_FABRIC_H_
 #define RING_SRC_NET_FABRIC_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <memory>
 #include <unordered_map>
@@ -39,6 +40,19 @@ class FaultInjector;
 namespace ring::net {
 
 using NodeId = uint32_t;
+
+// Model-checker hook (src/mc): assigns a schedule tag to every delivery the
+// fabric parks, so the EventQueue's ScheduleController can permute or drop
+// the doorbells. Tags are handed out in registration order — runs that share
+// a decision prefix perform identical registrations, so tags are stable
+// across replays.
+class DeliveryTagger {
+ public:
+  virtual ~DeliveryTagger() = default;
+  // `kind` is the Pending::Kind of the parked delivery, as uint8_t so the
+  // private enum stays private.
+  virtual uint64_t OnDelivery(NodeId issuer, NodeId dst, uint8_t kind) = 0;
+};
 
 class Fabric {
  public:
@@ -59,6 +73,10 @@ class Fabric {
   // from the injection-free behaviour — required for determinism_test.
   void set_injector(fault::FaultInjector* injector) { injector_ = injector; }
   fault::FaultInjector* injector() { return injector_; }
+  // Model-checker tagger (src/mc). Null keeps the doorbell path byte-identical
+  // to the untagged fabric; only ring-mc explorations install one.
+  void set_mc_tagger(DeliveryTagger* tagger) { mc_ = tagger; }
+  DeliveryTagger* mc_tagger() { return mc_; }
   // Gray failure: the node's CPU is wedged but its NIC still answers
   // one-sided verbs and buffers received messages until resume.
   bool paused(NodeId node) const;
@@ -101,6 +119,10 @@ class Fabric {
     Kind kind = Kind::kTwoSided;
     NodeId peer = 0;        // issuer (kWriteApply/kReadServe) / poller (kCompletion)
     uint32_t peer_shard = 0;  // issuing CPU shard for the completion
+    // Node whose action caused this delivery (for a completion: the remote
+    // node that generated the ack/response). Feeds the MC tagger's
+    // happens-before bookkeeping; unused without one.
+    NodeId issuer = 0;
     uint64_t op = 0;
     uint64_t response_bytes = 0;
     sim::Task primary;    // handler / apply / fetch / on_complete
@@ -134,6 +156,9 @@ class Fabric {
   // coalescing off, the batch's shared one with coalescing on.
   void Enqueue(NodeId dst, sim::SimTime arrival, Pending p);
   void DrainOne(NodeId dst, sim::SimTime tick);
+  // MC-mode doorbell: consumes the batch item at `idx` (doorbells may be
+  // delivered out of order, so the FIFO cursor becomes a consumed-count).
+  void DrainIndexed(NodeId dst, sim::SimTime tick, size_t idx);
   void DrainAll(NodeId dst, sim::SimTime tick);
   void FinishBatch(NicQueue& nic, sim::SimTime tick);
   void Process(NodeId dst, Pending& p);
@@ -145,6 +170,7 @@ class Fabric {
 
   sim::Simulator* sim_;
   fault::FaultInjector* injector_ = nullptr;
+  DeliveryTagger* mc_ = nullptr;
   std::vector<std::unique_ptr<sim::CpuWorker>> cpus_;
   std::vector<bool> alive_;
   std::vector<sim::SimTime> egress_busy_;

@@ -34,7 +34,8 @@ MetaEntry* MetadataTable::Highest(const Key& key) {
 
 MetaEntry& MetadataTable::Insert(const Key& key, MetaEntry entry) {
   auto& versions = table_[key];
-  auto [it, inserted] = versions.insert_or_assign(entry.version, std::move(entry));
+  const uint64_t version = entry.version;
+  auto [it, inserted] = versions.insert_or_assign(version, std::move(entry));
   if (inserted) {
     ++entry_count_;
   }

@@ -49,6 +49,25 @@ struct RingOptions {
   // Seed of the injector's private random stream (fault coin flips must not
   // perturb the simulator's main stream). Combined with `seed`.
   uint64_t fault_seed = 0;
+  // Regression switches re-introducing the three protocol bugs chaos fuzzing
+  // found in PR 5, for the ring-mc known-bug rediscovery gate (tests only;
+  // every flag defaults to the fixed behaviour).
+  struct TestOnlyBugs {
+    // Bug 1: never re-send unacked replica appends — a single lost append
+    // wedges the write forever instead of being retried.
+    bool no_write_retransmit = false;
+    // Bug 2: recover shard metadata from one alive holder instead of the
+    // union of all of them — a holder that missed an append loses committed
+    // entries on promotion.
+    bool single_source_recovery = false;
+    // Bug 3: skip the commit-time revalidation of a resolved get — a move/GC
+    // that relocated the value between resolve and copy serves stale bytes.
+    bool no_gc_revalidate = false;
+    bool any() const {
+      return no_write_retransmit || single_source_recovery || no_gc_revalidate;
+    }
+  };
+  TestOnlyBugs test_bugs;
 };
 
 class RingRuntime {

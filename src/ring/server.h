@@ -328,6 +328,16 @@ class RingServer {
   uint64_t LiveBytes() const;
   // Duration of the last completed promotion (metadata recovery), ns.
   uint64_t last_recovery_ns() const { return last_recovery_ns_; }
+
+  // Model-checker state fingerprint (src/mc): order-insensitive hash of this
+  // node's committed key-value state — (memgest, store, key, version,
+  // tombstone, value bytes) tuples, sorted before hashing so unordered-map
+  // iteration order and heap placement never leak in. Excludes timestamps,
+  // counters and in-flight entries: schedules that commute must digest equal.
+  uint64_t McStateDigest() const;
+  // Writes still awaiting redundancy acks (un-committed, acks outstanding).
+  // The MC wedged-write oracle: after full quiesce this must be zero.
+  uint64_t PendingWrites() const;
   // Kick off background reconstruction of every missing object; `done` fires
   // when the node is fully re-populated.
   void RecoverAllData(std::function<void()> done);

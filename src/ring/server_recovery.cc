@@ -263,6 +263,11 @@ std::vector<int32_t> RingServer::AliveMetaSources(const MemgestInfo& info,
   if (info.desc.kind != SchemeKind::kReplicated && alive.size() > 1) {
     alive.resize(1);
   }
+  if (rt_->options().test_bugs.single_source_recovery && alive.size() > 1) {
+    // test_bugs: PR 5 bug 2 — trust the first alive holder alone; a holder
+    // that missed a quorum-committed append loses that entry on promotion.
+    alive.resize(1);
+  }
   return alive;
 }
 

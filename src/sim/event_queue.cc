@@ -1,6 +1,8 @@
 #include "src/sim/event_queue.h"
 
 #include <algorithm>
+#include <cassert>
+#include <cstddef>
 #include <cstdlib>
 #include <cstring>
 #include <utility>
@@ -35,6 +37,125 @@ void EventQueue::Schedule(SimTime t, Task fn) {
   const size_t depth = pending();
   if (depth > depth_high_water_) {
     depth_high_water_ = depth;
+  }
+}
+
+void EventQueue::ScheduleTagged(SimTime t, Task fn, uint64_t tag) {
+  if (controller_ == nullptr) {
+    Schedule(t, std::move(fn));
+    return;
+  }
+  tagged_.push_back(TaggedEvent{t < now_ ? now_ : t, next_seq_++, tag,
+                                std::move(fn)});
+  const size_t depth = pending();
+  if (depth > depth_high_water_) {
+    depth_high_water_ = depth;
+  }
+}
+
+void EventQueue::set_controller(ScheduleController* controller,
+                                SimTime reorder_window_ns) {
+  assert(tagged_.empty() && "MC controller swap with tagged events in flight");
+  controller_ = controller;
+  reorder_window_ns_ = reorder_window_ns;
+  if (controller_ != nullptr && mode_ == Mode::kCalendar) {
+    // Peekable single-heap storage: the frontier comparison below reads the
+    // earliest untagged event without popping it. Migrate whatever timers
+    // are already parked in the wheel tiers.
+    for (std::vector<Event>& bucket : buckets_) {
+      for (Event& ev : bucket) {
+        overflow_.push_back(std::move(ev));
+      }
+      bucket.clear();
+    }
+    for (std::vector<Event>& slot : coarse_) {
+      for (Event& ev : slot) {
+        overflow_.push_back(std::move(ev));
+      }
+      slot.clear();
+    }
+    wheel_count_ = 0;
+    coarse_count_ = 0;
+    std::make_heap(overflow_.begin(), overflow_.end(), Later{});
+    mode_ = Mode::kHeap;
+  }
+}
+
+bool EventQueue::RunNextControlled() {
+  for (;;) {
+    if (tagged_.empty()) {
+      return RunNext();
+    }
+    // Earliest tagged delivery, by the same (time, seq) order the unhooked
+    // scheduler uses.
+    size_t lead = 0;
+    for (size_t i = 1; i < tagged_.size(); ++i) {
+      if (tagged_[i].time < tagged_[lead].time ||
+          (tagged_[i].time == tagged_[lead].time &&
+           tagged_[i].seq < tagged_[lead].seq)) {
+        lead = i;
+      }
+    }
+    const SimTime frontier = tagged_[lead].time;
+    // An untagged event strictly ahead of every delivery runs untouched:
+    // timers and CPU completions are deterministic consequences, never
+    // choice points.
+    if (!overflow_.empty() &&
+        (overflow_.front().time < frontier ||
+         (overflow_.front().time == frontier &&
+          overflow_.front().seq < tagged_[lead].seq))) {
+      Event ev = PopEarliest();
+      now_ = ev.time;
+      ++executed_;
+      SetLogSimTime(now_);
+      ev.fn();
+      return true;
+    }
+    // Candidate window: every delivery within reorder_window_ns_ of the
+    // frontier, (time, seq)-ordered so candidates[0] is the default.
+    std::vector<size_t> window;
+    for (size_t i = 0; i < tagged_.size(); ++i) {
+      if (tagged_[i].time <= frontier + reorder_window_ns_) {
+        window.push_back(i);
+      }
+    }
+    std::sort(window.begin(), window.end(), [this](size_t a, size_t b) {
+      if (tagged_[a].time != tagged_[b].time) {
+        return tagged_[a].time < tagged_[b].time;
+      }
+      return tagged_[a].seq < tagged_[b].seq;
+    });
+    if (window.size() > kMaxChoiceCandidates) {
+      window.resize(kMaxChoiceCandidates);
+    }
+    std::vector<DeliveryChoice> candidates;
+    candidates.reserve(window.size());
+    for (size_t i : window) {
+      candidates.push_back(DeliveryChoice{tagged_[i].tag, tagged_[i].time});
+    }
+    const ScheduleController::Decision d = controller_->Choose(candidates);
+    if (d.action == ScheduleController::Decision::Action::kRescan) {
+      continue;  // the controller crashed/recovered a node; frontier is stale
+    }
+    assert(d.index < window.size() && "MC decision out of range");
+    const size_t victim = window[d.index];
+    if (d.action == ScheduleController::Decision::Action::kDrop) {
+      // Lost on the wire: the doorbell dies unrung. The clock stays put —
+      // nothing executed.
+      tagged_.erase(tagged_.begin() + static_cast<ptrdiff_t>(victim));
+      continue;
+    }
+    // Deliver: the chosen event is pulled early to the frontier time, as if
+    // the frontier message had been the slower one on the wire.
+    TaggedEvent ev = std::move(tagged_[victim]);
+    tagged_.erase(tagged_.begin() + static_cast<ptrdiff_t>(victim));
+    if (frontier > now_) {
+      now_ = frontier;
+    }
+    ++executed_;
+    SetLogSimTime(now_);
+    ev.fn();
+    return true;
   }
 }
 
@@ -147,6 +268,9 @@ EventQueue::Event EventQueue::PopEarliest() {
 }
 
 bool EventQueue::RunNext() {
+  if (controller_ != nullptr && !tagged_.empty()) {
+    return RunNextControlled();
+  }
   if (empty()) {
     return false;
   }

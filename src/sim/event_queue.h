@@ -39,6 +39,41 @@ inline constexpr SimTime kMicrosecond = 1000;
 inline constexpr SimTime kMillisecond = 1000 * 1000;
 inline constexpr SimTime kSecond = 1000ULL * 1000 * 1000;
 
+// One schedulable delivery the model checker may pick, drop or defer: a
+// tagged event currently at the schedule frontier. Tags are assigned by the
+// tagger (net::Fabric) in registration order, so runs that share a decision
+// prefix assign identical tags — the property replayable schedule specs
+// rest on.
+struct DeliveryChoice {
+  uint64_t tag = 0;
+  SimTime time = 0;
+};
+
+// Model-checker hook (src/mc): decides which frontier delivery runs next.
+// Installed only by ring-mc explorations; a null controller leaves every
+// default code path byte-identical to the un-hooked scheduler.
+class ScheduleController {
+ public:
+  struct Decision {
+    enum class Action : uint8_t {
+      kDeliver,  // run candidate `index`, pulled early to the frontier time
+      kDrop,     // discard candidate `index` without running it (lost on
+                 // the wire); the clock does not advance
+      kRescan,   // the controller mutated the world (crash/recover):
+                 // recompute the frontier and ask again
+    };
+    Action action = Action::kDeliver;
+    size_t index = 0;
+  };
+  virtual ~ScheduleController() = default;
+  // `candidates` holds the tagged deliveries at the schedule frontier,
+  // (time, seq)-ordered: candidates[0] is the event the unhooked scheduler
+  // would run next. All candidates are within the reorder window of
+  // candidates[0], so choosing any of them models a bounded network
+  // reordering; the chosen one executes at candidates[0].time.
+  virtual Decision Choose(const std::vector<DeliveryChoice>& candidates) = 0;
+};
+
 class EventQueue {
  public:
   enum class Mode : uint8_t { kCalendar, kHeap };
@@ -52,15 +87,32 @@ class EventQueue {
   // clamped to now).
   void Schedule(SimTime t, Task fn);
 
+  // Schedules a *delivery* event the model checker may permute. With no
+  // controller installed this is exactly Schedule(t, fn) — the tag is
+  // dropped and the schedule stays byte-identical. With a controller, the
+  // event parks in the tagged side-store and only runs when chosen.
+  void ScheduleTagged(SimTime t, Task fn, uint64_t tag);
+
+  // Installs the model-checker hook. Untagged events (timers) may be
+  // pending, but no tagged delivery may be in flight across the swap.
+  // Forces kHeap storage so the untagged frontier stays peekable; MC
+  // configurations are tiny, so the calendar fast path is irrelevant there.
+  // `reorder_window_ns` bounds how far a delivery may be pulled ahead of
+  // the frontier event.
+  void set_controller(ScheduleController* controller,
+                      SimTime reorder_window_ns);
+  ScheduleController* controller() { return controller_; }
+
   // Runs the earliest event, advancing the clock. Returns false when empty.
   bool RunNext();
 
   SimTime now() const { return now_; }
   bool empty() const {
-    return wheel_count_ == 0 && coarse_count_ == 0 && overflow_.empty();
+    return wheel_count_ == 0 && coarse_count_ == 0 && overflow_.empty() &&
+           tagged_.empty();
   }
   size_t pending() const {
-    return wheel_count_ + coarse_count_ + overflow_.size();
+    return wheel_count_ + coarse_count_ + overflow_.size() + tagged_.size();
   }
   uint64_t executed() const { return executed_; }
   // Deepest the queue has ever been (events pending at once).
@@ -99,7 +151,23 @@ class EventQueue {
     }
   };
 
+  // Bounds the fan-out of one choice point: candidates beyond the first 16
+  // wait for a later frontier (they reappear on every Choose until taken).
+  static constexpr size_t kMaxChoiceCandidates = 16;
+
+  struct TaggedEvent {
+    SimTime time;
+    uint64_t seq;
+    uint64_t tag;
+    Task fn;
+  };
+
   void Insert(SimTime t, Task fn);
+  // Controller-driven frontier step: builds the candidate window, asks the
+  // controller, and executes/drops the decision. Returns true when an event
+  // ran (the caller's RunNext contract); loops internally over drops and
+  // rescans.
+  bool RunNextControlled();
   // Repositions the window over the earliest pending slot (coarse or
   // overflow), re-homes overflow events that the new horizon now covers,
   // and splices the window's coarse slot into fine buckets. Only legal when
@@ -127,6 +195,13 @@ class EventQueue {
 
   // Beyond-horizon tier (and the entire queue in kHeap mode): binary heap.
   std::vector<Event> overflow_;
+
+  // Model-checker side-store: tagged deliveries awaiting a Choose decision.
+  // Unsorted (frontier scans are linear); empty whenever controller_ is
+  // null, so the default path never touches it.
+  ScheduleController* controller_ = nullptr;
+  SimTime reorder_window_ns_ = 0;
+  std::vector<TaggedEvent> tagged_;
 };
 
 }  // namespace ring::sim

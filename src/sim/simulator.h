@@ -38,6 +38,11 @@ class Simulator {
   Rng& rng() { return rng_; }
 
   void At(SimTime t, Task fn) { queue_.Schedule(t, std::move(fn)); }
+  // Model-checkable delivery: identical to At() unless an MC controller is
+  // installed on the queue (see EventQueue::ScheduleTagged).
+  void AtTagged(SimTime t, Task fn, uint64_t tag) {
+    queue_.ScheduleTagged(t, std::move(fn), tag);
+  }
   void After(SimTime delay, Task fn) {
     queue_.Schedule(queue_.now() + delay, std::move(fn));
   }

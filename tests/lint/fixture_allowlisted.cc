@@ -6,13 +6,22 @@
 #include <ctime>
 #include <functional>
 #include <random>
+#include <string>
 #include <unordered_map>
+#include <utility>
 
 namespace fixture {
 
 struct Sim {
   void Schedule(int) {}
 };
+
+struct Status {
+  bool ok() const { return true; }
+};
+
+inline Status MightFail() { return Status{}; }
+inline void Consume(unsigned long, std::string) {}
 
 inline unsigned long long OkWallclock() {
   auto t = std::chrono::steady_clock::now();  // ring-lint: ok(wallclock)
@@ -44,6 +53,15 @@ inline void OkRawSchedule(Sim* sim) {
 // ring-lint: ok(boxed-callback)
 inline void OkBoxedCallback(std::function<void()> fn) {
   fn();
+}
+
+inline void OkUseAfterMove(std::string s) {
+  // ring-lint: ok(use-after-move)
+  Consume(s.size(), std::move(s));
+}
+
+inline void OkUncheckedStatus() {
+  MightFail();  // ring-lint: ok(unchecked-status)
 }
 
 }  // namespace fixture

@@ -5,13 +5,22 @@
 #include <ctime>
 #include <functional>
 #include <random>
+#include <string>
 #include <unordered_map>
+#include <utility>
 
 namespace fixture {
 
 struct Sim {
   void Schedule(int) {}
 };
+
+struct Status {
+  bool ok() const { return true; }
+};
+
+inline Status MightFail() { return Status{}; }
+inline void Consume(unsigned long, std::string) {}
 
 inline unsigned long long BadWallclock() {
   auto t = std::chrono::steady_clock::now();  // wallclock
@@ -40,6 +49,14 @@ inline void BadRawSchedule(Sim* sim) {
 
 inline void BadBoxedCallback(std::function<void()> fn) {  // boxed-callback
   fn();
+}
+
+inline void BadUseAfterMove(std::string s) {
+  Consume(s.size(), std::move(s));  // use-after-move
+}
+
+inline void BadUncheckedStatus() {
+  MightFail();  // unchecked-status
 }
 
 }  // namespace fixture

@@ -131,6 +131,83 @@ TEST(LintRulesTest, BoxedCallbackFiresInSchedulerDirsOnly) {
   EXPECT_FALSE(HasRule(LintSource(comment_only), "boxed-callback"));
 }
 
+TEST(LintRulesTest, UseAfterMoveFires) {
+  const auto f = LintSnippet(
+      "void F(Req req) {\n"
+      "  Send(ReqBytes(req.key.size(), 0), std::move(req));\n"
+      "}\n");
+  ASSERT_EQ(f.size(), 1u) << FormatFindings(f);
+  EXPECT_EQ(f[0].rule, "use-after-move");
+  EXPECT_EQ(f[0].line, 2);
+}
+
+TEST(LintRulesTest, UseAfterMoveHoistedReadIsFine) {
+  const auto f = LintSnippet(
+      "void F(Req req) {\n"
+      "  const uint64_t bytes = ReqBytes(req.key.size(), 0);\n"
+      "  Send(bytes, std::move(req));\n"
+      "}\n");
+  EXPECT_TRUE(f.empty()) << FormatFindings(f);
+}
+
+TEST(LintRulesTest, UseAfterMoveLambdaBodyIsSequenced) {
+  // The capture's move races sibling *arguments*; the lambda body runs after
+  // the call, so reads of the captured copy inside it must not fire.
+  const auto f = LintSnippet(
+      "void F(Req req) {\n"
+      "  Send(addr, [req = std::move(req)]() mutable {\n"
+      "    Handle(req.key);\n"
+      "  });\n"
+      "}\n");
+  EXPECT_TRUE(f.empty()) << FormatFindings(f);
+}
+
+TEST(LintRulesTest, UseAfterMoveDoubleMoveFires) {
+  const auto f = LintSnippet(
+      "void F(T t) {\n"
+      "  G(std::move(t), std::move(t));\n"
+      "}\n");
+  ASSERT_EQ(f.size(), 1u) << FormatFindings(f);
+  EXPECT_EQ(f[0].rule, "use-after-move");
+  EXPECT_EQ(f[0].line, 2);
+}
+
+TEST(LintRulesTest, UncheckedStatusFires) {
+  const auto f = LintSnippet(
+      "Status Flush();\n"
+      "void F() {\n"
+      "  Flush();\n"
+      "}\n");
+  ASSERT_EQ(f.size(), 1u) << FormatFindings(f);
+  EXPECT_EQ(f[0].rule, "unchecked-status");
+  EXPECT_EQ(f[0].line, 3);
+}
+
+TEST(LintRulesTest, UncheckedStatusConsumedOrDiscardedIsFine) {
+  const auto f = LintSnippet(
+      "Status Flush();\n"
+      "void F() {\n"
+      "  (void)Flush();\n"
+      "  Status s = Flush();\n"
+      "  if (!Flush().ok()) {\n"
+      "    return;\n"
+      "  }\n"
+      "  return Flush();\n"
+      "}\n");
+  EXPECT_TRUE(f.empty()) << FormatFindings(f);
+}
+
+TEST(LintRulesTest, UncheckedStatusUsesPairedHeaderDecls) {
+  SourceInput in;
+  in.relpath = "src/ring/x.cc";
+  in.paired_header = "struct W {\n  Status Flush();\n};\n";
+  in.content = "void F(W* w) {\n  w->Flush();\n}\n";
+  const auto f = LintSource(in, /*force_all_rules=*/true);
+  ASSERT_EQ(f.size(), 1u) << FormatFindings(f);
+  EXPECT_EQ(f[0].rule, "unchecked-status");
+  EXPECT_EQ(f[0].line, 2);
+}
+
 TEST(LintRulesTest, AllowlistSilencesNamedRuleOnly) {
   const auto same_line =
       LintSnippet("int a = rand();  // ring-lint: ok(rand)\n");
@@ -167,7 +244,9 @@ TEST(LintFixtureTest, SeededViolationsAllFire) {
   EXPECT_TRUE(HasRule(f, "unordered-iter"));
   EXPECT_TRUE(HasRule(f, "raw-schedule"));
   EXPECT_TRUE(HasRule(f, "boxed-callback"));
-  EXPECT_GE(f.size(), 7u) << FormatFindings(f);
+  EXPECT_TRUE(HasRule(f, "use-after-move"));
+  EXPECT_TRUE(HasRule(f, "unchecked-status"));
+  EXPECT_GE(f.size(), 9u) << FormatFindings(f);
 }
 
 TEST(LintFixtureTest, AllowlistedFixtureIsClean) {

@@ -22,6 +22,11 @@
 #                             # equivalence tests, sim_core quick bench
 #                             # (calendar+pool vs legacy heap), simstats
 #                             # smoke
+#   tools/check.sh --mc       # schedule-space model checker: mc_test (DPOR,
+#                             # shrinker, replay), then per known-bug
+#                             # scenario: rediscover with the bug injected
+#                             # (exit 3 + minimized spec), replay the spec
+#                             # byte-identically, and sweep clean without it
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -54,10 +59,14 @@ run_lint() {
   ./build/tools/ring-lint .
 
   if command -v clang-tidy >/dev/null 2>&1; then
-    echo "== analysis: clang-tidy (src/common src/sim) =="
+    echo "== analysis: clang-tidy (all of src/) =="
     cmake -B build -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON \
       "${LAUNCHER_ARGS[@]}" >/dev/null
-    clang-tidy -p build --quiet src/common/*.cc src/sim/*.cc
+    find src -name '*.cc' -print0 \
+      | xargs -0 clang-tidy -p build --quiet
+  elif [[ -n "${RING_REQUIRE_CLANG_TIDY:-}" ]]; then
+    echo "clang-tidy required (RING_REQUIRE_CLANG_TIDY set) but not found" >&2
+    exit 1
   else
     echo "clang-tidy not installed; skipping (checks listed in .clang-tidy)"
   fi
@@ -131,6 +140,32 @@ if [[ "${MODE}" == "--perf" ]]; then
   echo "== perf: ringctl simstats smoke =="
   ./build/tools/ringctl simstats --reps=200 --cores-per-node=2 >/dev/null
   echo "check.sh: perf suite passed"
+  exit 0
+fi
+
+if [[ "${MODE}" == "--mc" ]]; then
+  echo "== mc: build model-checker targets =="
+  cmake -B build -S . "${LAUNCHER_ARGS[@]}" >/dev/null
+  cmake --build build -j "${JOBS}" --target mc_test ringctl
+  echo "== mc: unit + regression tests (DPOR, shrinker, replay) =="
+  ./build/tests/mc_test
+  SPEC_DIR="${MC_SPEC_DIR:-/tmp/ring_mc_specs}"
+  mkdir -p "${SPEC_DIR}"
+  for sc in wedged-write single-source-recovery gc-revalidate; do
+    echo "== mc: rediscover ${sc} (bug injected, expect exit 3) =="
+    spec="${SPEC_DIR}/${sc}.spec"
+    rc=0
+    ./build/tools/ringctl mc --scenario="${sc}" --spec-out="${spec}" || rc=$?
+    if [[ "${rc}" -ne 3 ]]; then
+      echo "mc: ${sc}: expected exit 3 (violation found), got ${rc}" >&2
+      exit 1
+    fi
+    echo "== mc: replay ${sc} minimized spec (byte-identity) =="
+    ./build/tools/ringctl mc --replay="${spec}"
+    echo "== mc: sweep ${sc} clean (bug disabled, expect exit 0) =="
+    ./build/tools/ringctl mc --scenario="${sc}" --inject-bug=false
+  done
+  echo "check.sh: mc suite passed"
   exit 0
 fi
 

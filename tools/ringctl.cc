@@ -15,6 +15,8 @@
 //   ringctl chaos      --scheme=rep3 --seed=5 --plan="crash node=1 at=5ms"
 //   ringctl watch      --scheme=rep3 --seed=5 --window-us=1000
 //   ringctl report     --scheme=rep3 --seed=5 --report-events=12
+//   ringctl mc         --scenario=wedged-write --spec-out=ce.mcspec
+//   ringctl mc         --replay=ce.mcspec
 //   ringctl cluster status --shards=6 --spares=2
 //   ringctl cluster add    --scheme=srs32 --count=2 --keys=500
 //   ringctl cluster remove --scheme=rep3 --keys=500
@@ -29,6 +31,12 @@
 // enabled: watch prints the windowed SLI table live as windows close;
 // report renders the post-mortem (fault timeline, SLI degradation, flight
 // recorder context around each availability dip) after the run.
+//
+// `mc` runs the ring-mc schedule-space model checker (src/mc) over a preset
+// scenario: DPOR + sleep sets over message deliveries, bounded reorderings,
+// drops and crashes, with the chaos oracles checking every trace. A found
+// violation is shrunk to a minimal spec file that `--replay` reproduces
+// byte-identically.
 //
 // Commands can also be selected with --mode=<command>, and any
 // latency/trace run can emit a Chrome trace_event file via
@@ -47,6 +55,9 @@
 #include "src/common/rng.h"
 #include "src/common/stats.h"
 #include "src/fault/fault.h"
+#include "src/mc/explorer.h"
+#include "src/mc/scenarios.h"
+#include "src/mc/spec.h"
 #include "src/membership/rebalance.h"
 #include "src/obs/export.h"
 #include "src/obs/hub.h"
@@ -1113,11 +1124,123 @@ int RunSchemes(FlagSet& flags) {
   return 0;
 }
 
+// `ringctl mc`: explore a preset scenario's schedule space, or replay a
+// minimized counterexample spec.
+//
+//   ringctl mc --scenario=wedged-write                    -> exit 3, spec out
+//   ringctl mc --scenario=wedged-write --inject-bug=false -> exit 0 (clean)
+//   ringctl mc --replay=counterexample.mcspec             -> byte-identity
+//
+// Exit codes: 0 = clean space / replay matched the spec's expectations,
+// 3 = violation found (minimized spec written to --spec-out or stdout),
+// 1 = replay mismatch, 2 = bad flags. CI runs the clean legs as hard gates
+// and uploads the spec artifact when one unexpectedly finds a violation.
+int RunMcReplay(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    std::fprintf(stderr, "mc: cannot open '%s'\n", path.c_str());
+    return 2;
+  }
+  std::string text;
+  char buf[4096];
+  size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) {
+    text.append(buf, n);
+  }
+  std::fclose(f);
+  const Result<mc::ScheduleSpec> spec = mc::ScheduleSpec::Parse(text);
+  if (!spec.ok()) {
+    std::fprintf(stderr, "mc: %s\n", spec.status().message().c_str());
+    return 2;
+  }
+  const mc::TraceResult run = mc::Replay(*spec);
+  std::printf("replay: %llu steps, schedule 0x%016llx, digest 0x%016llx\n",
+              static_cast<unsigned long long>(run.steps),
+              static_cast<unsigned long long>(run.schedule_hash),
+              static_cast<unsigned long long>(run.final_digest));
+  if (run.diverged) {
+    std::printf("FAIL: schedule diverged from the spec's decisions\n");
+    return 1;
+  }
+  if (run.violation != spec->expect_violation) {
+    std::printf("FAIL: violation '%s' (%s), spec expects '%s'\n",
+                run.violation.c_str(), run.violation_detail.c_str(),
+                spec->expect_violation.c_str());
+    return 1;
+  }
+  if (spec->expect_digest != 0 && run.final_digest != spec->expect_digest) {
+    std::printf("FAIL: digest 0x%016llx, spec expects 0x%016llx\n",
+                static_cast<unsigned long long>(run.final_digest),
+                static_cast<unsigned long long>(spec->expect_digest));
+    return 1;
+  }
+  if (!run.violation.empty()) {
+    std::printf("violation reproduced: %s (%s)\n", run.violation.c_str(),
+                run.violation_detail.c_str());
+  }
+  std::printf("OK: replay matches the spec\n");
+  return 0;
+}
+
+int RunMc(FlagSet& flags) {
+  const std::string replay = flags.GetString("replay");
+  if (!replay.empty()) {
+    return RunMcReplay(replay);
+  }
+  const bool inject = flags.GetBool("inject-bug");
+  const Result<mc::McScenario> sc =
+      mc::PresetScenario(flags.GetString("scenario"), inject);
+  if (!sc.ok()) {
+    std::fprintf(stderr, "mc: %s\n", sc.status().message().c_str());
+    return 2;
+  }
+  mc::ExplorerOptions opts;
+  opts.max_traces = static_cast<uint64_t>(flags.GetInt("max-traces"));
+  opts.dpor = !flags.GetBool("naive");
+  opts.sleep_sets = opts.dpor;
+  opts.state_dedup = opts.dpor;
+  std::printf("mc: scenario '%s' (%s), bug %s, budget %llu traces, %s\n",
+              sc->name.c_str(), sc->description.c_str(),
+              inject ? "injected" : "off",
+              static_cast<unsigned long long>(opts.max_traces),
+              opts.dpor ? "dpor+sleep" : "naive enumeration");
+  const mc::ExploreResult res = mc::Explorer(sc->config, opts).Explore();
+  std::printf("mc: %llu traces over %llu fault skeletons, %llu deduped, "
+              "%zu distinct final states\n",
+              static_cast<unsigned long long>(res.traces),
+              static_cast<unsigned long long>(res.skeletons),
+              static_cast<unsigned long long>(res.dedup_hits),
+              res.fingerprints.size());
+  if (!res.found) {
+    std::printf("mc: no violation found\n");
+    return 0;
+  }
+  std::printf("mc: VIOLATION %s: %s\n", res.violation.c_str(),
+              res.violation_detail.c_str());
+  const std::string text = res.counterexample.ToString();
+  const std::string out = flags.GetString("spec-out");
+  if (out.empty()) {
+    std::printf("%s", text.c_str());
+  } else {
+    std::FILE* f = std::fopen(out.c_str(), "wb");
+    if (f == nullptr) {
+      std::fprintf(stderr, "mc: cannot write '%s'\n", out.c_str());
+      return 2;
+    }
+    std::fwrite(text.data(), 1, text.size(), f);
+    std::fclose(f);
+    std::printf("mc: minimized spec written to %s (replay with "
+                "`ringctl mc --replay=%s`)\n",
+                out.c_str(), out.c_str());
+  }
+  return 3;
+}
+
 int Main(int argc, char** argv) {
   FlagSet flags(
       "ringctl "
       "<latency|throughput|recover|reliability|schemes|stats|simstats|trace|"
-      "autotier|chaos|watch|report|cluster <status|add|remove>>");
+      "autotier|chaos|watch|report|mc|cluster <status|add|remove>>");
   flags.DefineString("scheme", "rep3", "storage scheme: repN or srsKM")
       .DefineString("cold-scheme", "srs32",
                     "cold-tier scheme for autotier: repN or srsKM")
@@ -1187,7 +1310,22 @@ int Main(int argc, char** argv) {
                  "64 KiB recovery block)")
       .DefineBool("zipfian", true, "Zipfian (vs uniform) key popularity")
       .DefineBool("light-clients", true,
-                  "lightweight load generators (Fig. 9 style)");
+                  "lightweight load generators (Fig. 9 style)")
+      .DefineString("scenario", "wedged-write",
+                    "mc: preset schedule space (wedged-write, "
+                    "single-source-recovery, gc-revalidate)")
+      .DefineBool("inject-bug", true,
+                  "mc: re-introduce the scenario's seed-era bug; with "
+                  "--inject-bug=false the same space must explore clean")
+      .DefineString("replay", "",
+                    "mc: replay a minimized counterexample spec file and "
+                    "verify byte-identity instead of exploring")
+      .DefineString("spec-out", "",
+                    "mc: write the minimized counterexample spec here "
+                    "(default: stdout)")
+      .DefineInt("max-traces", 5000, "mc: exploration budget in traces")
+      .DefineBool("naive", false,
+                  "mc: full enumeration instead of DPOR + sleep sets");
   Status s = flags.Parse(argc, argv);
   if (!s.ok()) {
     std::fprintf(stderr, "%s\n", s.ToString().c_str());
@@ -1269,6 +1407,9 @@ int Main(int argc, char** argv) {
   }
   if (command == "report") {
     return RunChaos(flags, ChaosMode::kReport);
+  }
+  if (command == "mc") {
+    return RunMc(flags);
   }
   std::fprintf(stderr, "unknown command '%s'\n%s", command.c_str(),
                flags.Usage().c_str());
